@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's artifacts (Table 1,
+Figures 1-5, or a quoted section number) and prints the same rows or
+series the paper reports, alongside the measured values.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables.  Absolute numbers come from this repository's
+simulated substrates (DESIGN.md, "Substitutions"); the asserted
+properties are the paper's *shapes*: who wins, by roughly what factor,
+where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
+    """Render an experiment table to stdout (visible with -s)."""
+    widths = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        str_rows.append(cells)
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n--- {title} ---")
+    print(line)
+    print("-" * len(line))
+    for cells in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+
+@pytest.fixture(scope="session")
+def strongarm():
+    from repro.process.technology import strongarm_technology
+    return strongarm_technology()
+
+
+@pytest.fixture(scope="session")
+def alpha():
+    from repro.process.technology import alpha_21064_technology
+    return alpha_21064_technology()

@@ -1,0 +1,118 @@
+"""Experiment F2 -- Figure 2: the ALPHA design flow, run end to end.
+
+The figure is a flow chart; the reproduction is the flow *running*: a
+full-custom domino datapath block goes through schematic entry,
+recognition, macrocell layout, extraction, logic equivalence, the
+complete electrical check battery, and min/max timing -- producing
+per-stage status exactly as the CBV methodology prescribes.
+"""
+
+from conftest import print_table
+
+from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.report import render_report
+from repro.core.stages import FlowStage, StageStatus
+from repro.netlist.builder import CellBuilder
+from repro.timing.clocking import TwoPhaseClock
+
+
+def datapath_bundle(technology) -> DesignBundle:
+    """A mixed-style block: static decode, domino AND, latched output --
+    one of everything the flow must handle."""
+    b = CellBuilder("alpha_slice",
+                    ports=["clk", "clk_b", "a", "b", "c", "y", "q"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "and_ab")
+    b.domino_gate("clk", ["and_ab", "c"], "dom", dyn_net="dyn")
+    b.nor(["dom", "and_ab"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    return DesignBundle(
+        name="alpha_slice",
+        cell=b.build(),
+        technology=technology,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        clock_hints=("clk", "clk_b"),
+        rtl_intent={
+            "and_ab": lambda a, b: a and b,
+            "n1": lambda a, b: not (a and b),
+        },
+        rtl_inputs={"and_ab": ("a", "b"), "n1": ("a", "b")},
+    )
+
+
+def test_fig2_cbv_flow(benchmark, strongarm):
+    bundle = datapath_bundle(strongarm)
+    report = benchmark(lambda: CbvCampaign(bundle).run())
+    print("\n" + render_report(report))
+
+    rows = [(s.stage.value, s.status.value, s.summary) for s in report.stages]
+    print_table("Figure 2: flow stages", rows, ("stage", "status", "summary"))
+
+    # Every Figure-2 stage ran.
+    ran = {s.stage for s in report.stages}
+    assert {FlowStage.SCHEMATIC, FlowStage.RECOGNITION, FlowStage.LAYOUT,
+            FlowStage.EXTRACTION, FlowStage.LOGIC_VERIFICATION,
+            FlowStage.CIRCUIT_VERIFICATION,
+            FlowStage.TIMING_VERIFICATION} <= ran
+    # Nothing failed; the design tapes out after triage.
+    assert all(s.status is not StageStatus.FAIL for s in report.stages), \
+        render_report(report)
+    assert report.queue.tapeout_clean()
+    # Recognition saw the mixed styles.
+    rec = report.stage(FlowStage.RECOGNITION)
+    assert rec.metrics["dynamic_nodes"] >= 1
+    assert rec.metrics["storage"] >= 1
+    assert rec.metrics["clocks"] >= 2
+    # Timing supports the 160 MHz-class operating point.
+    assert report.timing.min_cycle_time_s < 6.25e-9
+
+
+def test_fig2_flow_scales_with_design_size(benchmark, strongarm):
+    """The flow's cost is dominated by recognition + checks; make sure a
+    4x larger block still completes (and report the stage metrics)."""
+    from repro.designs.adders import domino_carry_adder
+
+    bundle = DesignBundle(
+        name="adder8",
+        cell=domino_carry_adder(8),
+        technology=strongarm,
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        use_layout=False,  # wireload mode for the big block
+    )
+    report = benchmark(lambda: CbvCampaign(bundle).run())
+    rec = report.stage(FlowStage.RECOGNITION)
+    print(f"\nadder8: {report.stage(FlowStage.SCHEMATIC).summary}; "
+          f"{rec.summary}")
+    assert rec.metrics["dynamic_nodes"] == 8
+    assert report.stage(FlowStage.TIMING_VERIFICATION).metrics["min_cycle_s"] > 0
+
+
+def test_fig2_bottom_to_top_feasibility_study(benchmark, strongarm):
+    """Figure 2's bottom-to-top arrows: 'many feasibility studies on
+    different circuit implementations during the development of the
+    RTL.  These studies analyze timing, layout area, power, and
+    electrical concerns.'  Here: static ripple vs domino carry for the
+    same 4-bit add."""
+    from repro.core.feasibility import compare_implementations, render_study
+    from repro.designs.adders import domino_carry_adder, ripple_carry_adder
+
+    def study():
+        return compare_implementations(
+            {
+                "static_ripple": ripple_carry_adder(4),
+                "domino_carry": domino_carry_adder(4),
+            },
+            strongarm,
+            TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        )
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    print("\n" + render_study(rows))
+    by_name = {r.name: r for r in rows}
+    static, domino = by_name["static_ripple"], by_name["domino_carry"]
+    # The study quantifies the trade the designer weighs: the dynamic
+    # implementation spends clock power the static one does not...
+    assert domino.dynamic_power_w > static.dynamic_power_w
+    assert domino.dynamic_nodes == 4 and static.dynamic_nodes == 0
+    # ...and both are electrically sound candidates.
+    assert static.violations == 0 and domino.violations == 0

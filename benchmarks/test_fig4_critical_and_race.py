@@ -1,0 +1,108 @@
+"""Experiment F4 -- Figure 4: clocking and timing methodology.
+
+"Critical paths (slow paths) will limit the clock frequency of the chip
+while race paths (fast paths) will prevent the chip from working at any
+frequency."
+
+The benchmark demonstrates both halves on a two-phase latched pipeline:
+
+* sweeping the period moves setup slack through zero exactly at the
+  reported minimum cycle time (critical paths limit frequency);
+* race margins are identical at every period (races are
+  frequency-independent), and only shrink when skew grows.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.driver import analyze_design
+
+
+def pipeline_cell(depth=6):
+    b = CellBuilder("pipe", ports=["d", "q", "phi", "phi_b"])
+    prev = "d"
+    for i in range(depth):
+        nxt = f"s{i}"
+        b.inverter(prev, nxt)
+        prev = nxt
+    b.transparent_latch(prev, "q", "phi", "phi_b")
+    return flatten(b.build())
+
+
+def test_fig4_critical_path_limits_frequency(benchmark, strongarm):
+    flat = pipeline_cell()
+
+    def sweep():
+        base = analyze_design(flat, strongarm,
+                              TwoPhaseClock(period_s=10e-9),
+                              clock_hints=["phi", "phi_b"])
+        t_min = base.report.min_cycle_time_s
+        rows = []
+        for ratio in (2.0, 1.2, 1.0, 0.8, 0.5):
+            period = t_min * ratio
+            run = analyze_design(flat, strongarm,
+                                 TwoPhaseClock(period_s=period),
+                                 clock_hints=["phi", "phi_b"])
+            rows.append((period * 1e9, run.report.worst_slack() * 1e12,
+                         len(run.report.setup_violations)))
+        return t_min, rows
+
+    t_min, rows = benchmark(sweep)
+    print(f"\nreported minimum cycle time: {t_min * 1e9:.3f} ns "
+          f"({1e-6 / t_min:.0f} MHz)")
+    print_table("Figure 4a: setup slack vs period",
+                rows, ("period (ns)", "worst slack (ps)", "setup violations"))
+    slacks = [r[1] for r in rows]
+    violations = [r[2] for r in rows]
+    assert slacks == sorted(slacks, reverse=True)   # slack shrinks as f grows
+    assert violations[0] == 0 and violations[1] == 0
+    assert abs(slacks[2]) < 1.0                     # ~zero at t_min (ps)
+    assert violations[-1] > 0                       # beyond t_min it breaks
+
+
+def test_fig4_races_are_frequency_independent(benchmark, strongarm):
+    flat = pipeline_cell(depth=1)
+
+    def sweep():
+        rows = []
+        for period in (2e-9, 6.25e-9, 25e-9, 100e-9):
+            run = analyze_design(flat, strongarm,
+                                 TwoPhaseClock(period_s=period, skew_s=150e-12),
+                                 clock_hints=["phi", "phi_b"])
+            margins = tuple(sorted(round(r.margin_s * 1e15)
+                                   for r in run.report.races))
+            rows.append((period * 1e9, len(run.report.races), margins))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Figure 4b: race margins vs period",
+                rows, ("period (ns)", "races", "margins (fs)"))
+    # The Figure-4 point: the race picture is identical at every period.
+    reference = (rows[0][1], rows[0][2])
+    for row in rows[1:]:
+        assert (row[1], row[2]) == reference
+
+
+def test_fig4_skew_eats_race_margin(benchmark, strongarm):
+    flat = pipeline_cell(depth=1)
+
+    def sweep():
+        rows = []
+        for skew in (0.0, 50e-12, 200e-12, 1e-9, 3e-9):
+            run = analyze_design(flat, strongarm,
+                                 TwoPhaseClock(period_s=10e-9, skew_s=skew),
+                                 clock_hints=["phi", "phi_b"])
+            rows.append((skew * 1e12, len(run.report.races)))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Figure 4c: races vs clock skew",
+                rows, ("skew (ps)", "races"))
+    counts = [r[1] for r in rows]
+    assert counts == sorted(counts)     # monotone in skew
+    assert counts[0] == 0               # clean distribution: no races
+    assert counts[-1] > 0               # bad skew: the chip never works

@@ -1,0 +1,79 @@
+"""Scaling benchmarks: verification cost vs design size.
+
+The paper's methodology lives or dies on tool throughput ("the speed of
+simulation is very important"; designers iterate daily).  These benches
+measure how the recognition pipeline and the full check battery scale
+with transistor count on the domino-adder family, asserting sane
+(roughly sub-quadratic) growth rather than absolute speed.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.checks.driver import make_context
+from repro.checks.registry import run_battery
+from repro.designs.adders import domino_carry_adder
+from repro.netlist.flatten import flatten
+from repro.recognition.recognizer import recognize
+from repro.timing.clocking import TwoPhaseClock
+
+
+def _measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_recognition_scaling(benchmark, strongarm):
+    widths = (2, 4, 8, 16)
+    flats = {w: flatten(domino_carry_adder(w)) for w in widths}
+
+    def sweep():
+        rows = []
+        for w in widths:
+            flat = flats[w]
+            elapsed = _measure(lambda: recognize(flat))
+            rows.append((w, flat.device_count(), elapsed * 1e3,
+                         flat.device_count() / max(elapsed, 1e-9)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Recognition throughput vs design size",
+                rows, ("adder bits", "transistors", "time (ms)",
+                       "devices/s"))
+    # 8x the devices must cost less than ~30x the time (sub-quadratic-ish,
+    # generous for timer noise at millisecond scales).
+    t_small, t_big = rows[0][2], rows[-1][2]
+    n_small, n_big = rows[0][1], rows[-1][1]
+    assert n_big == 8 * n_small
+    assert t_big < 30 * max(t_small, 0.5)
+
+
+def test_full_battery_scaling(benchmark, strongarm):
+    widths = (2, 4, 8)
+    contexts = {
+        w: make_context(flatten(domino_carry_adder(w)), strongarm,
+                        clock=TwoPhaseClock(period_s=6.25e-9))
+        for w in widths
+    }
+
+    def sweep():
+        rows = []
+        for w in widths:
+            ctx = contexts[w]
+            start = time.perf_counter()
+            result = run_battery(ctx)
+            elapsed = time.perf_counter() - start
+            rows.append((w, len(result.findings), elapsed * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Check-battery cost vs design size",
+                rows, ("adder bits", "findings", "time (ms)"))
+    # Findings grow roughly linearly with the design.
+    findings = [r[1] for r in rows]
+    assert findings[1] > 1.5 * findings[0]
+    assert findings[2] > 1.5 * findings[1]
+    # Cost stays tractable for a 320-transistor block.
+    assert rows[-1][2] < 10_000

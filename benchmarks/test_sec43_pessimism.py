@@ -1,0 +1,173 @@
+"""Experiment S43 -- section 4.3: pessimism vs false violations.
+
+"Static timing verification always has two conflicting goals: enough
+pessimism to insure identification of all violations, while not so much
+pessimism to cause false violations."
+
+The sweep: a population of inverter-chain paths with varied loads, a
+target phase width chosen so some paths truly fail (per the transient
+golden simulator) and some truly pass.  At each pessimism scale the
+static verifier's d_max decides pass/fail; comparing against the golden
+truth counts *missed* violations (real failure, STA said fine) and
+*false* violations (real pass, STA cried wolf).
+
+Expected shape: misses fall to zero as pessimism grows; false violations
+rise; a usable middle region exists where misses are zero and false
+violations are few.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.extraction.annotate import annotate
+from repro.extraction.caps import Parasitics
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.corners import Corner
+from repro.recognition.recognizer import recognize
+from repro.spice.circuit import PwlSource
+from repro.spice.netlist_bridge import circuit_from_netlist
+from repro.spice.transient import transient
+from repro.spice.waveforms import crossing_time
+from repro.timing.delay import ArcDelayCalculator
+from repro.timing.graph import build_timing_graph
+from repro.timing.pessimism import PessimismSettings
+
+
+def chain_cell(stages: int, load_f: float):
+    b = CellBuilder(f"chain{stages}", ports=["a", "y"])
+    prev = "a"
+    for i in range(stages):
+        nxt = "y" if i == stages - 1 else f"s{i}"
+        b.inverter(prev, nxt, wn=2.0, wp=4.0)
+        prev = nxt
+    b.cap("y", "gnd", load_f)
+    return flatten(b.build())
+
+
+def golden_path_delay(flat, tech) -> float:
+    """Transient 50%-to-50% delay through the whole chain at the SLOW
+    corner and high Miller-free load (the silicon the verifier must
+    bound)."""
+    corner = Corner.SLOW
+    vdd = tech.vdd_at(corner)
+    circuit = circuit_from_netlist(
+        flat, tech, corner=corner,
+        stimulus={"a": PwlSource.step(0.0, vdd, 0.1e-9, 40e-12)},
+    )
+    # Initialize every chain node to its settled level for a = 0 so the
+    # measured crossing is the propagated edge, not start-up settling.
+    v_init = {}
+    stage_nets = sorted(n for n in flat.nets if n.startswith("s")) + ["y"]
+    for i, net in enumerate(stage_nets):
+        v_init[net] = vdd if i % 2 == 0 else 0.0
+    result = transient(circuit, t_stop=12e-9, dt=5e-12, v_init=v_init)
+    t_in = crossing_time(result.wave("a"), vdd / 2, rising=True)
+    t_out = crossing_time(result.wave("y"), vdd / 2, rising=None, after=t_in)
+    assert t_in is not None and t_out is not None
+    return t_out - t_in
+
+
+def sta_arrival(flat, tech, settings: PessimismSettings) -> float:
+    design = recognize(flat)
+    parasitics = Parasitics()  # explicit caps only; no wireload noise
+    fast = annotate(flat, parasitics, tech, Corner.FAST)
+    slow = annotate(flat, parasitics, tech, Corner.SLOW)
+    calc = ArcDelayCalculator(fast, slow, settings)
+    graph = build_timing_graph(design, calc)
+    # Longest path to y = sum of max arc delays along the chain.
+    arrival: dict[str, float] = {"a": 0.0}
+    changed = True
+    while changed:
+        changed = False
+        for arc in graph.arcs:
+            if arc.src in arrival:
+                t = arrival[arc.src] + arc.d_max
+                if t > arrival.get(arc.dst, -1.0):
+                    arrival[arc.dst] = t
+                    changed = True
+    return arrival["y"]
+
+
+@pytest.fixture(scope="module")
+def population(strongarm):
+    """(flat, golden delay) for a spread of chains."""
+    out = []
+    for stages, load in [(2, 5e-15), (3, 20e-15), (4, 10e-15),
+                         (5, 40e-15), (6, 15e-15), (7, 60e-15)]:
+        flat = chain_cell(stages, load)
+        out.append((flat, golden_path_delay(flat, strongarm)))
+    return out
+
+
+def test_sec43_pessimism_tradeoff(benchmark, population, strongarm):
+    delays = [d for _f, d in population]
+    # Target phase: between the medians so ~half the paths truly fail.
+    target = sorted(delays)[len(delays) // 2] * 1.05
+
+    def sweep():
+        # The swept knob is the delay-model guard band (derate): an
+        # under-guarded model is optimistic (misses real violations), an
+        # over-guarded one floods the designer with false ones.
+        rows = []
+        for derate in (0.2, 0.35, 0.6, 1.15, 2.0):
+            settings = PessimismSettings(derate_max=derate,
+                                         derate_min=min(derate, 0.85))
+            missed = false = 0
+            for flat, golden in population:
+                predicted = sta_arrival(flat, strongarm, settings)
+                sta_fails = predicted > target
+                truly_fails = golden > target
+                if truly_fails and not sta_fails:
+                    missed += 1
+                if not truly_fails and sta_fails:
+                    false += 1
+            rows.append((derate, missed, false))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\ntarget phase width {target * 1e12:.0f} ps over "
+          f"{len(population)} paths "
+          f"(golden delays {[round(d * 1e12) for d in delays]} ps)")
+    print_table("Section 4.3: model guard band vs missed/false violations",
+                rows, ("max-delay derate", "missed violations",
+                       "false violations"))
+
+    missed = [r[1] for r in rows]
+    false = [r[2] for r in rows]
+    # More pessimism never uncovers fewer real violations...
+    assert missed == sorted(missed, reverse=True)
+    # ...and never reduces the false alarms.
+    assert false == sorted(false)
+    # An optimistic model genuinely misses silicon failures...
+    assert missed[0] > 0
+    # ...while the calibrated guard band misses nothing.
+    assert missed[-2] == 0 and missed[-1] == 0
+    # Over-pessimism pays in false violations.
+    assert false[-1] > false[0]
+    # A usable operating point exists: zero misses, fewer falses than
+    # the paranoid extreme.
+    usable = [r for r in rows if r[1] == 0]
+    assert usable
+    assert min(r[2] for r in usable) <= false[-1]
+
+
+def test_sec43_bounds_bracket_golden(benchmark, population, strongarm):
+    """At the calibrated scale=1.0, STA's max bound must sit above the
+    golden delay on every path (no missed violations by construction),
+    and within a sane pessimism ratio."""
+    def _rows():
+        out = []
+        for flat, golden in population:
+            predicted = sta_arrival(flat, strongarm, PessimismSettings())
+            out.append((flat.name, golden * 1e12, predicted * 1e12,
+                        predicted / golden))
+        return out
+
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print_table("STA max bound vs golden (scale = 1.0)",
+                rows, ("path", "golden (ps)", "STA d_max (ps)", "ratio"))
+    for _name, golden_ps, sta_ps, ratio in rows:
+        assert ratio > 1.0    # conservative everywhere
+        assert ratio < 6.0    # but not uselessly so

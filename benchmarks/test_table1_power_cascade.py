@@ -1,0 +1,74 @@
+"""Experiment T1 -- Table 1: the ALPHA 21064 -> StrongARM power cascade.
+
+Paper rows:
+
+    Starting with ALPHA 21064: 3.45v, Power = 26W
+    VDD reduction:    5.3x  ->  4.9W
+    Reduce functions: 3x    ->  1.6W
+    Scale process:    2x    ->  0.8W
+    Clock load:       1.3x  ->  0.6W
+    Clock rate:       1.25x ->  0.5W      (realized value ~450 mW)
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.power.cascade import (
+    alpha_21064_chip,
+    cascade_table,
+    power_cascade,
+    strongarm_chip,
+)
+
+PAPER_ROWS = [
+    ("Starting with ALPHA 21064", 1.0, 26.0),
+    ("VDD reduction", 5.3, 4.9),
+    ("Reduce functions", 3.0, 1.6),
+    ("Scale process", 2.0, 0.8),
+    ("Clock load", 1.3, 0.6),
+    ("Clock rate", 1.25, 0.5),
+]
+
+
+def run_cascade():
+    return power_cascade(alpha_21064_chip(), strongarm_chip())
+
+
+def test_table1_cascade(benchmark):
+    steps = benchmark(run_cascade)
+    rows = []
+    for paper, step in zip(PAPER_ROWS, steps):
+        rows.append((step.label, paper[1], step.factor, paper[2], step.power_w))
+    print_table(
+        "Table 1: ALPHA -> StrongARM power dissipation",
+        rows,
+        ("step", "paper factor", "measured factor", "paper W", "measured W"),
+    )
+    print(cascade_table(steps))
+
+    # Shape assertions: every factor within 5% of the paper's row and
+    # the walk ends near the realized 450-500 mW.
+    for paper, step in zip(PAPER_ROWS, steps):
+        assert step.factor == pytest.approx(paper[1], rel=0.05), step.label
+        assert step.power_w == pytest.approx(paper[2], rel=0.12), step.label
+    assert 0.40 <= steps[-1].power_w <= 0.55
+    # The biggest single lever is VDD (quadratic), as the paper orders it.
+    factors = [s.factor for s in steps[1:]]
+    assert factors[0] == max(factors)
+
+
+def test_table1_ablation_vdd_only(benchmark):
+    """Ablation: what if ONLY the supply had been dropped?  The cascade
+    model answers directly -- 26 W / 5.29 = ~4.9 W, still far above the
+    portable budget, proving no single lever suffices."""
+    from dataclasses import replace
+
+    def vdd_only():
+        chip = replace(alpha_21064_chip(), vdd_v=strongarm_chip().vdd_v)
+        return chip.power_w()
+
+    power = benchmark(vdd_only)
+    print(f"\nVDD-only ablation: {power:.2f} W (paper row: 4.9 W)")
+    assert power == pytest.approx(4.9, rel=0.05)
+    assert power > 2.0  # nowhere near portable

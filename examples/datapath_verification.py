@@ -1,0 +1,93 @@
+"""Full CBV campaign over a mixed-style datapath block.
+
+The Figure-2 flow end to end on a realistic full-custom slice: a domino
+carry adder (dynamic carry chain, static sum gates) verified through
+schematic entry, recognition, macrocell place & route, extraction, the
+electrical check battery, and min/max timing -- plus a seeded-bug rerun
+showing the flow actually catches things.
+
+Run:  python examples/datapath_verification.py
+"""
+
+from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.report import render_report
+from repro.designs.adders import adder_reference, domino_carry_adder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.switchsim.engine import SwitchSimulator
+from repro.switchsim.values import Logic
+from repro.timing.clocking import TwoPhaseClock
+
+
+WIDTH = 4
+
+
+def simulate_adder(cell) -> bool:
+    """Standalone schematic simulation (one of the four logic-verification
+    levels): exhaustive domino-discipline vectors on the adder."""
+    sim = SwitchSimulator(flatten(cell))
+    for a in range(1 << WIDTH):
+        for bb in (0, 5, 9, 15):
+            for cin in (0, 1):
+                zeros = {f"a{i}": 0 for i in range(WIDTH)}
+                zeros.update({f"b{i}": 0 for i in range(WIDTH)})
+                sim.step(clk=0, cin=0, **zeros)       # precharge
+                drives = {"clk": 1, "cin": cin}
+                for i in range(WIDTH):
+                    drives[f"a{i}"] = (a >> i) & 1
+                    drives[f"b{i}"] = (bb >> i) & 1
+                sim.step(**drives)                     # evaluate
+                got_s = sum((1 if sim.value(f"s{i}") is Logic.ONE else 0) << i
+                            for i in range(WIDTH))
+                got_c = 1 if sim.value("cout") is Logic.ONE else 0
+                if (got_s, got_c) != adder_reference(a, bb, cin, WIDTH):
+                    print(f"  MISMATCH at a={a} b={bb} cin={cin}: "
+                          f"got ({got_s},{got_c})")
+                    return False
+    return True
+
+
+def main() -> None:
+    tech = strongarm_technology()
+    cell = domino_carry_adder(WIDTH)
+    print(f"domino carry adder, {WIDTH} bits, "
+          f"{cell.transistor_count()} transistors\n")
+
+    print("standalone schematic simulation (128 domino vectors)...")
+    ok = simulate_adder(cell)
+    print(f"  functional: {'PASS' if ok else 'FAIL'}\n")
+
+    bundle = DesignBundle(
+        name=f"domino_adder_{WIDTH}b",
+        cell=cell,
+        technology=tech,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        use_layout=False,  # feasibility-study mode: wireload parasitics
+    )
+    report = CbvCampaign(bundle).run()
+    print(render_report(report))
+
+    print()
+    print("--- seeded-bug rerun: keeper removed from the bit-2 carry ---")
+    buggy = domino_carry_adder(WIDTH)
+    keepers = [t for t in buggy.transistors if t.name.startswith("mkp")]
+    buggy.transistors.remove(keepers[2])
+    bundle_bug = DesignBundle(
+        name="domino_adder_keeperless",
+        cell=buggy,
+        technology=tech,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        use_layout=False,
+    )
+    report_bug = CbvCampaign(bundle_bug).run()
+    interesting = [i for i in report_bug.queue.open_items()
+                   if i.source in ("dynamic_leakage", "charge_share")]
+    for item in interesting:
+        print(f"  [{item.severity.value}] {item.source} / {item.subject}: "
+              f"{item.message}")
+    print(f"\ntapeout-clean: original={report.queue.tapeout_clean()}, "
+          f"keeperless={report_bug.queue.tapeout_clean()}")
+
+
+if __name__ == "__main__":
+    main()

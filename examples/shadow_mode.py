@@ -1,0 +1,100 @@
+"""Shadow-mode simulation: a circuit block riding along under the RTL.
+
+Section 4.1's preferred verification mode at Digital Semiconductor: the
+full-design RTL runs the show while a transistor-level block shadows
+(not replaces) its corresponding region, compared every phase against
+live, pseudo-random stimulus.
+
+Two runs: a correct 4-bit adder block (clean shadow), then the same RTL
+with a *creatively misinterpreted* circuit (sum bit 2 inverted) -- the
+kind of "liberal interpretation of the Behavioral/RTL model" the
+methodology exists to catch.
+
+Run:  python examples/shadow_mode.py
+"""
+
+from repro.designs.adders import ripple_carry_adder
+from repro.netlist.flatten import flatten
+from repro.rtl.constructs import xadd
+from repro.rtl.module import RtlModule
+from repro.rtl.signals import Signal
+from repro.rtl.simulator import PhaseSimulator
+from repro.rtl.stimulus import RandomStimulus
+from repro.shadow.binding import ShadowBinding, bind_bus
+from repro.shadow.shadowsim import ShadowSimulator
+from repro.switchsim.engine import SwitchSimulator
+
+WIDTH = 4
+
+
+def build_rtl():
+    """The full-design RTL: random operands into a behavioral adder."""
+    m = RtlModule("cpu_fragment")
+    a = m.signal("op_a", WIDTH, reset=0)
+    bb = m.signal("op_b", WIDTH, reset=0)
+    total = m.signal("sum", WIDTH, reset=0)
+    carry = m.signal("carry", 1, reset=0)
+
+    @m.comb
+    def _add():
+        if not a.is_x() and not bb.is_x():
+            full = a.get() + bb.get()
+            total.set(full & ((1 << WIDTH) - 1))
+            carry.set((full >> WIDTH) & 1)
+
+    return m, a, bb, total, carry
+
+
+def run_shadow(sabotage: bool) -> None:
+    m, a, bb, total, carry = build_rtl()
+    rtl = PhaseSimulator(m)
+    stimulus = RandomStimulus([a, bb], seed=1997)
+
+    cell = ripple_carry_adder(WIDTH)
+    if sabotage:
+        # The "creative" circuit designer swapped a sum wire.
+        for t in cell.transistors:
+            for attr in ("gate", "drain", "source"):
+                if getattr(t, attr) == "s2":
+                    setattr(t, attr, "s2_swapped")
+                elif getattr(t, attr) == "s1":
+                    setattr(t, attr, "s2")
+        for t in cell.transistors:
+            for attr in ("gate", "drain", "source"):
+                if getattr(t, attr) == "s2_swapped":
+                    setattr(t, attr, "s1")
+    circuit = SwitchSimulator(flatten(cell))
+
+    binding = ShadowBinding()
+    bind_bus(binding, a, [f"a{i}" for i in range(WIDTH)], "drive")
+    bind_bus(binding, bb, [f"b{i}" for i in range(WIDTH)], "drive")
+    bind_bus(binding, total, [f"s{i}" for i in range(WIDTH)], "compare")
+    binding.compare("cout", carry, 0)
+    zero = Signal("zero", 1, reset=0)
+    binding.drive("cin", zero, 0)
+
+    shadow = ShadowSimulator(rtl, circuit, binding)
+    for _cycle in range(25):
+        stimulus.next_vector()
+        shadow.cycle(1)
+
+    report = shadow.report
+    label = "sabotaged" if sabotage else "correct"
+    print(f"{label} block: {report.compared} comparisons, "
+          f"{report.agreements} agree, {len(report.mismatches)} mismatches")
+    for mismatch in report.mismatches[:3]:
+        print(f"    phase {mismatch.phase_index} {mismatch.net}: "
+              f"RTL {mismatch.rtl_value} vs circuit {mismatch.circuit_value}")
+    if len(report.mismatches) > 3:
+        print(f"    ... and {len(report.mismatches) - 3} more")
+
+
+def main() -> None:
+    print("shadow-mode simulation, 25 cycles of seeded pseudo-random stimulus\n")
+    run_shadow(sabotage=False)
+    print()
+    run_shadow(sabotage=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a full-custom CMOS design & verification toolkit.
+
+This package reproduces, as a working open-source system, the design
+methodology described in:
+
+    W. J. Grundmann, D. Dobberpuhl, R. L. Allmon, N. L. Rethman,
+    "Designing High Performance CMOS Microprocessors Using Full Custom
+    Techniques", Design Automation Conference (DAC), 1997.
+
+The paper describes the "Correct-By-Verification" (CBV) flow used at
+Digital Semiconductor to design the ALPHA and StrongARM microprocessors:
+transistors as the building elements, hierarchy that deliberately differs
+between RTL / schematic / layout views, automatic recognition of arbitrary
+transistor topologies, four-level logic verification, an extensive battery
+of electrical circuit checks, and min/max static timing verification of
+both critical paths and races.
+
+Subpackages
+-----------
+``repro.process``      technology / PVT-corner / MOSFET models
+``repro.netlist``      transistor-level netlist data model and multi-view hierarchy
+``repro.rtl``          behavioral/RTL hardware-description DSL + phase simulator
+``repro.recognition``  channel-connected components and logic-family recognition
+``repro.switchsim``    switch-level simulator over transistor netlists
+``repro.shadow``       shadow-mode (mixed RTL + circuit) simulation
+``repro.equivalence``  BDD-based combinational & sequential equivalence checking
+``repro.layout``       rectangle/layer layout model and macrocell assist
+``repro.extraction``   parasitic extraction with min/max bounds, RC trees & grids
+``repro.spice``        small MNA transient simulator (the "golden" reference)
+``repro.timing``       min/max static timing verification, constraints, races
+``repro.checks``       the electrical verification check battery (paper section 4.2)
+``repro.power``        power estimation and the Table-1 ALPHA -> StrongARM cascade
+``repro.designs``      parameterized full-custom design generators (workloads)
+``repro.core``         the CBV flow orchestrator (paper Figure 2)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,51 @@
+"""The electrical verification check battery (paper section 4.2).
+
+The automated CAD circuit verification checks performed at Digital
+Semiconductor, as listed in the paper, and their homes here:
+
+========================================================  =========================================
+Paper check                                               Module
+========================================================  =========================================
+Transistor configuration / beta ratio / device size       :mod:`repro.checks.beta`
+Clock distribution RC, node-by-node, correlated min/max   :mod:`repro.checks.clock_rc`
+Edge rate and delay analysis for clocks and signals       :mod:`repro.checks.edge_rate`
+Latch checks                                              :mod:`repro.checks.latch`
+Coupling analysis of static and dynamic nodes             :mod:`repro.checks.coupling`
+Dynamic charge share analysis                             :mod:`repro.checks.charge_share`
+Dynamic node leakage checks                               :mod:`repro.checks.leakage`
+State-element writability and noise margin analysis       :mod:`repro.checks.writability`
+Electromigration, statistical and absolute failures       :mod:`repro.checks.electromigration`
+Antenna checks                                            :mod:`repro.checks.antenna`
+Hot Carrier and TDDB checks                               :mod:`repro.checks.hot_carrier`
+Supply-difference noise (Figure 3)                        :mod:`repro.checks.supply`
+Alpha-particle charge collection (Figure 3)               :mod:`repro.checks.supply`
+========================================================  =========================================
+
+The probability-filtering workflow of section 2.3 lives in
+:mod:`repro.checks.filters`; :func:`repro.checks.registry.run_battery`
+runs everything.
+"""
+
+from repro.checks.base import Check, CheckContext, CheckSettings, Finding, Severity
+from repro.checks.filters import (
+    FilterStats,
+    TriageQueues,
+    filter_findings,
+    recall_against_seeded,
+)
+from repro.checks.registry import ALL_CHECKS, BatteryResult, run_battery
+
+__all__ = [
+    "Check",
+    "CheckContext",
+    "CheckSettings",
+    "Finding",
+    "Severity",
+    "FilterStats",
+    "TriageQueues",
+    "filter_findings",
+    "recall_against_seeded",
+    "ALL_CHECKS",
+    "BatteryResult",
+    "run_battery",
+]

@@ -1,0 +1,47 @@
+"""Antenna checks (section 4.2).
+
+During metal etch a floating wire collects plasma charge; if its only
+connection is a transistor gate, the gate oxide absorbs the discharge.
+The exposure is the metal-to-gate area ratio, waived when the net also
+contacts diffusion (a processing-time discharge path).
+
+Geometry comes from :mod:`repro.layout.antenna_geom` when a layout
+exists; without layout the check abstains (it reports nothing rather
+than inventing areas -- extraction-dependent checks must not guess).
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+
+
+class AntennaCheck(Check):
+    name = "antenna"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        if ctx.antenna is None:
+            return []
+        findings: list[Finding] = []
+        settings = ctx.settings
+        for geom in ctx.antenna:
+            if geom.has_diffusion:
+                findings.append(self._finding(
+                    geom.net, Severity.PASS,
+                    "diffusion-connected: discharge path exists during etch",
+                    ratio=geom.ratio(),
+                ))
+                continue
+            ratio = geom.ratio()
+            if ratio > settings.antenna_ratio_limit:
+                severity = Severity.VIOLATION
+                message = (f"antenna ratio {ratio:.0f} exceeds the "
+                           f"{settings.antenna_ratio_limit:.0f} limit; add a "
+                           f"diode or hop layers")
+            elif ratio > settings.antenna_ratio_filter:
+                severity = Severity.FILTERED
+                message = f"antenna ratio {ratio:.0f} approaching the limit"
+            else:
+                severity = Severity.PASS
+                message = "antenna exposure small"
+            findings.append(self._finding(geom.net, severity, message, ratio=ratio))
+        return findings

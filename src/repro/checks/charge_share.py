@@ -1,0 +1,60 @@
+"""Dynamic charge-share analysis.
+
+Figure 3's second noise source: "charge sharing between the dynamic
+output node and the internal transistor stack nodes".  When evaluate
+devices open without completing a path to ground, the precharged node's
+charge redistributes onto the (possibly discharged) internal nodes:
+
+    dV = Vdd * C_internal / (C_internal + C_dyn)
+
+The check conservatively assumes every internal stack node starts fully
+discharged and every non-foot evaluate device can open (the paper's
+"conservatively deduced from the topology" rule).  A keeper reduces the
+*steady-state* droop but not the instantaneous hit, so a keeper demotes
+a marginal case to FILTERED rather than PASS.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+
+
+class ChargeShareCheck(Check):
+    name = "charge_share"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        vdd = ctx.technology.vdd_v
+        margin_v = ctx.settings.noise_margin_fraction * vdd
+        for classification in ctx.design.classifications:
+            for net, dyn in classification.dynamic_nodes.items():
+                c_dyn = ctx.typical.load(net).total_nominal()
+                internal = classification.ccc.internal_nets
+                c_internal = sum(
+                    ctx.typical.load(n).total_nominal() for n in internal
+                )
+                if c_dyn <= 0:
+                    continue
+                droop_v = vdd * c_internal / (c_internal + c_dyn)
+                has_keeper = bool(dyn.keeper_devices)
+                if droop_v >= margin_v and not has_keeper:
+                    severity = Severity.VIOLATION
+                    message = (f"charge share droop {droop_v:.2f} V exceeds "
+                               f"the {margin_v:.2f} V margin with no keeper")
+                elif droop_v >= margin_v:
+                    severity = Severity.FILTERED
+                    message = (f"droop {droop_v:.2f} V over margin; keeper "
+                               f"recovers the DC level but the transient can "
+                               f"still glitch the output -- inspect")
+                elif droop_v >= 0.5 * margin_v:
+                    severity = Severity.FILTERED
+                    message = f"droop {droop_v:.2f} V is within 2x of margin"
+                else:
+                    severity = Severity.PASS
+                    message = "internal stack charge is negligible"
+                findings.append(self._finding(
+                    net, severity, message,
+                    droop_v=droop_v, c_dyn_f=c_dyn, c_internal_f=c_internal,
+                    keeper=1.0 if has_keeper else 0.0,
+                ))
+        return findings

@@ -1,0 +1,83 @@
+"""Clock distribution RC analysis.
+
+Section 4.2: "Clock distribution RC analysis.  Node-by-node clock RC
+analysis.  Correlated minimum/maximum RC analysis."
+
+Two checks:
+
+* :class:`ClockRcCheck` -- every recognized clock net's insertion RC
+  against the budget, node by node;
+* :class:`ClockSkewCheck` -- the *correlated* min/max part: the spread
+  of insertion delays between branches of the same root clock, where
+  shared (correlated) stages are discounted because their variation is
+  common-mode.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+
+
+def _insertion_delay(ctx: CheckContext, net: str, maximal: bool) -> float:
+    load = ctx.typical.load(net)
+    stage_delay = 30e-12
+    depth = ctx.design.clocks[net].depth
+    resistance = load.wire.resistance.hi if maximal else load.wire.resistance.lo
+    cap = load.total_max() if maximal else load.total_min()
+    return depth * stage_delay + resistance * cap
+
+
+class ClockRcCheck(Check):
+    name = "clock_rc"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        settings = ctx.settings
+        for net in sorted(ctx.design.clocks):
+            load = ctx.typical.load(net)
+            rc = load.wire.resistance.hi * load.total_max()
+            if rc >= settings.clock_rc_violation_s:
+                severity = Severity.VIOLATION
+                message = f"clock node RC {rc * 1e12:.1f} ps wrecks the edge"
+            elif rc >= settings.clock_rc_filter_s:
+                severity = Severity.FILTERED
+                message = f"clock node RC {rc * 1e12:.1f} ps needs a look"
+            else:
+                severity = Severity.PASS
+                message = "clock node RC within budget"
+            findings.append(self._finding(net, severity, message, rc_s=rc))
+        return findings
+
+
+class ClockSkewCheck(Check):
+    name = "clock_skew"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        by_root: dict[str, list[str]] = {}
+        for net, clock_net in ctx.design.clocks.items():
+            by_root.setdefault(clock_net.root, []).append(net)
+        for root, nets in sorted(by_root.items()):
+            if len(nets) < 2:
+                continue
+            # Correlated analysis: common depth varies together, so the
+            # skew between two branches is bounded by the max/min of the
+            # *uncommon* RC, approximated by per-net max minus per-net min
+            # beyond the shared minimum depth.
+            max_delay = max(_insertion_delay(ctx, n, maximal=True) for n in nets)
+            min_delay = min(_insertion_delay(ctx, n, maximal=False) for n in nets)
+            common = min(ctx.design.clocks[n].depth for n in nets) * 30e-12
+            skew = max(0.0, (max_delay - min_delay) - 0.5 * common)
+            budget = ctx.clock.skew_s if ctx.clock else 100e-12
+            if skew > budget:
+                severity = Severity.VIOLATION
+                message = (f"branch skew {skew * 1e12:.1f} ps exceeds the "
+                           f"{budget * 1e12:.1f} ps budget")
+            elif skew > 0.7 * budget:
+                severity = Severity.FILTERED
+                message = f"branch skew {skew * 1e12:.1f} ps close to budget"
+            else:
+                severity = Severity.PASS
+                message = "distribution skew within budget"
+            findings.append(self._finding(root, severity, message, skew_s=skew))
+        return findings

@@ -1,0 +1,41 @@
+"""One-call construction of a check context from a flat netlist."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.checks.base import CheckContext, CheckSettings
+from repro.extraction.annotate import annotate
+from repro.extraction.caps import Parasitics
+from repro.extraction.wireload import WireloadModel
+from repro.layout.antenna_geom import AntennaGeometry
+from repro.netlist.flatten import FlatNetlist
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.recognition.recognizer import recognize
+from repro.timing.clocking import TwoPhaseClock
+
+
+def make_context(
+    flat: FlatNetlist,
+    technology: Technology,
+    clock: TwoPhaseClock | None = None,
+    clock_hints: Iterable[str] = (),
+    parasitics: Parasitics | None = None,
+    antenna: list[AntennaGeometry] | None = None,
+    settings: CheckSettings | None = None,
+) -> CheckContext:
+    """Recognize, extract (wireload default), annotate, and bundle."""
+    design = recognize(flat, clock_hints=clock_hints)
+    if parasitics is None:
+        parasitics = WireloadModel().extract(flat, technology.wires)
+    typical = annotate(flat, parasitics, technology, Corner.TYPICAL)
+    fast = annotate(flat, parasitics, technology, Corner.FAST)
+    return CheckContext(
+        design=design,
+        typical=typical,
+        fast=fast,
+        clock=clock,
+        antenna=antenna,
+        settings=settings or CheckSettings(),
+    )

@@ -1,0 +1,65 @@
+"""Electromigration: statistical and absolute failures (section 4.2).
+
+Aluminium wires void under sustained current density; the budget is
+expressed in amps per micron of wire width.  EM is a *time-integrated*
+wear-out, so both regimes are judged on average current, as the paper
+names them:
+
+* **absolute** -- even at 100% switching activity (a clock, a
+  free-running node) the average current must stay under the layer
+  limit; exceeding it is a hard VIOLATION because no plausible activity
+  assumption saves the wire;
+* **statistical** -- at the assumed design activity the average current
+  must stay under a derated fraction of the limit; overshoot here is a
+  lifetime statistic, hence FILTERED for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+
+
+class ElectromigrationCheck(Check):
+    name = "electromigration"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        tech = ctx.technology
+        metal = tech.wires["metal1"]
+        limit_a = metal.em_limit_a_per_um * metal.min_width_um
+        statistical_limit = limit_a * ctx.settings.em_statistical_fraction
+        freq = ctx.clock.frequency_hz() if ctx.clock else 100e6
+        activity = ctx.settings.default_activity
+        vdd = tech.vdd_at(ctx.fast.corner)
+
+        for name in sorted(ctx.fast.flat.nets):
+            net = ctx.fast.flat.nets[name]
+            if net.is_rail:
+                continue
+            load = ctx.fast.load(name)
+            if load.wire.wire_length_um <= 0:
+                continue
+            # Average switched charge per second.
+            charge_per_cycle = load.total_nominal() * vdd
+            worst_avg = charge_per_cycle * freq          # activity = 1.0
+            expected_avg = worst_avg * activity
+
+            if worst_avg > limit_a:
+                severity = Severity.VIOLATION
+                message = (f"absolute failure: {worst_avg * 1e3:.2f} mA at "
+                           f"full activity exceeds the wire's "
+                           f"{limit_a * 1e3:.2f} mA limit; widen the wire")
+            elif expected_avg > statistical_limit:
+                severity = Severity.FILTERED
+                message = (f"statistical risk: expected "
+                           f"{expected_avg * 1e6:.1f} uA above the "
+                           f"{statistical_limit * 1e6:.1f} uA budget at "
+                           f"{activity:.0%} activity")
+            else:
+                severity = Severity.PASS
+                message = "current density within EM budget"
+            findings.append(self._finding(
+                name, severity, message,
+                worst_avg_a=worst_avg, expected_avg_a=expected_avg,
+            ))
+        return findings

@@ -1,0 +1,58 @@
+"""Latch checks (section 4.2).
+
+On-the-fly state elements are legal in this methodology, but they must
+be *clocked* state elements: a storage node writable under a non-clock
+enable is either a recognition gap or a genuine design bug (data can be
+corrupted at any time).  Purely dynamic storage is FILTERED -- it is
+allowed, but its retention depends on the leakage check passing.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+
+
+class LatchCheck(Check):
+    name = "latch"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        clocks = set(ctx.design.clocks)
+        for node in ctx.design.storage:
+            clock_enables = node.enables & clocks
+            data_enables = node.enables - clocks
+            if node.kind == "cross_coupled" and not node.write_devices:
+                findings.append(self._finding(
+                    node.net, Severity.PASS,
+                    "cross-coupled storage with no write path (set by "
+                    "fighting feedback); keeper-class structure",
+                ))
+                continue
+            if not clock_enables and node.write_devices:
+                findings.append(self._finding(
+                    node.net, Severity.VIOLATION,
+                    f"storage written under non-clock enables "
+                    f"{sorted(data_enables)}: state can change at any time",
+                    n_enables=float(len(node.enables)),
+                ))
+                continue
+            if data_enables:
+                findings.append(self._finding(
+                    node.net, Severity.FILTERED,
+                    f"mixed enables: clocked {sorted(clock_enables)} plus "
+                    f"data-qualified {sorted(data_enables)} (conditional "
+                    f"clocking? confirm gating is glitch-free)",
+                ))
+                continue
+            if not node.static:
+                findings.append(self._finding(
+                    node.net, Severity.FILTERED,
+                    "dynamic (unstaticized) storage: retention rides on the "
+                    "leakage check",
+                ))
+                continue
+            findings.append(self._finding(
+                node.net, Severity.PASS,
+                "static, clock-enabled storage",
+            ))
+        return findings

@@ -1,0 +1,106 @@
+"""Dynamic node leakage checks.
+
+Figure 3's last noise source: "sub-threshold leakage through the
+N-device network".  A precharged node with no keeper must hold its level
+against the off evaluate network for the full hold window (one phase);
+the droop is
+
+    dV = I_leak * T_hold / C_node.
+
+With a keeper the check becomes a DC fight: the keeper's on-current must
+beat the leakage with margin (the low-threshold StrongARM process is
+exactly where this starts failing, section 3).  Dynamic *storage* nodes
+(unstaticized latches) face the same math through their off pass gates.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+from repro.checks.helpers import device_map, off_network_leakage
+
+
+class DynamicLeakageCheck(Check):
+    name = "dynamic_leakage"
+
+    #: Keeper current must exceed worst leakage by this factor.
+    KEEPER_MARGIN = 5.0
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        devices = device_map(ctx.fast)
+        tech = ctx.technology
+        vdd = tech.vdd_at(ctx.fast.corner)
+        hold_s = ctx.clock.phase_width_s if ctx.clock else 5e-9
+        margin_v = ctx.settings.noise_margin_fraction * tech.vdd_v
+
+        for classification in ctx.design.classifications:
+            for net, dyn in classification.dynamic_nodes.items():
+                leak = off_network_leakage(classification.ccc, net, ctx.fast, devices)
+                c_node = ctx.fast.load(net).total_min()
+                if dyn.keeper_devices:
+                    keeper_current = 0.0
+                    for name in dyn.keeper_devices:
+                        t = devices[name]
+                        model = tech.mosfet(t.polarity, ctx.fast.corner)
+                        keeper_current += model.saturation_current(
+                            vdd, t.w_um, t.effective_length(tech.l_min_um))
+                    ratio = keeper_current / leak if leak > 0 else float("inf")
+                    if ratio < 1.0:
+                        severity = Severity.VIOLATION
+                        message = (f"keeper loses to leakage "
+                                   f"({ratio:.2f}x): node decays")
+                    elif ratio < self.KEEPER_MARGIN:
+                        severity = Severity.FILTERED
+                        message = (f"keeper only {ratio:.1f}x above leakage "
+                                   f"at the fast corner")
+                    else:
+                        severity = Severity.PASS
+                        message = "keeper dominates leakage"
+                    findings.append(self._finding(
+                        net, severity, message,
+                        leak_a=leak, keeper_ratio=min(ratio, 1e9),
+                    ))
+                    continue
+                droop_v = leak * hold_s / c_node if c_node > 0 else float("inf")
+                if droop_v >= margin_v:
+                    severity = Severity.VIOLATION
+                    message = (f"keeperless node droops {droop_v:.2f} V over "
+                               f"one {hold_s * 1e9:.2f} ns phase")
+                elif droop_v >= 0.5 * margin_v:
+                    severity = Severity.FILTERED
+                    message = f"droop {droop_v:.2f} V within 2x of margin"
+                else:
+                    severity = Severity.PASS
+                    message = "leakage droop negligible over the hold window"
+                findings.append(self._finding(
+                    net, severity, message, leak_a=leak, droop_v=droop_v,
+                ))
+
+        # Dynamic (unstaticized) storage nodes leak through their off
+        # write devices.
+        for node in ctx.design.storage:
+            if node.static:
+                continue
+            leak = 0.0
+            for name in node.write_devices:
+                t = devices.get(name)
+                if t is None:
+                    continue
+                model = tech.mosfet(t.polarity, ctx.fast.corner)
+                leak += model.leakage(vdd, t.w_um, t.effective_length(tech.l_min_um))
+            c_node = ctx.fast.load(node.net).total_min()
+            droop_v = leak * hold_s / c_node if c_node > 0 else float("inf")
+            if droop_v >= margin_v:
+                severity = Severity.VIOLATION
+                message = (f"dynamic latch loses {droop_v:.2f} V per phase "
+                           f"through its off pass gates")
+            elif droop_v >= 0.5 * margin_v:
+                severity = Severity.FILTERED
+                message = f"retention droop {droop_v:.2f} V needs review"
+            else:
+                severity = Severity.PASS
+                message = "retention healthy over the hold window"
+            findings.append(self._finding(
+                node.net, severity, message, leak_a=leak, droop_v=droop_v,
+            ))
+        return findings

@@ -1,0 +1,75 @@
+"""The check registry and battery runner.
+
+``run_battery`` executes every registered check (the complete section-4.2
+list) over one context and returns the findings plus the triage queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checks.antenna import AntennaCheck
+from repro.checks.base import Check, CheckContext, Finding
+from repro.checks.beta import BetaRatioCheck, DeviceSizeCheck
+from repro.checks.charge_share import ChargeShareCheck
+from repro.checks.clock_rc import ClockRcCheck, ClockSkewCheck
+from repro.checks.coupling import CouplingCheck
+from repro.checks.edge_rate import EdgeRateCheck
+from repro.checks.electromigration import ElectromigrationCheck
+from repro.checks.filters import TriageQueues, filter_findings
+from repro.checks.hot_carrier import HotCarrierCheck, TddbCheck
+from repro.checks.latch import LatchCheck
+from repro.checks.supply import AlphaParticleCheck, SupplyDifferenceCheck
+from repro.checks.leakage import DynamicLeakageCheck
+from repro.checks.writability import WritabilityCheck
+
+#: The full section-4.2 battery, in the paper's own listing order.
+ALL_CHECKS: tuple[type[Check], ...] = (
+    BetaRatioCheck,
+    DeviceSizeCheck,
+    ClockRcCheck,
+    ClockSkewCheck,
+    EdgeRateCheck,
+    LatchCheck,
+    CouplingCheck,
+    ChargeShareCheck,
+    DynamicLeakageCheck,
+    WritabilityCheck,
+    ElectromigrationCheck,
+    AntennaCheck,
+    HotCarrierCheck,
+    TddbCheck,
+    SupplyDifferenceCheck,
+    AlphaParticleCheck,
+)
+
+
+@dataclass
+class BatteryResult:
+    """Outcome of one full battery run."""
+
+    findings: list[Finding]
+    queues: TriageQueues
+    per_check: dict[str, list[Finding]]
+
+    def of_check(self, name: str) -> list[Finding]:
+        return self.per_check.get(name, [])
+
+
+def run_battery(
+    ctx: CheckContext,
+    checks: tuple[type[Check], ...] = ALL_CHECKS,
+) -> BatteryResult:
+    """Run the battery; order follows the registry."""
+    findings: list[Finding] = []
+    per_check: dict[str, list[Finding]] = {}
+    for check_cls in checks:
+        check = check_cls()
+        produced = check.run(ctx)
+        findings.extend(produced)
+        per_check.setdefault(check.name, []).extend(produced)
+    return BatteryResult(
+        findings=findings,
+        queues=filter_findings(findings),
+        per_check=per_check,
+    )

@@ -1,0 +1,118 @@
+"""Supply-difference and particle-strike noise (Figure 3's remaining
+sources).
+
+"Other sources of noise include Alpha particle and noise induced
+minority carrier charge collection from the substrate and wells ...
+and power supply voltage differences between the driver and receiver
+circuits."
+
+* :class:`SupplyDifferenceCheck` -- when a driver and its receiver sit
+  in different supply regions, IR drop between the regions shifts the
+  effective input level; the shift spends noise margin before any
+  coupling or charge sharing even starts.  Victims that are dynamic or
+  storage nodes get the tight budget.
+* :class:`AlphaParticleCheck` -- a particle strike deposits charge on a
+  junction; a node whose *critical charge* (C_node x noise margin) is
+  below the deposit budget can be flipped.  Dynamic and unstaticized
+  storage nodes have no restoring pull, so they are the susceptible
+  population; static nodes recover and pass.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+from repro.recognition.recognizer import NetKind
+
+#: Representative alpha-strike charge deposit at mid-90s junction depths.
+ALPHA_CHARGE_FC = 30.0
+
+
+class SupplyDifferenceCheck(Check):
+    name = "supply_difference"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        device_region = ctx.supply_regions
+        if not device_region:
+            return findings  # no IR-drop map declared: abstain
+        vdd = ctx.technology.vdd_v
+        margin_v = ctx.settings.noise_margin_fraction * vdd
+        offsets = ctx.supply_offsets_v
+
+        for t in ctx.typical.flat.transistors:
+            driver_region = device_region.get(t.drain) or device_region.get(t.source)
+            receiver_region = device_region.get(t.gate)
+            if driver_region is None or receiver_region is None:
+                continue
+            if driver_region == receiver_region:
+                continue
+            delta = abs(offsets.get(driver_region, 0.0)
+                        - offsets.get(receiver_region, 0.0))
+            if delta <= 0:
+                continue
+            # Sensitivity is the *victim's*: the node this device can
+            # disturb when its effective gate level shifts.
+            victim_kinds = {ctx.design.kind(n) for n in t.channel_terminals()}
+            sensitive = bool(victim_kinds & {NetKind.DYNAMIC, NetKind.STORAGE})
+            budget = margin_v * (0.5 if sensitive else 1.0)
+            if delta >= budget:
+                severity = Severity.VIOLATION if sensitive else Severity.FILTERED
+                message = (f"driver in {driver_region!r}, receiver in "
+                           f"{receiver_region!r}: {delta * 1e3:.0f} mV supply "
+                           f"difference consumes the margin budget")
+            elif delta >= 0.5 * budget:
+                severity = Severity.FILTERED
+                message = (f"{delta * 1e3:.0f} mV cross-region supply "
+                           f"difference; margin halved")
+            else:
+                severity = Severity.PASS
+                message = "cross-region supply difference within budget"
+            findings.append(self._finding(
+                t.gate, severity, message, delta_v=delta,
+            ))
+        return findings
+
+
+class AlphaParticleCheck(Check):
+    name = "alpha_particle"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        vdd = ctx.technology.vdd_v
+        margin_v = ctx.settings.noise_margin_fraction * vdd
+        deposit_c = ALPHA_CHARGE_FC * 1e-15
+
+        susceptible: dict[str, tuple[str, bool]] = {}
+        for net, dyn in ctx.design.dynamic_nodes.items():
+            susceptible[net] = ("dynamic node", bool(dyn.keeper_devices))
+        for node in ctx.design.storage:
+            if not node.static:
+                susceptible.setdefault(node.net, ("dynamic storage", False))
+
+        for net, (role, restorable) in sorted(susceptible.items()):
+            c_node = ctx.typical.load(net).total_min()
+            q_crit = c_node * margin_v
+            ratio = q_crit / deposit_c if deposit_c > 0 else float("inf")
+            if ratio < 1.0 and not restorable:
+                severity = Severity.VIOLATION
+                message = (f"{role}: critical charge "
+                           f"{q_crit * 1e15:.1f} fC below the "
+                           f"{ALPHA_CHARGE_FC:.0f} fC strike budget with no "
+                           f"restoring keeper; an alpha hit flips it")
+            elif ratio < 1.0:
+                severity = Severity.FILTERED
+                message = (f"{role}: Q_crit {q_crit * 1e15:.1f} fC below the "
+                           f"strike budget, but the keeper restores the "
+                           f"level -- SER rate review, not a hard fail")
+            elif ratio < 3.0:
+                severity = Severity.FILTERED
+                message = (f"{role}: Q_crit only {ratio:.1f}x the strike "
+                           f"budget; soft-error rate review needed")
+            else:
+                severity = Severity.PASS
+                message = f"{role}: Q_crit {ratio:.1f}x the strike budget"
+            findings.append(self._finding(
+                net, severity, message,
+                q_crit_fc=q_crit * 1e15, ratio=min(ratio, 1e9),
+            ))
+        return findings

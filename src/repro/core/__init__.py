@@ -1,0 +1,44 @@
+"""The Correct-By-Verification (CBV) flow -- the paper's Figure 2.
+
+"Digital Semiconductor's design methodology follows a Correct by
+verification (CBV) instead of the more popular Correct by construction
+(CBC) methods. ... Since there is a reduced amount of automatic
+synthesis, there has been much more emphasis on the verification of all
+implementation representations."
+
+:class:`~repro.core.campaign.CbvCampaign` drives the whole flow over one
+design bundle: recognition -> layout/extraction -> logic verification
+(equivalence and/or simulation) -> the electrical check battery ->
+static timing -> a designer triage queue.  Each stage produces a
+:class:`~repro.core.stages.StageResult`; the aggregate is a
+:class:`~repro.core.campaign.CbvReport`.
+"""
+
+from repro.core.stages import FlowStage, StageResult, StageStatus
+from repro.core.campaign import CbvCampaign, CbvReport, DesignBundle
+from repro.core.triage import DesignerQueue, QueueItem
+from repro.core.report import render_report, report_to_dict, report_to_json
+from repro.core.feasibility import (
+    FeasibilityRow,
+    compare_implementations,
+    render_study,
+    study_implementation,
+)
+
+__all__ = [
+    "FlowStage",
+    "StageResult",
+    "StageStatus",
+    "CbvCampaign",
+    "CbvReport",
+    "DesignBundle",
+    "DesignerQueue",
+    "QueueItem",
+    "render_report",
+    "report_to_dict",
+    "report_to_json",
+    "FeasibilityRow",
+    "compare_implementations",
+    "render_study",
+    "study_implementation",
+]

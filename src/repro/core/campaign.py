@@ -1,0 +1,256 @@
+"""The CBV verification campaign: the Figure-2 flow as one call.
+
+A :class:`DesignBundle` packages everything the flow needs about one
+design; :meth:`CbvCampaign.run` executes the stages in order and
+collects a :class:`CbvReport`.  Verification stages never block each
+other -- the paper's flow reports everything and lets the designer
+triage, rather than dying at the first red box.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.checks.base import CheckContext, CheckSettings
+from repro.checks.filters import filter_findings
+from repro.checks.registry import run_battery
+from repro.core.stages import FlowStage, StageResult, StageStatus
+from repro.core.triage import DesignerQueue
+from repro.equivalence.combinational import check_gate_vs_function
+from repro.extraction.annotate import annotate
+from repro.extraction.caps import Parasitics
+from repro.extraction.extract import extract_macrocell
+from repro.extraction.wireload import WireloadModel
+from repro.layout.antenna_geom import antenna_geometry
+from repro.layout.macrocell import generate_macrocell
+from repro.netlist.cell import Cell
+from repro.netlist.erc import run_erc
+from repro.netlist.flatten import FlatNetlist, flatten
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.recognition.recognizer import RecognizedDesign, recognize
+from repro.timing.analyzer import TimingReport
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.constraints import generate_constraints
+from repro.timing.delay import ArcDelayCalculator
+from repro.timing.graph import build_timing_graph
+from repro.timing.analyzer import TimingAnalyzer
+from repro.timing.pessimism import PessimismSettings
+
+
+@dataclass
+class DesignBundle:
+    """Everything the flow needs to verify one design.
+
+    Attributes
+    ----------
+    name / cell / technology / clock:
+        The design and its operating context.
+    clock_hints:
+        Declared clock nets (footless domino etc.).
+    rtl_intent:
+        Output net -> boolean predicate over named inputs -- the
+        RTL-equivalence obligations.  ``rtl_inputs`` names the input
+        ordering per output.
+    use_layout:
+        True: generate a macrocell and extract from geometry; False:
+        wireload model (the feasibility-study mode).
+    false_through:
+        Architecturally false path exclusions (designer intent).
+    """
+
+    name: str
+    cell: Cell
+    technology: Technology
+    clock: TwoPhaseClock
+    clock_hints: tuple[str, ...] = ()
+    rtl_intent: dict[str, Callable[..., bool]] = field(default_factory=dict)
+    rtl_inputs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    use_layout: bool = True
+    #: Pre-extracted parasitics to use instead of the default wireload
+    #: model when ``use_layout`` is False (e.g. a tuned WireloadModel).
+    parasitics: Parasitics | None = None
+    false_through: tuple[str, ...] = ()
+    pessimism: PessimismSettings = field(default_factory=PessimismSettings)
+    check_settings: CheckSettings = field(default_factory=CheckSettings)
+
+
+@dataclass
+class CbvReport:
+    """Aggregate of one campaign run."""
+
+    bundle_name: str
+    stages: list[StageResult] = field(default_factory=list)
+    queue: DesignerQueue = field(default_factory=DesignerQueue)
+    flat: FlatNetlist | None = None
+    design: RecognizedDesign | None = None
+    timing: TimingReport | None = None
+
+    def stage(self, stage: FlowStage) -> StageResult:
+        for result in self.stages:
+            if result.stage is stage:
+                return result
+        raise KeyError(f"stage {stage} did not run")
+
+    def ok(self) -> bool:
+        return all(s.ok() for s in self.stages) and self.queue.tapeout_clean()
+
+
+class CbvCampaign:
+    """Runs the Figure-2 flow over one bundle."""
+
+    def __init__(self, bundle: DesignBundle):
+        self.bundle = bundle
+
+    def run(self) -> CbvReport:
+        bundle = self.bundle
+        report = CbvReport(bundle_name=bundle.name)
+
+        # -- schematic entry (with ERC) -----------------------------------------
+        flat = flatten(bundle.cell)
+        report.flat = flat
+        erc_violations = run_erc(flat)
+        report.stages.append(StageResult(
+            stage=FlowStage.SCHEMATIC,
+            status=StageStatus.FAIL if erc_violations else StageStatus.PASS,
+            summary=f"{flat.device_count()} transistors, "
+                    f"{len(flat.nets)} nets, "
+                    f"{len(erc_violations)} ERC violation(s)",
+            metrics={"transistors": float(flat.device_count()),
+                     "nets": float(len(flat.nets)),
+                     "erc_violations": float(len(erc_violations))},
+            details=[f"{v.rule}: {v.subject}: {v.message}"
+                     for v in erc_violations[:10]],
+        ))
+
+        # -- recognition -------------------------------------------------------
+        design = recognize(flat, clock_hints=bundle.clock_hints)
+        report.design = design
+        hist = design.family_histogram()
+        report.stages.append(StageResult(
+            stage=FlowStage.RECOGNITION, status=StageStatus.PASS,
+            summary=", ".join(f"{fam.value}: {count}"
+                              for fam, count in sorted(
+                                  hist.items(), key=lambda kv: kv[0].value)),
+            metrics={
+                "cccs": float(len(design.cccs)),
+                "clocks": float(len(design.clocks)),
+                "storage": float(len(design.storage)),
+                "dynamic_nodes": float(len(design.dynamic_nodes)),
+            },
+        ))
+
+        # -- layout & extraction ------------------------------------------------
+        antenna = None
+        if bundle.use_layout:
+            mc = generate_macrocell(bundle.name, flat.transistors,
+                                    l_min_um=bundle.technology.l_min_um)
+            parasitics = extract_macrocell(mc, bundle.technology.wires)
+            antenna = antenna_geometry(mc.layout, flat,
+                                       l_min_um=bundle.technology.l_min_um)
+            report.stages.append(StageResult(
+                stage=FlowStage.LAYOUT, status=StageStatus.PASS,
+                summary=f"macrocell {mc.width_um:.1f} um wide, "
+                        f"{mc.breaks} diffusion breaks",
+                metrics={"width_um": mc.width_um, "breaks": float(mc.breaks)},
+            ))
+        else:
+            parasitics = bundle.parasitics if bundle.parasitics is not None \
+                else WireloadModel().extract(flat, bundle.technology.wires)
+            report.stages.append(StageResult(
+                stage=FlowStage.LAYOUT, status=StageStatus.SKIPPED,
+                summary="no layout; wireload parasitics in use",
+            ))
+        coupled = sum(1 for p in parasitics.nets.values() if p.couplings)
+        report.stages.append(StageResult(
+            stage=FlowStage.EXTRACTION, status=StageStatus.PASS,
+            summary=f"{len(parasitics.nets)} nets extracted, "
+                    f"{coupled} with coupling",
+            metrics={"nets": float(len(parasitics.nets)),
+                     "coupled_nets": float(coupled)},
+        ))
+
+        # -- logic verification ----------------------------------------------------
+        report.stages.append(self._logic_stage(design))
+
+        # -- circuit verification (the check battery) ---------------------------------
+        typical = annotate(flat, parasitics, bundle.technology, Corner.TYPICAL)
+        fast = annotate(flat, parasitics, bundle.technology, Corner.FAST)
+        ctx = CheckContext(design=design, typical=typical, fast=fast,
+                           clock=bundle.clock, antenna=antenna,
+                           settings=bundle.check_settings)
+        battery = run_battery(ctx)
+        stats = battery.queues.stats()
+        report.queue.add_findings(battery.findings)
+        status = (StageStatus.FAIL if stats.violations
+                  else StageStatus.ATTENTION if stats.inspect
+                  else StageStatus.PASS)
+        report.stages.append(StageResult(
+            stage=FlowStage.CIRCUIT_VERIFICATION, status=status,
+            summary=f"{stats.total} findings: {stats.passed} auto-cleared, "
+                    f"{stats.inspect} to inspect, {stats.violations} violations",
+            metrics={"findings": float(stats.total),
+                     "inspect": float(stats.inspect),
+                     "violations": float(stats.violations),
+                     "auto_cleared_fraction": stats.auto_cleared_fraction()},
+        ))
+
+        # -- timing verification ---------------------------------------------------------
+        slow = annotate(flat, parasitics, bundle.technology, Corner.SLOW)
+        calculator = ArcDelayCalculator(fast, slow, bundle.pessimism)
+        graph = build_timing_graph(design, calculator)
+        constraints = generate_constraints(design, bundle.pessimism)
+        analyzer = TimingAnalyzer(design, graph, bundle.clock, constraints)
+        analyzer.declare_false_through(*bundle.false_through)
+        timing = analyzer.verify()
+        report.timing = timing
+        report.queue.add_timing(timing.setup_violations, timing.races)
+        timing_status = (StageStatus.FAIL
+                         if timing.setup_violations or timing.races
+                         else StageStatus.PASS)
+        report.stages.append(StageResult(
+            stage=FlowStage.TIMING_VERIFICATION, status=timing_status,
+            summary=f"min cycle {timing.min_cycle_time_s * 1e9:.2f} ns "
+                    f"({timing.max_frequency_hz() / 1e6:.0f} MHz), "
+                    f"{len(timing.setup_violations)} setup violations, "
+                    f"{len(timing.races)} races",
+            metrics={"min_cycle_s": timing.min_cycle_time_s,
+                     "setup_violations": float(len(timing.setup_violations)),
+                     "races": float(len(timing.races))},
+        ))
+        return report
+
+    def _logic_stage(self, design: RecognizedDesign) -> StageResult:
+        bundle = self.bundle
+        if not bundle.rtl_intent:
+            return StageResult(
+                stage=FlowStage.LOGIC_VERIFICATION, status=StageStatus.SKIPPED,
+                summary="no RTL intent declared",
+            )
+        mismatches: list[str] = []
+        checked = 0
+        for output, intent in bundle.rtl_intent.items():
+            inputs = bundle.rtl_inputs.get(output)
+            if inputs is None:
+                mismatches.append(f"{output}: no input ordering declared")
+                continue
+            try:
+                result = check_gate_vs_function(design, output, intent,
+                                                list(inputs))
+            except ValueError as exc:
+                mismatches.append(f"{output}: {exc}")
+                continue
+            checked += 1
+            if not result.equivalent:
+                mismatches.append(
+                    f"{output}: differs from intent at {result.counterexample}")
+        status = StageStatus.FAIL if mismatches else StageStatus.PASS
+        return StageResult(
+            stage=FlowStage.LOGIC_VERIFICATION, status=status,
+            summary=f"{checked} outputs proven equivalent"
+                    + (f"; {len(mismatches)} problems" if mismatches else ""),
+            metrics={"outputs_checked": float(checked),
+                     "mismatches": float(len(mismatches))},
+            details=mismatches,
+        )

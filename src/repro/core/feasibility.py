@@ -1,0 +1,132 @@
+"""Feasibility studies: the bottom-to-top arrows of Figure 2.
+
+"Although this appears as a top-to-bottom flow, there are actually many
+bottom-to-top interactions.  For instance, there are many feasibility
+studies on different circuit implementations during the development of
+the RTL.  These studies analyze timing, layout area, power, and
+electrical concerns."
+
+:func:`compare_implementations` runs exactly that quick-turn study:
+wireload-mode extraction (no layout exists yet), the timing verifier's
+minimum cycle, a dynamic+leakage power estimate, a macrocell area
+projection, and the check battery's violation count -- one row per
+candidate implementation, ready for the implementation review.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.checks.base import CheckContext, CheckSettings
+from repro.checks.registry import run_battery
+from repro.extraction.annotate import annotate
+from repro.extraction.wireload import WireloadModel
+from repro.layout.macrocell import generate_macrocell
+from repro.netlist.cell import Cell
+from repro.netlist.flatten import flatten
+from repro.power.activity import ActivityModel
+from repro.power.dynamic import netlist_dynamic_power
+from repro.power.netlist_power import netlist_leakage_power
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.recognition.recognizer import recognize
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.driver import analyze_design
+
+
+@dataclass
+class FeasibilityRow:
+    """One candidate implementation's study results."""
+
+    name: str
+    transistors: int
+    area_estimate_um2: float
+    min_cycle_s: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    dynamic_nodes: int
+    storage_nodes: int
+    violations: int
+    inspect_items: int
+
+    def max_frequency_mhz(self) -> float:
+        return 1e-6 / self.min_cycle_s if self.min_cycle_s > 0 else float("inf")
+
+
+def study_implementation(
+    name: str,
+    cell: Cell,
+    technology: Technology,
+    clock: TwoPhaseClock,
+    clock_hints: Iterable[str] = (),
+    activity: ActivityModel | None = None,
+) -> FeasibilityRow:
+    """Run the quick-turn study on one candidate."""
+    flat = flatten(cell)
+    parasitics = WireloadModel().extract(flat, technology.wires)
+
+    run = analyze_design(flat, technology, clock, clock_hints=clock_hints,
+                         parasitics=parasitics)
+    design = run.design
+
+    typical = annotate(flat, parasitics, technology, Corner.TYPICAL)
+    power = netlist_dynamic_power(typical, design, clock.frequency_hz(),
+                                  activity)
+    leakage = netlist_leakage_power(flat, technology, Corner.FAST)
+
+    ctx = CheckContext(design=design, typical=typical, fast=run.fast,
+                       clock=clock, settings=CheckSettings())
+    battery = run_battery(ctx)
+    stats = battery.queues.stats()
+
+    mc = generate_macrocell(name, flat.transistors,
+                            l_min_um=technology.l_min_um)
+    area = mc.layout.area()
+
+    return FeasibilityRow(
+        name=name,
+        transistors=flat.device_count(),
+        area_estimate_um2=area,
+        min_cycle_s=run.report.min_cycle_time_s,
+        dynamic_power_w=power["total"],
+        leakage_power_w=leakage,
+        dynamic_nodes=len(design.dynamic_nodes),
+        storage_nodes=len(design.storage),
+        violations=stats.violations,
+        inspect_items=stats.inspect,
+    )
+
+
+def compare_implementations(
+    candidates: dict[str, Cell],
+    technology: Technology,
+    clock: TwoPhaseClock,
+    clock_hints: Iterable[str] = (),
+) -> list[FeasibilityRow]:
+    """Study every candidate; rows come back in insertion order."""
+    if not candidates:
+        raise ValueError("nothing to compare")
+    return [
+        study_implementation(name, cell, technology, clock,
+                             clock_hints=clock_hints)
+        for name, cell in candidates.items()
+    ]
+
+
+def render_study(rows: list[FeasibilityRow]) -> str:
+    """The implementation-review table."""
+    header = (f"{'candidate':<18}{'xtors':>7}{'area um^2':>11}"
+              f"{'min cyc ns':>12}{'dyn mW':>9}{'leak uW':>9}"
+              f"{'viol':>6}{'inspect':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<18}{row.transistors:>7}"
+            f"{row.area_estimate_um2:>11.0f}"
+            f"{row.min_cycle_s * 1e9:>12.2f}"
+            f"{row.dynamic_power_w * 1e3:>9.2f}"
+            f"{row.leakage_power_w * 1e6:>9.2f}"
+            f"{row.violations:>6}{row.inspect_items:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Text and JSON rendering of a CBV report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.campaign import CbvReport
+from repro.core.stages import StageStatus
+
+_STATUS_MARK = {
+    StageStatus.PASS: "ok",
+    StageStatus.ATTENTION: "ATTN",
+    StageStatus.FAIL: "FAIL",
+    StageStatus.SKIPPED: "--",
+}
+
+
+def render_report(report: CbvReport, max_queue_items: int = 20) -> str:
+    """Human-readable campaign summary (the designer's morning read)."""
+    lines = [f"=== CBV campaign: {report.bundle_name} ==="]
+    for stage in report.stages:
+        mark = _STATUS_MARK[stage.status]
+        lines.append(f"[{mark:>4}] {stage.stage.value}: {stage.summary}")
+        for detail in stage.details[:5]:
+            lines.append(f"        - {detail}")
+    open_items = report.queue.open_items()
+    lines.append(f"--- designer queue: {len(open_items)} open item(s), "
+                 f"{'tapeout-clean' if report.queue.tapeout_clean() else 'NOT clean'} ---")
+    for item in open_items[:max_queue_items]:
+        lines.append(f"  [{item.severity.value:>9}] {item.source} / "
+                     f"{item.subject}: {item.message}")
+    if len(open_items) > max_queue_items:
+        lines.append(f"  ... and {len(open_items) - max_queue_items} more")
+    return "\n".join(lines)
+
+
+def report_to_dict(report: CbvReport) -> dict:
+    """Machine-readable campaign summary (CI dashboards, trend lines)."""
+    return {
+        "design": report.bundle_name,
+        "ok": report.ok(),
+        "tapeout_clean": report.queue.tapeout_clean(),
+        "stages": [
+            {
+                "stage": s.stage.value,
+                "status": s.status.value,
+                "summary": s.summary,
+                "metrics": dict(s.metrics),
+            }
+            for s in report.stages
+        ],
+        "queue": [
+            {
+                "source": i.source,
+                "subject": i.subject,
+                "severity": i.severity.value,
+                "message": i.message,
+                "waived": i.waived,
+                "waive_reason": i.waive_reason,
+            }
+            for i in report.queue.items
+        ],
+    }
+
+
+def report_to_json(report: CbvReport, indent: int = 2) -> str:
+    """JSON text of :func:`report_to_dict`."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

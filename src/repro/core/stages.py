@@ -1,0 +1,41 @@
+"""Flow stages and their results (the boxes of Figure 2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FlowStage(enum.Enum):
+    """The ALPHA design-flow stages, in Figure-2 order."""
+
+    BEHAVIORAL_RTL = "behavioral_rtl"
+    SCHEMATIC = "schematic"
+    RECOGNITION = "recognition"
+    LAYOUT = "layout"
+    EXTRACTION = "extraction"
+    LOGIC_VERIFICATION = "logic_verification"
+    CIRCUIT_VERIFICATION = "circuit_verification"
+    TIMING_VERIFICATION = "timing_verification"
+
+
+class StageStatus(enum.Enum):
+    PASS = "pass"
+    ATTENTION = "attention"  # filtered items awaiting designer review
+    FAIL = "fail"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class StageResult:
+    """Outcome of one flow stage."""
+
+    stage: FlowStage
+    status: StageStatus
+    summary: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    details: list[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return self.status in (StageStatus.PASS, StageStatus.ATTENTION,
+                               StageStatus.SKIPPED)

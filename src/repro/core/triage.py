@@ -1,0 +1,90 @@
+"""The designer triage queue.
+
+Section 2.3's workflow endpoint: "This allows the designer to work with
+the CAD tool to identify and isolate real problems in the design."  All
+FILTERED and VIOLATION findings -- electrical and timing -- flow into
+one prioritized queue; the designer disposes of each item by *waiving*
+it (with a recorded reason) or leaving it open.  A clean tapeout needs
+an empty open-violation list, exactly the project-control discipline
+section 4's introduction demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checks.base import Finding, Severity
+from repro.timing.analyzer import RaceViolation, TimingPath
+
+
+@dataclass
+class QueueItem:
+    """One item awaiting designer disposition."""
+
+    source: str        # check name or "timing.setup"/"timing.race"
+    subject: str
+    severity: Severity
+    message: str
+    waived: bool = False
+    waive_reason: str = ""
+
+    def key(self) -> tuple[str, str]:
+        return (self.source, self.subject)
+
+
+@dataclass
+class DesignerQueue:
+    """Prioritized inspection queue with waiver bookkeeping."""
+
+    items: list[QueueItem] = field(default_factory=list)
+
+    def add_findings(self, findings: list[Finding]) -> None:
+        for f in findings:
+            if f.severity is Severity.PASS:
+                continue
+            self.items.append(QueueItem(
+                source=f.check, subject=f.subject,
+                severity=f.severity, message=f.message,
+            ))
+
+    def add_timing(self, setup_violations: list[TimingPath],
+                   races: list[RaceViolation]) -> None:
+        for path in setup_violations:
+            self.items.append(QueueItem(
+                source="timing.setup", subject=path.endpoint,
+                severity=Severity.VIOLATION,
+                message=f"setup slack {path.slack_s * 1e12:.1f} ps "
+                        f"through {' -> '.join(path.nets[-4:])}",
+            ))
+        for race in races:
+            self.items.append(QueueItem(
+                source="timing.race", subject=race.constraint.net,
+                severity=Severity.VIOLATION,
+                message=race.note,
+            ))
+
+    def waive(self, source: str, subject: str, reason: str) -> None:
+        """Designer sign-off on one item (reason is mandatory)."""
+        if not reason.strip():
+            raise ValueError("a waiver requires a recorded reason")
+        matched = False
+        for item in self.items:
+            if item.key() == (source, subject):
+                item.waived = True
+                item.waive_reason = reason
+                matched = True
+        if not matched:
+            raise KeyError(f"no queue item ({source!r}, {subject!r})")
+
+    def open_items(self) -> list[QueueItem]:
+        order = {Severity.VIOLATION: 0, Severity.FILTERED: 1}
+        return sorted((i for i in self.items if not i.waived),
+                      key=lambda i: (order.get(i.severity, 2), i.source, i.subject))
+
+    def open_violations(self) -> list[QueueItem]:
+        return [i for i in self.open_items()
+                if i.severity is Severity.VIOLATION]
+
+    def tapeout_clean(self) -> bool:
+        """True when no unwaived violation remains."""
+        return not self.open_violations()

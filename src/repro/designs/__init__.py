@@ -1,0 +1,64 @@
+"""Parameterized full-custom design generators.
+
+The paper's evaluation subjects -- ALPHA and StrongARM -- are
+proprietary, so this package provides generators that produce the same
+circuit *styles* at configurable scale (DESIGN.md, "Substitutions"):
+
+* :mod:`~repro.designs.adders` -- static ripple-carry and domino adders
+  with RTL reference functions;
+* :mod:`~repro.designs.manchester` -- Manchester carry chains (the
+  classic ALPHA datapath trick: precharged pass-transistor carry);
+* :mod:`~repro.designs.dcvsl` -- differential cascode voltage switch
+  logic cells;
+* :mod:`~repro.designs.sram` -- 6T SRAM arrays with the channel-length
+  knob (the section-3 cache story);
+* :mod:`~repro.designs.cam` -- dynamic-matchline CAM rows (the "2000
+  port CAM" structure at transistor level);
+* :mod:`~repro.designs.regfile` -- latch-based register files read
+  through pass muxes;
+* :mod:`~repro.designs.muxes` -- pass-gate mux trees;
+* :mod:`~repro.designs.clocktree` -- buffered clock distribution;
+* :mod:`~repro.designs.latch_zoo` -- "state-elements invented
+  on-the-fly": the recognizer's acid test;
+* :mod:`~repro.designs.chipmodel` -- RTL-level chip models for the
+  throughput and shadow-mode experiments.
+"""
+
+from repro.designs.adders import domino_carry_adder, ripple_carry_adder
+from repro.designs.manchester import manchester_carry_chain
+from repro.designs.dcvsl import dcvsl_and_or, dcvsl_xor
+from repro.designs.sram import sram_array
+from repro.designs.cam import cam_row, cam_array
+from repro.designs.regfile import register_file
+from repro.designs.muxes import pass_mux_tree
+from repro.designs.clocktree import clock_tree
+from repro.designs.latch_zoo import (
+    dynamic_latch,
+    jamb_latch,
+    pulsed_latch,
+    sr_nand_latch,
+)
+from repro.designs.chipmodel import PipelineChip
+from repro.designs.minicore import MiniCore, MiniCoreReference, mini_core
+
+__all__ = [
+    "domino_carry_adder",
+    "ripple_carry_adder",
+    "manchester_carry_chain",
+    "dcvsl_and_or",
+    "dcvsl_xor",
+    "sram_array",
+    "cam_row",
+    "cam_array",
+    "register_file",
+    "pass_mux_tree",
+    "clock_tree",
+    "dynamic_latch",
+    "jamb_latch",
+    "pulsed_latch",
+    "sr_nand_latch",
+    "PipelineChip",
+    "MiniCore",
+    "MiniCoreReference",
+    "mini_core",
+]

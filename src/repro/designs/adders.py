@@ -1,0 +1,115 @@
+"""Adders: static complementary and domino implementations.
+
+Both compute the same function (the RTL intent, expressed by
+:func:`adder_reference`), with deliberately different circuit styles --
+the section-2.2 freedom this repository exists to verify.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def adder_reference(a: int, b: int, cin: int, width: int) -> tuple[int, int]:
+    """RTL intent: (sum, carry_out) of a width-bit add."""
+    total = (a & ((1 << width) - 1)) + (b & ((1 << width) - 1)) + (cin & 1)
+    return total & ((1 << width) - 1), (total >> width) & 1
+
+
+def _full_adder_static(b: CellBuilder, a: str, bb: str, cin: str,
+                       s: str, cout: str) -> None:
+    """Complementary full adder from NAND/inverter primitives.
+
+    Built gate-by-gate (9 gates) so recognition sees ordinary static
+    CCCs, not a hand-optimized mirror adder -- the mirror variant lives
+    in the latch-zoo stress set instead.
+    """
+    n1 = b.net("fa")   # a nand b
+    n2 = b.net("fa")   # a nand (a nand b) ... XOR construction
+    n3 = b.net("fa")
+    axb = b.net("fa")  # a xor b
+    b.nand([a, bb], n1)
+    b.nand([a, n1], n2)
+    b.nand([bb, n1], n3)
+    b.nand([n2, n3], axb)
+    # sum = axb xor cin
+    m1, m2, m3 = b.net("fa"), b.net("fa"), b.net("fa")
+    b.nand([axb, cin], m1)
+    b.nand([axb, m1], m2)
+    b.nand([cin, m1], m3)
+    b.nand([m2, m3], s)
+    # cout = majority: !( !(ab) & !(axb * cin) ) = ab + cin(a^b)
+    b.nand([n1, m1], cout)
+
+
+def ripple_carry_adder(width: int = 8, name: str = "rca") -> Cell:
+    """Static complementary ripple-carry adder.
+
+    Ports: a<i>, b<i>, cin, s<i>, cout.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    ports = [f"a{i}" for i in range(width)]
+    ports += [f"b{i}" for i in range(width)]
+    ports += ["cin"] + [f"s{i}" for i in range(width)] + ["cout"]
+    b = CellBuilder(name, ports=ports)
+    carry = "cin"
+    for i in range(width):
+        next_carry = "cout" if i == width - 1 else b.net("c")
+        _full_adder_static(b, f"a{i}", f"b{i}", carry, f"s{i}", next_carry)
+        carry = next_carry
+    return b.build()
+
+
+def domino_carry_adder(width: int = 8, name: str = "domino_adder") -> Cell:
+    """Domino carry chain with static sum gates.
+
+    Carry logic is dynamic (generate OR (propagate AND carry-in)); the
+    per-bit sum is a static XOR of the (monotonic) domino carry -- the
+    mixed style the paper's datapaths used.  Ports: clk, a<i>, b<i>,
+    cin, s<i>, cout.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1")
+    ports = ["clk"] + [f"a{i}" for i in range(width)]
+    ports += [f"b{i}" for i in range(width)]
+    ports += ["cin"] + [f"s{i}" for i in range(width)] + ["cout"]
+    b = CellBuilder(name, ports=ports)
+
+    carry = "cin"
+    for i in range(width):
+        a, bb = f"a{i}", f"b{i}"
+        # Generate / propagate from static gates (monotonic after
+        # precharge because inputs are stable in evaluate).
+        g_b = b.net("gb")
+        p_or = b.net("p")
+        b.nand([a, bb], g_b)          # !(ab)
+        g = b.net("g")
+        b.inverter(g_b, g)            # generate = ab
+        nor_ab = b.net("nor")
+        b.nor([a, bb], nor_ab)
+        b.inverter(nor_ab, p_or)      # propagate (inclusive) = a+b
+        # Domino carry: cout_i = g + p * c_in  (dynamic OR-AND).
+        cout_i = "cout" if i == width - 1 else b.net("cy")
+        dyn = b.net("dyn")
+        foot = b.net("ft")
+        b.pmos("clk", dyn, "vdd", w=4.0)                      # precharge
+        b.nmos(g, dyn, foot, w=6.0, name=b.net("mg"))         # generate leg
+        mid = b.net("pm")
+        b.nmos(p_or, dyn, mid, w=6.0, name=b.net("mp_"))      # propagate leg
+        b.nmos(carry, mid, foot, w=6.0, name=b.net("mc"))
+        b.nmos("clk", foot, "gnd", w=6.0, name=b.net("mfg"))  # shared footer
+        b.nmos(dyn, cout_i, "gnd", w=3.0, name=b.net("moi_n"))
+        b.pmos(dyn, cout_i, "vdd", w=6.0, name=b.net("moi_p"))
+        b.pmos(cout_i, dyn, "vdd", w=0.4, name=b.net("mkp"))  # keeper
+        # Static sum: s = (a xor b) xor carry-in of this bit.
+        axb = b.net("x")
+        b.nor([g, nor_ab], axb)  # a xor b = (a+b) AND !(ab) = !(ab + !(a+b))
+        s1, s2, s3 = b.net("s"), b.net("s"), b.net("s")
+        b.nand([axb, carry], s1)
+        b.nand([axb, s1], s2)
+        b.nand([carry, s1], s3)
+        b.nand([s2, s3], f"s{i}")
+        carry = cout_i
+    return b.build()

@@ -1,0 +1,63 @@
+"""Transistor-level CAM: dynamic NOR match lines.
+
+The circuit behind :class:`repro.rtl.cam.Cam`'s behavioral model, and
+the structure the paper names as hopeless in standard HDLs.  Each row
+stores a tag in SRAM-style cells; the match line is precharged high and
+any mismatching bit discharges it (a wide dynamic NOR) -- a dense pile
+of dynamic nodes for the check battery to chew on.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def cam_row(width: int = 4, row: int = 0, builder: CellBuilder | None = None,
+            name: str = "cam_row") -> Cell | None:
+    """One CAM row: storage + XOR-style mismatch pull-downs.
+
+    Ports (per row r): ``ml<r>`` match line, ``sl<b>`` / ``sl_b<b>``
+    search lines (shared), ``wl<r>`` write word line, ``bl<b>`` /
+    ``bl_b<b>`` write bitlines (shared), ``clk`` precharge.
+
+    When ``builder`` is given, stamps into it (for multi-row arrays) and
+    returns None; otherwise returns a standalone single-row cell.
+    """
+    standalone = builder is None
+    if standalone:
+        ports = ["clk", f"ml{row}", f"wl{row}"]
+        for bit in range(width):
+            ports += [f"sl{bit}", f"sl_b{bit}", f"bl{bit}", f"bl_b{bit}"]
+        builder = CellBuilder(name, ports=ports)
+    assert builder is not None
+    ml = f"ml{row}"
+    # Precharge and (weak) keeper on the match line.
+    builder.pmos("clk", ml, "vdd", w=4.0, name=builder.net(f"mpre{row}"))
+    ml_out = f"ml_out{row}"
+    builder.inverter(ml, ml_out, wn=3.0, wp=6.0)
+    builder.pmos(ml_out, ml, "vdd", w=0.4, name=builder.net(f"mkeep{row}"))
+    for bit in range(width):
+        s, s_b = builder.sram_cell(f"bl{bit}", f"bl_b{bit}", f"wl{row}")
+        # Mismatch pull-downs: stored XOR search discharges the line.
+        for stored, search in ((s, f"sl_b{bit}"), (s_b, f"sl{bit}")):
+            mid = builder.net(f"mm{row}_{bit}")
+            builder.nmos(search, ml, mid, w=3.0)
+            builder.nmos(stored, mid, "gnd", w=3.0)
+    return builder.build() if standalone else None
+
+
+def cam_array(entries: int = 4, width: int = 4, name: str = "cam") -> Cell:
+    """A small CAM: ``entries`` rows over shared search/write lines."""
+    if entries < 1 or width < 1:
+        raise ValueError("CAM needs at least one entry and one bit")
+    ports = ["clk"]
+    ports += [f"ml{r}" for r in range(entries)]
+    ports += [f"ml_out{r}" for r in range(entries)]
+    ports += [f"wl{r}" for r in range(entries)]
+    for bit in range(width):
+        ports += [f"sl{bit}", f"sl_b{bit}", f"bl{bit}", f"bl_b{bit}"]
+    b = CellBuilder(name, ports=ports)
+    for r in range(entries):
+        cam_row(width=width, row=r, builder=b)
+    return b.build()

@@ -1,0 +1,48 @@
+"""Clock distribution trees.
+
+A root driver fanning out through inverter stages to many leaf loads --
+the structure behind the paper's "clock distribution RC analysis" and
+the 21064's famously enormous clock node.  Levels alternate polarity;
+an even number of levels delivers the root phase at the leaves.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def clock_tree(
+    levels: int = 2,
+    branching: int = 2,
+    leaf_load_f: float = 20e-15,
+    name: str = "clktree",
+    taper: float = 2.5,
+) -> tuple[Cell, list[str]]:
+    """Build a clock tree; returns (cell, leaf net names).
+
+    Each level multiplies fanout by ``branching``; drivers grow by
+    ``taper`` toward the root (sized so every stage drives a similar
+    per-width load).  ``leaf_load_f`` hangs an explicit capacitor on
+    every leaf (the latches it would clock).
+    """
+    if levels < 1 or branching < 1:
+        raise ValueError("clock tree needs >= 1 level and branch")
+    b = CellBuilder(name, ports=["clk_in"])
+    current = ["clk_in"]
+    for level in range(levels):
+        # Root stages are the biggest.
+        scale = taper ** (levels - 1 - level)
+        wn, wp = 3.0 * scale, 6.0 * scale
+        nxt = []
+        for net in current:
+            for k in range(branching):
+                out = b.net(f"l{level}")
+                b.inverter(net, out, wn=wn, wp=wp)
+                nxt.append(out)
+        current = nxt
+    for leaf in current:
+        b.cap(leaf, "gnd", leaf_load_f)
+    # Expose leaves as ports so analyses can reference them.
+    b.cell.ports.extend(current)
+    return b.build(), current

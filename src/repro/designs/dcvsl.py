@@ -1,0 +1,55 @@
+"""DCVSL cells: differential cascode voltage switch logic.
+
+Dual-rail gates with cross-coupled P loads and complementary N pull-down
+trees -- one of the section-2 logic families.  Both outputs are full
+swing; only one falls per evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def dcvsl_xor(name: str = "dcvsl_xor") -> Cell:
+    """Dual-rail XOR: inputs a/a_b, b/b_b; outputs y (xor) and y_b.
+
+    The true pull-down tree discharges y_b when a xor b (so y, held by
+    the cross-coupled load, goes high) and vice versa.
+    """
+    b = CellBuilder(name, ports=["a", "a_b", "bb", "bb_b", "y", "y_b"])
+    # Cross-coupled loads.
+    b.pmos("y_b", "y", "vdd", w=2.0, name="mload_t")
+    b.pmos("y", "y_b", "vdd", w=2.0, name="mload_f")
+    # y_b falls when a xor b: (a & !b) | (!a & b)
+    mid1, mid2 = b.net("x"), b.net("x")
+    b.nmos("a", "y_b", mid1, w=6.0)
+    b.nmos("bb_b", mid1, "gnd", w=6.0)
+    b.nmos("a_b", "y_b", mid2, w=6.0)
+    b.nmos("bb", mid2, "gnd", w=6.0)
+    # y falls when a xnor b.
+    mid3, mid4 = b.net("x"), b.net("x")
+    b.nmos("a", "y", mid3, w=6.0)
+    b.nmos("bb", mid3, "gnd", w=6.0)
+    b.nmos("a_b", "y", mid4, w=6.0)
+    b.nmos("bb_b", mid4, "gnd", w=6.0)
+    return b.build()
+
+
+def dcvsl_and_or(name: str = "dcvsl_andor") -> Cell:
+    """Dual-rail AND/NAND pair: y = a AND b, y_b = NAND.
+
+    Demonstrates that one DCVSL gate yields both polarities "for free" --
+    the dual-rail economics the paper's section 2.2 alludes to.
+    """
+    b = CellBuilder(name, ports=["a", "a_b", "bb", "bb_b", "y", "y_b"])
+    b.pmos("y_b", "y", "vdd", w=2.0, name="mload_t")
+    b.pmos("y", "y_b", "vdd", w=2.0, name="mload_f")
+    # y_b falls when a & b (so y rises): series stack.
+    mid = b.net("s")
+    b.nmos("a", "y_b", mid, w=6.0)
+    b.nmos("bb", mid, "gnd", w=6.0)
+    # y falls when !a | !b: parallel devices.
+    b.nmos("a_b", "y", "gnd", w=6.0)
+    b.nmos("bb_b", "y", "gnd", w=6.0)
+    return b.build()

@@ -1,0 +1,81 @@
+"""State-elements invented on-the-fly: the recognizer's acid test.
+
+Paper section 4.3: "the freedom the designers have in creating
+state-elements on-the-fly" is the central recognition challenge.  This
+zoo collects latch styles a cell-library-based tool would never see
+coming; the test suite asserts each is found and correctly classified.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def dynamic_latch(name: str = "dynlatch") -> Cell:
+    """Bare pass gate into an inverter: capacitively held state.
+
+    Ports: d, clk, clk_b, q.  No staticizer -- the leakage check owns
+    its retention story.
+    """
+    b = CellBuilder(name, ports=["d", "clk", "clk_b", "q"])
+    b.transmission_gate("d", "store", "clk", "clk_b")
+    b.inverter("store", "q")
+    return b.build()
+
+
+def jamb_latch(name: str = "jamb") -> Cell:
+    """Cross-coupled inverters written by force through a single NMOS.
+
+    Ports: d_b (active-low set data), wr (write enable), q, q_b.  The
+    write device simply overpowers the weak feedback inverter -- a
+    ratioed write, which the writability check must quantify.
+    """
+    b = CellBuilder(name, ports=["d_b", "wr", "q", "q_b"])
+    # Strong forward inverter, weak feedback inverter.
+    b.inverter("q", "q_b", wn=2.0, wp=4.0)
+    b.inverter("q_b", "q", wn=0.6, wp=0.8)
+    # Write: pull q low (or leave) through a beefy series pair.
+    mid = b.net("w")
+    b.nmos("wr", "q", mid, w=6.0)
+    b.nmos("d_b", mid, "gnd", w=6.0)
+    return b.build()
+
+
+def sr_nand_latch(name: str = "srlatch") -> Cell:
+    """Classic cross-coupled NAND set/reset latch.
+
+    Ports: s_b, r_b (active-low), q, q_b.
+    """
+    b = CellBuilder(name, ports=["s_b", "r_b", "q", "q_b"])
+    b.nand(["s_b", "q_b"], "q")
+    b.nand(["r_b", "q"], "q_b")
+    return b.build()
+
+
+def pulsed_latch(name: str = "pulsed") -> Cell:
+    """A latch clocked by a locally generated pulse.
+
+    The enable is ANDed with a delayed inversion of itself, producing a
+    short transparency window -- a classic full-custom trick that makes
+    timing verification sweat (the pulse edge is a derived clock).
+    Ports: d, en, q.
+    """
+    b = CellBuilder(name, ports=["d", "en", "q"])
+    # Pulse generator: pulse = en AND not(delay(en)).
+    d1, d2, d3 = b.net("dly"), b.net("dly"), b.net("dly")
+    b.inverter("en", d1, wn=0.8, wp=1.0)
+    b.inverter(d1, d2, wn=0.8, wp=1.0)
+    b.inverter(d2, d3, wn=0.8, wp=1.0)
+    pulse_b = b.net("pls")
+    b.nand(["en", d3], pulse_b)
+    pulse = b.net("pls")
+    b.inverter(pulse_b, pulse)
+    # Latch front end clocked by the pulse.
+    b.transmission_gate("d", "store", pulse, pulse_b)
+    b.inverter("store", "q")
+    # Staticizer.
+    fb = b.net("fb")
+    b.inverter("q", fb, wn=0.6, wp=0.8)
+    b.transmission_gate(fb, "store", pulse_b, pulse, wn=0.6, wp=0.8)
+    return b.build()

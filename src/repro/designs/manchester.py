@@ -1,0 +1,58 @@
+"""Manchester carry chain.
+
+The pass-transistor carry trick the ALPHA datapaths leaned on: each bit
+either *kills* the carry (pull to gnd), *generates* it (pull to vdd
+through a P device when precharge-style, here realized statically), or
+*propagates* it through a pass device.  The carry ripples through a
+chain of pass transistors instead of two gate delays per bit -- fast,
+reduced-swing, and exactly the kind of structure conventional tools
+choke on (recognition must classify the chain as a pass network).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def manchester_carry_chain(width: int = 4, name: str = "manchester") -> Cell:
+    """A width-bit Manchester chain.
+
+    Ports: g<i> (generate), k<i> (kill), p<i> (propagate), cin, c<i>
+    (per-bit carry out).  Caller guarantees one-hot g/k/p per bit (the
+    usual discipline; the checks flag contention otherwise).
+    """
+    if width < 1:
+        raise ValueError("chain width must be >= 1")
+    ports = []
+    for i in range(width):
+        ports += [f"g{i}", f"k{i}", f"p{i}"]
+    ports += ["cin"] + [f"c{i}" for i in range(width)]
+    b = CellBuilder(name, ports=ports)
+
+    carry = "cin"
+    for i in range(width):
+        node = f"c{i}"
+        b.pmos(f"g{i}", node, "vdd", w=6.0, name=f"mgen{i}")   # generate (active-low g)
+        b.nmos(f"k{i}", node, "gnd", w=6.0, name=f"mkill{i}")  # kill
+        b.nmos(f"p{i}", carry, node, w=8.0, name=f"mprop{i}")  # propagate pass
+        carry = node
+    return b.build()
+
+
+def manchester_reference(g: list[int], k: list[int], p: list[int],
+                         cin: int) -> list[int]:
+    """RTL intent of the chain (g is active-low to match the P device)."""
+    width = len(g)
+    out = []
+    carry = cin
+    for i in range(width):
+        if not g[i]:        # active-low generate
+            carry = 1
+        elif k[i]:
+            carry = 0
+        elif p[i]:
+            carry = carry   # propagate
+        # not one-hot: carry keeps prior value (dynamic node behaviour)
+        out.append(carry)
+    return out

@@ -1,0 +1,58 @@
+"""Pass-gate mux trees.
+
+Reduced-swing pass-transistor logic (one of the section-2 families): a
+binary tree of transmission gates selecting one of 2^depth inputs, with
+a restoring output buffer.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def pass_mux_tree(depth: int = 2, name: str = "muxtree",
+                  use_tgates: bool = True) -> Cell:
+    """A 2^depth : 1 selector.
+
+    Ports: in<i>, s<l> / s_b<l> per level, y.  ``use_tgates=False``
+    builds bare NMOS pass devices (cheaper, reduced swing -- the checks
+    should notice the threshold-drop style).
+    """
+    if depth < 1:
+        raise ValueError("mux tree depth must be >= 1")
+    n_inputs = 1 << depth
+    ports = [f"in{i}" for i in range(n_inputs)]
+    for level in range(depth):
+        ports += [f"s{level}", f"s_b{level}"]
+    ports.append("y")
+    b = CellBuilder(name, ports=ports)
+
+    current = [f"in{i}" for i in range(n_inputs)]
+    for level in range(depth):
+        nxt = []
+        for pair in range(len(current) // 2):
+            out = b.net(f"m{level}")
+            lo, hi = current[2 * pair], current[2 * pair + 1]
+            if use_tgates:
+                b.transmission_gate(lo, out, f"s_b{level}", f"s{level}")
+                b.transmission_gate(hi, out, f"s{level}", f"s_b{level}")
+            else:
+                b.nmos_pass(lo, out, f"s_b{level}")
+                b.nmos_pass(hi, out, f"s{level}")
+            nxt.append(out)
+        current = nxt
+    # Restoring buffer.
+    mid = b.net("buf")
+    b.inverter(current[0], mid)
+    b.inverter(mid, "y")
+    return b.build()
+
+
+def mux_reference(inputs: list[int], selects: list[int]) -> int:
+    """RTL intent: select inputs[binary(selects)] (s<0> is the LSB...
+    i.e. level-0 select chooses within pairs)."""
+    idx = 0
+    for level, s in enumerate(selects):
+        idx |= (s & 1) << level
+    return inputs[idx]

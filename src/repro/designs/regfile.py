@@ -1,0 +1,43 @@
+"""A latch-based register file read through pass-gate muxes.
+
+Storage is transparent latches (write port); the read port is a
+pass-transistor one-hot mux onto a shared read bus with an output
+buffer -- the mixed storage + pass-network structure register files
+actually use, and a good recognizer workload (storage nodes, pass
+networks, and static buffers in one design).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+
+
+def register_file(
+    entries: int = 4,
+    width: int = 2,
+    name: str = "regfile",
+) -> Cell:
+    """Ports: d<b> (write data), we<r>/we_b<r> (one-hot write enables),
+    re<r> (one-hot read selects), q<b> (read data)."""
+    if entries < 1 or width < 1:
+        raise ValueError("register file needs >= 1 entry and bit")
+    ports = [f"d{b}" for b in range(width)]
+    ports += [f"we{r}" for r in range(entries)]
+    ports += [f"we_b{r}" for r in range(entries)]
+    ports += [f"re{r}" for r in range(entries)]
+    ports += [f"q{b}" for b in range(width)]
+    b = CellBuilder(name, ports=ports)
+
+    for bit in range(width):
+        bus = b.net(f"bus{bit}")
+        for r in range(entries):
+            store = b.transparent_latch(
+                f"d{bit}", b.net(f"qr{r}_{bit}"), f"we{r}", f"we_b{r}")
+            # Read pass device from the stored node onto the bus.
+            b.nmos_pass(store, bus, f"re{r}", w=3.0)
+        # Output buffer restores the reduced-swing bus.
+        inv = b.net(f"qb{bit}")
+        b.inverter(bus, inv, wn=2.0, wp=3.0)
+        b.inverter(inv, f"q{bit}", wn=3.0, wp=6.0)
+    return b.build()

@@ -1,0 +1,47 @@
+"""Logical equivalence checking (paper section 4.1).
+
+* :mod:`~repro.equivalence.bdd` -- a from-scratch ROBDD package with
+  memoized ITE; canonical form makes function comparison O(1).
+* :mod:`~repro.equivalence.combinational` -- RTL-intent vs recognized
+  transistor-network equivalence with counterexamples.
+* :mod:`~repro.equivalence.sequential` -- product-machine reachability
+  for re-encoded state (the paper's mod-5 counter vs 5-long cyclic
+  shift register).
+"""
+
+from repro.equivalence.bdd import BddManager
+from repro.equivalence.combinational import (
+    EquivalenceResult,
+    bdd_from_function,
+    bdd_from_gate,
+    bdd_from_gates,
+    bdd_from_truth_table,
+    check_combinational,
+    check_gate_vs_function,
+)
+from repro.equivalence.rtl_bridge import RtlFsm, fsm_from_rtl
+from repro.equivalence.sequential import (
+    Fsm,
+    SequentialResult,
+    TableFsm,
+    check_sequential,
+    replay,
+)
+
+__all__ = [
+    "BddManager",
+    "EquivalenceResult",
+    "bdd_from_function",
+    "bdd_from_gate",
+    "bdd_from_gates",
+    "bdd_from_truth_table",
+    "check_combinational",
+    "check_gate_vs_function",
+    "Fsm",
+    "SequentialResult",
+    "TableFsm",
+    "check_sequential",
+    "replay",
+    "RtlFsm",
+    "fsm_from_rtl",
+]

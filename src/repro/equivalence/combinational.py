@@ -1,0 +1,167 @@
+"""Combinational RTL <-> schematic equivalence.
+
+Paper section 4.1: "The second method for functional correctness of
+circuits is logical equivalence checking.  This does not require input
+stimulus..."
+
+Two construction routes into one :class:`~repro.equivalence.bdd.BddManager`:
+
+* :func:`bdd_from_gates` -- walk a recognized transistor design
+  (:class:`~repro.recognition.recognizer.RecognizedDesign`) from primary
+  inputs to an output, composing each recognized gate's extracted truth
+  table.  This is the *schematic* side: no cell library, only deduced
+  functions.
+* :func:`bdd_from_function` -- evaluate an arbitrary Python predicate
+  (the *RTL intent*) over its input space.  Capped input count; the
+  sequential checker handles state-bearing differences.
+
+:func:`check_combinational` compares and produces a counterexample.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.equivalence.bdd import BddManager
+from repro.recognition.gates import RecognizedGate
+from repro.recognition.recognizer import RecognizedDesign
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    counterexample: dict[str, bool] | None = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def bdd_from_truth_table(
+    manager: BddManager,
+    inputs: Sequence[str],
+    table: int,
+) -> int:
+    """Build a BDD from a truth-table bitmask (inputs[0] = LSB)."""
+    n = len(inputs)
+    if n > 20:
+        raise ValueError(f"truth table over {n} inputs is too wide; compose instead")
+    variables = [manager.var(name) for name in inputs]
+    minterms = []
+    for i in range(1 << n):
+        if (table >> i) & 1:
+            literals = [
+                variables[k] if (i >> k) & 1 else manager.not_(variables[k])
+                for k in range(n)
+            ]
+            minterms.append(manager.and_many(literals))
+    return manager.or_many(minterms)
+
+
+def bdd_from_gate(manager: BddManager, gate: RecognizedGate,
+                  input_bdds: dict[str, int]) -> int:
+    """Compose a recognized gate's function over given input functions."""
+    n = len(gate.inputs)
+    result = manager.false
+    for i in range(1 << n):
+        if not (gate.table >> i) & 1:
+            continue
+        literals = []
+        for k, name in enumerate(gate.inputs):
+            f = input_bdds[name]
+            literals.append(f if (i >> k) & 1 else manager.not_(f))
+        result = manager.or_(result, manager.and_many(literals))
+    return result
+
+
+def bdd_from_gates(
+    manager: BddManager,
+    design: RecognizedDesign,
+    output: str,
+    inputs: Sequence[str] | None = None,
+) -> int:
+    """BDD of a recognized design's output in terms of primary inputs.
+
+    Walks the gate network backward from ``output``; every net that is
+    not a recognized gate output becomes a free variable (if listed in
+    ``inputs`` or if ``inputs`` is None).  Cyclic gate networks (latch
+    loops) are rejected -- sequential equivalence handles those.
+    """
+    memo: dict[str, int] = {}
+    visiting: set[str] = set()
+    allowed = set(inputs) if inputs is not None else None
+
+    def build(net: str) -> int:
+        if net in memo:
+            return memo[net]
+        if net in visiting:
+            raise ValueError(
+                f"combinational loop through net {net!r}; use sequential "
+                f"equivalence checking for state-bearing structures"
+            )
+        gate = design.gates.get(net)
+        if gate is None:
+            if allowed is not None and net not in allowed:
+                raise ValueError(
+                    f"net {net!r} is neither a recognized gate output nor a "
+                    f"declared input"
+                )
+            memo[net] = manager.var(net)
+            return memo[net]
+        visiting.add(net)
+        input_bdds = {name: build(name) for name in gate.inputs}
+        visiting.discard(net)
+        memo[net] = bdd_from_gate(manager, gate, input_bdds)
+        return memo[net]
+
+    return build(output)
+
+
+def bdd_from_function(
+    manager: BddManager,
+    fn: Callable[..., bool],
+    inputs: Sequence[str],
+) -> int:
+    """BDD of a Python predicate ``fn(**{input: bool})``.
+
+    The RTL-intent side of the check.  Input count capped at 16.
+    """
+    n = len(inputs)
+    if n > 16:
+        raise ValueError(f"function enumeration over {n} inputs exceeds the cap")
+    table = 0
+    for i in range(1 << n):
+        assignment = {name: bool((i >> k) & 1) for k, name in enumerate(inputs)}
+        if fn(**assignment):
+            table |= 1 << i
+    return bdd_from_truth_table(manager, inputs, table)
+
+
+def check_combinational(manager: BddManager, f: int, g: int) -> EquivalenceResult:
+    """Compare two functions; canonical BDDs make this id equality."""
+    if f == g:
+        return EquivalenceResult(equivalent=True)
+    difference = manager.xor_(f, g)
+    witness = manager.any_sat(difference)
+    # Complete the witness over the union of supports for readability.
+    if witness is not None:
+        for name in manager.support(f) | manager.support(g):
+            witness.setdefault(name, False)
+    return EquivalenceResult(equivalent=False, counterexample=witness)
+
+
+def check_gate_vs_function(
+    design: RecognizedDesign,
+    output: str,
+    fn: Callable[..., bool],
+    inputs: Sequence[str],
+) -> EquivalenceResult:
+    """One-call convenience: recognized schematic output vs RTL intent."""
+    manager = BddManager()
+    for name in inputs:
+        manager.var(name)  # fix a shared variable order
+    f = bdd_from_gates(manager, design, output, inputs=inputs)
+    g = bdd_from_function(manager, fn, inputs)
+    return check_combinational(manager, f, g)

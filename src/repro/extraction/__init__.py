@@ -1,0 +1,40 @@
+"""Parasitic extraction with min/max bounding.
+
+Paper section 4.3: "Internodal capacitance values (coupling capacitance)
+have significant variation from both manufacturing tolerances and miller
+coupling capacitance multiplicative effects.  Bounding the min/max
+coupling along with manufacturing tolerances is essential in accurately
+computing nodal capacitance."
+
+* :mod:`~repro.extraction.caps` -- bounded capacitances, coupling with
+  Miller factors, the per-net parasitic record;
+* :mod:`~repro.extraction.rctree` -- RC trees with Elmore delays, plus
+  uniform ladder construction for the Figure-5 distributed-gate study;
+* :mod:`~repro.extraction.extract` -- geometry-driven extraction from a
+  routed macrocell;
+* :mod:`~repro.extraction.wireload` -- fanout-based synthetic wireloads
+  for designs that have no layout yet (the feasibility-study mode of
+  Figure 2's bottom-to-top interactions);
+* :mod:`~repro.extraction.annotate` -- merges wire parasitics with
+  transistor gate/junction capacitances into the per-net totals that
+  timing and the electrical checks consume.
+"""
+
+from repro.extraction.caps import Bound, Coupling, NetParasitics, Parasitics
+from repro.extraction.rctree import RCTree, uniform_ladder
+from repro.extraction.extract import extract_macrocell
+from repro.extraction.wireload import WireloadModel
+from repro.extraction.annotate import AnnotatedDesign, annotate
+
+__all__ = [
+    "Bound",
+    "Coupling",
+    "NetParasitics",
+    "Parasitics",
+    "RCTree",
+    "uniform_ladder",
+    "extract_macrocell",
+    "WireloadModel",
+    "AnnotatedDesign",
+    "annotate",
+]

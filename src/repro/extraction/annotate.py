@@ -1,0 +1,99 @@
+"""Merging wire parasitics with device loading.
+
+Section 4.3's delay-accuracy list starts with "Accuracy of minimum and
+maximum capacitance calculation (fixed, coupling, and transistor
+input)".  :func:`annotate` produces, per net, the *total* capacitance
+bounds: extracted wire (ground + coupling) plus every gate and junction
+the net touches, evaluated from the technology at a corner.
+
+The result, :class:`AnnotatedDesign`, is the one object the timing
+verifier and the electrical check battery both consume -- the paper's
+"extracted interconnect parasitic capacitance and resistance data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extraction.caps import NetParasitics, Parasitics
+from repro.netlist.flatten import FlatNetlist
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+
+
+@dataclass
+class NetLoad:
+    """Total electrical load of one net at a corner."""
+
+    net: str
+    wire: NetParasitics
+    gate_cap_f: float = 0.0
+    junction_cap_f: float = 0.0
+    extra_cap_f: float = 0.0  # explicit capacitors in the netlist
+
+    def device_cap(self) -> float:
+        return self.gate_cap_f + self.junction_cap_f + self.extra_cap_f
+
+    def total_min(self, miller_min: float = 0.0) -> float:
+        return self.wire.cap_min(miller_min) + self.device_cap()
+
+    def total_max(self, miller_max: float = 2.0) -> float:
+        return self.wire.cap_max(miller_max) + self.device_cap()
+
+    def total_nominal(self) -> float:
+        return self.wire.cap_nominal() + self.device_cap()
+
+    def coupling_fraction(self) -> float:
+        total = self.total_nominal()
+        if total <= 0:
+            return 0.0
+        return self.wire.total_coupling().nominal / total
+
+
+@dataclass
+class AnnotatedDesign:
+    """A flat netlist plus per-net loads at one corner."""
+
+    flat: FlatNetlist
+    technology: Technology
+    corner: Corner
+    loads: dict[str, NetLoad] = field(default_factory=dict)
+
+    def load(self, net: str) -> NetLoad:
+        if net not in self.loads:
+            self.loads[net] = NetLoad(net=net, wire=NetParasitics(net=net))
+        return self.loads[net]
+
+
+def annotate(
+    flat: FlatNetlist,
+    parasitics: Parasitics,
+    technology: Technology,
+    corner: Corner = Corner.TYPICAL,
+) -> AnnotatedDesign:
+    """Combine wire parasitics with device loading for every net."""
+    design = AnnotatedDesign(flat=flat, technology=technology, corner=corner)
+    by_name = {t.name: t for t in flat.transistors}
+    caps_by_net: dict[str, list] = {}
+    for cap in flat.capacitors:
+        caps_by_net.setdefault(cap.a, []).append(cap)
+        caps_by_net.setdefault(cap.b, []).append(cap)
+    for name, net in flat.nets.items():
+        load = NetLoad(net=name, wire=parasitics.of(name))
+        for pin in net.pins:
+            device = by_name.get(pin.device)
+            if device is None:
+                continue  # capacitor/resistor pins carry no device cap here
+            model = technology.mosfet(device.polarity, corner)
+            l_eff = device.effective_length(technology.l_min_um)
+            if pin.terminal == "gate":
+                load.gate_cap_f += model.gate_capacitance(device.w_um, l_eff)
+            else:
+                load.junction_cap_f += model.diffusion_capacitance(device.w_um)
+        # Explicit netlist capacitors to a rail count as fixed load.
+        for cap in caps_by_net.get(name, []):
+            other = cap.b if cap.a == name else cap.a
+            if other in ("vdd", "gnd"):
+                load.extra_cap_f += cap.cap_f
+        design.loads[name] = load
+    return design

@@ -1,0 +1,58 @@
+"""Geometry-driven extraction from a routed macrocell."""
+
+from __future__ import annotations
+
+from repro.extraction.caps import (
+    CAP_TOLERANCE,
+    RES_TOLERANCE,
+    Bound,
+    Parasitics,
+)
+from repro.layout.macrocell import MacrocellResult
+from repro.process.wires import WireStack
+
+
+def extract_macrocell(
+    result: MacrocellResult,
+    wires: WireStack,
+    layer: str = "metal1",
+) -> Parasitics:
+    """Extract wire parasitics from a macrocell's routed segments.
+
+    Ground capacitance: area + fringe of every segment, with the
+    manufacturing tolerance band.  Coupling: the router's adjacent-track
+    parallel runs, spacing-scaled.  Resistance: total net wire length at
+    drawn width.
+    """
+    metal = wires[layer]
+    parasitics = Parasitics()
+
+    for seg in result.segments:
+        rect = seg.rect
+        length = max(rect.width, rect.height)
+        width = min(rect.width, rect.height)
+        if width <= 0:
+            continue
+        net_par = parasitics.of(seg.net)
+        ground = metal.ground_capacitance(length, width)
+        net_par.cap_ground = net_par.cap_ground + Bound.from_tolerance(ground, CAP_TOLERANCE)
+        resistance = metal.resistance(length, width)
+        net_par.resistance = net_par.resistance + Bound.from_tolerance(resistance, RES_TOLERANCE)
+        net_par.wire_length_um += length
+
+    seen_pairs: set[tuple[str, str]] = set()
+    for net_a, net_b, run, gap in result.couplings:
+        key = (min(net_a, net_b), max(net_a, net_b))
+        coupling = metal.coupling_capacitance(run, spacing_um=max(gap, metal.min_space_um))
+        if key in seen_pairs:
+            # Accumulate onto the existing symmetric coupling records.
+            extra = Bound.from_tolerance(coupling, CAP_TOLERANCE)
+            for net, other in ((net_a, net_b), (net_b, net_a)):
+                existing = parasitics.of(net).coupling_to(other)
+                assert existing is not None
+                existing.cap = existing.cap + extra
+            continue
+        seen_pairs.add(key)
+        parasitics.add_coupling(net_a, net_b, Bound.from_tolerance(coupling, CAP_TOLERANCE))
+
+    return parasitics

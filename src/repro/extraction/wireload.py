@@ -1,0 +1,83 @@
+"""Synthetic wireload models.
+
+During the Figure-2 feasibility studies ("there are many feasibility
+studies on different circuit implementations during the development of
+the RTL"), no layout exists yet; wire parasitics come from a fanout-based
+statistical model.  The model is deterministic (seeded) so studies are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.extraction.caps import CAP_TOLERANCE, RES_TOLERANCE, Bound, Parasitics
+from repro.netlist.flatten import FlatNetlist
+from repro.process.wires import WireStack
+
+
+class WireloadModel:
+    """Fanout-driven wire length estimation.
+
+    length(net) = base + per_fanout * (#gate pins + #channel pins - 1),
+    jittered by +/- ``jitter`` deterministically per net name.
+
+    Coupling: each signal net is assigned ``coupling_fraction`` of its
+    ground capacitance as coupling to a pseudo-randomly chosen
+    (seed-stable) neighbour net -- a stand-in for routing adjacency that
+    exercises every coupling-aware analysis without real geometry.
+    """
+
+    def __init__(
+        self,
+        base_length_um: float = 4.0,
+        per_fanout_um: float = 6.0,
+        jitter: float = 0.3,
+        coupling_fraction: float = 0.25,
+        seed: int = 1997,
+    ):
+        if not 0 <= coupling_fraction < 1:
+            raise ValueError("coupling_fraction must be in [0, 1)")
+        self.base_length_um = base_length_um
+        self.per_fanout_um = per_fanout_um
+        self.jitter = jitter
+        self.coupling_fraction = coupling_fraction
+        self.seed = seed
+
+    def length_of(self, net: str, pin_count: int) -> float:
+        rng = random.Random(f"{self.seed}:{net}")
+        factor = 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.5, (self.base_length_um
+                         + self.per_fanout_um * max(0, pin_count - 1)) * factor)
+
+    def extract(self, flat: FlatNetlist, wires: WireStack,
+                layer: str = "metal1") -> Parasitics:
+        """Produce wireload parasitics for every signal net."""
+        metal = wires[layer]
+        parasitics = Parasitics()
+        signal_nets = sorted(n.name for n in flat.signal_nets())
+        for name in signal_nets:
+            net = flat.nets[name]
+            pins = net.degree()
+            length = self.length_of(name, pins)
+            p = parasitics.of(name)
+            p.wire_length_um = length
+            ground = metal.ground_capacitance(length, metal.min_width_um)
+            p.cap_ground = Bound.from_tolerance(ground, CAP_TOLERANCE)
+            p.resistance = Bound.from_tolerance(
+                metal.resistance(length, metal.min_width_um), RES_TOLERANCE
+            )
+        # Deterministic neighbour coupling.
+        rng = random.Random(self.seed)
+        for i, name in enumerate(signal_nets):
+            if len(signal_nets) < 2 or self.coupling_fraction <= 0:
+                break
+            other = signal_nets[(i + 1 + rng.randrange(max(1, len(signal_nets) - 1)))
+                                % len(signal_nets)]
+            if other == name:
+                continue
+            ground = parasitics.of(name).cap_ground.nominal
+            coupling = ground * self.coupling_fraction / (1 - self.coupling_fraction)
+            parasitics.add_coupling(name, other,
+                                    Bound.from_tolerance(coupling, CAP_TOLERANCE))
+        return parasitics

@@ -1,0 +1,39 @@
+"""Layout model and macrocell synthesis assist.
+
+Paper section 2.2: "CAD layout synthesis and assistance tools have had a
+greater impact in our layout creation.  The emphasis of these layout
+generation tools is to assist in the creation of macrocells, at the
+level of transistor place and route."
+
+This package provides exactly that level of tooling:
+
+* :mod:`~repro.layout.geometry` -- rectangles on named layers, with net
+  annotation;
+* :mod:`~repro.layout.placer` -- diffusion-sharing transistor ordering
+  (the classic row-based full-custom style);
+* :mod:`~repro.layout.router` -- a small channel router producing
+  metal segments whose lengths feed extraction;
+* :mod:`~repro.layout.macrocell` -- ties placement and routing into a
+  :class:`~repro.layout.geometry.Layout` for a cell;
+* :mod:`~repro.layout.antenna_geom` -- per-net gate-area vs metal-area
+  accounting for the antenna check of section 4.2.
+"""
+
+from repro.layout.geometry import Layout, Rect
+from repro.layout.placer import diffusion_ordering, placement_rows
+from repro.layout.router import RouteSegment, channel_route
+from repro.layout.macrocell import MacrocellResult, generate_macrocell
+from repro.layout.antenna_geom import AntennaGeometry, antenna_geometry
+
+__all__ = [
+    "Layout",
+    "Rect",
+    "diffusion_ordering",
+    "placement_rows",
+    "RouteSegment",
+    "channel_route",
+    "MacrocellResult",
+    "generate_macrocell",
+    "AntennaGeometry",
+    "antenna_geometry",
+]

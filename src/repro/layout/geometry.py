@@ -1,0 +1,120 @@
+"""Layout geometry primitives.
+
+Everything is axis-aligned rectangles on named layers, annotated with
+the net they belong to -- sufficient for extraction (area, perimeter,
+parallel-run coupling) and for the geometry-driven checks (antenna).
+
+Coordinates are microns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle on one layer, owned by one net.
+
+    ``layer`` names are free-form but the conventional set is
+    ``ndiff`` / ``pdiff`` / ``poly`` / ``contact`` / ``metal1``...
+    """
+
+    layer: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    net: str = ""
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate rect on {self.layer}: "
+                             f"({self.x0},{self.y0})-({self.x1},{self.y1})")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (self.x1 <= other.x0 or other.x1 <= self.x0
+                    or self.y1 <= other.y0 or other.y1 <= self.y0)
+
+    def horizontal_gap(self, other: "Rect") -> float:
+        """Horizontal clear distance (0 if overlapping in x)."""
+        if self.x1 < other.x0:
+            return other.x0 - self.x1
+        if other.x1 < self.x0:
+            return self.x0 - other.x1
+        return 0.0
+
+    def vertical_overlap(self, other: "Rect") -> float:
+        """Length of shared y-extent (parallel-run length for vertical
+        wires)."""
+        return max(0.0, min(self.y1, other.y1) - max(self.y0, other.y0))
+
+    def horizontal_overlap(self, other: "Rect") -> float:
+        return max(0.0, min(self.x1, other.x1) - max(self.x0, other.x0))
+
+    def vertical_gap(self, other: "Rect") -> float:
+        if self.y1 < other.y0:
+            return other.y0 - self.y1
+        if other.y1 < self.y0:
+            return self.y0 - other.y1
+        return 0.0
+
+
+@dataclass
+class Layout:
+    """A bag of annotated rectangles plus named device placements."""
+
+    name: str
+    rects: list[Rect] = field(default_factory=list)
+    # device name -> (x, y) gate position, for debug and router pins
+    placements: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def add(self, rect: Rect) -> None:
+        self.rects.append(rect)
+
+    def on_layer(self, layer: str) -> list[Rect]:
+        return [r for r in self.rects if r.layer == layer]
+
+    def of_net(self, net: str, layer: str | None = None) -> list[Rect]:
+        return [r for r in self.rects
+                if r.net == net and (layer is None or r.layer == layer)]
+
+    def nets(self) -> set[str]:
+        return {r.net for r in self.rects if r.net}
+
+    def bounding_box(self) -> Rect:
+        if not self.rects:
+            raise ValueError(f"layout {self.name!r} is empty")
+        return Rect(
+            layer="bbox",
+            x0=min(r.x0 for r in self.rects),
+            y0=min(r.y0 for r in self.rects),
+            x1=max(r.x1 for r in self.rects),
+            y1=max(r.y1 for r in self.rects),
+        )
+
+    def area(self) -> float:
+        box = self.bounding_box()
+        return box.area()
+
+    def net_area(self, net: str, layer: str) -> float:
+        return sum(r.area() for r in self.of_net(net, layer))
+
+    def net_wire_length(self, net: str, layer: str) -> float:
+        """Total centerline length of a net's wires on a layer
+        (long-dimension sum)."""
+        return sum(max(r.width, r.height) for r in self.of_net(net, layer))

@@ -1,0 +1,130 @@
+"""Macrocell generation: transistor place & route for one cell.
+
+Takes a flat list of transistors, orders each polarity row for diffusion
+sharing (:mod:`~repro.layout.placer`), draws diffusion/poly geometry,
+and channel-routes the internal nets (:mod:`~repro.layout.router`).
+
+The output geometry is deliberately schematic-grade rather than
+DRC-clean: its purpose is to give extraction *real, structure-derived*
+wire lengths, coupling neighbourhoods, and antenna areas, which is what
+the paper's verification flow consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.geometry import Layout, Rect
+from repro.layout.placer import OrderedRow, placement_rows
+from repro.layout.router import RouteSegment, channel_route, parallel_runs
+from repro.netlist.devices import Transistor
+from repro.netlist.nets import is_rail_name
+
+
+@dataclass
+class MacrocellResult:
+    """Everything macrocell generation produced."""
+
+    layout: Layout
+    segments: list[RouteSegment]
+    couplings: list[tuple[str, str, float, float]]
+    pmos_row: OrderedRow | None
+    nmos_row: OrderedRow | None
+    breaks: int = 0
+    width_um: float = 0.0
+
+    def net_length(self, net: str) -> float:
+        return sum(max(s.rect.width, s.rect.height) for s in self.segments
+                   if s.net == net)
+
+
+def generate_macrocell(
+    name: str,
+    transistors: list[Transistor],
+    l_min_um: float = 0.35,
+    gate_pitch_um: float = 2.5,
+    row_height_um: float = 6.0,
+    channel_height_um: float = 12.0,
+) -> MacrocellResult:
+    """Place and route one macrocell.
+
+    Geometry convention: NMOS row at the bottom (y < 0), PMOS row at the
+    top, routing channel between them.  Devices sit at
+    ``x = slot * gate_pitch``; a diffusion break inserts an empty slot.
+    """
+    if not transistors:
+        raise ValueError("macrocell needs at least one transistor")
+    pmos_row, nmos_row = placement_rows(transistors)
+    layout = Layout(name=name)
+    # Pin collection for the router: net -> [(x, y)]
+    pins: dict[str, list[tuple[float, float]]] = {}
+
+    def draw_row(row: OrderedRow | None, y_base: float, diff_layer: str) -> float:
+        """Returns row width in slots."""
+        if row is None:
+            return 0.0
+        shared = row.shared_nets()
+        slot = 0
+        for i, device in enumerate(row.order):
+            x = slot * gate_pitch_um
+            width = device.w_um
+            length = device.effective_length(l_min_um)
+            # Poly gate stripe.
+            layout.add(Rect("poly", x - length / 2, y_base,
+                            x + length / 2, y_base + width, net=device.gate))
+            # Diffusion strip spanning the device.
+            layout.add(Rect(diff_layer, x - gate_pitch_um / 2, y_base,
+                            x + gate_pitch_um / 2, y_base + width, net=""))
+            layout.placements[device.name] = (x, y_base)
+            # Channel terminal pins at the channel-facing edge.
+            pin_y = y_base if y_base >= 0 else y_base + width
+            d, s = device.channel_terminals()
+            for net, px in ((d, x - gate_pitch_um / 2), (s, x + gate_pitch_um / 2)):
+                if not is_rail_name(net):
+                    pins.setdefault(net, []).append((px, pin_y))
+            gate_px = x
+            if not is_rail_name(device.gate):
+                pins.setdefault(device.gate, []).append((gate_px, pin_y))
+            slot += 1
+            if i < len(shared) and shared[i] is None:
+                slot += 1  # diffusion break costs a slot
+        return slot * gate_pitch_um
+
+    n_width = draw_row(nmos_row, -(channel_height_um / 2 + row_height_um), "ndiff")
+    p_width = draw_row(pmos_row, channel_height_um / 2, "pdiff")
+
+    # Keep only nets with 2+ pins (singletons need no routing).
+    routable = {net: locs for net, locs in pins.items() if len(locs) >= 2}
+    # The requested channel height is a floor: congested cells grow the
+    # channel until the router fits (a real assist tool would report the
+    # new row pitch back to floorplanning).
+    height = channel_height_um
+    for _attempt in range(12):
+        try:
+            segments = channel_route(
+                routable,
+                channel_y0=-height / 2,
+                channel_y1=height / 2,
+            )
+            break
+        except ValueError:
+            height *= 2.0
+    else:
+        raise ValueError(
+            f"macrocell {name!r}: routing does not converge even with a "
+            f"{height:.0f} um channel"
+        )
+    for seg in segments:
+        layout.add(seg.rect)
+
+    couplings = parallel_runs(segments)
+    breaks = (pmos_row.breaks if pmos_row else 0) + (nmos_row.breaks if nmos_row else 0)
+    return MacrocellResult(
+        layout=layout,
+        segments=segments,
+        couplings=couplings,
+        pmos_row=pmos_row,
+        nmos_row=nmos_row,
+        breaks=breaks,
+        width_um=max(n_width, p_width),
+    )

@@ -1,0 +1,55 @@
+"""Transistor-level netlist data model.
+
+Paper section 2 sets the ground rules this package implements:
+
+* "Transistors are the building elements.  Other building elements
+  (cells) are nice but not required."  The data model is
+  transistor-first: a :class:`~repro.netlist.cell.Cell` holds raw
+  :class:`~repro.netlist.devices.Transistor` objects; sub-cell instances
+  are optional conveniences.
+* "Every transistor in the design can be (and often is) individually
+  sized, regardless of its functional context."  Width, length, and
+  per-device channel-length *additions* (the leakage knob of section 3)
+  are instance attributes, never library properties.
+* "Circuit topology templates are very useful" -- the
+  :mod:`~repro.netlist.builder` module provides NAND/NOR/inverter/
+  latch *templates* that stamp out transistors with per-call sizes, the
+  paper's middle ground between cell libraries and bare transistors.
+* Section 2.1 / Figure 1: hierarchy deliberately differs between views.
+  :mod:`~repro.netlist.views` models RTL / schematic / layout groupings
+  over the same flat leaves and measures their (mis)alignment.
+"""
+
+from repro.netlist.devices import Transistor, Capacitor, Resistor
+from repro.netlist.nets import Net, GROUND_NAMES, SUPPLY_NAMES, is_ground_name, is_supply_name
+from repro.netlist.cell import Cell, Instance
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import FlatNetlist, flatten
+from repro.netlist.spice_io import parse_spice, write_spice
+from repro.netlist.views import DesignViews, HierarchyView, overlap_matrix, view_alignment
+from repro.netlist.erc import ErcViolation, erc_clean, run_erc
+
+__all__ = [
+    "Transistor",
+    "Capacitor",
+    "Resistor",
+    "Net",
+    "GROUND_NAMES",
+    "SUPPLY_NAMES",
+    "is_ground_name",
+    "is_supply_name",
+    "Cell",
+    "Instance",
+    "CellBuilder",
+    "FlatNetlist",
+    "flatten",
+    "parse_spice",
+    "write_spice",
+    "DesignViews",
+    "HierarchyView",
+    "overlap_matrix",
+    "view_alignment",
+    "ErcViolation",
+    "erc_clean",
+    "run_erc",
+]

@@ -1,0 +1,248 @@
+"""Circuit topology templates.
+
+Paper section 2.2: "Schematic cell libraries are not required.  However,
+we have found that circuit topology templates are very useful in full
+custom.  For instance, a NAND gate function can have a NAND gate
+appearance, but have individual control of device sizes per instance."
+
+:class:`CellBuilder` is that idea as an API.  Every method stamps raw
+transistors into the cell being built -- there is no library cell behind
+an ``inverter()`` call, just two transistors whose sizes the caller
+controls per instance.  Anything the templates do not cover is built
+from :meth:`CellBuilder.nmos` / :meth:`CellBuilder.pmos` directly, which
+is the normal full-custom mode of work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.netlist.cell import Cell
+from repro.netlist.devices import Capacitor, Resistor, Transistor
+
+
+class CellBuilder:
+    """Fluent construction of a :class:`~repro.netlist.cell.Cell`.
+
+    Parameters
+    ----------
+    name:
+        Cell name.
+    ports:
+        Declared port nets.  ``vdd`` / ``gnd`` are added automatically
+        unless ``add_rails=False``.
+    """
+
+    def __init__(self, name: str, ports: Sequence[str] = (), add_rails: bool = True):
+        port_list = list(ports)
+        if add_rails:
+            for rail in ("vdd", "gnd"):
+                if rail not in port_list:
+                    port_list.append(rail)
+        self.cell = Cell(name=name, ports=port_list)
+        self._counter = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _next(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def net(self, prefix: str = "n") -> str:
+        """A fresh internal net name."""
+        return self._next(prefix + "_")
+
+    # -- primitives ---------------------------------------------------------
+
+    def nmos(self, gate: str, drain: str, source: str, w: float,
+             l: float = 0.0, l_add: float = 0.0, name: str | None = None) -> Transistor:
+        t = Transistor(name or self._next("mn"), "nmos", gate, drain, source,
+                       w_um=w, l_um=l, l_add_um=l_add)
+        self.cell.add(t)
+        return t
+
+    def pmos(self, gate: str, drain: str, source: str, w: float,
+             l: float = 0.0, l_add: float = 0.0, name: str | None = None) -> Transistor:
+        t = Transistor(name or self._next("mp"), "pmos", gate, drain, source,
+                       w_um=w, l_um=l, l_add_um=l_add)
+        self.cell.add(t)
+        return t
+
+    def cap(self, a: str, b: str, cap_f: float, name: str | None = None) -> Capacitor:
+        c = Capacitor(name or self._next("c"), a, b, cap_f)
+        self.cell.add(c)
+        return c
+
+    def res(self, a: str, b: str, res_ohm: float, name: str | None = None) -> Resistor:
+        r = Resistor(name or self._next("r"), a, b, res_ohm)
+        self.cell.add(r)
+        return r
+
+    # -- static CMOS templates ----------------------------------------------
+
+    def inverter(self, inp: str, out: str, wn: float = 2.0, wp: float = 4.0,
+                 l_add: float = 0.0) -> None:
+        """Complementary inverter with per-call device sizes."""
+        self.nmos(inp, out, "gnd", w=wn, l_add=l_add)
+        self.pmos(inp, out, "vdd", w=wp, l_add=l_add)
+
+    def nand(self, inputs: Sequence[str], out: str, wn: float = 4.0, wp: float = 4.0) -> None:
+        """N-input NAND: series N stack, parallel P devices."""
+        if not inputs:
+            raise ValueError("nand needs at least one input")
+        self._series_stack(inputs, out, "gnd", "nmos", wn)
+        for inp in inputs:
+            self.pmos(inp, out, "vdd", w=wp)
+
+    def nor(self, inputs: Sequence[str], out: str, wn: float = 2.0, wp: float = 8.0) -> None:
+        """N-input NOR: parallel N devices, series P stack."""
+        if not inputs:
+            raise ValueError("nor needs at least one input")
+        for inp in inputs:
+            self.nmos(inp, out, "gnd", w=wn)
+        self._series_stack(inputs, out, "vdd", "pmos", wp)
+
+    def aoi21(self, a: str, b: str, c: str, out: str,
+              wn: float = 4.0, wp: float = 6.0) -> None:
+        """AND-OR-INVERT: out = NOT(a*b + c).  A classic complex gate."""
+        mid = self.net("aoi")
+        self.nmos(a, out, mid, w=wn)
+        self.nmos(b, mid, "gnd", w=wn)
+        self.nmos(c, out, "gnd", w=wn)
+        pm = self.net("aoi")
+        self.pmos(c, pm, "vdd", w=wp)
+        self.pmos(a, out, pm, w=wp)
+        self.pmos(b, out, pm, w=wp)
+
+    def _series_stack(self, inputs: Sequence[str], top: str, rail: str,
+                      polarity: str, w: float) -> None:
+        """Series chain of devices from ``top`` down to ``rail``."""
+        prev = top
+        for i, inp in enumerate(inputs):
+            nxt = rail if i == len(inputs) - 1 else self.net("st")
+            if polarity == "nmos":
+                self.nmos(inp, prev, nxt, w=w)
+            else:
+                self.pmos(inp, prev, nxt, w=w)
+            prev = nxt
+
+    # -- pass-transistor / transmission-gate templates ------------------------
+
+    def transmission_gate(self, inp: str, out: str, en: str, en_b: str,
+                          wn: float = 2.0, wp: float = 4.0) -> None:
+        """Full CMOS pass gate between ``inp`` and ``out``."""
+        self.nmos(en, inp, out, w=wn)
+        self.pmos(en_b, inp, out, w=wp)
+
+    def nmos_pass(self, inp: str, out: str, en: str, w: float = 2.0) -> None:
+        """Bare N pass device (reduced-swing pass-transistor logic)."""
+        self.nmos(en, inp, out, w=w)
+
+    # -- dynamic-logic templates ----------------------------------------------
+
+    def domino_gate(self, clock: str, inputs: Sequence[str], out: str,
+                    wn: float = 4.0, wp_pre: float = 4.0, w_keeper: float = 0.4,
+                    w_out_n: float = 3.0, w_out_p: float = 6.0,
+                    series: bool = True, keeper: bool = True,
+                    dyn_net: str | None = None) -> str:
+        """Footed domino gate: precharge P, N evaluate network, output
+        inverter, optional keeper.  Returns the dynamic node name.
+
+        ``series=True`` builds an AND-type (series) evaluate stack,
+        ``series=False`` an OR-type (parallel) network.
+        """
+        dyn = dyn_net or self.net("dyn")
+        # Precharge device.
+        self.pmos(clock, dyn, "vdd", w=wp_pre)
+        # Evaluate network with foot device.
+        foot = self.net("foot")
+        if series:
+            prev = dyn
+            for inp in inputs:
+                nxt = self.net("ev")
+                self.nmos(inp, prev, nxt, w=wn)
+                prev = nxt
+            self.nmos(clock, prev, "gnd", w=wn, name=self._next("mfoot"))
+        else:
+            for inp in inputs:
+                self.nmos(inp, dyn, foot, w=wn)
+            self.nmos(clock, foot, "gnd", w=wn, name=self._next("mfoot"))
+        # Output (static) inverter.
+        self.nmos(dyn, out, "gnd", w=w_out_n)
+        self.pmos(dyn, out, "vdd", w=w_out_p)
+        # Keeper: weak P holding the dynamic node high, gated by out.
+        if keeper:
+            self.pmos(out, dyn, "vdd", w=w_keeper, name=self._next("mkeep"))
+        return dyn
+
+    def dual_rail_domino(self, clock: str, in_t: Sequence[str], in_f: Sequence[str],
+                         out_t: str, out_f: str, wn: float = 4.0) -> tuple[str, str]:
+        """Dual-rail precharge/discharge gate (paper section 2.2's example
+        of a function "implemented as a dual-rail, precharge-discharge
+        circuit, which has a complementary value on the outputs in only
+        one phase").
+
+        ``in_t`` drives the true rail's evaluate stack, ``in_f`` the
+        false rail's.  Returns the two dynamic node names.
+        """
+        dyn_t = self.domino_gate(clock, in_t, out_t, wn=wn, series=True)
+        dyn_f = self.domino_gate(clock, in_f, out_f, wn=wn, series=True)
+        return dyn_t, dyn_f
+
+    # -- DCVSL template --------------------------------------------------------
+
+    def dcvsl(self, in_t: Sequence[str], in_f: Sequence[str],
+              out_t: str, out_f: str, wn: float = 6.0, wp: float = 2.0) -> None:
+        """Differential cascode voltage switch logic gate.
+
+        Cross-coupled P loads; complementary N pull-down networks (series
+        stacks here; callers wanting other functions build the stacks by
+        hand with :meth:`nmos`).  ``out_t`` is pulled low when the
+        ``in_t`` stack conducts, so out_t = NOT(AND(in_t)).  DCVSL is a
+        ratioed style: the N stacks must overpower the cross-coupled P
+        loads to flip the gate, hence the N-dominant default sizes.
+        """
+        self.pmos(out_f, out_t, "vdd", w=wp)
+        self.pmos(out_t, out_f, "vdd", w=wp)
+        self._series_stack(in_t, out_t, "gnd", "nmos", wn)
+        self._series_stack(in_f, out_f, "gnd", "nmos", wn)
+
+    # -- state-element templates -------------------------------------------------
+
+    def transparent_latch(self, d: str, q: str, clk: str, clk_b: str,
+                          wn: float = 2.0, wp: float = 4.0,
+                          w_fb: float = 0.8) -> str:
+        """Level-sensitive transparent latch: pass gate into a
+        back-to-back inverter pair with a weak feedback gate.  Returns
+        the internal storage node name.
+        """
+        store = self.net("lat")
+        self.transmission_gate(d, store, clk, clk_b, wn=wn, wp=wp)
+        self.inverter(store, q, wn=wn, wp=wp)
+        fb = self.net("fb")
+        self.inverter(q, fb, wn=w_fb, wp=w_fb)
+        self.transmission_gate(fb, store, clk_b, clk, wn=w_fb, wp=w_fb)
+        return store
+
+    def sram_cell(self, bit: str, bit_b: str, word: str,
+                  w_pull: float = 2.0, w_load: float = 0.4, w_access: float = 1.2,
+                  l_add: float = 0.0) -> tuple[str, str]:
+        """Six-transistor SRAM cell; ``l_add`` lengthens *all six*
+        channels (the cache-array leakage fix of paper section 3).
+        Returns the two internal storage node names.
+        """
+        s = self.net("sram")
+        s_b = self.net("sram")
+        self.nmos(s_b, s, "gnd", w=w_pull, l_add=l_add)
+        self.pmos(s_b, s, "vdd", w=w_load, l_add=l_add)
+        self.nmos(s, s_b, "gnd", w=w_pull, l_add=l_add)
+        self.pmos(s, s_b, "vdd", w=w_load, l_add=l_add)
+        self.nmos(word, bit, s, w=w_access, l_add=l_add)
+        self.nmos(word, bit_b, s_b, w=w_access, l_add=l_add)
+        return s, s_b
+
+    # -- finishing ---------------------------------------------------------------
+
+    def build(self) -> Cell:
+        """Return the completed cell."""
+        return self.cell

@@ -1,0 +1,120 @@
+"""Hierarchical cells.
+
+A :class:`Cell` is a named container of transistors, parasitics, and
+optional sub-cell :class:`Instance` s.  Ports are declared net names;
+everything else is local.  Hierarchy here is *electrical* hierarchy in
+the paper's sense (section 2.1): it exists where it helps control the
+physical design, and nothing forces it to match the RTL's grouping --
+that correspondence (or deliberate lack of it) is modeled separately in
+:mod:`repro.netlist.views`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.devices import Capacitor, Resistor, Transistor
+
+
+@dataclass
+class Instance:
+    """A placed occurrence of a sub-cell.
+
+    ``connections`` maps the sub-cell's port names to nets in the parent.
+    Unconnected ports are an error at flatten time -- full-custom nets do
+    not float silently.
+    """
+
+    name: str
+    cell: "Cell"
+    connections: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Cell:
+    """A hierarchical circuit cell."""
+
+    name: str
+    ports: list[str] = field(default_factory=list)
+    transistors: list[Transistor] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    resistors: list[Resistor] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, element: Transistor | Capacitor | Resistor) -> None:
+        """Add a primitive element, checking name uniqueness."""
+        existing = {e.name for e in self.transistors}
+        existing |= {e.name for e in self.capacitors}
+        existing |= {e.name for e in self.resistors}
+        if element.name in existing:
+            raise ValueError(f"cell {self.name}: duplicate element name {element.name!r}")
+        if isinstance(element, Transistor):
+            self.transistors.append(element)
+        elif isinstance(element, Capacitor):
+            self.capacitors.append(element)
+        elif isinstance(element, Resistor):
+            self.resistors.append(element)
+        else:
+            raise TypeError(f"cannot add {type(element).__name__} to a cell")
+
+    def instantiate(self, name: str, cell: "Cell", **connections: str) -> Instance:
+        """Place ``cell`` as a sub-instance; keyword args map ports to nets."""
+        if any(i.name == name for i in self.instances):
+            raise ValueError(f"cell {self.name}: duplicate instance name {name!r}")
+        unknown = set(connections) - set(cell.ports)
+        if unknown:
+            raise ValueError(
+                f"cell {self.name}: instance {name!r} connects unknown ports {sorted(unknown)}"
+            )
+        inst = Instance(name=name, cell=cell, connections=dict(connections))
+        self.instances.append(inst)
+        return inst
+
+    # -- queries -----------------------------------------------------------
+
+    def local_nets(self) -> set[str]:
+        """All net names referenced directly by this cell's elements."""
+        nets: set[str] = set(self.ports)
+        for t in self.transistors:
+            nets.update(t.terminals())
+            if t.body:
+                nets.add(t.body)
+        for c in self.capacitors:
+            nets.update((c.a, c.b))
+        for r in self.resistors:
+            nets.update((r.a, r.b))
+        for inst in self.instances:
+            nets.update(inst.connections.values())
+        return nets
+
+    def transistor_count(self, recursive: bool = True) -> int:
+        """Number of transistors, optionally through the hierarchy."""
+        count = len(self.transistors)
+        if recursive:
+            for inst in self.instances:
+                count += inst.cell.transistor_count(recursive=True)
+        return count
+
+    def all_cells(self) -> dict[str, "Cell"]:
+        """This cell and every distinct sub-cell, keyed by name."""
+        found: dict[str, Cell] = {}
+
+        def walk(cell: "Cell") -> None:
+            if cell.name in found:
+                if found[cell.name] is not cell:
+                    raise ValueError(f"two distinct cells share the name {cell.name!r}")
+                return
+            found[cell.name] = cell
+            for inst in cell.instances:
+                walk(inst.cell)
+
+        walk(self)
+        return found
+
+    def find_transistor(self, name: str) -> Transistor:
+        for t in self.transistors:
+            if t.name == name:
+                return t
+        raise KeyError(f"cell {self.name}: no transistor named {name!r}")

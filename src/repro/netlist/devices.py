@@ -1,0 +1,136 @@
+"""Primitive circuit elements.
+
+Transistors are the building elements (paper section 2); capacitors and
+resistors exist so extracted parasitics and explicit circuit tricks
+(bootstrap caps, keeper resistors) can live in the same netlist.
+
+Geometry is in microns; capacitance in farads; resistance in ohms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class Transistor:
+    """One MOSFET instance.
+
+    Attributes
+    ----------
+    name:
+        Instance name, unique within its owning cell.
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    gate / drain / source:
+        Net names within the owning cell.  Drain/source are electrically
+        symmetric; tools that care about direction (recognition, timing)
+        infer it from context rather than trusting these labels, exactly
+        as the paper's recognizers must.
+    w_um / l_um:
+        Drawn width and length.  ``l_um`` defaults to 0 meaning "the
+        technology minimum"; resolved at analysis time.
+    l_add_um:
+        Channel-length *addition* over the minimum -- the section-3
+        leakage-control knob ("lengthened by 0.045 um or 0.09 um").
+        Kept separate from ``l_um`` so sweeps can distinguish a device
+        that was drawn long for electrical reasons from one lengthened
+        purely for standby leakage.
+    body:
+        Optional body/well net name (defaults to the rail implied by
+        polarity).
+    """
+
+    name: str
+    polarity: str
+    gate: str
+    drain: str
+    source: str
+    w_um: float
+    l_um: float = 0.0
+    l_add_um: float = 0.0
+    body: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"transistor polarity must be nmos/pmos, got {self.polarity!r}")
+        if self.w_um <= 0:
+            raise ValueError(f"transistor {self.name}: width must be positive, got {self.w_um}")
+        if self.l_um < 0 or self.l_add_um < 0:
+            raise ValueError(f"transistor {self.name}: lengths must be non-negative")
+
+    def effective_length(self, l_min_um: float) -> float:
+        """Resolved channel length: drawn (or minimum) plus any addition."""
+        base = self.l_um if self.l_um > 0 else l_min_um
+        return base + self.l_add_um
+
+    def terminals(self) -> tuple[str, str, str]:
+        """(gate, drain, source) net names."""
+        return (self.gate, self.drain, self.source)
+
+    def channel_terminals(self) -> tuple[str, str]:
+        """The two channel (drain/source) net names."""
+        return (self.drain, self.source)
+
+    def other_channel_terminal(self, net: str) -> str:
+        """The channel terminal that is not ``net``."""
+        if net == self.drain:
+            return self.source
+        if net == self.source:
+            return self.drain
+        raise ValueError(f"{net!r} is not a channel terminal of {self.name}")
+
+    def renamed(self, prefix: str, netmap: dict[str, str]) -> "Transistor":
+        """Copy with hierarchical name prefix and nets remapped."""
+        return replace(
+            self,
+            name=f"{prefix}{self.name}",
+            gate=netmap.get(self.gate, self.gate),
+            drain=netmap.get(self.drain, self.drain),
+            source=netmap.get(self.source, self.source),
+            body=netmap.get(self.body, self.body) if self.body else None,
+        )
+
+
+@dataclass
+class Capacitor:
+    """A two-terminal capacitor (explicit or extracted parasitic)."""
+
+    name: str
+    a: str
+    b: str
+    cap_f: float
+
+    def __post_init__(self) -> None:
+        if self.cap_f < 0:
+            raise ValueError(f"capacitor {self.name}: capacitance must be non-negative")
+
+    def renamed(self, prefix: str, netmap: dict[str, str]) -> "Capacitor":
+        return replace(
+            self,
+            name=f"{prefix}{self.name}",
+            a=netmap.get(self.a, self.a),
+            b=netmap.get(self.b, self.b),
+        )
+
+
+@dataclass
+class Resistor:
+    """A two-terminal resistor (explicit or extracted parasitic)."""
+
+    name: str
+    a: str
+    b: str
+    res_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.res_ohm < 0:
+            raise ValueError(f"resistor {self.name}: resistance must be non-negative")
+
+    def renamed(self, prefix: str, netmap: dict[str, str]) -> "Resistor":
+        return replace(
+            self,
+            name=f"{prefix}{self.name}",
+            a=netmap.get(self.a, self.a),
+            b=netmap.get(self.b, self.b),
+        )

@@ -1,0 +1,109 @@
+"""Electrical rule checking (ERC): design-entry sanity.
+
+Before any analysis runs, the netlist itself must be well-formed.  Full
+custom has no library to guarantee it, so these structural rules are the
+first verification gate of the flow:
+
+* **floating gate** -- a transistor gate driven by nothing (not a port,
+  no channel connection anywhere): the device's state is undefined and
+  its oxide is an antenna risk;
+* **undriven net** -- a net that only drives gates, with no channel,
+  port, or rail connection: logically dead input;
+* **dangling channel** -- a source/drain net with exactly one connection
+  in the whole design (half a device doing nothing);
+* **rail short** -- a single device whose channel directly bridges vdd
+  and gnd with a non-rail gate: a crowbar waiting for that gate to turn
+  on is fine (that's every gate's half), but a device *gated by a rail
+  that turns it permanently on* across the rails is a DC short;
+* **self-loop device** -- both channel terminals on the same net: dead
+  weight (or a deliberate capacitor, which should be drawn as one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.flatten import FlatNetlist
+from repro.netlist.nets import is_ground_name, is_supply_name
+
+
+@dataclass
+class ErcViolation:
+    """One structural problem."""
+
+    rule: str
+    subject: str
+    message: str
+
+
+def run_erc(flat: FlatNetlist) -> list[ErcViolation]:
+    """Run all ERC rules; returns violations (empty = clean)."""
+    violations: list[ErcViolation] = []
+    port_set = set(flat.ports)
+
+    for name, net in flat.nets.items():
+        if net.is_rail:
+            continue
+        gate_pins = net.gate_pins()
+        channel_pins = net.channel_pins()
+        other_pins = [p for p in net.pins
+                      if p.terminal not in ("gate", "drain", "source")]
+        if gate_pins and not channel_pins and not other_pins \
+                and name not in port_set:
+            violations.append(ErcViolation(
+                rule="undriven_net",
+                subject=name,
+                message=f"net drives {len(gate_pins)} gate(s) but nothing "
+                        f"ever drives it",
+            ))
+        if len(net.pins) == 1 and net.pins[0].terminal in ("drain", "source") \
+                and name not in port_set:
+            violations.append(ErcViolation(
+                rule="dangling_channel",
+                subject=name,
+                message=f"single channel connection "
+                        f"({net.pins[0].device}.{net.pins[0].terminal}); "
+                        f"half a device does nothing",
+            ))
+
+    for t in flat.transistors:
+        gate_net = flat.nets.get(t.gate)
+        if gate_net is not None and not gate_net.is_rail \
+                and t.gate not in port_set \
+                and not gate_net.channel_pins() \
+                and all(p.terminal == "gate" for p in gate_net.pins):
+            violations.append(ErcViolation(
+                rule="floating_gate",
+                subject=t.name,
+                message=f"gate net {t.gate!r} has no driver of any kind",
+            ))
+        d, s = t.channel_terminals()
+        if d == s:
+            violations.append(ErcViolation(
+                rule="self_loop",
+                subject=t.name,
+                message=f"both channel terminals on {d!r}; draw a capacitor "
+                        f"if a capacitor was meant",
+            ))
+        bridges_rails = (
+            (is_supply_name(d) and is_ground_name(s))
+            or (is_ground_name(d) and is_supply_name(s))
+        )
+        if bridges_rails:
+            always_on = (
+                (t.polarity == "nmos" and is_supply_name(t.gate))
+                or (t.polarity == "pmos" and is_ground_name(t.gate))
+            )
+            if always_on:
+                violations.append(ErcViolation(
+                    rule="rail_short",
+                    subject=t.name,
+                    message="permanently-on device directly bridging "
+                            "vdd and gnd: DC short",
+                ))
+    return violations
+
+
+def erc_clean(flat: FlatNetlist) -> bool:
+    """Convenience predicate."""
+    return not run_erc(flat)

@@ -1,0 +1,162 @@
+"""Hierarchy flattening.
+
+All analysis tools (recognition, switch simulation, extraction
+annotation, timing, checks) consume a :class:`FlatNetlist`: every
+transistor with a fully hierarchical name, every electrical node a
+single :class:`~repro.netlist.nets.Net` with complete connectivity.
+
+Flattening is where rail merging happens: any net whose leaf name is a
+supply/ground alias (``vdd``, ``vss!``, ...) collapses onto the
+canonical ``vdd`` / ``gnd`` node regardless of hierarchy depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cell import Cell
+from repro.netlist.devices import Capacitor, Resistor, Transistor
+from repro.netlist.nets import Net, Pin, is_ground_name, is_supply_name
+
+
+@dataclass
+class FlatNetlist:
+    """A flattened design.
+
+    Attributes
+    ----------
+    name:
+        Name of the top cell.
+    transistors / capacitors / resistors:
+        All primitive elements, hierarchically named
+        (``"u_alu.u_add3.mn7"``).
+    nets:
+        Every electrical node keyed by canonical name.
+    ports:
+        Port nets of the top cell (canonical names).
+    """
+
+    name: str
+    transistors: list[Transistor] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    resistors: list[Resistor] = field(default_factory=list)
+    nets: dict[str, Net] = field(default_factory=dict)
+    ports: list[str] = field(default_factory=list)
+
+    def net(self, name: str) -> Net:
+        return self.nets[name]
+
+    def transistor(self, name: str) -> Transistor:
+        for t in self.transistors:
+            if t.name == name:
+                return t
+        raise KeyError(f"no transistor named {name!r}")
+
+    def device_count(self) -> int:
+        return len(self.transistors)
+
+    def signal_nets(self) -> list[Net]:
+        """All nets that are neither rail."""
+        return [n for n in self.nets.values() if not n.is_rail]
+
+    def total_width_um(self, polarity: str | None = None) -> float:
+        """Sum of transistor widths, optionally filtered by polarity."""
+        return sum(t.w_um for t in self.transistors
+                   if polarity is None or t.polarity == polarity)
+
+    def rebuild_connectivity(self) -> None:
+        """Recompute every net's pin list from the element lists.
+
+        Call after mutating elements in place (e.g. a repair pass that
+        resizes or rewires devices).
+        """
+        for net in self.nets.values():
+            net.pins.clear()
+        known = set(self.nets)
+        for t in self.transistors:
+            for terminal in ("gate", "drain", "source"):
+                name = getattr(t, terminal)
+                if name not in known:
+                    self.nets[name] = Net(name=name)
+                    known.add(name)
+                self.nets[name].pins.append(Pin(device=t.name, terminal=terminal))
+        for c in self.capacitors:
+            for terminal, name in (("a", c.a), ("b", c.b)):
+                if name not in known:
+                    self.nets[name] = Net(name=name)
+                    known.add(name)
+                self.nets[name].pins.append(Pin(device=c.name, terminal=terminal))
+        for r in self.resistors:
+            for terminal, name in (("a", r.a), ("b", r.b)):
+                if name not in known:
+                    self.nets[name] = Net(name=name)
+                    known.add(name)
+                self.nets[name].pins.append(Pin(device=r.name, terminal=terminal))
+
+
+def _canonical(name: str) -> str:
+    """Collapse rail aliases to the canonical rail names."""
+    if is_supply_name(name):
+        return "vdd"
+    if is_ground_name(name):
+        return "gnd"
+    return name
+
+
+def flatten(top: Cell) -> FlatNetlist:
+    """Flatten ``top`` and every sub-instance into a :class:`FlatNetlist`.
+
+    Net naming: a net local to instance path ``a.b`` is named
+    ``a.b.<local>``; nets connected up through ports take the parent's
+    name, recursively, so one electrical node has exactly one name.
+    """
+    flat = FlatNetlist(name=top.name)
+
+    def walk(cell: Cell, prefix: str, netmap: dict[str, str]) -> None:
+        def resolve(local: str) -> str:
+            if local in netmap:
+                return netmap[local]
+            return _canonical(f"{prefix}{local}" if prefix else local)
+
+        for t in cell.transistors:
+            mapped = {n: resolve(n) for n in (t.gate, t.drain, t.source)}
+            if t.body:
+                mapped[t.body] = resolve(t.body)
+            flat.transistors.append(t.renamed(prefix, mapped))
+        for c in cell.capacitors:
+            flat.capacitors.append(c.renamed(prefix, {c.a: resolve(c.a), c.b: resolve(c.b)}))
+        for r in cell.resistors:
+            flat.resistors.append(r.renamed(prefix, {r.a: resolve(r.a), r.b: resolve(r.b)}))
+
+        for inst in cell.instances:
+            missing = set(inst.cell.ports) - set(inst.connections)
+            # Rails connect implicitly by name; anything else must be wired.
+            truly_missing = {p for p in missing if _canonical(p) not in ("vdd", "gnd")}
+            if truly_missing:
+                raise ValueError(
+                    f"instance {prefix}{inst.name} of cell {inst.cell.name!r} "
+                    f"leaves ports unconnected: {sorted(truly_missing)}"
+                )
+            child_map = {port: resolve(net) for port, net in inst.connections.items()}
+            for port in missing:
+                child_map[port] = _canonical(port)
+            walk(inst.cell, f"{prefix}{inst.name}.", child_map)
+
+    top_map = {p: _canonical(p) for p in top.ports}
+    walk(top, "", top_map)
+    flat.ports = [_canonical(p) for p in top.ports]
+
+    flat.rebuild_connectivity()
+    port_set = set(flat.ports)
+    for name in port_set:
+        if name not in flat.nets:
+            flat.nets[name] = Net(name=name)
+    for net in flat.nets.values():
+        net.is_port = net.name in port_set
+
+    names = [t.name for t in flat.transistors]
+    if len(names) != len(set(names)):
+        seen: set[str] = set()
+        dup = next(n for n in names if n in seen or seen.add(n))  # type: ignore[func-returns-value]
+        raise ValueError(f"flatten produced duplicate transistor name {dup!r}")
+    return flat

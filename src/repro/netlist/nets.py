@@ -1,0 +1,91 @@
+"""Nets and rail-name conventions.
+
+Within a hierarchical :class:`~repro.netlist.cell.Cell`, nets are plain
+strings.  After flattening, each distinct electrical node becomes a
+:class:`Net` carrying its connectivity (which device terminals touch it)
+so the recognizers and checkers can walk the circuit graph.
+
+Supply and ground nets are recognized *by name* -- the one convention the
+paper's otherwise freestyle methodology cannot do without (every
+recognition algorithm in section 2.3 starts from knowing the rails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Net names treated as the positive supply, case-insensitively.
+SUPPLY_NAMES = frozenset({"vdd", "vdd!", "vcc", "pwr"})
+
+#: Net names treated as ground, case-insensitively.
+GROUND_NAMES = frozenset({"gnd", "gnd!", "vss", "vss!", "0"})
+
+
+def is_supply_name(name: str) -> bool:
+    """True if ``name`` is a positive-rail net (hierarchy-aware)."""
+    return _leaf(name) in SUPPLY_NAMES
+
+
+def is_ground_name(name: str) -> bool:
+    """True if ``name`` is a ground net (hierarchy-aware)."""
+    return _leaf(name) in GROUND_NAMES
+
+
+def is_rail_name(name: str) -> bool:
+    """True if ``name`` is either rail."""
+    leaf = _leaf(name)
+    return leaf in SUPPLY_NAMES or leaf in GROUND_NAMES
+
+
+def _leaf(name: str) -> str:
+    return name.rsplit(".", 1)[-1].lower()
+
+
+@dataclass
+class Pin:
+    """One device terminal touching a net."""
+
+    device: str
+    terminal: str  # "gate", "drain", "source", "a", "b"
+
+
+@dataclass
+class Net:
+    """One electrical node of a flattened design.
+
+    Attributes
+    ----------
+    name:
+        Fully hierarchical net name (``"core.alu.carry3"``).
+    pins:
+        Device terminals connected to this net.
+    is_port:
+        True if the net is a port of the flattened top cell.
+    """
+
+    name: str
+    pins: list[Pin] = field(default_factory=list)
+    is_port: bool = False
+
+    @property
+    def is_supply(self) -> bool:
+        return is_supply_name(self.name)
+
+    @property
+    def is_ground(self) -> bool:
+        return is_ground_name(self.name)
+
+    @property
+    def is_rail(self) -> bool:
+        return self.is_supply or self.is_ground
+
+    def gate_pins(self) -> list[Pin]:
+        """Pins where this net drives a transistor gate."""
+        return [p for p in self.pins if p.terminal == "gate"]
+
+    def channel_pins(self) -> list[Pin]:
+        """Pins where this net touches a transistor channel."""
+        return [p for p in self.pins if p.terminal in ("drain", "source")]
+
+    def degree(self) -> int:
+        return len(self.pins)

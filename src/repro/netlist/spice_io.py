@@ -1,0 +1,210 @@
+"""SPICE-subset reader and writer.
+
+The interchange format the paper's world ran on.  Supported elements:
+
+* ``M<name> <drain> <gate> <source> <body> <model> W=<w>u L=<l>u`` --
+  MOSFETs; the model name must contain ``n`` or ``p`` to give polarity
+  (``nmos``/``pmos``/``nch``/``pch`` all work).
+* ``C<name> <a> <b> <value>`` and ``R<name> <a> <b> <value>`` with
+  engineering suffixes (``f p n u m k meg g``).
+* ``.subckt <name> <ports...>`` / ``.ends`` and ``X<name> <nets...>
+  <subckt>`` for hierarchy.
+* ``*`` comments, ``+`` continuation lines, ``.end``.
+
+The writer emits one ``.subckt`` per cell, children first, so the output
+re-parses to an equivalent hierarchy.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.netlist.cell import Cell, Instance
+from repro.netlist.devices import Capacitor, Resistor, Transistor
+
+_SUFFIX = {
+    "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+    "k": 1e3, "meg": 1e6, "g": 1e9, "": 1.0,
+}
+
+
+def parse_value(text: str) -> float:
+    """Parse a SPICE number with an optional engineering suffix."""
+    m = re.fullmatch(r"([-+]?[\d.]+(?:[eE][-+]?\d+)?)(meg|[fpnumkg]?)", text.strip(), re.IGNORECASE)
+    if not m:
+        raise ValueError(f"cannot parse SPICE value {text!r}")
+    return float(m.group(1)) * _SUFFIX[m.group(2).lower()]
+
+
+def format_value(value: float, unit_scale: float = 1.0) -> str:
+    """Format a value in the given scale (e.g. 1e-6 for microns)."""
+    return f"{value / unit_scale:.6g}"
+
+
+def _polarity_of(model: str) -> str:
+    m = model.lower()
+    if m.startswith("p") or "pmos" in m or "pch" in m:
+        return "pmos"
+    if m.startswith("n") or "nmos" in m or "nch" in m:
+        return "nmos"
+    raise ValueError(f"cannot infer polarity from model name {model!r}")
+
+
+def _join_continuations(lines: Iterable[str]) -> list[str]:
+    joined: list[str] = []
+    for raw in lines:
+        line = raw.rstrip()
+        if not line or line.lstrip().startswith("*"):
+            continue
+        if line.startswith("+") and joined:
+            joined[-1] += " " + line[1:].strip()
+        else:
+            joined.append(line.strip())
+    return joined
+
+
+def parse_spice(text: str, top: str | None = None) -> Cell:
+    """Parse SPICE text into a hierarchy; return the top cell.
+
+    If ``top`` is not given, the last ``.subckt`` defined is the top
+    unless top-level (unscoped) elements exist, in which case they form
+    an implicit top cell named ``main``.
+    """
+    lines = _join_continuations(text.splitlines())
+    cells: dict[str, Cell] = {}
+    pending_instances: list[tuple[Cell, str, str, list[str]]] = []
+    implicit_top = Cell(name="main")
+    current: Cell | None = None
+
+    for line in lines:
+        tokens = line.split()
+        head = tokens[0].lower()
+        target = current if current is not None else implicit_top
+
+        if head == ".subckt":
+            if current is not None:
+                raise ValueError("nested .subckt definitions are not supported")
+            current = Cell(name=tokens[1], ports=tokens[2:])
+        elif head == ".ends":
+            if current is None:
+                raise ValueError(".ends without .subckt")
+            cells[current.name] = current
+            current = None
+        elif head == ".end":
+            break
+        elif head.startswith("m"):
+            if len(tokens) < 6:
+                raise ValueError(f"malformed MOSFET line: {line!r}")
+            name, drain, gate, source, _body, model = tokens[:6]
+            params = _parse_params(tokens[6:])
+            target.add(Transistor(
+                name=name[1:] if name[0] in "mM" else name,
+                polarity=_polarity_of(model),
+                gate=gate, drain=drain, source=source,
+                w_um=params.get("w", 1e-6) * 1e6,
+                l_um=params.get("l", 0.0) * 1e6,
+            ))
+        elif head.startswith("c"):
+            target.add(Capacitor(tokens[0][1:], tokens[1], tokens[2], parse_value(tokens[3])))
+        elif head.startswith("r"):
+            target.add(Resistor(tokens[0][1:], tokens[1], tokens[2], parse_value(tokens[3])))
+        elif head.startswith("x"):
+            # X<name> net1 net2 ... subckt  -- resolve after all cells parsed.
+            pending_instances.append((target, tokens[0][1:], tokens[-1], tokens[1:-1]))
+        elif head.startswith("."):
+            continue  # ignore other control cards
+        else:
+            raise ValueError(f"unrecognized SPICE line: {line!r}")
+
+    if current is not None:
+        raise ValueError(f".subckt {current.name!r} never closed with .ends")
+
+    for owner, iname, cname, nets in pending_instances:
+        child = cells.get(cname)
+        if child is None:
+            raise ValueError(f"instance {iname!r} references unknown subckt {cname!r}")
+        if len(nets) != len(child.ports):
+            raise ValueError(
+                f"instance {iname!r} of {cname!r}: {len(nets)} nets for "
+                f"{len(child.ports)} ports"
+            )
+        owner.instantiate(iname, child, **dict(zip(child.ports, nets)))
+
+    if implicit_top.transistors or implicit_top.capacitors or implicit_top.resistors \
+            or implicit_top.instances:
+        return implicit_top
+    if top is not None:
+        if top not in cells:
+            raise ValueError(f"no subckt named {top!r} in input")
+        return cells[top]
+    if not cells:
+        raise ValueError("no circuit content found")
+    return cells[list(cells)[-1]]
+
+
+def _parse_params(tokens: list[str]) -> dict[str, float]:
+    params: dict[str, float] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            continue
+        key, val = tok.split("=", 1)
+        params[key.lower()] = parse_value(val)
+    return params
+
+
+def write_spice(top: Cell, l_min_um: float | None = None) -> str:
+    """Serialize a hierarchy to SPICE text (children before parents).
+
+    Channel lengths are resolved to their *effective* drawn value:
+    ``l_um + l_add_um`` when the device has an explicit length, or
+    ``l_min_um + l_add_um`` when it uses the technology minimum.  A
+    device relying on the minimum (``l_um == 0``) with a nonzero
+    ``l_add_um`` cannot be resolved without ``l_min_um`` -- that case
+    raises rather than silently dropping the section-3 leakage knob.
+    Plain minimum-length devices are written as ``L=0u`` (the toolkit's
+    "use the minimum" convention) unless ``l_min_um`` is given.
+    """
+    emitted: set[str] = set()
+    chunks: list[str] = [f"* cell {top.name} -- written by repro.netlist.spice_io"]
+
+    def resolve_length(t: Transistor) -> float:
+        if l_min_um is not None:
+            return t.effective_length(l_min_um)
+        if t.l_um > 0:
+            return t.l_um + t.l_add_um
+        if t.l_add_um > 0:
+            raise ValueError(
+                f"transistor {t.name} uses the minimum length plus "
+                f"l_add={t.l_add_um}; pass l_min_um to write_spice so the "
+                f"effective length can be resolved"
+            )
+        return 0.0
+
+    def emit(cell: Cell) -> None:
+        if cell.name in emitted:
+            return
+        for inst in cell.instances:
+            emit(inst.cell)
+        emitted.add(cell.name)
+        lines = [f".subckt {cell.name} {' '.join(cell.ports)}"]
+        for t in cell.transistors:
+            body = t.body or ("gnd" if t.polarity == "nmos" else "vdd")
+            l_um = resolve_length(t)
+            lines.append(
+                f"M{t.name} {t.drain} {t.gate} {t.source} {body} "
+                f"{t.polarity} W={t.w_um:.6g}u L={l_um:.6g}u"
+            )
+        for c in cell.capacitors:
+            lines.append(f"C{c.name} {c.a} {c.b} {c.cap_f:.6g}")
+        for r in cell.resistors:
+            lines.append(f"R{r.name} {r.a} {r.b} {r.res_ohm:.6g}")
+        for inst in cell.instances:
+            nets = " ".join(inst.connections.get(p, p) for p in inst.cell.ports)
+            lines.append(f"X{inst.name} {nets} {inst.cell.name}")
+        lines.append(".ends")
+        chunks.append("\n".join(lines))
+
+    emit(top)
+    chunks.append(".end")
+    return "\n\n".join(chunks) + "\n"

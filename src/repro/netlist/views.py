@@ -1,0 +1,138 @@
+"""Multi-view hierarchy and its (mis)alignment -- paper Figure 1.
+
+Section 2.1: "Our hierarchy may be significantly different between
+different views of the design (RTL, schematic, and layout).  The designer
+is free to move logic/circuit functions physically ... without having to
+maintain strict correspondence to the RTL description.  This causes
+irregular overlapping of schematic and RTL boundaries."
+
+A :class:`HierarchyView` is a partition of the design's *leaf functions*
+(any hashable leaf identifier -- transistor names, logic-function ids)
+into named groups.  :class:`DesignViews` holds the RTL, schematic, and
+layout partitions of one design over the same leaf universe, and the
+module's analysis functions quantify exactly the Figure-1 picture: which
+RTL boxes spill across which schematic boxes, and by how much.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HierarchyView:
+    """One view's grouping of leaves.
+
+    ``groups`` maps group name -> set of leaf ids.  Groups must be
+    disjoint (a leaf lives in exactly one box of one view).
+    """
+
+    name: str
+    groups: dict[str, set[Hashable]] = field(default_factory=dict)
+
+    def add_group(self, group: str, leaves: Iterable[Hashable]) -> None:
+        leaf_set = set(leaves)
+        for other, members in self.groups.items():
+            clash = leaf_set & members
+            if clash:
+                raise ValueError(
+                    f"view {self.name!r}: leaves {sorted(map(str, clash))[:3]}... "
+                    f"already in group {other!r}"
+                )
+        self.groups[group] = leaf_set
+
+    def universe(self) -> set[Hashable]:
+        out: set[Hashable] = set()
+        for members in self.groups.values():
+            out |= members
+        return out
+
+    def group_of(self, leaf: Hashable) -> str:
+        for group, members in self.groups.items():
+            if leaf in members:
+                return group
+        raise KeyError(f"view {self.name!r}: leaf {leaf!r} not in any group")
+
+
+@dataclass
+class DesignViews:
+    """The RTL / schematic / layout views of one design."""
+
+    rtl: HierarchyView
+    schematic: HierarchyView
+    layout: HierarchyView | None = None
+
+    def __post_init__(self) -> None:
+        if self.rtl.universe() != self.schematic.universe():
+            missing = self.rtl.universe() ^ self.schematic.universe()
+            raise ValueError(
+                f"RTL and schematic views cover different leaves; "
+                f"symmetric difference has {len(missing)} elements"
+            )
+        if self.layout is not None and self.layout.universe() != self.rtl.universe():
+            raise ValueError("layout view covers different leaves than RTL view")
+
+
+def overlap_matrix(a: HierarchyView, b: HierarchyView) -> dict[tuple[str, str], int]:
+    """Leaf-count intersection of every (a-group, b-group) pair.
+
+    Nonzero off-"diagonal" structure is Figure 1's irregular overlap.
+    """
+    matrix: dict[tuple[str, str], int] = {}
+    for ga, ma in a.groups.items():
+        for gb, mb in b.groups.items():
+            n = len(ma & mb)
+            if n:
+                matrix[(ga, gb)] = n
+    return matrix
+
+
+@dataclass
+class AlignmentReport:
+    """Summary statistics of how well two views' boundaries agree.
+
+    Attributes
+    ----------
+    span:
+        For each group of view A, how many groups of view B it
+        intersects.  A strictly matching hierarchy has span == 1
+        everywhere; the paper's methodology expects > 1.
+    mean_span:
+        Average of ``span`` values.
+    aligned_fraction:
+        Fraction of A groups whose members map into exactly one B group
+        *and* exhaust it (perfect box-for-box correspondence).
+    mean_best_jaccard:
+        Mean over A groups of the best Jaccard similarity with any B
+        group -- 1.0 means identical hierarchies, low values mean heavy
+        Figure-1-style overlap.
+    """
+
+    span: dict[str, int]
+    mean_span: float
+    aligned_fraction: float
+    mean_best_jaccard: float
+
+
+def view_alignment(a: HierarchyView, b: HierarchyView) -> AlignmentReport:
+    """Quantify boundary agreement between two views (Figure 1 metric)."""
+    if not a.groups:
+        raise ValueError("view A has no groups")
+    span: dict[str, int] = {}
+    aligned = 0
+    jaccards: list[float] = []
+    for ga, ma in a.groups.items():
+        touching = [(gb, mb) for gb, mb in b.groups.items() if ma & mb]
+        span[ga] = len(touching)
+        best_j = max((len(ma & mb) / len(ma | mb) for _gb, mb in touching), default=0.0)
+        jaccards.append(best_j)
+        if len(touching) == 1 and touching[0][1] == ma:
+            aligned += 1
+    n = len(a.groups)
+    return AlignmentReport(
+        span=span,
+        mean_span=sum(span.values()) / n,
+        aligned_fraction=aligned / n,
+        mean_best_jaccard=sum(jaccards) / n,
+    )

@@ -1,0 +1,49 @@
+"""Power estimation and the low-power methodology of paper section 3.
+
+* :mod:`~repro.power.activity` -- switching-activity bookkeeping,
+  including conditional-clock gating statistics;
+* :mod:`~repro.power.dynamic` -- C*V^2*f dynamic power from annotated
+  netlists or chip-level capacitance inventories;
+* :mod:`~repro.power.leakage` -- subthreshold leakage rollups over
+  device-width inventories at any corner;
+* :mod:`~repro.power.cascade` -- **Table 1**: the ALPHA 21064 ->
+  StrongARM power-dissipation walk (VDD, functions, process, clock load,
+  clock rate), computed from chip models rather than hardcoded;
+* :mod:`~repro.power.standby` -- the 20 mW standby budget and the
+  channel-lengthening optimizer ("devices in the cache arrays, the pad
+  drivers, and certain other areas were lengthened by 0.045 um or
+  0.09 um").
+"""
+
+from repro.power.activity import ActivityModel
+from repro.power.dynamic import chip_dynamic_power, netlist_dynamic_power
+from repro.power.leakage import Region, region_leakage_w, total_leakage_w
+from repro.power.cascade import (
+    CascadeStep,
+    ChipPowerModel,
+    alpha_21064_chip,
+    power_cascade,
+    strongarm_chip,
+)
+from repro.power.standby import StandbyResult, optimize_lengthening, strongarm_regions
+from repro.power.netlist_power import BlockPowerReport, block_power_report, netlist_leakage_power
+
+__all__ = [
+    "ActivityModel",
+    "chip_dynamic_power",
+    "netlist_dynamic_power",
+    "Region",
+    "region_leakage_w",
+    "total_leakage_w",
+    "CascadeStep",
+    "ChipPowerModel",
+    "alpha_21064_chip",
+    "strongarm_chip",
+    "power_cascade",
+    "StandbyResult",
+    "optimize_lengthening",
+    "strongarm_regions",
+    "BlockPowerReport",
+    "block_power_report",
+    "netlist_leakage_power",
+]

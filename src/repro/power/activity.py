@@ -1,0 +1,50 @@
+"""Switching-activity bookkeeping.
+
+Dynamic power scales with how often each net actually toggles.  Clocks
+toggle every cycle by definition; data nets carry an activity factor
+(toggles per cycle, typically 0.1-0.3); conditionally clocked regions
+scale their *clock* activity by the measured enable rate -- the paper's
+"conditional clocking" lever, fed by
+:class:`repro.rtl.constructs.ClockActivity` measurements when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ActivityModel:
+    """Per-net activity factors with a default.
+
+    ``factor(net, is_clock)`` returns toggles-per-cycle: 1.0 for an
+    ungated clock (one full charge/discharge per cycle in the C*V^2*f
+    convention), ``clock_gating`` x that for gated clock regions, and
+    the data default (or a per-net override) otherwise.
+    """
+
+    default_data_activity: float = 0.15
+    clock_gating: float = 1.0
+    overrides: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_data_activity <= 1.0:
+            raise ValueError("data activity must be in [0, 1]")
+        if not 0.0 <= self.clock_gating <= 1.0:
+            raise ValueError("clock gating fraction must be in [0, 1]")
+
+    def factor(self, net: str, is_clock: bool = False) -> float:
+        if net in self.overrides:
+            return self.overrides[net]
+        if is_clock:
+            return self.clock_gating
+        return self.default_data_activity
+
+    def with_gating(self, enabled_fraction: float) -> "ActivityModel":
+        """Derive a model whose clocks run only ``enabled_fraction`` of
+        the time (from a measured enable rate)."""
+        return ActivityModel(
+            default_data_activity=self.default_data_activity,
+            clock_gating=self.clock_gating * enabled_fraction,
+            overrides=dict(self.overrides),
+        )

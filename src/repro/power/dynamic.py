@@ -1,0 +1,58 @@
+"""Dynamic (switching) power.
+
+Convention: ``P = sum over nets of  alpha * C * Vdd^2 * f`` where alpha
+is toggles per cycle (1.0 = one full charge/discharge per cycle, the
+clock case).  Works at two granularities: a full annotated netlist, or
+a chip-level capacitance inventory (for Table-1-scale arithmetic where
+no netlist of the real chip exists).
+"""
+
+from __future__ import annotations
+
+from repro.extraction.annotate import AnnotatedDesign
+from repro.power.activity import ActivityModel
+from repro.recognition.recognizer import RecognizedDesign
+
+
+def netlist_dynamic_power(
+    annotated: AnnotatedDesign,
+    design: RecognizedDesign,
+    frequency_hz: float,
+    activity: ActivityModel | None = None,
+) -> dict[str, float]:
+    """Per-category dynamic power of an annotated netlist.
+
+    Returns ``{"clock": W, "data": W, "total": W}``.
+    """
+    activity = activity or ActivityModel()
+    vdd = annotated.technology.vdd_at(annotated.corner)
+    clock_power = 0.0
+    data_power = 0.0
+    for name, net in annotated.flat.nets.items():
+        if net.is_rail:
+            continue
+        cap = annotated.load(name).total_nominal()
+        is_clock = name in design.clocks
+        alpha = activity.factor(name, is_clock=is_clock)
+        p = alpha * cap * vdd * vdd * frequency_hz
+        if is_clock:
+            clock_power += p
+        else:
+            data_power += p
+    return {
+        "clock": clock_power,
+        "data": data_power,
+        "total": clock_power + data_power,
+    }
+
+
+def chip_dynamic_power(
+    switched_cap_f: float,
+    vdd_v: float,
+    frequency_hz: float,
+) -> float:
+    """Chip-level P = C_eff * V^2 * f with C_eff already
+    activity-weighted (the Table-1 abstraction level)."""
+    if switched_cap_f < 0 or vdd_v < 0 or frequency_hz < 0:
+        raise ValueError("power inputs must be non-negative")
+    return switched_cap_f * vdd_v * vdd_v * frequency_hz

@@ -1,0 +1,70 @@
+"""Leakage rollups over device-width inventories.
+
+Chip-scale leakage is dominated by total transistor width, so the
+natural unit is a :class:`Region`: a named pile of NMOS/PMOS width with
+one channel-length policy.  The paper's section-3 regions are "the cache
+arrays, the pad drivers, and certain other areas".
+
+At any instant roughly half the devices in static logic are off (and
+leak); SRAM cells have exactly half their devices off.  The rollup
+applies that 0.5 duty to both polarities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+
+#: Fraction of total width assumed off (and therefore leaking).
+OFF_FRACTION = 0.5
+
+
+@dataclass
+class Region:
+    """A leakage-accounting region.
+
+    Attributes
+    ----------
+    name:
+        Human label ("icache", "pads", "core").
+    nmos_width_um / pmos_width_um:
+        Total device width in the region.
+    l_add_um:
+        Channel lengthening applied to every device in the region (the
+        section-3 knob; 0.0, 0.045, or 0.09 in the paper).
+    lengthenable:
+        Whether the region tolerates lengthening (speed-critical core
+        paths do not; arrays and pads do -- exactly the paper's split).
+    """
+
+    name: str
+    nmos_width_um: float
+    pmos_width_um: float
+    l_add_um: float = 0.0
+    lengthenable: bool = True
+
+
+def region_leakage_w(
+    region: Region,
+    technology: Technology,
+    corner: Corner = Corner.FAST,
+) -> float:
+    """Standby leakage power of one region at a corner."""
+    vdd = technology.vdd_at(corner)
+    l_eff = technology.l_min_um + region.l_add_um
+    n_model = technology.nmos_model(corner)
+    p_model = technology.pmos_model(corner)
+    i_n = n_model.leakage(vdd, region.nmos_width_um * OFF_FRACTION, l_eff)
+    i_p = p_model.leakage(vdd, region.pmos_width_um * OFF_FRACTION, l_eff)
+    return (i_n + i_p) * vdd
+
+
+def total_leakage_w(
+    regions: list[Region],
+    technology: Technology,
+    corner: Corner = Corner.FAST,
+) -> float:
+    """Chip standby leakage: sum over regions."""
+    return sum(region_leakage_w(r, technology, corner) for r in regions)

@@ -1,0 +1,40 @@
+"""Technology, PVT-corner, and device models.
+
+The paper's designs span two fabrication generations:
+
+* a 0.75 um, 3.45 V CMOS process (the ALPHA 21064 of reference [2]), and
+* a 0.35 um, 1.5 V low-threshold CMOS process (the StrongARM SA-110 of
+  reference [1]).
+
+Neither process is public, so this package provides *simulated*
+technologies: parameter sets tuned such that the public, paper-quoted
+figures hold (200 MHz @ 26 W for the 21064-class model; 160 MHz @ ~0.45 W
+and a <= 20 mW standby-leakage budget for the SA-110-class model).  Every
+downstream analysis (timing, checks, power) consumes only the
+:class:`~repro.process.technology.Technology` interface, so a user can
+substitute a real PDK-derived parameter set without touching any tool.
+"""
+
+from repro.process.corners import Corner, CornerSpec, PROCESS_CORNERS
+from repro.process.mosfet import MosfetModel, MosfetParams
+from repro.process.technology import (
+    Technology,
+    alpha_21064_technology,
+    alpha_21164_technology,
+    strongarm_technology,
+)
+from repro.process.wires import WireLayer, WireStack
+
+__all__ = [
+    "Corner",
+    "CornerSpec",
+    "PROCESS_CORNERS",
+    "MosfetModel",
+    "MosfetParams",
+    "Technology",
+    "WireLayer",
+    "WireStack",
+    "alpha_21064_technology",
+    "alpha_21164_technology",
+    "strongarm_technology",
+]

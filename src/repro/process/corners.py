@@ -1,0 +1,117 @@
+"""Process / voltage / temperature (PVT) corners.
+
+Section 4.3 of the paper stresses that min/max delay calculation must
+bound manufacturing tolerances: "Internodal capacitance values ... have
+significant variation from both manufacturing tolerances and miller
+coupling capacitance multiplicative effects."  Section 3 requires the
+standby-leakage budget to be met "in the fastest process corner".
+
+A :class:`CornerSpec` is a pure description of how one corner perturbs
+the nominal technology; :class:`Corner` enumerates the conventional named
+corners.  Perturbation factors are multiplicative on drive strength and
+capacitance and additive on threshold voltage, matching how foundry
+corner models are commonly abstracted in timing tools.
+
+Units: temperatures in degrees Celsius, voltages in volts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Corner(enum.Enum):
+    """Named PVT corners.
+
+    ``FAST`` is the leakage-worst / race-worst corner (strong devices,
+    low threshold, high temperature for leakage, low for delay -- we use
+    the leakage-pessimistic convention since the paper's standby spec is
+    stated at the fastest corner).  ``SLOW`` is the critical-path-worst
+    corner.  ``TYPICAL`` is nominal silicon.
+    """
+
+    FAST = "fast"
+    TYPICAL = "typical"
+    SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """Multiplicative / additive perturbations one corner applies.
+
+    Attributes
+    ----------
+    name:
+        The :class:`Corner` this spec realizes.
+    drive_factor:
+        Multiplier on transistor transconductance (kp).  > 1 means
+        stronger (faster) devices.
+    vth_shift_v:
+        Additive shift applied to NMOS threshold voltage (and, with
+        opposite sign, to the PMOS threshold, which is negative).  A
+        negative shift lowers |Vth| -- faster and leakier.
+    cap_factor:
+        Multiplier on all extracted capacitances (interlayer dielectric
+        and linewidth tolerance).
+    res_factor:
+        Multiplier on all extracted resistances.
+    vdd_factor:
+        Multiplier on the nominal supply (e.g. +/-10% supply tolerance).
+    temperature_c:
+        Junction temperature assumed at this corner.
+    """
+
+    name: Corner
+    drive_factor: float
+    vth_shift_v: float
+    cap_factor: float
+    res_factor: float
+    vdd_factor: float
+    temperature_c: float
+
+    def thermal_voltage(self) -> float:
+        """kT/q in volts at this corner's junction temperature."""
+        boltzmann_over_q = 8.617333262e-5  # V / K
+        return boltzmann_over_q * (self.temperature_c + 273.15)
+
+
+#: The standard three-corner set used throughout the toolkit.  The FAST
+#: corner is specified hot, because the paper's 20 mW standby budget is a
+#: leakage limit and subthreshold leakage grows exponentially with
+#: temperature; the SLOW corner is also hot (worst drive), and TYPICAL
+#: is room-temperature nominal.
+PROCESS_CORNERS: dict[Corner, CornerSpec] = {
+    Corner.FAST: CornerSpec(
+        name=Corner.FAST,
+        drive_factor=1.25,
+        vth_shift_v=-0.05,
+        cap_factor=0.85,
+        res_factor=0.85,
+        vdd_factor=1.05,
+        temperature_c=85.0,
+    ),
+    Corner.TYPICAL: CornerSpec(
+        name=Corner.TYPICAL,
+        drive_factor=1.0,
+        vth_shift_v=0.0,
+        cap_factor=1.0,
+        res_factor=1.0,
+        vdd_factor=1.0,
+        temperature_c=25.0,
+    ),
+    Corner.SLOW: CornerSpec(
+        name=Corner.SLOW,
+        drive_factor=0.8,
+        vth_shift_v=+0.05,
+        cap_factor=1.15,
+        res_factor=1.15,
+        vdd_factor=0.95,
+        temperature_c=110.0,
+    ),
+}
+
+
+def corner_spec(corner: Corner) -> CornerSpec:
+    """Return the :class:`CornerSpec` for a named corner."""
+    return PROCESS_CORNERS[corner]

@@ -1,0 +1,222 @@
+"""MOSFET device model.
+
+A long-channel square-law (SPICE level-1 style) model with a
+subthreshold-leakage extension and a channel-length-dependent threshold
+roll-off.  The roll-off term is what makes the paper's section-3 story
+reproducible: "devices in the cache arrays, the pad drivers, and certain
+other areas were lengthened by 0.045 um or 0.09 um" to pull standby
+leakage under 20 mW -- lengthening the channel backs the device off its
+short-channel threshold roll-off, raising Vth and cutting subthreshold
+current exponentially.
+
+Unit conventions (used throughout the toolkit):
+
+* geometry (W, L): microns
+* voltage: volts
+* current: amperes
+* capacitance: farads
+* transconductance parameter kp: A / V^2 (already includes Cox)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.process.corners import CornerSpec
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Per-polarity device parameters of a technology.
+
+    Attributes
+    ----------
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    vth0_v:
+        Long-channel threshold voltage magnitude (positive number even
+        for PMOS; sign handling is done in the evaluation functions).
+    kp_a_per_v2:
+        Process transconductance ``mu * Cox`` in A/V^2.
+    lambda_per_v:
+        Channel-length modulation coefficient (1/V).
+    cox_f_per_um2:
+        Gate-oxide capacitance per unit area.
+    cov_f_per_um:
+        Gate-drain/source overlap capacitance per unit gate width.
+    cj_f_per_um2:
+        Junction (source/drain area) capacitance per unit area.
+    i0_leak_a:
+        Subthreshold leakage pre-factor for a W/L = 1 device at
+        Vgs = Vth (extrapolated), at 25 C.
+    subthreshold_n:
+        Subthreshold slope ideality factor (typically 1.3-1.6).
+    vth_rolloff_v:
+        Magnitude of the short-channel threshold roll-off at L ->
+        l_min (sets how much lengthening the channel buys back).
+    rolloff_lambda_um:
+        Characteristic length of the exponential roll-off.
+    l_min_um:
+        Minimum drawn channel length of the technology.
+    diff_width_um:
+        Default source/drain diffusion extent used for junction caps.
+    """
+
+    polarity: str
+    vth0_v: float
+    kp_a_per_v2: float
+    lambda_per_v: float
+    cox_f_per_um2: float
+    cov_f_per_um: float
+    cj_f_per_um2: float
+    i0_leak_a: float
+    subthreshold_n: float
+    vth_rolloff_v: float
+    rolloff_lambda_um: float
+    l_min_um: float
+    diff_width_um: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+
+
+class MosfetModel:
+    """Evaluates one polarity of MOSFET at one PVT corner.
+
+    All terminal voltages are passed as *overdrive-convention magnitudes*:
+    for an NMOS, ``vgs`` and ``vds`` are the usual positive quantities;
+    for a PMOS, pass ``vgs = Vsource - Vgate`` and ``vds = Vsource -
+    Vdrain`` so the same equations apply.  Callers that work with node
+    voltages should use :meth:`ids_at` which does the sign bookkeeping.
+    """
+
+    def __init__(self, params: MosfetParams, corner: CornerSpec):
+        self.params = params
+        self.corner = corner
+
+    # -- threshold -------------------------------------------------------
+
+    def vth(self, l_um: float | None = None) -> float:
+        """Effective threshold magnitude at channel length ``l_um``.
+
+        The short-channel roll-off is modeled as an exponential in L:
+        ``Vth(L) = Vth_long - rolloff * exp(-(L - Lmin) / lambda)``,
+        normalized so the roll-off equals ``vth_rolloff_v`` exactly at
+        L = Lmin.  Lengthening the channel (L > Lmin) therefore raises
+        Vth toward its long-channel value, which is the leakage-control
+        mechanism of paper section 3.
+        """
+        p = self.params
+        if l_um is None:
+            l_um = p.l_min_um
+        if l_um < p.l_min_um:
+            raise ValueError(f"channel length {l_um} um below process minimum {p.l_min_um} um")
+        vth_long = p.vth0_v + p.vth_rolloff_v
+        rolloff = p.vth_rolloff_v * math.exp(-(l_um - p.l_min_um) / p.rolloff_lambda_um)
+        shift = self.corner.vth_shift_v
+        return vth_long - rolloff + shift
+
+    # -- drain current ---------------------------------------------------
+
+    def ids(self, vgs: float, vds: float, w_um: float, l_um: float | None = None) -> float:
+        """Drain current (A) in overdrive convention (both args >= 0 in
+        normal forward operation).
+
+        Covers subthreshold, linear, and saturation regions with a
+        continuous square-law hand-off.
+        """
+        p = self.params
+        if l_um is None:
+            l_um = p.l_min_um
+        if vds < 0:
+            # Reverse conduction: swap source/drain (symmetric device).
+            return -self.ids(vgs + vds, -vds, w_um, l_um)
+        vth = self.vth(l_um)
+        beta = self.corner.drive_factor * p.kp_a_per_v2 * (w_um / l_um)
+        vov = vgs - vth
+        # The subthreshold component is evaluated with Vgs clamped at Vth,
+        # so it is continuous across the threshold and becomes a constant,
+        # quickly negligible floor in strong inversion.
+        sub = self._subthreshold(min(vgs, vth), vds, w_um, l_um, vth)
+        if vov <= 0:
+            return sub
+        if vds < vov:
+            strong = beta * (vov * vds - 0.5 * vds * vds)
+        else:
+            strong = 0.5 * beta * vov * vov * (1.0 + p.lambda_per_v * (vds - vov))
+        return strong + sub
+
+    def _subthreshold(self, vgs: float, vds: float, w_um: float, l_um: float, vth: float) -> float:
+        p = self.params
+        vt = self.corner.thermal_voltage()
+        n = p.subthreshold_n
+        i0 = p.i0_leak_a * self.corner.drive_factor
+        exponent = (vgs - vth) / (n * vt)
+        # Clamp to avoid overflow for deeply reverse-biased gates.
+        exponent = max(exponent, -80.0)
+        drain_term = 1.0 - math.exp(-max(vds, 0.0) / vt) if vds < 40 * vt else 1.0
+        return i0 * (w_um / l_um) * math.exp(exponent) * drain_term
+
+    def leakage(self, vdd: float, w_um: float, l_um: float | None = None) -> float:
+        """Off-state (Vgs = 0, Vds = VDD) subthreshold leakage in amperes."""
+        p = self.params
+        if l_um is None:
+            l_um = p.l_min_um
+        return self._subthreshold(0.0, vdd, w_um, l_um, self.vth(l_um))
+
+    def ids_at(self, vg: float, vd: float, vs: float, w_um: float, l_um: float | None = None) -> float:
+        """Drain current given absolute node voltages.
+
+        Returns conventional current flowing drain -> source for NMOS
+        and source -> drain for PMOS (i.e. positive when the device pulls
+        its output toward its rail).
+        """
+        if self.params.polarity == "nmos":
+            if vd >= vs:
+                return self.ids(vg - vs, vd - vs, w_um, l_um)
+            return -self.ids(vg - vd, vs - vd, w_um, l_um)
+        # PMOS: mirror voltages.
+        if vd <= vs:
+            return self.ids(vs - vg, vs - vd, w_um, l_um)
+        return -self.ids(vd - vg, vd - vs, w_um, l_um)
+
+    # -- capacitance & strength -----------------------------------------
+
+    def gate_capacitance(self, w_um: float, l_um: float | None = None) -> float:
+        """Total gate capacitance in farads (channel + both overlaps)."""
+        p = self.params
+        if l_um is None:
+            l_um = p.l_min_um
+        channel = self.corner.cap_factor * p.cox_f_per_um2 * w_um * l_um
+        overlap = self.corner.cap_factor * 2.0 * p.cov_f_per_um * w_um
+        return channel + overlap
+
+    def diffusion_capacitance(self, w_um: float) -> float:
+        """Source or drain junction capacitance in farads."""
+        p = self.params
+        area = w_um * p.diff_width_um
+        return self.corner.cap_factor * p.cj_f_per_um2 * area
+
+    def on_resistance(self, vdd: float, w_um: float, l_um: float | None = None) -> float:
+        """Effective switching resistance (ohms).
+
+        The usual RC-delay abstraction: average of the saturation-region
+        and midpoint-linear-region V/I.  This is what the timing engine
+        uses for Elmore-style delays; :mod:`repro.spice` provides the
+        accurate alternative.
+        """
+        if l_um is None:
+            l_um = self.params.l_min_um
+        i_sat = self.ids(vdd, vdd, w_um, l_um)
+        i_mid = self.ids(vdd, vdd / 2.0, w_um, l_um)
+        if i_sat <= 0 or i_mid <= 0:
+            return float("inf")
+        r_sat = vdd / i_sat
+        r_mid = (vdd / 2.0) / i_mid
+        return 0.5 * (r_sat + r_mid)
+
+    def saturation_current(self, vdd: float, w_um: float, l_um: float | None = None) -> float:
+        """Full-overdrive saturation current (A), e.g. for EM budgeting."""
+        return self.ids(vdd, vdd, w_um, l_um)

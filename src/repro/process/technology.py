@@ -1,0 +1,235 @@
+"""Technology definitions: the glue between devices, wires, and corners.
+
+Two presets matter for the paper's experiments:
+
+* :func:`alpha_21064_technology` -- a 0.75 um, 3.45 V process standing in
+  for the one that built the 200 MHz ALPHA 21064 (paper ref [2]).  High
+  thresholds, negligible subthreshold leakage.
+* :func:`strongarm_technology` -- a 0.35 um, 1.5 V *low-threshold*
+  process standing in for the StrongARM SA-110's (paper ref [1]).  The
+  low thresholds that enable 160 MHz at 1.5 V also leak enough that the
+  20 mW standby budget fails at the fast corner unless channels in the
+  big arrays are lengthened (paper section 3) -- the preset is calibrated
+  so this trade-off is live, not decorative.
+
+:func:`alpha_21164_technology` (0.5 um) fills in the middle generation
+for the Table-1 process-scaling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.process.corners import Corner, CornerSpec, corner_spec
+from repro.process.mosfet import MosfetModel, MosfetParams
+from repro.process.wires import WireStack, aluminium_stack
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete process description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"cmos035-lowvt"``.
+    l_min_um:
+        Minimum drawn channel length (the node's "feature size").
+    vdd_v:
+        Nominal supply voltage.
+    nmos / pmos:
+        Device parameter sets.
+    wires:
+        Routing stack.
+    tox_nm:
+        Gate-oxide thickness, consumed by the TDDB check.
+    tddb_max_field_mv_per_cm:
+        Oxide field above which time-dependent dielectric breakdown
+        lifetime is considered violated at nominal use conditions.
+    hci_max_vds_v:
+        Drain-source voltage above which hot-carrier degradation is
+        flagged for N devices that switch with high duty.
+    """
+
+    name: str
+    l_min_um: float
+    vdd_v: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    wires: WireStack
+    tox_nm: float
+    tddb_max_field_mv_per_cm: float = 5.0
+    hci_max_vds_v: float | None = None
+
+    # -- model factories --------------------------------------------------
+
+    def mosfet(self, polarity: str, corner: Corner = Corner.TYPICAL) -> MosfetModel:
+        """A :class:`MosfetModel` for one polarity at one corner."""
+        if polarity == "nmos":
+            return MosfetModel(self.nmos, corner_spec(corner))
+        if polarity == "pmos":
+            return MosfetModel(self.pmos, corner_spec(corner))
+        raise ValueError(f"unknown polarity {polarity!r}")
+
+    def nmos_model(self, corner: Corner = Corner.TYPICAL) -> MosfetModel:
+        return self.mosfet("nmos", corner)
+
+    def pmos_model(self, corner: Corner = Corner.TYPICAL) -> MosfetModel:
+        return self.mosfet("pmos", corner)
+
+    def vdd_at(self, corner: Corner) -> float:
+        """Supply voltage including the corner's tolerance."""
+        return self.vdd_v * corner_spec(corner).vdd_factor
+
+    def oxide_field_mv_per_cm(self, voltage_v: float | None = None) -> float:
+        """Oxide electric field in MV/cm at a gate voltage (default VDD)."""
+        if voltage_v is None:
+            voltage_v = self.vdd_v
+        return voltage_v / (self.tox_nm * 1e-7) / 1e6
+
+    def scaled(self, name: str, l_min_um: float, vdd_v: float) -> "Technology":
+        """Derive a shrunk (or grown) technology.
+
+        Geometry-linked parameters scale with the feature-size ratio:
+        Cox and kp go up as dimensions shrink (thinner oxide), junction
+        and overlap caps go down.  Used by the Table-1 process-scaling
+        step and by ablation sweeps.
+        """
+        s = l_min_um / self.l_min_um  # < 1 for a shrink
+        tox = self.tox_nm * s
+
+        def scale_params(p: MosfetParams) -> MosfetParams:
+            return replace(
+                p,
+                kp_a_per_v2=p.kp_a_per_v2 / s,
+                cox_f_per_um2=p.cox_f_per_um2 / s,
+                cov_f_per_um=p.cov_f_per_um * s,
+                cj_f_per_um2=p.cj_f_per_um2,
+                l_min_um=l_min_um,
+                rolloff_lambda_um=p.rolloff_lambda_um * s,
+                diff_width_um=p.diff_width_um * s,
+            )
+
+        return Technology(
+            name=name,
+            l_min_um=l_min_um,
+            vdd_v=vdd_v,
+            nmos=scale_params(self.nmos),
+            pmos=scale_params(self.pmos),
+            wires=aluminium_stack(l_min_um, n_layers=len(self.wires.layers)),
+            tox_nm=tox,
+            tddb_max_field_mv_per_cm=self.tddb_max_field_mv_per_cm,
+            hci_max_vds_v=self.hci_max_vds_v,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+
+def alpha_21064_technology() -> Technology:
+    """0.75 um, 3.45 V CMOS -- the ALPHA 21064 generation (paper ref [2]).
+
+    High thresholds (|Vth| ~ 0.7-0.8 V): subthreshold leakage is
+    negligible, so nothing in this technology's power budget depends on
+    channel lengthening.  Drive parameters give FO4-class delays
+    consistent with a 200 MHz, deeply hand-tuned design.
+    """
+    nmos = MosfetParams(
+        polarity="nmos",
+        vth0_v=0.70,
+        kp_a_per_v2=1.15e-4,
+        lambda_per_v=0.05,
+        cox_f_per_um2=2.3e-15,
+        cov_f_per_um=2.5e-16,
+        cj_f_per_um2=4.0e-16,
+        i0_leak_a=5.0e-8,
+        subthreshold_n=1.45,
+        vth_rolloff_v=0.06,
+        rolloff_lambda_um=0.15,
+        l_min_um=0.75,
+        diff_width_um=1.5,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vth0_v=0.80,
+        kp_a_per_v2=4.0e-5,
+        lambda_per_v=0.06,
+        cox_f_per_um2=2.3e-15,
+        cov_f_per_um=2.5e-16,
+        cj_f_per_um2=4.5e-16,
+        i0_leak_a=2.0e-8,
+        subthreshold_n=1.45,
+        vth_rolloff_v=0.06,
+        rolloff_lambda_um=0.15,
+        l_min_um=0.75,
+        diff_width_um=1.5,
+    )
+    return Technology(
+        name="cmos075",
+        l_min_um=0.75,
+        vdd_v=3.45,
+        nmos=nmos,
+        pmos=pmos,
+        wires=aluminium_stack(0.75, n_layers=3),
+        tox_nm=15.0,
+        hci_max_vds_v=3.8,
+    )
+
+
+def alpha_21164_technology() -> Technology:
+    """0.5 um, 3.3 V CMOS -- the 21164 generation (paper ref [3])."""
+    return alpha_21064_technology().scaled("cmos050", l_min_um=0.50, vdd_v=3.3)
+
+
+def strongarm_technology() -> Technology:
+    """0.35 um, 1.5 V low-threshold CMOS -- the StrongARM SA-110's process.
+
+    Calibrated so that, at the FAST corner, a chip-scale inventory of
+    minimum-length devices leaks *more* than the 20 mW standby budget,
+    and lengthening array/pad devices by +0.045 or +0.09 um (paper
+    section 3) brings it back under -- the exact knob the paper
+    describes.  Thresholds are low (0.30 / 0.35 V) to sustain 160 MHz
+    at VDD = 1.5 V.
+    """
+    nmos = MosfetParams(
+        polarity="nmos",
+        vth0_v=0.30,
+        kp_a_per_v2=1.8e-4,
+        lambda_per_v=0.07,
+        cox_f_per_um2=3.8e-15,
+        cov_f_per_um=3.0e-16,
+        cj_f_per_um2=6.0e-16,
+        i0_leak_a=8.0e-7,
+        subthreshold_n=1.50,
+        vth_rolloff_v=0.10,
+        rolloff_lambda_um=0.065,
+        l_min_um=0.35,
+        diff_width_um=0.7,
+    )
+    pmos = MosfetParams(
+        polarity="pmos",
+        vth0_v=0.35,
+        kp_a_per_v2=6.0e-5,
+        lambda_per_v=0.08,
+        cox_f_per_um2=3.8e-15,
+        cov_f_per_um=3.0e-16,
+        cj_f_per_um2=6.5e-16,
+        i0_leak_a=3.5e-7,
+        subthreshold_n=1.50,
+        vth_rolloff_v=0.10,
+        rolloff_lambda_um=0.065,
+        l_min_um=0.35,
+        diff_width_um=0.7,
+    )
+    return Technology(
+        name="cmos035-lowvt",
+        l_min_um=0.35,
+        vdd_v=1.5,
+        nmos=nmos,
+        pmos=pmos,
+        wires=aluminium_stack(0.35, n_layers=3),
+        tox_nm=9.0,
+        hci_max_vds_v=2.2,
+    )

@@ -1,0 +1,126 @@
+"""Interconnect layer parameters.
+
+Extraction (:mod:`repro.extraction`) and the clock-RC / electromigration
+checks need per-layer sheet resistance, area/fringe capacitance, coupling
+capacitance to same-layer neighbours, and current-density limits.  Values
+are representative of mid-1990s aluminium interconnect.
+
+Units: resistance in ohms/square, capacitance in F/um^2 (area) and
+F/um (fringe and coupling per edge length), current density limits in
+A/um of wire width (the usual EM budgeting unit for Al at ~1 mA/um).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WireLayer:
+    """One routing layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name, e.g. ``"metal1"``.
+    sheet_res_ohm_sq:
+        Sheet resistance in ohms per square.
+    c_area_f_per_um2:
+        Parallel-plate capacitance to the layers below, per unit area.
+    c_fringe_f_per_um:
+        Fringe capacitance per unit edge length (both edges counted
+        separately by the extractor).
+    c_couple_f_per_um:
+        Sidewall coupling capacitance to a minimum-spaced same-layer
+        neighbour, per unit parallel-run length.
+    min_width_um / min_space_um:
+        Design-rule minima.
+    em_limit_a_per_um:
+        DC current-density limit for electromigration, per um of width.
+    thickness_um:
+        Metal thickness (used by the antenna check's charge-collection
+        area and by via resistance estimates).
+    """
+
+    name: str
+    sheet_res_ohm_sq: float
+    c_area_f_per_um2: float
+    c_fringe_f_per_um: float
+    c_couple_f_per_um: float
+    min_width_um: float
+    min_space_um: float
+    em_limit_a_per_um: float
+    thickness_um: float
+
+    def resistance(self, length_um: float, width_um: float) -> float:
+        """Resistance of a ``length x width`` wire segment in ohms."""
+        if width_um <= 0:
+            raise ValueError("wire width must be positive")
+        return self.sheet_res_ohm_sq * length_um / width_um
+
+    def ground_capacitance(self, length_um: float, width_um: float) -> float:
+        """Capacitance to ground of an isolated segment (area + 2 fringes)."""
+        return (
+            self.c_area_f_per_um2 * length_um * width_um
+            + 2.0 * self.c_fringe_f_per_um * length_um
+        )
+
+    def coupling_capacitance(self, parallel_run_um: float, spacing_um: float | None = None) -> float:
+        """Sidewall coupling to one neighbour over a parallel run.
+
+        Scales inversely with spacing relative to the minimum-space
+        value (a standard first-order extraction approximation).
+        """
+        if spacing_um is None:
+            spacing_um = self.min_space_um
+        if spacing_um <= 0:
+            raise ValueError("spacing must be positive")
+        return self.c_couple_f_per_um * parallel_run_um * (self.min_space_um / spacing_um)
+
+
+@dataclass(frozen=True)
+class WireStack:
+    """The ordered set of routing layers of a technology."""
+
+    layers: tuple[WireLayer, ...] = field(default_factory=tuple)
+
+    def __getitem__(self, name: str) -> WireLayer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no wire layer named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(layer.name == name for layer in self.layers)
+
+    def names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+
+def aluminium_stack(scale_um: float, n_layers: int = 3) -> WireStack:
+    """Build a representative aluminium wire stack for a given node.
+
+    ``scale_um`` is the technology's drawn feature size; widths/spaces
+    scale linearly with it, sheet resistance and per-length capacitances
+    are held roughly constant across generations (as they historically
+    were for Al until copper/low-k).
+    """
+    layers = []
+    for i in range(n_layers):
+        level = i + 1
+        # Upper layers are thicker, wider, lower-resistance.
+        fat = 1.0 + 0.6 * i
+        layers.append(
+            WireLayer(
+                name=f"metal{level}",
+                sheet_res_ohm_sq=0.07 / fat,
+                c_area_f_per_um2=3.0e-17 / (1.0 + 0.5 * i),
+                c_fringe_f_per_um=4.0e-17,
+                c_couple_f_per_um=5.0e-17,
+                min_width_um=scale_um * fat,
+                min_space_um=scale_um * fat,
+                em_limit_a_per_um=1.0e-3,
+                thickness_um=0.6 * fat,
+            )
+        )
+    return WireStack(layers=tuple(layers))

@@ -1,0 +1,146 @@
+"""Channel-connected components.
+
+The classic decomposition for transistor-level analysis: transistors
+whose channels (drain/source) touch through non-rail nets belong to one
+component.  Rails (vdd/gnd) do not merge components -- every gate's
+pull-up and pull-down meet at its output, not at the supply.
+
+A CCC is the unit at which logic-family classification, boolean
+extraction, and most electrical checks operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.devices import Transistor
+from repro.netlist.flatten import FlatNetlist
+
+
+@dataclass
+class ChannelConnectedComponent:
+    """One channel-connected group of transistors.
+
+    Attributes
+    ----------
+    index:
+        Stable id within the design (order of discovery).
+    transistors:
+        Member devices.
+    channel_nets:
+        Non-rail nets touched by member channels (internal nodes plus
+        outputs).
+    input_nets:
+        Nets that drive member gates but are not channel nets of this
+        CCC (external inputs).
+    output_nets:
+        Channel nets that are visible outside the CCC: they drive gates
+        of *other* CCCs, drive gates within this CCC (feedback), or are
+        ports.  Conservative superset, per the paper's "conservatively
+        deduced" rule.
+    internal_nets:
+        Channel nets that are not outputs (stack midpoints).
+    """
+
+    index: int
+    transistors: list[Transistor] = field(default_factory=list)
+    channel_nets: set[str] = field(default_factory=set)
+    input_nets: set[str] = field(default_factory=set)
+    output_nets: set[str] = field(default_factory=set)
+    internal_nets: set[str] = field(default_factory=set)
+
+    def nmos(self) -> list[Transistor]:
+        return [t for t in self.transistors if t.polarity == "nmos"]
+
+    def pmos(self) -> list[Transistor]:
+        return [t for t in self.transistors if t.polarity == "pmos"]
+
+    def touches_rail(self, rail: str) -> bool:
+        """True if any member channel terminal is the given rail net."""
+        return any(rail in t.channel_terminals() for t in self.transistors)
+
+    def devices_on_net(self, net: str) -> list[Transistor]:
+        """Member transistors with a channel terminal on ``net``."""
+        return [t for t in self.transistors if net in t.channel_terminals()]
+
+    def gate_nets(self) -> set[str]:
+        """All nets gating member devices (internal feedback included)."""
+        return {t.gate for t in self.transistors}
+
+    def size(self) -> int:
+        return len(self.transistors)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def extract_cccs(flat: FlatNetlist) -> list[ChannelConnectedComponent]:
+    """Partition a flat netlist's transistors into CCCs.
+
+    Isolated transistors (both channel terminals on rails, e.g. decap
+    devices) each form their own single-device component.
+    """
+    uf = _UnionFind()
+    for i, t in enumerate(flat.transistors):
+        anchor = f"dev:{i}"
+        for term in t.channel_terminals():
+            net = flat.nets.get(term)
+            if net is not None and net.is_rail:
+                continue
+            uf.union(anchor, f"net:{term}")
+
+    groups: dict[str, list[int]] = {}
+    for i in range(len(flat.transistors)):
+        root = uf.find(f"dev:{i}")
+        groups.setdefault(root, []).append(i)
+
+    # Which nets drive at least one gate anywhere in the design.
+    gate_loads: dict[str, int] = {}
+    for t in flat.transistors:
+        gate_loads[t.gate] = gate_loads.get(t.gate, 0) + 1
+
+    cccs: list[ChannelConnectedComponent] = []
+    # Deterministic order: by smallest member device index.
+    for members in sorted(groups.values(), key=lambda m: m[0]):
+        ccc = ChannelConnectedComponent(index=len(cccs))
+        ccc.transistors = [flat.transistors[i] for i in members]
+        for t in ccc.transistors:
+            for term in t.channel_terminals():
+                net = flat.nets.get(term)
+                if net is None or not net.is_rail:
+                    ccc.channel_nets.add(term)
+        for t in ccc.transistors:
+            if t.gate not in ccc.channel_nets:
+                net = flat.nets.get(t.gate)
+                if net is None or not net.is_rail:
+                    ccc.input_nets.add(t.gate)
+        for net_name in ccc.channel_nets:
+            net = flat.nets.get(net_name)
+            is_port = net.is_port if net is not None else False
+            drives_gate = gate_loads.get(net_name, 0) > 0
+            if is_port or drives_gate:
+                ccc.output_nets.add(net_name)
+        ccc.internal_nets = ccc.channel_nets - ccc.output_nets
+        cccs.append(ccc)
+    return cccs
+
+
+def ccc_of_net(cccs: list[ChannelConnectedComponent], net: str) -> list[ChannelConnectedComponent]:
+    """All CCCs whose channel nets include ``net`` (pass networks may share)."""
+    return [c for c in cccs if net in c.channel_nets]

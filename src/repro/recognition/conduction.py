@@ -1,0 +1,165 @@
+"""Switch-network conduction analysis.
+
+Everything recognition needs to know about a transistor network reduces
+to one question: *under which gate-input assignments does a conducting
+channel path exist between net A and net B?*  This module enumerates the
+simple paths of a CCC's switch graph and evaluates the resulting boolean
+conduction function.
+
+A path is conservative in the paper's sense: it records, per device on
+the path, the gate net and the polarity (an NMOS conducts when its gate
+is 1, a PMOS when its gate is 0).  A path conducts when all its device
+conditions hold; conduction between two nets is the OR over paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.netlist.devices import Transistor
+from repro.netlist.nets import is_rail_name, is_supply_name
+from repro.recognition.ccc import ChannelConnectedComponent
+
+
+@dataclass(frozen=True)
+class ConductionPath:
+    """One simple channel path between two nets.
+
+    ``conditions`` is a tuple of ``(gate_net, required_level)`` pairs:
+    the path conducts when every gate net is at its required level
+    (1 for NMOS, 0 for PMOS).
+    """
+
+    devices: tuple[str, ...]
+    conditions: tuple[tuple[str, bool], ...]
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        """True if every device on the path is on under ``assignment``.
+
+        Gate nets missing from the assignment make the path
+        non-conducting (conservative: unknown is off for conduction
+        purposes; callers wanting pessimism for *disturbance* enumerate
+        both polarities instead).
+        """
+        for gate, level in self.conditions:
+            if gate not in assignment or assignment[gate] != level:
+                return False
+        return True
+
+    def gates(self) -> set[str]:
+        return {g for g, _ in self.conditions}
+
+    def is_contradictory(self) -> bool:
+        """True if the path requires some gate at both 0 and 1 (never on)."""
+        seen: dict[str, bool] = {}
+        for gate, level in self.conditions:
+            if gate in seen and seen[gate] != level:
+                return True
+            seen[gate] = level
+        return False
+
+
+def conduction_paths(
+    ccc: ChannelConnectedComponent,
+    source: str,
+    target: str,
+    max_paths: int = 10000,
+) -> list[ConductionPath]:
+    """All simple channel paths from ``source`` to ``target``.
+
+    ``source``/``target`` may be rails or channel nets.  Contradictory
+    paths (requiring a gate at both levels) are dropped.  Raises if the
+    enumeration exceeds ``max_paths`` -- a guard against pathological
+    networks, not a silent truncation.
+    """
+    # Adjacency: net -> [(device, other_net)]
+    adj: dict[str, list[tuple[Transistor, str]]] = {}
+    for t in ccc.transistors:
+        d, s = t.channel_terminals()
+        adj.setdefault(d, []).append((t, s))
+        adj.setdefault(s, []).append((t, d))
+
+    paths: list[ConductionPath] = []
+    stack: list[tuple[str, tuple[str, ...], tuple[tuple[str, bool], ...], frozenset[str]]] = [
+        (source, (), (), frozenset({source}))
+    ]
+    while stack:
+        net, devs, conds, visited = stack.pop()
+        if net == target and devs:
+            path = ConductionPath(devices=devs, conditions=conds)
+            if not path.is_contradictory():
+                paths.append(path)
+                if len(paths) > max_paths:
+                    raise RuntimeError(
+                        f"conduction path enumeration between {source!r} and "
+                        f"{target!r} exceeded {max_paths} paths"
+                    )
+            continue
+        if net != source and is_rail_name(net):
+            # Rails terminate paths: conduction through the opposite rail
+            # is a crowbar condition, not a logic path.
+            continue
+        for t, other in adj.get(net, []):
+            if t.name in devs:
+                continue
+            if other in visited and other != target:
+                continue
+            level = t.polarity == "nmos"
+            if is_rail_name(t.gate):
+                # Rail-gated device: a constant switch.  An NMOS gated by
+                # vdd (or PMOS by gnd) is always on and adds no condition;
+                # the opposite polarity is permanently off and kills the
+                # path.
+                if is_supply_name(t.gate) != level:
+                    continue
+                new_conds = conds
+            else:
+                new_conds = conds + ((t.gate, level),)
+            stack.append((
+                other,
+                devs + (t.name,),
+                new_conds,
+                visited | {other},
+            ))
+    return paths
+
+
+def conduction_function(
+    paths: Iterable[ConductionPath],
+    assignment: Mapping[str, bool],
+) -> bool:
+    """Evaluate OR-over-paths conduction under one input assignment."""
+    return any(p.conducts(assignment) for p in paths)
+
+
+def support(paths: Iterable[ConductionPath]) -> set[str]:
+    """All gate nets appearing in any path."""
+    out: set[str] = set()
+    for p in paths:
+        out |= p.gates()
+    return out
+
+
+def truth_table(
+    paths: list[ConductionPath],
+    inputs: list[str],
+    max_inputs: int = 16,
+) -> int:
+    """Conduction truth table as a bitmask.
+
+    Bit ``i`` of the result is the conduction value when the input
+    assignment is the binary expansion of ``i`` over ``inputs`` (inputs[0]
+    is the least-significant bit).
+    """
+    if len(inputs) > max_inputs:
+        raise ValueError(
+            f"truth-table extraction over {len(inputs)} inputs exceeds the "
+            f"{max_inputs}-input cap; use BDD-based equivalence instead"
+        )
+    table = 0
+    for i in range(1 << len(inputs)):
+        assignment = {name: bool((i >> k) & 1) for k, name in enumerate(inputs)}
+        if conduction_function(paths, assignment):
+            table |= 1 << i
+    return table

@@ -1,0 +1,90 @@
+"""Signal-direction inference for pass networks.
+
+Pass devices are electrically bidirectional; analysis tools need to know
+which way data actually flows (section 4.2's "drive strength and fanout"
+inputs).  Within a pass network, flow runs from *driven* nets (outputs
+of restoring CCCs, ports) toward *load* nets (gate inputs, storage).
+
+The inference is conservative: a channel net reachable from two
+different sources is marked bidirectional rather than guessed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.recognition.families import CCCClassification, CircuitFamily
+from repro.recognition.recognizer import RecognizedDesign
+
+
+class FlowDirection(enum.Enum):
+    SOURCE = "source"          # externally driven into the network
+    FORWARD = "forward"        # reached from exactly one source side
+    BIDIRECTIONAL = "bidi"     # reachable from multiple sources (bus)
+    ISOLATED = "isolated"      # no source reaches it
+
+
+@dataclass
+class PassNetworkFlow:
+    """Flow labelling of one pass network CCC."""
+
+    classification: CCCClassification
+    directions: dict[str, FlowDirection] = field(default_factory=dict)
+    sources: set[str] = field(default_factory=set)
+
+    def direction(self, net: str) -> FlowDirection:
+        return self.directions.get(net, FlowDirection.ISOLATED)
+
+
+def infer_pass_flow(design: RecognizedDesign) -> list[PassNetworkFlow]:
+    """Label every pass-network CCC's channel nets with flow direction."""
+    driven_nets: set[str] = set()
+    for classification in design.classifications:
+        if classification.family not in (CircuitFamily.PASS_NETWORK,
+                                         CircuitFamily.TRANSMISSION_GATE):
+            for out in classification.ccc.output_nets:
+                driven_nets.add(out)
+    for net in design.flat.nets.values():
+        if net.is_port and not net.is_rail:
+            driven_nets.add(net.name)
+
+    flows: list[PassNetworkFlow] = []
+    for classification in design.classifications:
+        if classification.family not in (CircuitFamily.PASS_NETWORK,
+                                         CircuitFamily.TRANSMISSION_GATE):
+            continue
+        ccc = classification.ccc
+        flow = PassNetworkFlow(classification=classification)
+        flow.sources = {n for n in ccc.channel_nets if n in driven_nets}
+
+        # Adjacency over channel pairs.
+        adjacency: dict[str, set[str]] = {}
+        for t in ccc.transistors:
+            d, s = t.channel_terminals()
+            adjacency.setdefault(d, set()).add(s)
+            adjacency.setdefault(s, set()).add(d)
+
+        reached_by: dict[str, set[str]] = {n: set() for n in ccc.channel_nets}
+        for source in flow.sources:
+            stack = [source]
+            seen = {source}
+            while stack:
+                net = stack.pop()
+                reached_by[net].add(source)
+                for neighbour in adjacency.get(net, ()):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+
+        for net in ccc.channel_nets:
+            if net in flow.sources:
+                flow.directions[net] = FlowDirection.SOURCE
+            elif len(reached_by[net]) > 1:
+                flow.directions[net] = FlowDirection.BIDIRECTIONAL
+            elif len(reached_by[net]) == 1:
+                flow.directions[net] = FlowDirection.FORWARD
+            else:
+                flow.directions[net] = FlowDirection.ISOLATED
+        flows.append(flow)
+    return flows

@@ -1,0 +1,220 @@
+"""State-element recognition.
+
+Paper section 4.3: "The reliability of recognizing circuit constraints
+is a big problem due to the freedom the designers have in creating
+state-elements on-the-fly.  The automatic recognition of state-elements
+... is essential."
+
+Full-custom latches come in three structural flavours this module finds:
+
+* **cross-coupled storage** -- two restoring nodes whose drivers gate
+  each other's *pull-down* networks (SRAM cells, jamb latches,
+  back-to-back inverters).  Distinguished from DCVSL, whose
+  cross-coupling is P-pull-up-only and whose pull-downs are gated by
+  data; and from domino keepers, where only one direction of the loop is
+  inverter-like.
+* **pass-written storage** -- a net written only through pass devices
+  that also drives gates: a transparent-latch storage node or a dynamic
+  (capacitively held) latch node.
+* **static vs dynamic** -- a pass-written node is *static* if it also
+  sits on a feedback loop (a staticizing keeper path), otherwise
+  *dynamic* and subject to the leakage checks of section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.netlist.flatten import FlatNetlist
+from repro.recognition.ccc import ChannelConnectedComponent
+from repro.recognition.conduction import ConductionPath, conduction_paths, support
+from repro.recognition.families import CCCClassification, CircuitFamily
+
+
+@dataclass
+class StorageNode:
+    """A recognized state-holding net.
+
+    Attributes
+    ----------
+    net:
+        The storage net.
+    static:
+        True if a feedback path restores the level (cross-coupled or
+        staticized); False for purely dynamic (capacitive) storage.
+    kind:
+        ``"cross_coupled"`` or ``"pass_written"``.
+    write_devices:
+        Pass-device names through which the node is written (empty for
+        pure cross-coupled nodes whose writes fight the feedback).
+    partner:
+        For cross-coupled storage, the complementary node.
+    enables:
+        Gate nets of the write devices (the latch's clock/enable pins,
+        to be cross-referenced with clock inference).
+    """
+
+    net: str
+    static: bool
+    kind: str
+    write_devices: list[str] = field(default_factory=list)
+    partner: str | None = None
+    enables: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _OutputInfo:
+    """Per-restoring-output structural facts used for pairing."""
+
+    classification: CCCClassification
+    down_paths: list[ConductionPath]
+    up_support: set[str]
+    down_support: set[str]
+
+    def loop_support(self) -> set[str]:
+        return self.up_support | self.down_support
+
+
+def _restoring_outputs(
+    classified: list[CCCClassification],
+) -> dict[str, _OutputInfo]:
+    """Facts about every output of every CCC that touches both rails."""
+    info: dict[str, _OutputInfo] = {}
+    for c in classified:
+        ccc = c.ccc
+        if not (ccc.touches_rail("vdd") and ccc.touches_rail("gnd")):
+            continue
+        for out in ccc.output_nets:
+            down = conduction_paths(ccc, out, "gnd")
+            up = conduction_paths(ccc, out, "vdd")
+            if not down or not up:
+                continue
+            info[out] = _OutputInfo(
+                classification=c,
+                down_paths=down,
+                up_support=support(up),
+                down_support=support(down),
+            )
+    return info
+
+
+def _inverter_coupled(info: _OutputInfo, sibling: str) -> bool:
+    """True when the sibling node participates in this output's
+    *pull-down* network -- the restoring-loop signature of true storage
+    (inverter pairs, SRAM cells, NAND/NOR set-reset latches).
+
+    DCVSL is excluded on purpose: its cross-coupling is pull-up-only
+    (the pull-downs are gated by data), and a domino keeper loop is
+    excluded because the dynamic node's pull-down is gated by data and
+    clock, not by the output inverter.
+    """
+    return any(sibling in p.gates() for p in info.down_paths)
+
+
+def find_storage_nodes(
+    flat: FlatNetlist,
+    cccs: list[ChannelConnectedComponent],
+    classified: list[CCCClassification],
+    clock_nets: set[str] | frozenset[str] = frozenset(),
+) -> list[StorageNode]:
+    """Locate every state element in a classified design."""
+    nodes: list[StorageNode] = []
+    claimed: set[str] = set()
+
+    # ---- cross-coupled pairs ------------------------------------------------
+    outputs = _restoring_outputs(classified)
+    for x in sorted(outputs):
+        if x in claimed:
+            continue
+        ix = outputs[x]
+        for y in sorted(ix.loop_support()):
+            if y == x or y not in outputs or y in claimed:
+                continue
+            iy = outputs[y]
+            if x not in iy.loop_support():
+                continue
+            if not (_inverter_coupled(ix, y) and _inverter_coupled(iy, x)):
+                continue
+            for net, partner, oinfo in ((x, y, ix), (y, x, iy)):
+                ccc = oinfo.classification.ccc
+                writes = [
+                    t.name for t in ccc.transistors
+                    if net in t.channel_terminals()
+                    and "vdd" not in t.channel_terminals()
+                    and "gnd" not in t.channel_terminals()
+                ]
+                enables = {t.gate for t in ccc.transistors if t.name in writes}
+                nodes.append(StorageNode(
+                    net=net, static=True, kind="cross_coupled",
+                    write_devices=writes, partner=partner, enables=enables,
+                ))
+                claimed.add(net)
+            break
+
+    # ---- pass-written storage -------------------------------------------------
+    pass_writers: dict[str, list[tuple[CCCClassification, str]]] = {}
+    strong_drivers: set[str] = set()
+    for c in classified:
+        if c.family in (CircuitFamily.PASS_NETWORK, CircuitFamily.TRANSMISSION_GATE):
+            for t in c.ccc.transistors:
+                for term in t.channel_terminals():
+                    pass_writers.setdefault(term, []).append((c, t.name))
+        else:
+            for out in c.ccc.output_nets:
+                strong_drivers.add(out)
+
+    # Feedback detection: graph of gate edges (input -> output) plus pass
+    # edges; a storage node is static if it lies on a cycle.
+    g = nx.DiGraph()
+    gate_edges: set[tuple[str, str]] = set()
+    for c in classified:
+        for out in c.ccc.output_nets:
+            for inp in c.ccc.gate_nets():
+                if inp not in ("vdd", "gnd"):
+                    g.add_edge(inp, out)
+                    gate_edges.add((inp, out))
+    for net, writers in pass_writers.items():
+        for c, dev in writers:
+            names = [x.name for x in c.ccc.transistors]
+            t = c.ccc.transistors[names.index(dev)]
+            other = t.other_channel_terminal(net)
+            if other not in ("vdd", "gnd") and other != net:
+                g.add_edge(other, net)
+                g.add_edge(net, other)
+
+    # A node is *staticized* only if its cycle goes through a restoring
+    # (gate) edge -- the bidirectional pass edges alone just say the
+    # channel is traversable, not that anything refreshes the level.
+    cyclic_nets: set[str] = set()
+    for scc in nx.strongly_connected_components(g):
+        if len(scc) > 1 and any(u in scc and v in scc for u, v in gate_edges):
+            cyclic_nets |= scc
+
+    gate_load_nets = {t.gate for t in flat.transistors}
+    for net in sorted(pass_writers):
+        if net in claimed or net in strong_drivers:
+            continue
+        flat_net = flat.nets.get(net)
+        if flat_net is not None and (flat_net.is_rail or flat_net.is_port):
+            # Rails are not storage; ports are externally driven.
+            continue
+        if net not in gate_load_nets:
+            continue  # a through-route, not a stored value
+        writers = pass_writers[net]
+        devices = [dev for _c, dev in writers]
+        enables = set()
+        for c, dev in writers:
+            names = [x.name for x in c.ccc.transistors]
+            enables.add(c.ccc.transistors[names.index(dev)].gate)
+        nodes.append(StorageNode(
+            net=net,
+            static=net in cyclic_nets,
+            kind="pass_written",
+            write_devices=sorted(set(devices)),
+            enables=enables,
+        ))
+        claimed.add(net)
+
+    return nodes

@@ -1,0 +1,61 @@
+"""The behavioral/RTL hardware language and its phase-accurate simulator.
+
+Paper section 4.1: "Standard hardware description languages have proven
+to be inadequate for us when describing highly variable (function
+changing daily) parts of the design. ... We have developed a hardware
+language driven by our style of designing microprocessors, with
+programming constructs that make sense for the design itself, and which
+compiles into very efficient code."
+
+This package is that idea as a Python-embedded DSL:
+
+* :class:`~repro.rtl.signals.Signal` -- multi-bit values with X support;
+* :class:`~repro.rtl.module.RtlModule` -- behavioral processes declared
+  as plain Python callables, either combinational or latched on one of
+  the two clock phases (the paper's designs are two-phase,
+  level-sensitive -- see Figure 4);
+* :class:`~repro.rtl.simulator.PhaseSimulator` -- phase-accurate
+  evaluation to fixpoint, the ">200 cycles per second per simulation
+  CPU" engine whose throughput benchmark is experiment S41a;
+* :class:`~repro.rtl.cam.Cam` -- the wide content-addressable-memory
+  construct the paper calls out ("a 2000 port CAM structure") as
+  hopeless in standard HDLs, implemented directly with vectorized
+  matching;
+* :mod:`~repro.rtl.stimulus` -- pseudo-random stimulus sequences
+  (section 4.1: "stimulus patterns, which are either manually generated
+  or pseudo-random sequences").
+"""
+
+from repro.rtl.signals import Signal, X
+from repro.rtl.module import Phase, RtlModule
+from repro.rtl.simulator import PhaseSimulator, SimulationError
+from repro.rtl.cam import Cam
+from repro.rtl.constructs import (
+    ClockActivity,
+    conditional_register,
+    two_phase_register,
+    xadd,
+    xeq,
+    xmux,
+)
+from repro.rtl.memory import Memory
+from repro.rtl.stimulus import RandomStimulus, StimulusProgram
+
+__all__ = [
+    "Signal",
+    "X",
+    "Phase",
+    "RtlModule",
+    "PhaseSimulator",
+    "SimulationError",
+    "Cam",
+    "ClockActivity",
+    "conditional_register",
+    "two_phase_register",
+    "xadd",
+    "xeq",
+    "xmux",
+    "Memory",
+    "RandomStimulus",
+    "StimulusProgram",
+]

@@ -1,0 +1,90 @@
+"""The wide content-addressable-memory construct.
+
+Paper section 4.1: "Some of our functional units are just difficult to
+code in standard languages and result in highly inefficient run-times,
+e.g. a 2000 port CAM structure."
+
+:class:`Cam` models an N-entry, W-bit CAM with an arbitrary number of
+simultaneous match ports, vectorized with numpy so a 2000-port match is
+one matrix comparison rather than 2000 * N behavioral loops -- exactly
+the "compiles into very efficient code" property the in-house language
+existed for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Cam:
+    """An N-entry CAM with valid bits and optional ternary masking.
+
+    Parameters
+    ----------
+    entries:
+        Number of stored tags.
+    width:
+        Tag width in bits (<= 64 so tags pack into uint64 lanes).
+    """
+
+    def __init__(self, entries: int, width: int):
+        if entries < 1:
+            raise ValueError("CAM needs at least one entry")
+        if not 1 <= width <= 64:
+            raise ValueError("CAM width must be 1..64")
+        self.entries = entries
+        self.width = width
+        self.mask = (1 << width) - 1 if width < 64 else 0xFFFFFFFFFFFFFFFF
+        self._tags = np.zeros(entries, dtype=np.uint64)
+        self._care = np.full(entries, self.mask, dtype=np.uint64)
+        self._valid = np.zeros(entries, dtype=bool)
+
+    # -- update -----------------------------------------------------------
+
+    def write(self, index: int, tag: int, care_mask: int | None = None) -> None:
+        """Store a tag; ``care_mask`` bits of 0 are wildcards (ternary CAM)."""
+        self._check_index(index)
+        self._tags[index] = tag & self.mask
+        self._care[index] = (self.mask if care_mask is None else care_mask & self.mask)
+        self._valid[index] = True
+
+    def invalidate(self, index: int) -> None:
+        self._check_index(index)
+        self._valid[index] = False
+
+    def invalidate_all(self) -> None:
+        self._valid[:] = False
+
+    # -- match ----------------------------------------------------------------
+
+    def match(self, key: int) -> np.ndarray:
+        """Boolean hit vector over entries for one key."""
+        key_arr = np.uint64(key & self.mask)
+        diffs = (self._tags ^ key_arr) & self._care
+        return (diffs == 0) & self._valid
+
+    def match_many(self, keys: np.ndarray | list[int]) -> np.ndarray:
+        """Hit matrix (ports x entries) for many simultaneous ports.
+
+        This is the 2000-port operation: one vectorized comparison.
+        """
+        key_arr = (np.asarray(keys, dtype=np.uint64) & np.uint64(self.mask))
+        diffs = (self._tags[None, :] ^ key_arr[:, None]) & self._care[None, :]
+        return (diffs == 0) & self._valid[None, :]
+
+    def first_hit(self, key: int) -> int | None:
+        """Lowest-index matching entry, or None."""
+        hits = np.flatnonzero(self.match(key))
+        return int(hits[0]) if hits.size else None
+
+    def hit_count(self, key: int) -> int:
+        return int(self.match(key).sum())
+
+    def stored(self, index: int) -> tuple[int, int, bool]:
+        """(tag, care_mask, valid) at an index."""
+        self._check_index(index)
+        return int(self._tags[index]), int(self._care[index]), bool(self._valid[index])
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.entries:
+            raise IndexError(f"CAM index {index} out of range 0..{self.entries - 1}")

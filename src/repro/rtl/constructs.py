@@ -1,0 +1,121 @@
+"""Higher-level RTL constructs built from phase latches.
+
+These are the "programming constructs that make sense for the design
+itself" (section 4.1): two-phase master/slave registers, conditionally
+clocked registers (the StrongARM power lever of section 3), and small
+X-aware combinational helpers.
+
+Conditionally clocked registers count their clock activity, feeding the
+:mod:`repro.power` activity model: a gated-off latch burns no clock
+power, which is one of the Table-1 reduction factors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.rtl.module import Phase, RtlModule
+from repro.rtl.signals import Signal, SignalValue, X
+
+
+class ClockActivity:
+    """Counts latch evaluations vs. gated-off opportunities."""
+
+    def __init__(self) -> None:
+        self.enabled_updates = 0
+        self.gated_updates = 0
+
+    def activity_factor(self) -> float:
+        total = self.enabled_updates + self.gated_updates
+        return self.enabled_updates / total if total else 0.0
+
+
+def two_phase_register(
+    module: RtlModule,
+    name: str,
+    width: int,
+    next_fn: Callable[[], SignalValue],
+    reset: SignalValue = X,
+) -> Signal:
+    """A master/slave register from two transparent latches.
+
+    The master samples ``next_fn()`` during PHI1; the slave copies the
+    master during PHI2.  Returns the slave (the architectural state).
+    """
+    master = module.signal(f"{name}_m", width=width, reset=reset)
+    slave = module.signal(name, width=width, reset=reset)
+
+    @module.latch(Phase.PHI1)
+    def _master() -> None:
+        master.set(next_fn())
+
+    @module.latch(Phase.PHI2)
+    def _slave() -> None:
+        slave.set(master.get())
+
+    return slave
+
+
+def conditional_register(
+    module: RtlModule,
+    name: str,
+    width: int,
+    next_fn: Callable[[], SignalValue],
+    enable_fn: Callable[[], SignalValue],
+    activity: ClockActivity | None = None,
+    reset: SignalValue = X,
+) -> Signal:
+    """A conditionally clocked master/slave register.
+
+    When ``enable_fn()`` is 0 the master never samples -- the latch's
+    clock is gated and no clock power is burned.  An X enable poisons
+    the state (conservative).
+    """
+    master = module.signal(f"{name}_m", width=width, reset=reset)
+    slave = module.signal(name, width=width, reset=reset)
+
+    @module.latch(Phase.PHI1)
+    def _master() -> None:
+        en = enable_fn()
+        if en is X:
+            master.set(X)
+            return
+        if en:
+            master.set(next_fn())
+            if activity is not None:
+                activity.enabled_updates += 1
+        else:
+            if activity is not None:
+                activity.gated_updates += 1
+
+    @module.latch(Phase.PHI2)
+    def _slave() -> None:
+        slave.set(master.get())
+
+    return slave
+
+
+# -- X-aware combinational helpers ------------------------------------------
+
+
+def xadd(a: SignalValue, b: SignalValue, width: int) -> SignalValue:
+    """Add with X poisoning and wrap to width."""
+    if a is X or b is X:
+        return X
+    return (a + b) & ((1 << width) - 1)
+
+
+def xmux(sel: SignalValue, when1: SignalValue, when0: SignalValue) -> SignalValue:
+    """2:1 mux; X select yields X unless both inputs agree."""
+    if sel is X:
+        if when1 is not X and when1 == when0:
+            return when1
+        return X
+    return when1 if sel else when0
+
+
+def xeq(a: SignalValue, b: SignalValue) -> SignalValue:
+    """Equality compare with X poisoning."""
+    if a is X or b is X:
+        return X
+    return 1 if a == b else 0

@@ -1,0 +1,93 @@
+"""Behavioral memory construct.
+
+The RTL-side counterpart of :func:`repro.designs.sram.sram_array`: a
+word-addressed memory with synchronous (phase-latched) write ports and
+combinational read ports.  Like the CAM, it exists because coding a
+cache behaviorally in a standard HDL of the era was painfully slow --
+the in-house construct is a plain array with phase discipline bolted on.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.module import Phase, RtlModule
+from repro.rtl.signals import Signal, SignalValue, X
+
+
+class Memory:
+    """A word-addressed behavioral memory bound to an RTL module.
+
+    Writes are sampled while PHI1 is transparent (like a latch's master)
+    and commit at PHI2, so reads within the same cycle see the *old*
+    data -- the standard two-phase array discipline.
+
+    Parameters
+    ----------
+    module:
+        Owning module (registers the phase processes).
+    name:
+        Instance name (prefixes the port signal names).
+    words / width:
+        Geometry.
+    """
+
+    def __init__(self, module: RtlModule, name: str, words: int, width: int):
+        if words < 1 or width < 1:
+            raise ValueError("memory needs at least one word and bit")
+        self.words = words
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.data: list[SignalValue] = [X] * words
+        self._pending: list[tuple[int, int]] = []
+
+        self.write_enable = module.signal(f"{name}_we", 1, reset=0)
+        self.write_addr = module.signal(f"{name}_waddr",
+                                        max(1, (words - 1).bit_length()), reset=0)
+        self.write_data = module.signal(f"{name}_wdata", width, reset=0)
+
+        @module.latch(Phase.PHI1)
+        def _sample_write() -> None:
+            we = self.write_enable.get()
+            if we is X:
+                # Unknown enable poisons the addressed word conservatively.
+                addr = self.write_addr.get()
+                if addr is not X and 0 <= addr < self.words:
+                    self._pending = [(int(addr), -1)]
+                return
+            if not we:
+                self._pending = []
+                return
+            addr = self.write_addr.get()
+            value = self.write_data.get()
+            if addr is X or value is X:
+                self._pending = []
+                return
+            if not 0 <= addr < self.words:
+                raise IndexError(f"memory write address {addr} out of range")
+            self._pending = [(int(addr), int(value) & self.mask)]
+
+        @module.latch(Phase.PHI2)
+        def _commit_write() -> None:
+            for addr, value in self._pending:
+                self.data[addr] = X if value == -1 else value
+            self._pending = []
+
+    # -- access --------------------------------------------------------------
+
+    def read(self, addr: SignalValue) -> SignalValue:
+        """Combinational read (old data within the write cycle)."""
+        if addr is X:
+            return X
+        if not 0 <= addr < self.words:
+            raise IndexError(f"memory read address {addr} out of range")
+        return self.data[int(addr)]
+
+    def load(self, contents: dict[int, int]) -> None:
+        """Backdoor initialization (test benches, boot images)."""
+        for addr, value in contents.items():
+            if not 0 <= addr < self.words:
+                raise IndexError(f"load address {addr} out of range")
+            self.data[addr] = value & self.mask
+
+    def dump(self) -> dict[int, SignalValue]:
+        """Snapshot of all defined (non-X) words."""
+        return {i: v for i, v in enumerate(self.data) if v is not X}

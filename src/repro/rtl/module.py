@@ -1,0 +1,121 @@
+"""RTL modules: behavioral processes over signals.
+
+The paper's two-phase, level-sensitive clocking discipline (Figure 4)
+shapes the process model:
+
+* a **combinational** process runs in *every* phase, to fixpoint;
+* a **latched** process runs only while its phase is high (transparent
+  latch semantics): its outputs follow its inputs during that phase and
+  hold during the other.
+
+A process is any Python callable reading and writing
+:class:`~repro.rtl.signals.Signal` s.  There is no sensitivity list --
+the simulator iterates to fixpoint, which matches the "compiles into
+very efficient code" in-house-language spirit better than event wheels
+do at this scale, and guarantees phase accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from repro.rtl.signals import Signal, SignalValue, X
+
+
+class Phase(enum.Enum):
+    """The two non-overlapping clock phases of Figure 4."""
+
+    PHI1 = 1
+    PHI2 = 2
+
+    def other(self) -> "Phase":
+        return Phase.PHI2 if self is Phase.PHI1 else Phase.PHI1
+
+
+class RtlModule:
+    """Base class for behavioral/RTL descriptions.
+
+    Subclasses create signals with :meth:`signal`, register behaviour
+    with :meth:`comb` and :meth:`latch`, and may nest submodules with
+    :meth:`submodule`.  Hierarchy here is *descriptive only* -- the
+    simulator flattens it, and (paper section 2.1) nothing requires it
+    to match the schematic hierarchy.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.signals: dict[str, Signal] = {}
+        self.processes: list[tuple[Phase | None, Callable[[], None]]] = []
+        self.submodules: list[RtlModule] = []
+        self.checks: list[Callable[[], str | None]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def signal(self, name: str, width: int = 1, reset: SignalValue = X) -> Signal:
+        """Create and register a signal."""
+        if name in self.signals:
+            raise ValueError(f"module {self.name}: duplicate signal {name!r}")
+        sig = Signal(f"{self.name}.{name}", width=width, reset=reset)
+        self.signals[name] = sig
+        return sig
+
+    def comb(self, fn: Callable[[], None]) -> Callable[[], None]:
+        """Register a combinational process (runs every phase).
+
+        Usable as a decorator.
+        """
+        self.processes.append((None, fn))
+        return fn
+
+    def latch(self, phase: Phase) -> Callable[[Callable[[], None]], Callable[[], None]]:
+        """Register a process transparent during ``phase`` (decorator)."""
+
+        def register(fn: Callable[[], None]) -> Callable[[], None]:
+            self.processes.append((phase, fn))
+            return fn
+
+        return register
+
+    def submodule(self, module: "RtlModule") -> "RtlModule":
+        self.submodules.append(module)
+        return module
+
+    def check(self, fn: Callable[[], str | None]) -> Callable[[], str | None]:
+        """Register an invariant checked after every phase.
+
+        The callable returns None when the invariant holds, or a
+        human-readable message when it is violated (a lightweight
+        assertion language, another in-house-HDL staple).
+        """
+        self.checks.append(fn)
+        return fn
+
+    # -- queries -----------------------------------------------------------------
+
+    def all_modules(self) -> list["RtlModule"]:
+        out: list[RtlModule] = [self]
+        for sub in self.submodules:
+            out.extend(sub.all_modules())
+        return out
+
+    def all_signals(self) -> dict[str, Signal]:
+        sigs: dict[str, Signal] = {}
+        for mod in self.all_modules():
+            for sig in mod.signals.values():
+                if sig.name in sigs:
+                    raise ValueError(f"duplicate signal name {sig.name!r} in hierarchy")
+                sigs[sig.name] = sig
+        return sigs
+
+    def all_processes(self) -> list[tuple[Phase | None, Callable[[], None]]]:
+        procs: list[tuple[Phase | None, Callable[[], None]]] = []
+        for mod in self.all_modules():
+            procs.extend(mod.processes)
+        return procs
+
+    def all_checks(self) -> list[Callable[[], str | None]]:
+        checks: list[Callable[[], str | None]] = []
+        for mod in self.all_modules():
+            checks.extend(mod.checks)
+        return checks

@@ -1,0 +1,113 @@
+"""Signals: multi-bit values with an explicit unknown.
+
+A signal's value is either an ``int`` (masked to its width) or the
+sentinel :data:`X` -- full-width unknown.  Partial unknowns are not
+modeled at the RTL level; the paper's high-level model is about
+*behavioral* intent, with electrical uncertainty handled by the
+switch-level and analog layers.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class _Unknown:
+    """Singleton sentinel for an unknown signal value."""
+
+    _instance: "_Unknown | None" = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "X"
+
+    def __bool__(self) -> bool:
+        raise TypeError("an X signal value has no truth value; test 'is X'")
+
+
+#: The unknown value.
+X = _Unknown()
+
+SignalValue = Union[int, _Unknown]
+
+
+class Signal:
+    """A named multi-bit state variable.
+
+    Signals are written with :meth:`set` and read with :meth:`get`.
+    The simulator snapshots values at phase boundaries for tracing and
+    change detection; within a phase, writes are immediately visible
+    (level-sensitive semantics).
+    """
+
+    __slots__ = ("name", "width", "mask", "_value", "reset_value")
+
+    def __init__(self, name: str, width: int = 1, reset: SignalValue = X):
+        if width < 1 or width > 512:
+            raise ValueError(f"signal {name!r}: width must be in 1..512, got {width}")
+        self.name = name
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.reset_value: SignalValue = reset if reset is X else int(reset) & self.mask
+        self._value: SignalValue = self.reset_value
+
+    # -- access ------------------------------------------------------------
+
+    def get(self) -> SignalValue:
+        return self._value
+
+    def set(self, value: SignalValue) -> bool:
+        """Assign; returns True if the value changed."""
+        if value is not X:
+            value = int(value) & self.mask
+        changed = value is not self._value and value != self._value
+        self._value = value
+        return changed
+
+    def reset(self) -> None:
+        self._value = self.reset_value
+
+    # -- conveniences --------------------------------------------------------
+
+    def is_x(self) -> bool:
+        return self._value is X
+
+    def bit(self, index: int) -> SignalValue:
+        """One bit of the value (X-preserving)."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for {self.width}-bit {self.name}")
+        if self._value is X:
+            return X
+        return (self._value >> index) & 1
+
+    def __repr__(self) -> str:
+        if self._value is X:
+            return f"<{self.name}[{self.width}]=X>"
+        return f"<{self.name}[{self.width}]={self._value:#x}>"
+
+
+def xand(a: SignalValue, b: SignalValue) -> SignalValue:
+    """X-pessimistic AND for 1-bit values (0 dominates X)."""
+    if a == 0 or b == 0:
+        return 0
+    if a is X or b is X:
+        return X
+    return a & b
+
+
+def xor_unknown(a: SignalValue, b: SignalValue) -> SignalValue:
+    """X-pessimistic XOR for 1-bit values."""
+    if a is X or b is X:
+        return X
+    return a ^ b
+
+
+def xnot(a: SignalValue, width: int = 1) -> SignalValue:
+    """X-pessimistic NOT over ``width`` bits."""
+    if a is X:
+        return X
+    return ~a & ((1 << width) - 1)

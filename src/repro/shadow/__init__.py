@@ -1,0 +1,25 @@
+"""Shadow-mode simulation (paper section 4.1).
+
+"...more popular at Digital Semiconductor is the shadow-mode simulation.
+This latter simulator is a mixed mode simulation of full design
+Behavioral/RTL with a part of the circuit logic shadowing (not
+replacing) the corresponding RTL description."
+
+The RTL model remains the functional authority; a transistor-level block
+rides along, driven from the RTL's values at each phase boundary, and
+every disagreement between its outputs and the RTL's is recorded.  The
+point is exactly the paper's: circuit implementations are *loosely*
+equivalent to the model, so you check them in context, against live
+stimulus, without slowing the whole simulation to switch level.
+"""
+
+from repro.shadow.binding import ShadowBinding, bind_bus
+from repro.shadow.shadowsim import Mismatch, ShadowReport, ShadowSimulator
+
+__all__ = [
+    "ShadowBinding",
+    "bind_bus",
+    "Mismatch",
+    "ShadowReport",
+    "ShadowSimulator",
+]

@@ -1,0 +1,72 @@
+"""Bindings between RTL signals and circuit nets.
+
+A binding says which circuit ports are *driven from* which RTL signal
+bits, and which circuit nets are *compared against* which RTL signal
+bits.  Multi-bit RTL signals map onto per-bit circuit ports
+(``bind_bus`` builds the bit fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.signals import Signal
+
+
+@dataclass(frozen=True)
+class _BitRef:
+    signal: Signal
+    bit: int
+
+    def value(self):
+        return self.signal.bit(self.bit)
+
+
+@dataclass
+class ShadowBinding:
+    """Input drives and output compares for one shadowed block."""
+
+    drives: dict[str, _BitRef] = field(default_factory=dict)
+    compares: dict[str, _BitRef] = field(default_factory=dict)
+
+    def drive(self, port: str, signal: Signal, bit: int = 0) -> "ShadowBinding":
+        """Drive circuit ``port`` from ``signal[bit]`` each phase."""
+        self._check_bit(signal, bit)
+        if port in self.drives:
+            raise ValueError(f"port {port!r} already driven")
+        self.drives[port] = _BitRef(signal, bit)
+        return self
+
+    def compare(self, net: str, signal: Signal, bit: int = 0) -> "ShadowBinding":
+        """Compare circuit ``net`` against ``signal[bit]`` each phase."""
+        self._check_bit(signal, bit)
+        if net in self.compares:
+            raise ValueError(f"net {net!r} already compared")
+        self.compares[net] = _BitRef(signal, bit)
+        return self
+
+    @staticmethod
+    def _check_bit(signal: Signal, bit: int) -> None:
+        if not 0 <= bit < signal.width:
+            raise IndexError(
+                f"bit {bit} out of range for {signal.width}-bit {signal.name}")
+
+
+def bind_bus(binding: ShadowBinding, signal: Signal, ports: list[str],
+             direction: str = "drive") -> ShadowBinding:
+    """Bind a multi-bit signal onto per-bit circuit ports.
+
+    ``ports[i]`` pairs with ``signal[i]``; ``direction`` is ``"drive"``
+    or ``"compare"``.
+    """
+    if len(ports) > signal.width:
+        raise ValueError(
+            f"{len(ports)} ports exceed the {signal.width}-bit signal")
+    for i, port in enumerate(ports):
+        if direction == "drive":
+            binding.drive(port, signal, i)
+        elif direction == "compare":
+            binding.compare(port, signal, i)
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+    return binding

@@ -1,0 +1,112 @@
+"""The shadow-mode engine.
+
+Each phase: run the RTL phase to fixpoint, push the bound RTL bit values
+into the shadowed circuit as switch-level drives, settle the circuit,
+and compare every bound output net against its RTL bit.  Disagreements
+accumulate in the :class:`ShadowReport`.
+
+X policy: an X on the circuit side against a definite RTL value counts
+as ``unknown`` rather than ``mismatch`` by default (the circuit may
+simply not be initialized yet); ``strict_x=True`` promotes those to
+mismatches once the design is supposed to be out of reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.module import Phase
+from repro.rtl.simulator import PhaseSimulator
+from repro.shadow.binding import ShadowBinding
+from repro.switchsim.engine import SwitchSimulator
+from repro.switchsim.values import Logic
+from repro.rtl.signals import X
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between circuit and RTL."""
+
+    phase_index: int
+    phase: Phase
+    net: str
+    rtl_value: object
+    circuit_value: Logic
+
+
+@dataclass
+class ShadowReport:
+    """Accumulated comparison results."""
+
+    compared: int = 0
+    agreements: int = 0
+    unknowns: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def agreement_rate(self) -> float:
+        return self.agreements / self.compared if self.compared else 1.0
+
+
+class ShadowSimulator:
+    """Runs an RTL model with a circuit block shadowing part of it."""
+
+    def __init__(
+        self,
+        rtl: PhaseSimulator,
+        circuit: SwitchSimulator,
+        binding: ShadowBinding,
+        strict_x: bool = False,
+    ):
+        self.rtl = rtl
+        self.circuit = circuit
+        self.binding = binding
+        self.strict_x = strict_x
+        self.report = ShadowReport()
+
+    def _push_inputs(self) -> None:
+        for port, ref in self.binding.drives.items():
+            value = ref.value()
+            if value is X:
+                self.circuit.drive(port, Logic.X)
+            else:
+                self.circuit.drive(port, int(value))
+        self.circuit.settle()
+
+    def _compare_outputs(self, phase: Phase) -> None:
+        for net, ref in self.binding.compares.items():
+            rtl_value = ref.value()
+            circuit_value = self.circuit.value(net)
+            self.report.compared += 1
+            if rtl_value is X:
+                # RTL itself undefined: nothing to hold the circuit to.
+                self.report.unknowns += 1
+                continue
+            if circuit_value is Logic.X:
+                if self.strict_x:
+                    self.report.mismatches.append(Mismatch(
+                        self.rtl.phase_count, phase, net, rtl_value, circuit_value))
+                else:
+                    self.report.unknowns += 1
+                continue
+            if int(rtl_value) == circuit_value.value:
+                self.report.agreements += 1
+            else:
+                self.report.mismatches.append(Mismatch(
+                    self.rtl.phase_count, phase, net, rtl_value, circuit_value))
+
+    def phase(self, phase: Phase) -> None:
+        """One shadowed phase: RTL first, circuit follows, then compare."""
+        self.rtl.eval_phase(phase)
+        self._push_inputs()
+        self._compare_outputs(phase)
+
+    def cycle(self, n: int = 1) -> ShadowReport:
+        """Run n full shadowed cycles; returns the running report."""
+        for _ in range(n):
+            self.phase(Phase.PHI1)
+            self.phase(Phase.PHI2)
+            self.rtl.cycle_count += 1
+        return self.report

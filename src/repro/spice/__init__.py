@@ -1,0 +1,41 @@
+"""A small transient circuit simulator -- the in-house "SPICE".
+
+Paper section 4.3: "Typically, the designer uses SPICE to obtain the
+delay times and edge rates.  However, using SPICE on large structures is
+not feasible due to the size and turnaround time of the timing
+simulation."
+
+This package is the golden reference the static tools are judged
+against, exactly as the paper's designers used SPICE:
+
+* :mod:`~repro.spice.circuit` -- nodes + elements (R, C, MOSFET with the
+  :mod:`repro.process` device model, grounded voltage sources with DC /
+  piecewise-linear waveforms);
+* :mod:`~repro.spice.transient` -- backward-Euler integration with
+  per-step Newton iteration;
+* :mod:`~repro.spice.waveforms` -- crossing / delay / slew measurement;
+* :mod:`~repro.spice.netlist_bridge` -- build a simulation circuit
+  straight from a :class:`~repro.netlist.flatten.FlatNetlist` and an
+  :class:`~repro.extraction.annotate.AnnotatedDesign`.
+"""
+
+from repro.spice.circuit import Circuit, PwlSource
+from repro.spice.transient import TransientResult, transient
+from repro.spice.waveforms import Waveform, crossing_time, delay_between, slew_time
+from repro.spice.netlist_bridge import circuit_from_netlist
+from repro.spice.analysis import Vtc, dc_sweep, inverter_vtc
+
+__all__ = [
+    "Circuit",
+    "PwlSource",
+    "TransientResult",
+    "transient",
+    "Waveform",
+    "crossing_time",
+    "delay_between",
+    "slew_time",
+    "circuit_from_netlist",
+    "Vtc",
+    "dc_sweep",
+    "inverter_vtc",
+]

@@ -1,0 +1,105 @@
+"""DC analyses on top of the transient engine.
+
+Full-custom noise-margin work needs voltage transfer curves: the trip
+point of a (possibly heavily skewed) gate, and the static noise margins
+its receivers actually enjoy.  Rather than a separate DC solver, the
+sweep runs the transient engine to steady state at each input point --
+slower but one fewer numerical code path to trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.circuit import Circuit, PwlSource
+from repro.spice.transient import transient
+
+
+@dataclass
+class Vtc:
+    """A sampled voltage transfer curve."""
+
+    vin: np.ndarray
+    vout: np.ndarray
+
+    def trip_point(self) -> float:
+        """Input voltage where vout crosses vin (the switching threshold)."""
+        diff = self.vout - self.vin
+        for i in range(1, len(self.vin)):
+            if diff[i - 1] >= 0 >= diff[i]:
+                frac = diff[i - 1] / (diff[i - 1] - diff[i])
+                return float(self.vin[i - 1] + frac * (self.vin[i] - self.vin[i - 1]))
+        raise ValueError("VTC never crosses the unity line; not an inverting stage?")
+
+    def gain_at(self, vin: float) -> float:
+        """Small-signal |dVout/dVin| by local difference."""
+        idx = int(np.argmin(np.abs(self.vin - vin)))
+        lo = max(0, idx - 1)
+        hi = min(len(self.vin) - 1, idx + 1)
+        dv_in = self.vin[hi] - self.vin[lo]
+        if dv_in == 0:
+            return 0.0
+        return float(abs((self.vout[hi] - self.vout[lo]) / dv_in))
+
+    def noise_margins(self) -> tuple[float, float]:
+        """(NML, NMH) by the unity-gain-point criterion."""
+        gains = np.abs(np.gradient(self.vout, self.vin))
+        above = gains >= 1.0
+        if not above.any():
+            raise ValueError("gain never reaches unity; not a restoring stage")
+        first = int(np.argmax(above))
+        last = len(above) - 1 - int(np.argmax(above[::-1]))
+        vil, voh_at_vil = float(self.vin[first]), float(self.vout[first])
+        vih, vol_at_vih = float(self.vin[last]), float(self.vout[last])
+        nml = vil - vol_at_vih
+        nmh = voh_at_vil - vih
+        return nml, nmh
+
+
+def dc_sweep(
+    circuit_factory,
+    input_node: str,
+    output_node: str,
+    v_max: float,
+    points: int = 41,
+    settle_s: float = 3e-9,
+    dt: float = 10e-12,
+) -> Vtc:
+    """Sweep a DC input and record the settled output.
+
+    ``circuit_factory(vin)`` must return a fresh :class:`Circuit` with
+    the input node forced to ``vin``; each point runs the transient
+    engine to a settled state.
+    """
+    vins = np.linspace(0.0, v_max, points)
+    vouts = np.zeros_like(vins)
+    previous: float | None = None
+    for i, vin in enumerate(vins):
+        circuit = circuit_factory(float(vin))
+        v_init = {} if previous is None else {output_node: previous}
+        result = transient(circuit, t_stop=settle_s, dt=dt, v_init=v_init)
+        vouts[i] = result.final(output_node)
+        previous = vouts[i]
+    return Vtc(vin=vins, vout=vouts)
+
+
+def inverter_vtc(tech, wn: float = 2.0, wp: float = 4.0,
+                 corner=None, points: int = 41) -> Vtc:
+    """VTC of a single complementary inverter in a technology."""
+    from repro.process.corners import Corner
+
+    corner = corner or Corner.TYPICAL
+    vdd = tech.vdd_at(corner)
+
+    def factory(vin: float) -> Circuit:
+        circuit = Circuit()
+        circuit.vsource("vdd", vdd)
+        circuit.vsource("a", PwlSource.dc(vin))
+        circuit.mosfet("mn", tech.nmos_model(corner), "a", "y", "gnd", w_um=wn)
+        circuit.mosfet("mp", tech.pmos_model(corner), "a", "y", "vdd", w_um=wp)
+        circuit.capacitor("y", "gnd", 5e-15)
+        return circuit
+
+    return dc_sweep(factory, "a", "y", v_max=vdd, points=points)

@@ -1,0 +1,151 @@
+"""Circuit description for the transient simulator.
+
+Supported elements: resistors, capacitors (to any node), MOSFETs
+evaluated through :class:`~repro.process.mosfet.MosfetModel`, and
+*grounded* voltage sources (DC or piecewise-linear) -- sufficient for
+gate-level timing/noise studies, where every stimulus is a driven input
+or a rail.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.process.mosfet import MosfetModel
+
+
+@dataclass
+class PwlSource:
+    """A piecewise-linear voltage waveform.
+
+    ``points`` is a list of (time, voltage); the value holds before the
+    first and after the last point.
+    """
+
+    points: list[tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("PWL source needs at least one point")
+        times = [t for t, _v in self.points]
+        if times != sorted(times):
+            raise ValueError("PWL points must be time-ordered")
+
+    def value(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        idx = bisect.bisect_right([p[0] for p in points], t)
+        t0, v0 = points[idx - 1]
+        t1, v1 = points[idx]
+        if t1 == t0:
+            return v1
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    @staticmethod
+    def step(v_from: float, v_to: float, t_edge: float, t_rise: float) -> "PwlSource":
+        return PwlSource([(0.0, v_from), (t_edge, v_from), (t_edge + t_rise, v_to)])
+
+    @staticmethod
+    def dc(v: float) -> "PwlSource":
+        return PwlSource([(0.0, v)])
+
+    @staticmethod
+    def pulse(v_low: float, v_high: float, t_start: float, width: float,
+              t_edge: float) -> "PwlSource":
+        return PwlSource([
+            (0.0, v_low),
+            (t_start, v_low),
+            (t_start + t_edge, v_high),
+            (t_start + t_edge + width, v_high),
+            (t_start + 2 * t_edge + width, v_low),
+        ])
+
+
+@dataclass
+class _Resistor:
+    a: str
+    b: str
+    ohms: float
+
+
+@dataclass
+class _Capacitor:
+    a: str
+    b: str
+    farads: float
+
+
+@dataclass
+class _Mosfet:
+    name: str
+    model: MosfetModel
+    gate: str
+    drain: str
+    source: str
+    w_um: float
+    l_um: float
+
+
+@dataclass
+class Circuit:
+    """The element container.
+
+    Node ``"gnd"`` (or ``"0"``) is the reference.  Any node with a
+    voltage source attached becomes a *forced* node: its voltage is a
+    known function of time and it is eliminated from the unknown vector.
+    """
+
+    resistors: list[_Resistor] = field(default_factory=list)
+    capacitors: list[_Capacitor] = field(default_factory=list)
+    mosfets: list[_Mosfet] = field(default_factory=list)
+    sources: dict[str, PwlSource] = field(default_factory=dict)
+
+    GROUND_ALIASES = ("gnd", "0", "vss")
+
+    def resistor(self, a: str, b: str, ohms: float) -> None:
+        if ohms <= 0:
+            raise ValueError("resistance must be positive")
+        self.resistors.append(_Resistor(a, b, ohms))
+
+    def capacitor(self, a: str, b: str, farads: float) -> None:
+        if farads < 0:
+            raise ValueError("capacitance must be non-negative")
+        if farads > 0:
+            self.capacitors.append(_Capacitor(a, b, farads))
+
+    def mosfet(self, name: str, model: MosfetModel, gate: str, drain: str,
+               source: str, w_um: float, l_um: float | None = None) -> None:
+        self.mosfets.append(_Mosfet(
+            name=name, model=model, gate=gate, drain=drain, source=source,
+            w_um=w_um, l_um=l_um if l_um else model.params.l_min_um,
+        ))
+
+    def vsource(self, node: str, source: PwlSource | float) -> None:
+        if isinstance(source, (int, float)):
+            source = PwlSource.dc(float(source))
+        self.sources[node] = source
+
+    # -- queries -------------------------------------------------------------
+
+    def is_ground(self, node: str) -> bool:
+        return node.lower() in self.GROUND_ALIASES
+
+    def all_nodes(self) -> list[str]:
+        nodes: set[str] = set()
+        for r in self.resistors:
+            nodes.update((r.a, r.b))
+        for c in self.capacitors:
+            nodes.update((c.a, c.b))
+        for m in self.mosfets:
+            nodes.update((m.gate, m.drain, m.source))
+        nodes.update(self.sources)
+        return sorted(nodes)
+
+    def unknown_nodes(self) -> list[str]:
+        """Nodes whose voltage must be solved."""
+        return [n for n in self.all_nodes()
+                if not self.is_ground(n) and n not in self.sources]

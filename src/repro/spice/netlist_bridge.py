@@ -1,0 +1,84 @@
+"""Building simulation circuits from netlists.
+
+The bridge between the design database and the golden simulator: every
+transistor becomes a device with its technology model, every annotated
+net load becomes a capacitor to ground, explicit netlist R/C come along,
+and the caller supplies stimulus on ports.
+"""
+
+from __future__ import annotations
+
+from repro.extraction.annotate import AnnotatedDesign
+from repro.netlist.flatten import FlatNetlist
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.spice.circuit import Circuit, PwlSource
+
+
+def circuit_from_netlist(
+    flat: FlatNetlist,
+    technology: Technology,
+    corner: Corner = Corner.TYPICAL,
+    annotated: AnnotatedDesign | None = None,
+    stimulus: dict[str, PwlSource | float] | None = None,
+    min_node_cap_f: float = 0.5e-15,
+) -> Circuit:
+    """Build a :class:`~repro.spice.circuit.Circuit` from a flat design.
+
+    Parameters
+    ----------
+    annotated:
+        Optional extracted loads; each net's *wire ground* capacitance
+        is added explicitly.  (Device gate/junction capacitance is added
+        from the transistor list regardless, so the electrical load is
+        complete whether or not extraction ran.)
+    stimulus:
+        Port waveforms; ``vdd`` is forced to the corner supply
+        automatically, ``gnd`` is the reference.
+    min_node_cap_f:
+        A floor capacitance on every non-forced node -- keeps charge
+        storage on internal stack nodes physical and the integrator
+        well-conditioned.
+    """
+    circuit = Circuit()
+    vdd = technology.vdd_at(corner)
+    circuit.vsource("vdd", vdd)
+    nmos_model = technology.nmos_model(corner)
+    pmos_model = technology.pmos_model(corner)
+
+    for t in flat.transistors:
+        model = nmos_model if t.polarity == "nmos" else pmos_model
+        circuit.mosfet(
+            t.name, model, gate=t.gate, drain=t.drain, source=t.source,
+            w_um=t.w_um, l_um=t.effective_length(technology.l_min_um),
+        )
+    for r in flat.resistors:
+        circuit.resistor(r.a, r.b, r.res_ohm)
+    for c in flat.capacitors:
+        circuit.capacitor(c.a, c.b, c.cap_f)
+
+    for source_net, waveform in (stimulus or {}).items():
+        circuit.vsource(source_net, waveform)
+
+    # Device input/output capacitance, lumped at the nodes.
+    for t in flat.transistors:
+        model = nmos_model if t.polarity == "nmos" else pmos_model
+        l_eff = t.effective_length(technology.l_min_um)
+        circuit.capacitor(t.gate, "gnd", model.gate_capacitance(t.w_um, l_eff))
+        circuit.capacitor(t.drain, "gnd", model.diffusion_capacitance(t.w_um))
+        circuit.capacitor(t.source, "gnd", model.diffusion_capacitance(t.w_um))
+
+    # Extracted wire capacitance.
+    if annotated is not None:
+        for net, load in annotated.loads.items():
+            if circuit.is_ground(net) or net in circuit.sources:
+                continue
+            wire_cap = load.wire.cap_nominal()
+            if wire_cap > 0:
+                circuit.capacitor(net, "gnd", wire_cap)
+
+    # Floor capacitance on every remaining free node.
+    for node in circuit.unknown_nodes():
+        circuit.capacitor(node, "gnd", min_node_cap_f)
+
+    return circuit

@@ -1,0 +1,189 @@
+"""Backward-Euler transient analysis with Newton iteration.
+
+At each timestep, capacitors become conductance/current companions
+(G = C/h, I_eq = G * V_prev) and the nonlinear MOSFET network is solved
+by damped Newton with a 3x3 finite-difference local Jacobian per device.
+Small circuits (tens of nodes) solve in microseconds per step with
+numpy's dense solver, which is all the gate-level golden runs need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.waveforms import Waveform
+
+
+class ConvergenceError(RuntimeError):
+    """Newton failed to converge at some timestep."""
+
+
+@dataclass
+class TransientResult:
+    """Waveforms for every node (forced and solved)."""
+
+    times: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def wave(self, node: str) -> Waveform:
+        return Waveform(times=self.times, values=self.voltages[node])
+
+    def final(self, node: str) -> float:
+        return float(self.voltages[node][-1])
+
+    def extreme(self, node: str, after: float = 0.0) -> tuple[float, float]:
+        """(min, max) of a node's voltage after a time."""
+        mask = self.times >= after
+        values = self.voltages[node][mask]
+        return float(values.min()), float(values.max())
+
+
+def transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    v_init: dict[str, float] | None = None,
+    max_newton: int = 60,
+    tol: float = 1e-9,
+) -> TransientResult:
+    """Run a fixed-step transient simulation.
+
+    ``v_init`` seeds initial node voltages (default 0 V for unknowns).
+    """
+    unknowns = circuit.unknown_nodes()
+    index = {n: i for i, n in enumerate(unknowns)}
+    n = len(unknowns)
+
+    def forced_value(node: str, t: float) -> float | None:
+        if circuit.is_ground(node):
+            return 0.0
+        src = circuit.sources.get(node)
+        return src.value(t) if src is not None else None
+
+    # Initial state.
+    v = np.zeros(n)
+    if v_init:
+        for node, value in v_init.items():
+            if node in index:
+                v[index[node]] = value
+
+    steps = max(2, int(round(t_stop / dt)) + 1)
+    times = np.linspace(0.0, t_stop, steps)
+    h = times[1] - times[0]
+    all_nodes = circuit.all_nodes()
+    record = {node: np.zeros(steps) for node in all_nodes}
+
+    def node_voltage(node: str, t: float, x: np.ndarray) -> float:
+        forced = forced_value(node, t)
+        if forced is not None:
+            return forced
+        return x[index[node]]
+
+    # Record t = 0.
+    for node in all_nodes:
+        record[node][0] = node_voltage(node, 0.0, v)
+
+    for step in range(1, steps):
+        t = times[step]
+        v_prev_full = {node: record[node][step - 1] for node in all_nodes}
+        x = v.copy()
+
+        for _iteration in range(max_newton):
+            residual = np.zeros(n)
+            jacobian = np.zeros((n, n))
+
+            def stamp(node: str, current: float) -> None:
+                idx = index.get(node)
+                if idx is not None:
+                    residual[idx] += current
+
+            def stamp_g(node_i: str, node_j: str, g: float) -> None:
+                i = index.get(node_i)
+                j = index.get(node_j)
+                if i is not None and j is not None:
+                    jacobian[i, j] += g
+
+            # Resistors.
+            for r in circuit.resistors:
+                va = node_voltage(r.a, t, x)
+                vb = node_voltage(r.b, t, x)
+                g = 1.0 / r.ohms
+                i_ab = g * (va - vb)
+                stamp(r.a, i_ab)
+                stamp(r.b, -i_ab)
+                stamp_g(r.a, r.a, g)
+                stamp_g(r.a, r.b, -g)
+                stamp_g(r.b, r.b, g)
+                stamp_g(r.b, r.a, -g)
+
+            # Capacitors (backward Euler companions).
+            for c in circuit.capacitors:
+                va = node_voltage(c.a, t, x)
+                vb = node_voltage(c.b, t, x)
+                va_p = v_prev_full[c.a]
+                vb_p = v_prev_full[c.b]
+                g = c.farads / h
+                i_ab = g * ((va - vb) - (va_p - vb_p))
+                stamp(c.a, i_ab)
+                stamp(c.b, -i_ab)
+                stamp_g(c.a, c.a, g)
+                stamp_g(c.a, c.b, -g)
+                stamp_g(c.b, c.b, g)
+                stamp_g(c.b, c.a, -g)
+
+            # MOSFETs: current drain->source, finite-difference Jacobian.
+            delta = 1e-5
+            for m in circuit.mosfets:
+                vg = node_voltage(m.gate, t, x)
+                vd = node_voltage(m.drain, t, x)
+                vs = node_voltage(m.source, t, x)
+                ids = m.model.ids_at(vg, vd, vs, m.w_um, m.l_um)
+                # ids_at is positive when the device pulls its drain
+                # toward its rail: for NMOS that is current *out of* the
+                # drain node, for PMOS current *into* it.
+                i_drain = ids if m.model.params.polarity == "nmos" else -ids
+                stamp(m.drain, i_drain)
+                stamp(m.source, -i_drain)
+                for terminal, node in (("g", m.gate), ("d", m.drain), ("s", m.source)):
+                    if index.get(node) is None:
+                        continue
+                    dvg, dvd, dvs = vg, vd, vs
+                    if terminal == "g":
+                        dvg += delta
+                    elif terminal == "d":
+                        dvd += delta
+                    else:
+                        dvs += delta
+                    ids2 = m.model.ids_at(dvg, dvd, dvs, m.w_um, m.l_um)
+                    di = (ids2 - ids) / delta
+                    di_drain = di if m.model.params.polarity == "nmos" else -di
+                    stamp_g(m.drain, node, di_drain)
+                    stamp_g(m.source, node, -di_drain)
+
+            # Tiny conductance to ground keeps floating nodes solvable.
+            for i in range(n):
+                jacobian[i, i] += 1e-12
+
+            norm = float(np.max(np.abs(residual))) if n else 0.0
+            if norm < tol:
+                break
+            try:
+                dx = np.linalg.solve(jacobian, residual)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(f"singular Jacobian at t={t:g}s") from exc
+            # Damped update with voltage limiting (0.5 V per iteration).
+            dx = np.clip(dx, -0.5, 0.5)
+            x = x - dx
+        else:
+            raise ConvergenceError(
+                f"Newton failed at t={t:g}s (residual {norm:.3g} A)"
+            )
+
+        v = x
+        for node in all_nodes:
+            record[node][step] = node_voltage(node, t, v)
+
+    return TransientResult(times=times, voltages=record)

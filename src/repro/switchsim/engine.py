@@ -1,0 +1,280 @@
+"""The switch-level simulation engine.
+
+Evaluation model
+----------------
+The design is partitioned into channel-connected components once, at
+construction.  For every CCC and every channel net, the conduction paths
+to each *source* (vdd, gnd, and any testbench-drivable port inside the
+CCC) are pre-enumerated with :mod:`repro.recognition.conduction`.
+
+At each settle step, a CCC is (re)evaluated from its gate-input values:
+
+* a path is **definitely on** when every gate condition holds with a
+  definite value, **possibly on** when no condition definitely fails but
+  some involve X;
+* each channel net collects sources through its on-paths; definite
+  conflicting sources resolve by conductance ratio (keepers lose to
+  evaluate stacks, SRAM cells lose to write drivers) or to X when the
+  fight is close;
+* a net with no on-path to any source keeps its previous value with
+  ``driven=False`` -- charge storage.
+
+The outer loop is event-driven: a net value change re-queues every CCC
+that reads the net through a gate.  A bounded iteration count guards
+against ring-oscillator-style non-settling structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.flatten import FlatNetlist
+from repro.recognition.ccc import ChannelConnectedComponent, extract_cccs
+from repro.recognition.conduction import ConductionPath, conduction_paths
+from repro.switchsim.values import Logic, NetState
+
+
+class OscillationError(RuntimeError):
+    """Raised when the design fails to settle (combinational loop)."""
+
+
+@dataclass
+class _SourcePaths:
+    """Pre-enumerated paths from one channel net to one source."""
+
+    source: str  # "vdd", "gnd", or a port name
+    paths: list[ConductionPath]
+
+
+class SwitchSimulator:
+    """Event-driven switch-level simulator over a flat netlist.
+
+    Parameters
+    ----------
+    flat:
+        The design to simulate.
+    dominance_ratio:
+        How much stronger one side of a fight must be to win cleanly;
+        below this the node goes X.  2.5 matches the usual "keeper is a
+        few times weaker" full-custom sizing discipline.
+    l_min_um:
+        Channel length assumed for devices with unresolved L (0.0),
+        used only for relative conductance.
+    """
+
+    def __init__(self, flat: FlatNetlist, dominance_ratio: float = 2.5,
+                 l_min_um: float = 0.35):
+        self.flat = flat
+        self.dominance_ratio = dominance_ratio
+        self.l_min_um = l_min_um
+        self.cccs = extract_cccs(flat)
+        self.state: dict[str, NetState] = {
+            name: NetState() for name in flat.nets
+        }
+        self.state["vdd"] = NetState(Logic.ONE, driven=True)
+        self.state["gnd"] = NetState(Logic.ZERO, driven=True)
+        self._externally_driven: dict[str, Logic] = {}
+        # Relative path conductance: W/L weighted by carrier mobility
+        # (holes are ~0.4x), so N-vs-P ratio fights resolve like silicon.
+        self._conductance: dict[str, float] = {
+            t.name: (1.0 if t.polarity == "nmos" else 0.4)
+                    * t.w_um / t.effective_length(l_min_um)
+            for t in flat.transistors
+        }
+        # ccc index -> channel net -> list of _SourcePaths
+        self._paths: list[dict[str, list[_SourcePaths]]] = []
+        self._gate_readers: dict[str, list[int]] = {}
+        self._port_cccs: dict[str, list[int]] = {}
+        self._build_tables()
+        self.time = 0
+        self.history: list[tuple[int, str, Logic]] = []
+
+    # -- construction -------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        for ccc in self.cccs:
+            table: dict[str, list[_SourcePaths]] = {}
+            sources = ["vdd", "gnd"] + sorted(
+                n for n in ccc.channel_nets
+                if self.flat.nets[n].is_port
+            )
+            for net in ccc.channel_nets:
+                entries = []
+                for src in sources:
+                    if src == net:
+                        continue
+                    paths = conduction_paths(ccc, net, src)
+                    if paths:
+                        entries.append(_SourcePaths(source=src, paths=paths))
+                table[net] = entries
+            self._paths.append(table)
+            for gate in ccc.gate_nets():
+                self._gate_readers.setdefault(gate, []).append(ccc.index)
+            for net in ccc.channel_nets:
+                if self.flat.nets[net].is_port:
+                    self._port_cccs.setdefault(net, []).append(ccc.index)
+
+    # -- testbench interface --------------------------------------------------
+
+    def drive(self, net: str, value: Logic | int | bool) -> None:
+        """Drive a port (or any net) from the testbench."""
+        logic = self._coerce(value)
+        self._externally_driven[net] = logic
+        self._set(net, logic, driven=True)
+
+    def release(self, net: str) -> None:
+        """Stop driving a net; it retains its value as charge."""
+        self._externally_driven.pop(net, None)
+        st = self.state[net]
+        self.state[net] = NetState(st.value, driven=False)
+
+    def value(self, net: str) -> Logic:
+        return self.state[net].value
+
+    def is_driven(self, net: str) -> bool:
+        return self.state[net].driven
+
+    def values(self, nets: list[str]) -> list[Logic]:
+        return [self.value(n) for n in nets]
+
+    def settle(self, max_events: int = 100000) -> int:
+        """Propagate until quiescent; returns evaluation count.
+
+        Raises :class:`OscillationError` if the budget is exhausted.
+        """
+        pending: set[int] = set(range(len(self.cccs)))
+        evaluations = 0
+        while pending:
+            idx = min(pending)
+            pending.discard(idx)
+            evaluations += 1
+            if evaluations > max_events:
+                raise OscillationError(
+                    f"design did not settle within {max_events} CCC "
+                    f"evaluations; combinational loop suspected"
+                )
+            changed = self._evaluate(idx)
+            for net in changed:
+                pending.update(self._gate_readers.get(net, []))
+                pending.update(self._port_cccs.get(net, []))
+        self.time += 1
+        return evaluations
+
+    def step(self, **drives: Logic | int | bool) -> None:
+        """Drive several nets and settle -- one testbench "step"."""
+        for net, value in drives.items():
+            self.drive(net, value)
+        self.settle()
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _evaluate(self, idx: int) -> list[str]:
+        ccc = self.cccs[idx]
+        changed: list[str] = []
+        for net in sorted(ccc.channel_nets):
+            if net in self._externally_driven:
+                continue  # testbench owns it
+            new_state = self._solve_net(idx, net)
+            old = self.state[net]
+            if new_state.value != old.value or new_state.driven != old.driven:
+                self.state[net] = new_state
+                if new_state.value != old.value:
+                    self.history.append((self.time, net, new_state.value))
+                    changed.append(net)
+        return changed
+
+    def _solve_net(self, idx: int, net: str) -> NetState:
+        # Definite (surely conducting) and maximal (possibly conducting
+        # included) conductance toward each level.  A maybe-path feeds
+        # the *maximal* bucket only: it cannot assert a value, but a
+        # definite path must out-muscle it to win cleanly.
+        g_def = {Logic.ZERO: 0.0, Logic.ONE: 0.0}
+        g_may = {Logic.ZERO: 0.0, Logic.ONE: 0.0}
+        possible: set[Logic] = set()
+        definite_x = False
+
+        for entry in self._paths[idx].get(net, []):
+            src_state = self.state[entry.source]
+            if entry.source not in ("vdd", "gnd") \
+                    and entry.source not in self._externally_driven:
+                # A port the testbench is not driving is an *output*:
+                # its value is computed, and must not back-drive its own
+                # CCC as a stale source.
+                continue
+            src_value = src_state.value
+            for path in entry.paths:
+                status = self._path_status(path)
+                if status == "off":
+                    continue
+                g = self._path_conductance(path)
+                if src_value is Logic.X:
+                    possible.update((Logic.ZERO, Logic.ONE))
+                    g_may[Logic.ZERO] += g
+                    g_may[Logic.ONE] += g
+                    if status == "on":
+                        definite_x = True
+                elif status == "on":
+                    g_def[src_value] += g
+                    possible.add(src_value)
+                else:
+                    g_may[src_value] += g
+                    possible.add(src_value)
+
+        total0 = g_def[Logic.ZERO] + g_may[Logic.ZERO]
+        total1 = g_def[Logic.ONE] + g_may[Logic.ONE]
+        if g_def[Logic.ZERO] > 0.0 or g_def[Logic.ONE] > 0.0:
+            if g_def[Logic.ZERO] >= self.dominance_ratio * total1 \
+                    and not definite_x:
+                return NetState(Logic.ZERO, driven=True)
+            if g_def[Logic.ONE] >= self.dominance_ratio * total0 \
+                    and not definite_x:
+                return NetState(Logic.ONE, driven=True)
+            return NetState(Logic.X, driven=True)
+        if definite_x:
+            return NetState(Logic.X, driven=True)
+        if possible:
+            previous = self.state[net].value
+            if possible == {previous}:
+                # The only possible disturbance agrees with the retained
+                # value; keep it (still charge, not driven).
+                return NetState(previous, driven=False)
+            return NetState(Logic.X, driven=False)
+        # Fully isolated: retain charge.
+        prev = self.state[net]
+        return NetState(prev.value, driven=False)
+
+    def _path_status(self, path: ConductionPath) -> str:
+        """'on' / 'off' / 'maybe' under current gate values."""
+        maybe = False
+        for gate, level in path.conditions:
+            gv = self.state[gate].value
+            if gv is Logic.X:
+                maybe = True
+                continue
+            if (gv is Logic.ONE) != level:
+                return "off"
+        return "maybe" if maybe else "on"
+
+    def _path_conductance(self, path: ConductionPath) -> float:
+        inv_total = 0.0
+        for dev in path.devices:
+            g = self._conductance[dev]
+            if g <= 0:
+                return 0.0
+            inv_total += 1.0 / g
+        return 1.0 / inv_total if inv_total else float("inf")
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _coerce(self, value: Logic | int | bool) -> Logic:
+        if isinstance(value, Logic):
+            return value
+        if isinstance(value, bool):
+            return Logic.from_bool(value)
+        return Logic.from_int(value)
+
+    def _set(self, net: str, value: Logic, driven: bool) -> None:
+        old = self.state.get(net)
+        self.state[net] = NetState(value, driven)
+        if old is None or old.value != value:
+            self.history.append((self.time, net, value))

@@ -1,0 +1,69 @@
+"""Logic values and net state for switch-level simulation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Logic(enum.Enum):
+    """A 3-value logic level.
+
+    ``X`` covers both "unknown" and "conflicting"; high-impedance is not
+    a separate value because an undriven net simply *retains* its last
+    :class:`Logic` (charge storage).
+    """
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __invert__(self) -> "Logic":
+        if self is Logic.ZERO:
+            return Logic.ONE
+        if self is Logic.ONE:
+            return Logic.ZERO
+        return Logic.X
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Logic values do not collapse to bool implicitly; compare with "
+            "Logic.ONE/Logic.ZERO or use .is_definite()"
+        )
+
+    def is_definite(self) -> bool:
+        return self is not Logic.X
+
+    @staticmethod
+    def from_bool(value: bool) -> "Logic":
+        return Logic.ONE if value else Logic.ZERO
+
+    @staticmethod
+    def from_int(value: int) -> "Logic":
+        if value == 0:
+            return Logic.ZERO
+        if value == 1:
+            return Logic.ONE
+        raise ValueError(f"cannot convert {value!r} to Logic (use Logic.X directly)")
+
+    def __str__(self) -> str:
+        return {Logic.ZERO: "0", Logic.ONE: "1", Logic.X: "X"}[self]
+
+
+@dataclass
+class NetState:
+    """Dynamic state of one net during simulation.
+
+    Attributes
+    ----------
+    value:
+        Current logic level.
+    driven:
+        True when the level is held by a conducting path to a source
+        (rail or testbench-driven port); False when it is retained
+        charge, which the dynamic-leakage and charge-sharing checks of
+        section 4.2 care about.
+    """
+
+    value: Logic = Logic.X
+    driven: bool = False

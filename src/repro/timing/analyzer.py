@@ -1,0 +1,258 @@
+"""Arrival propagation, critical paths, races, and cycle-time search.
+
+Figure 4's two deliverables:
+
+* **critical paths** -- max-arrival chains that bound the clock
+  frequency; reported with slack against the transparent phase window,
+  and invertible into a minimum cycle time;
+* **races** -- min-arrival chains that violate hold at storage nodes or
+  discharge dynamic nodes during precharge; their margins do NOT change
+  with the clock period, which is why the paper calls them the paths
+  that "prevent the chip from working at any frequency".
+
+False-path elimination (section 4.3's third false-violation culprit) is
+supported by declaring *through-net* exclusions, the designer-intent
+input the paper says tools cannot infer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.recognition.recognizer import NetKind, RecognizedDesign
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.constraints import Constraint, ConstraintKind
+from repro.timing.graph import DelayArc, TimingGraph
+
+
+@dataclass(frozen=True)
+class ArrivalWindow:
+    """Earliest/latest possible transition time of a net."""
+
+    t_min: float
+    t_max: float
+
+
+@dataclass
+class TimingPath:
+    """One traced max-delay path."""
+
+    endpoint: str
+    arrival_s: float
+    slack_s: float
+    nets: list[str] = field(default_factory=list)
+
+    def violated(self) -> bool:
+        # A femtosecond of numerical noise is not a violation.
+        return self.slack_s < -1e-15
+
+
+@dataclass
+class RaceViolation:
+    """One failed min-delay (hold/precharge) check."""
+
+    constraint: Constraint
+    margin_s: float
+    note: str
+
+
+@dataclass
+class TimingReport:
+    """Everything one verification run produced."""
+
+    arrivals: dict[str, ArrivalWindow]
+    critical_paths: list[TimingPath]
+    races: list[RaceViolation]
+    min_cycle_time_s: float
+    setup_violations: list[TimingPath] = field(default_factory=list)
+
+    def worst_slack(self) -> float:
+        if not self.critical_paths:
+            return float("inf")
+        return min(p.slack_s for p in self.critical_paths)
+
+    def max_frequency_hz(self) -> float:
+        return 1.0 / self.min_cycle_time_s if self.min_cycle_time_s > 0 else float("inf")
+
+
+class TimingAnalyzer:
+    """Drives one static timing verification run."""
+
+    def __init__(
+        self,
+        design: RecognizedDesign,
+        graph: TimingGraph,
+        clock: TwoPhaseClock,
+        constraints: list[Constraint],
+    ):
+        self.design = design
+        self.graph = graph
+        self.clock = clock
+        self.constraints = constraints
+        self._false_through: set[str] = set()
+        self._input_windows: dict[str, ArrivalWindow] = {}
+
+    # -- designer intent -------------------------------------------------------
+
+    def declare_false_through(self, *nets: str) -> None:
+        """Exclude paths through these nets (architecturally false)."""
+        self._false_through.update(nets)
+
+    def set_input_arrival(self, net: str, t_min: float = 0.0, t_max: float = 0.0) -> None:
+        self._input_windows[net] = ArrivalWindow(t_min=t_min, t_max=t_max)
+
+    # -- arrival propagation ------------------------------------------------------
+
+    def arrivals(self) -> dict[str, ArrivalWindow]:
+        """Propagate arrival windows from sources through the arc graph.
+
+        Sources: declared inputs, ports with NetKind.INPUT, and clock
+        roots -- all at t = 0 (phase start) unless overridden.  Clock
+        arrivals carry +/- skew.
+        """
+        windows: dict[str, ArrivalWindow] = {}
+        skew = self.clock.skew_s
+        for name, clock_net in self.design.clocks.items():
+            if clock_net.depth == 0:
+                windows[name] = ArrivalWindow(0.0, skew)
+        for net in self.design.nets_of_kind(NetKind.INPUT):
+            windows.setdefault(net, ArrivalWindow(0.0, 0.0))
+        windows.update(self._input_windows)
+
+        order = self._topological_order()
+        for net in order:
+            fanin = [a for a in self.graph.fanin.get(net, [])
+                     if a.src in windows
+                     and a.src not in self._false_through
+                     and net not in self._false_through]
+            if not fanin:
+                continue
+            t_min = min(windows[a.src].t_min + a.d_min for a in fanin)
+            t_max = max(windows[a.src].t_max + a.d_max for a in fanin)
+            if net in windows:
+                existing = windows[net]
+                t_min = min(t_min, existing.t_min)
+                t_max = max(t_max, existing.t_max)
+            windows[net] = ArrivalWindow(t_min=t_min, t_max=t_max)
+        return windows
+
+    def _topological_order(self) -> list[str]:
+        indegree: dict[str, int] = {n: 0 for n in self.graph.nets()}
+        for arc in self.graph.arcs:
+            indegree[arc.dst] += 1
+        frontier = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while frontier:
+            net = frontier.pop()
+            order.append(net)
+            for arc in self.graph.fanout.get(net, []):
+                indegree[arc.dst] -= 1
+                if indegree[arc.dst] == 0:
+                    frontier.append(arc.dst)
+        return order
+
+    # -- path tracing ------------------------------------------------------------
+
+    def _trace_back(self, endpoint: str, windows: dict[str, ArrivalWindow]) -> list[str]:
+        """The max-arrival path ending at ``endpoint``."""
+        nets = [endpoint]
+        current = endpoint
+        while True:
+            fanin = [a for a in self.graph.fanin.get(current, []) if a.src in windows]
+            if not fanin:
+                break
+            best = max(fanin, key=lambda a: windows[a.src].t_max + a.d_max)
+            if best.src in nets:
+                break  # safety against residual loops
+            nets.append(best.src)
+            current = best.src
+        nets.reverse()
+        return nets
+
+    # -- verification -----------------------------------------------------------------
+
+    def endpoints(self) -> list[str]:
+        """Setup endpoints: storage nodes, dynamic nodes, output ports."""
+        out = {s.net for s in self.design.storage}
+        out |= set(self.design.dynamic_nodes)
+        for net in self.design.flat.nets.values():
+            if net.is_port and not net.is_rail:
+                out.add(net.name)
+        return sorted(out)
+
+    def verify(self) -> TimingReport:
+        windows = self.arrivals()
+        phase = self.clock.phase_width_s
+        setup_margins = {
+            c.net: c.margin_s for c in self.constraints
+            if c.kind is ConstraintKind.SETUP
+        }
+
+        paths: list[TimingPath] = []
+        for endpoint in self.endpoints():
+            window = windows.get(endpoint)
+            if window is None:
+                continue
+            margin = setup_margins.get(endpoint, 0.0)
+            slack = phase - window.t_max - margin
+            paths.append(TimingPath(
+                endpoint=endpoint,
+                arrival_s=window.t_max,
+                slack_s=slack,
+                nets=self._trace_back(endpoint, windows),
+            ))
+        paths.sort(key=lambda p: p.slack_s)
+
+        races: list[RaceViolation] = []
+        for constraint in self.constraints:
+            if constraint.kind is ConstraintKind.HOLD:
+                window = windows.get(constraint.net)
+                if window is None:
+                    continue
+                margin = window.t_min - (self.clock.skew_s + constraint.margin_s)
+                if margin < 0:
+                    races.append(RaceViolation(
+                        constraint=constraint,
+                        margin_s=margin,
+                        note=f"min arrival {window.t_min * 1e12:.1f} ps does not "
+                             f"clear skew {self.clock.skew_s * 1e12:.1f} ps + hold "
+                             f"{constraint.margin_s * 1e12:.1f} ps",
+                    ))
+            elif constraint.kind is ConstraintKind.PRECHARGE_RACE:
+                window = windows.get(constraint.net)
+                if window is None:
+                    continue
+                pre = [a for a in self.graph.fanin.get(constraint.net, [])
+                       if a.kind == "precharge"]
+                if not pre:
+                    continue
+                precharge_done = max(a.d_max for a in pre) + self.clock.skew_s
+                eval_arcs = [a for a in self.graph.fanin.get(constraint.net, [])
+                             if a.kind == "evaluate" and a.src in windows]
+                if not eval_arcs:
+                    continue
+                earliest_discharge = min(windows[a.src].t_min + a.d_min
+                                         for a in eval_arcs)
+                margin = earliest_discharge - precharge_done - constraint.margin_s
+                if margin < 0:
+                    races.append(RaceViolation(
+                        constraint=constraint,
+                        margin_s=margin,
+                        note=f"evaluate can discharge at "
+                             f"{earliest_discharge * 1e12:.1f} ps while precharge "
+                             f"needs {precharge_done * 1e12:.1f} ps",
+                    ))
+
+        worst_requirement = 0.0
+        for path in paths:
+            margin = setup_margins.get(path.endpoint, 0.0)
+            worst_requirement = max(worst_requirement, path.arrival_s + margin)
+        min_cycle = 2.0 * (worst_requirement + self.clock.non_overlap_s)
+
+        return TimingReport(
+            arrivals=windows,
+            critical_paths=paths,
+            races=races,
+            min_cycle_time_s=min_cycle,
+            setup_violations=[p for p in paths if p.violated()],
+        )

@@ -1,0 +1,85 @@
+"""The two-phase clocking model (paper Figure 4).
+
+The ALPHA-style designs use two non-overlapping phases; PHI1 latches are
+transparent in the first half-cycle, PHI2 latches in the second.  The
+model here carries the period, the phase windows, and the skew budget
+derived from clock-distribution RC analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extraction.annotate import AnnotatedDesign
+from repro.recognition.recognizer import RecognizedDesign
+
+
+@dataclass(frozen=True)
+class TwoPhaseClock:
+    """A two-phase, non-overlapping clock.
+
+    Attributes
+    ----------
+    period_s:
+        Full cycle time.
+    non_overlap_s:
+        Dead time between the phases (each phase's transparent window is
+        ``period/2 - non_overlap``).
+    skew_s:
+        Worst-case same-edge arrival difference across the distribution
+        network.  Races must clear this; it does not scale with period
+        (the Figure-4 point: races are frequency-independent).
+    """
+
+    period_s: float
+    non_overlap_s: float = 0.0
+    skew_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("clock period must be positive")
+        if self.non_overlap_s < 0 or self.skew_s < 0:
+            raise ValueError("non-overlap and skew must be non-negative")
+        if self.non_overlap_s >= self.period_s / 2:
+            raise ValueError("non-overlap consumes the whole phase")
+
+    @property
+    def phase_width_s(self) -> float:
+        """Transparent window of each phase."""
+        return self.period_s / 2 - self.non_overlap_s
+
+    def frequency_hz(self) -> float:
+        return 1.0 / self.period_s
+
+    def scaled(self, period_s: float) -> "TwoPhaseClock":
+        """Same skew/overlap budget at a different period."""
+        return TwoPhaseClock(period_s=period_s,
+                             non_overlap_s=self.non_overlap_s,
+                             skew_s=self.skew_s)
+
+
+def clock_tree_skew(
+    design: RecognizedDesign,
+    annotated: AnnotatedDesign,
+) -> float:
+    """Estimate distribution skew from per-clock-net RC.
+
+    Each clock net's insertion delay is approximated by its wire
+    resistance times its total load plus a per-buffer-stage delay; skew
+    is the spread across nets of the same root.  This is the "node-by-
+    node clock RC analysis" of section 4.2 reduced to a single budget
+    number for the timing model (the full per-node report lives in
+    :mod:`repro.checks.clock_rc`).
+    """
+    insertion: dict[str, list[float]] = {}
+    stage_delay = 30e-12  # representative buffer stage
+    for name, clock_net in design.clocks.items():
+        load = annotated.load(name)
+        rc = load.wire.resistance.nominal * load.total_nominal()
+        delay = clock_net.depth * stage_delay + rc
+        insertion.setdefault(clock_net.root, []).append(delay)
+    worst = 0.0
+    for delays in insertion.values():
+        if len(delays) > 1:
+            worst = max(worst, max(delays) - min(delays))
+    return worst

@@ -1,0 +1,143 @@
+"""Constraint generation for on-the-fly state elements.
+
+Paper section 4.3: "algorithms are needed, which when given this
+information, will automatically identify the constraint and calculate
+the correct constraint time (setup time and hold time) for any full
+custom circuit.  The constraint generation algorithms must be accurate
+but error on the side of being pessimistic in order to insure no
+violations are missed."
+
+Constraints are generated from recognition alone:
+
+* every **storage node** gets a SETUP check (data settles within the
+  transparent window) and a HOLD check (new data must not race through
+  before the opposite phase's latch closes, cleared against clock skew);
+* every **dynamic node** gets a SETUP check on evaluation completing
+  within the phase, a GLITCH check on each evaluate input (domino inputs
+  must be monotonically rising -- a falling glitch falsely discharges
+  the node), and a PRECHARGE_RACE check (evaluate data must not arrive
+  while the node is still precharging).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.recognition.recognizer import NetKind, RecognizedDesign
+from repro.timing.pessimism import PessimismSettings
+
+
+class ConstraintKind(enum.Enum):
+    SETUP = "setup"
+    HOLD = "hold"
+    GLITCH = "glitch"
+    PRECHARGE_RACE = "precharge_race"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One generated timing constraint.
+
+    Attributes
+    ----------
+    kind:
+        What is being checked.
+    net:
+        The constrained net (storage node, dynamic node, or the
+        glitch-sensitive input).
+    reference:
+        The clock/enable net the check is relative to ("" when the
+        reference is simply the phase boundary).
+    margin_s:
+        Required margin in seconds.
+    note:
+        Human-readable derivation, for the triage report.
+    """
+
+    kind: ConstraintKind
+    net: str
+    reference: str
+    margin_s: float
+    note: str
+
+
+def generate_constraints(
+    design: RecognizedDesign,
+    pessimism: PessimismSettings | None = None,
+) -> list[Constraint]:
+    """Derive every constraint implied by the recognized structure."""
+    p = pessimism or PessimismSettings()
+    constraints: list[Constraint] = []
+
+    for node in design.storage:
+        clock_enables = sorted(e for e in node.enables if e in design.clocks)
+        reference = clock_enables[0] if clock_enables else ""
+        constraints.append(Constraint(
+            kind=ConstraintKind.SETUP,
+            net=node.net,
+            reference=reference,
+            margin_s=p.effective_setup_margin(),
+            note=f"storage node ({node.kind}); data must settle in the "
+                 f"transparent window",
+        ))
+        constraints.append(Constraint(
+            kind=ConstraintKind.HOLD,
+            net=node.net,
+            reference=reference,
+            margin_s=p.effective_hold_margin(),
+            note="storage node; fastest new data must not race through "
+                 "before the prior phase closes (clears skew)",
+        ))
+
+    for net, dyn in design.dynamic_nodes.items():
+        constraints.append(Constraint(
+            kind=ConstraintKind.SETUP,
+            net=net,
+            reference=dyn.clock,
+            margin_s=p.effective_setup_margin(),
+            note="dynamic node; evaluation must complete within the phase",
+        ))
+        if not dyn.foot_devices:
+            # A footed gate is protected: the footer holds the evaluate
+            # network off while the clock is in precharge.  Only the
+            # footless style can lose this race.
+            constraints.append(Constraint(
+                kind=ConstraintKind.PRECHARGE_RACE,
+                net=net,
+                reference=dyn.clock,
+                margin_s=p.effective_hold_margin(),
+                note="footless node: evaluate data must not discharge it "
+                     "before precharge completes",
+            ))
+        for inp in sorted(dyn.eval_inputs):
+            kind = design.kind(inp)
+            glitch_safe = kind in (NetKind.DYNAMIC,) or (
+                kind is NetKind.STATIC and _driven_by_dynamic(design, inp)
+            )
+            constraints.append(Constraint(
+                kind=ConstraintKind.GLITCH,
+                net=inp,
+                reference=net,
+                margin_s=0.0,
+                note=("monotonic domino input"
+                      if glitch_safe else
+                      "STATIC-driven domino input: any falling glitch "
+                      "during evaluate falsely discharges the node"),
+            ))
+    return constraints
+
+
+def _driven_by_dynamic(design: RecognizedDesign, net: str) -> bool:
+    """True if ``net`` is the output of an inverter fed by a dynamic
+    node -- the canonical (glitch-free, monotonic) domino buffer."""
+    gate = design.gates.get(net)
+    if gate is None or len(gate.inputs) != 1:
+        return False
+    return gate.inputs[0] in design.dynamic_nodes
+
+
+def glitch_risks(constraints: list[Constraint]) -> list[Constraint]:
+    """The GLITCH constraints whose note marks them genuinely risky."""
+    return [c for c in constraints
+            if c.kind is ConstraintKind.GLITCH and "falsely" in c.note]

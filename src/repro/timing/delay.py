@@ -1,0 +1,126 @@
+"""Min/max arc delay calculation.
+
+The delay model is switched-RC: the driving path's on-resistance times
+the bounded output load, with corner-split drive (FAST devices for min,
+SLOW for max) and Miller-bounded coupling on the load -- the section-4.3
+recipe.  The model "must be accurate and, if necessary, error on the
+side of being pessimistic"; derates from
+:class:`~repro.timing.pessimism.PessimismSettings` enforce that.
+
+A simple slew term is included: an RC output transition's effect on the
+next stage is approximated by adding a fraction of the driving stage's
+output time constant to the arc delay, which keeps long resistive nets
+honest without full slew propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extraction.annotate import AnnotatedDesign
+from repro.process.corners import Corner
+from repro.recognition.conduction import ConductionPath
+from repro.timing.pessimism import PessimismSettings
+
+
+@dataclass(frozen=True)
+class ArcDelay:
+    """Bounded delay of one timing arc, in seconds."""
+
+    d_min: float
+    d_max: float
+
+    def __post_init__(self) -> None:
+        if self.d_min > self.d_max:
+            raise ValueError(f"arc delay bounds inverted: {self.d_min} > {self.d_max}")
+
+
+#: Fraction of the driver time-constant added as a slew penalty.
+SLEW_FRACTION = 0.5
+
+
+class ArcDelayCalculator:
+    """Computes bounded delays for conduction-path-driven transitions.
+
+    Parameters
+    ----------
+    fast / slow:
+        Annotated designs at the FAST and SLOW corners (drive strengths
+        and cap factors differ per corner).
+    pessimism:
+        The widening knobs.
+    """
+
+    def __init__(
+        self,
+        fast: AnnotatedDesign,
+        slow: AnnotatedDesign,
+        pessimism: PessimismSettings | None = None,
+    ):
+        if fast.corner is not Corner.FAST or slow.corner is not Corner.SLOW:
+            raise ValueError("calculator expects FAST and SLOW annotated designs")
+        self.fast = fast
+        self.slow = slow
+        self.pessimism = pessimism or PessimismSettings()
+        self._device_fast = {t.name: t for t in fast.flat.transistors}
+
+    # -- path resistance -----------------------------------------------------
+
+    def _path_resistance(self, path: ConductionPath, design: AnnotatedDesign) -> float:
+        tech = design.technology
+        vdd = tech.vdd_at(design.corner)
+        total = 0.0
+        for name in path.devices:
+            device = self._device_fast[name]
+            model = tech.mosfet(device.polarity, design.corner)
+            total += model.on_resistance(
+                vdd, device.w_um, device.effective_length(tech.l_min_um)
+            )
+        return total
+
+    def _load(self, net: str, design: AnnotatedDesign, maximal: bool) -> float:
+        load = design.load(net)
+        if maximal:
+            return load.total_max(self.pessimism.effective_miller_max())
+        return load.total_min(self.pessimism.effective_miller_min())
+
+    def _wire_resistance(self, net: str, design: AnnotatedDesign, maximal: bool) -> float:
+        wire = design.load(net).wire.resistance
+        return wire.hi if maximal else wire.lo
+
+    # -- public delay queries ------------------------------------------------------
+
+    def arc_delay(
+        self,
+        paths_through_input: list[ConductionPath],
+        output_net: str,
+    ) -> ArcDelay:
+        """Bounded delay for a transition driven through any of the
+        given conduction paths onto ``output_net``.
+
+        Max delay: the *most resistive* path at the SLOW corner into the
+        maximal load.  Min delay: the *least resistive* path at the FAST
+        corner into the minimal load.
+        """
+        if not paths_through_input:
+            raise ValueError("arc needs at least one conduction path")
+        p = self.pessimism
+
+        r_max = max(self._path_resistance(path, self.slow) for path in paths_through_input)
+        r_max += self._wire_resistance(output_net, self.slow, maximal=True)
+        c_max = self._load(output_net, self.slow, maximal=True)
+        d_max = r_max * c_max * (1.0 + SLEW_FRACTION) * p.effective_derate_max()
+
+        r_min = min(self._path_resistance(path, self.fast) for path in paths_through_input)
+        r_min += self._wire_resistance(output_net, self.fast, maximal=False)
+        c_min = self._load(output_net, self.fast, maximal=False)
+        d_min = r_min * c_min * p.effective_derate_min()
+
+        if d_min > d_max:  # possible only at scale 0 with rounding
+            d_min = d_max
+        return ArcDelay(d_min=d_min, d_max=d_max)
+
+    def nominal_delay(self, paths: list[ConductionPath], output_net: str) -> float:
+        """A single point estimate (geometric middle of the bounds)."""
+        arc = self.arc_delay(paths, output_net)
+        return (arc.d_min * arc.d_max) ** 0.5 if arc.d_min > 0 else arc.d_max / 2

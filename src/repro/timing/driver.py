@@ -1,0 +1,62 @@
+"""One-call timing verification driver.
+
+Glues the full stack together: recognition -> extraction (wireload by
+default) -> FAST/SLOW annotation -> arc building -> constraint
+generation -> analysis.  This is what the CBV flow stage
+(:mod:`repro.core`) and most benchmarks call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.extraction.annotate import AnnotatedDesign, annotate
+from repro.extraction.caps import Parasitics
+from repro.extraction.wireload import WireloadModel
+from repro.netlist.flatten import FlatNetlist
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.recognition.recognizer import RecognizedDesign, recognize
+from repro.timing.analyzer import TimingAnalyzer, TimingReport
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.constraints import generate_constraints
+from repro.timing.delay import ArcDelayCalculator
+from repro.timing.graph import build_timing_graph
+from repro.timing.pessimism import PessimismSettings
+
+
+@dataclass
+class TimingRun:
+    """Everything a timing verification run built and found."""
+
+    design: RecognizedDesign
+    fast: AnnotatedDesign
+    slow: AnnotatedDesign
+    analyzer: TimingAnalyzer
+    report: TimingReport
+
+
+def analyze_design(
+    flat: FlatNetlist,
+    technology: Technology,
+    clock: TwoPhaseClock,
+    clock_hints: Iterable[str] = (),
+    pessimism: PessimismSettings | None = None,
+    parasitics: Parasitics | None = None,
+    false_through: Iterable[str] = (),
+) -> TimingRun:
+    """Run the complete static timing verification stack."""
+    design = recognize(flat, clock_hints=clock_hints)
+    if parasitics is None:
+        parasitics = WireloadModel().extract(flat, technology.wires)
+    fast = annotate(flat, parasitics, technology, Corner.FAST)
+    slow = annotate(flat, parasitics, technology, Corner.SLOW)
+    calculator = ArcDelayCalculator(fast, slow, pessimism)
+    graph = build_timing_graph(design, calculator)
+    constraints = generate_constraints(design, pessimism)
+    analyzer = TimingAnalyzer(design, graph, clock, constraints)
+    analyzer.declare_false_through(*false_through)
+    report = analyzer.verify()
+    return TimingRun(design=design, fast=fast, slow=slow,
+                     analyzer=analyzer, report=report)

@@ -1,0 +1,199 @@
+"""Timing-arc extraction from recognition results.
+
+Every arc is deduced, never declared (section 2.3): static gates give
+input->output arcs through their conduction paths; dynamic nodes give
+clock->node precharge arcs and data->node evaluate arcs; pass networks
+give bidirectional source->sink arcs gated by their enables.  Keeper
+feedback arcs are *excluded* -- a keeper holds, it does not propagate
+events -- which is also what keeps the graph acyclic at domino nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.recognition.conduction import conduction_paths
+from repro.recognition.families import CircuitFamily
+from repro.recognition.recognizer import RecognizedDesign
+from repro.timing.delay import ArcDelayCalculator
+
+
+@dataclass
+class DelayArc:
+    """One timing arc.
+
+    ``kind`` is one of ``gate`` / ``precharge`` / ``evaluate`` /
+    ``pass`` -- the constraint generator treats them differently.
+    """
+
+    src: str
+    dst: str
+    d_min: float
+    d_max: float
+    kind: str
+
+
+@dataclass
+class TimingGraph:
+    """Arcs plus the derived adjacency."""
+
+    arcs: list[DelayArc] = field(default_factory=list)
+    fanout: dict[str, list[DelayArc]] = field(default_factory=dict)
+    fanin: dict[str, list[DelayArc]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, arc: DelayArc) -> None:
+        self.arcs.append(arc)
+        self.fanout.setdefault(arc.src, []).append(arc)
+        self.fanin.setdefault(arc.dst, []).append(arc)
+
+    def nets(self) -> set[str]:
+        out: set[str] = set()
+        for arc in self.arcs:
+            out.add(arc.src)
+            out.add(arc.dst)
+        return out
+
+
+def build_timing_graph(
+    design: RecognizedDesign,
+    calculator: ArcDelayCalculator,
+) -> TimingGraph:
+    """Extract all delay arcs from a recognized design.
+
+    For every CCC output, conduction paths are traced to each *source*
+    the node can be driven from: the rails, and any port channel net
+    (externally driven data entering through pass devices).  Every gate
+    net on such a path contributes an arc; a non-rail source contributes
+    a ``pass`` arc.  Dynamic nodes are special-cased so precharge /
+    evaluate arcs carry their kinds and keeper devices stay excluded.
+    """
+    graph = TimingGraph()
+    flat_nets = design.flat.nets
+
+    for classification in design.classifications:
+        ccc = classification.ccc
+        sources: list[str] = []
+        if ccc.touches_rail("vdd"):
+            sources.append("vdd")
+        if ccc.touches_rail("gnd"):
+            sources.append("gnd")
+        port_sources = sorted(
+            n for n in ccc.channel_nets
+            if n in flat_nets and flat_nets[n].is_port
+        )
+
+        outputs = sorted(ccc.output_nets or ccc.channel_nets)
+        for out in outputs:
+            if out in classification.dynamic_nodes:
+                _dynamic_arcs(graph, ccc, classification.dynamic_nodes[out],
+                              out, calculator)
+                continue
+            arc_paths: dict[str, list] = {}
+            for src in sources + [p for p in port_sources if p != out]:
+                paths = conduction_paths(ccc, out, src)
+                if not paths:
+                    continue
+                for path in paths:
+                    for gate_net in path.gates():
+                        arc_paths.setdefault(gate_net, []).append(path)
+                if src not in ("vdd", "gnd"):
+                    delay = calculator.arc_delay(paths, out)
+                    graph.add(DelayArc(src=src, dst=out,
+                                       d_min=delay.d_min, d_max=delay.d_max,
+                                       kind="pass"))
+            for gate_net, paths in sorted(arc_paths.items()):
+                if gate_net == out:
+                    continue  # self-feedback (keeper-like): not an event arc
+                delay = calculator.arc_delay(paths, out)
+                kind = "pass" if classification.family in (
+                    CircuitFamily.PASS_NETWORK, CircuitFamily.TRANSMISSION_GATE
+                ) else "gate"
+                graph.add(DelayArc(src=gate_net, dst=out,
+                                   d_min=delay.d_min, d_max=delay.d_max,
+                                   kind=kind))
+
+    _break_cycles(graph)
+    return graph
+
+
+def _dynamic_arcs(graph, ccc, dyn, net, calculator) -> None:
+    """Precharge/evaluate arcs for one dynamic node; keepers excluded."""
+    down = conduction_paths(ccc, net, "gnd")
+    up = conduction_paths(ccc, net, "vdd")
+    pre_paths = [p for p in up if set(p.devices) <= set(dyn.precharge_devices)]
+    if pre_paths and dyn.clock:
+        delay = calculator.arc_delay(pre_paths, net)
+        graph.add(DelayArc(src=dyn.clock, dst=net,
+                           d_min=delay.d_min, d_max=delay.d_max,
+                           kind="precharge"))
+    for inp in sorted(dyn.eval_inputs):
+        through = [p for p in down if inp in p.gates()]
+        if not through:
+            continue
+        delay = calculator.arc_delay(through, net)
+        graph.add(DelayArc(src=inp, dst=net,
+                           d_min=delay.d_min, d_max=delay.d_max,
+                           kind="evaluate"))
+    # Clock-through-foot evaluate arc (clock arrival can also trigger
+    # the discharge when data is already stable).
+    foot_paths = [p for p in down if dyn.clock in p.gates()]
+    if foot_paths and dyn.clock:
+        delay = calculator.arc_delay(foot_paths, net)
+        graph.add(DelayArc(src=dyn.clock, dst=net,
+                           d_min=delay.d_min, d_max=delay.d_max,
+                           kind="evaluate"))
+
+
+def _break_cycles(graph: TimingGraph) -> None:
+    """Drop back-edges so arrival propagation terminates.
+
+    Storage feedback (cross-coupled loops, staticizer paths) and
+    bidirectional pass arcs create cycles; STA breaks them and notes the
+    breaks, mirroring the paper's observation that loop/false-path
+    handling needs designer visibility.
+    """
+    color: dict[str, int] = {}
+    kept: list[DelayArc] = []
+    dropped = 0
+
+    order = sorted(graph.nets())
+    adjacency: dict[str, list[DelayArc]] = {}
+    for arc in graph.arcs:
+        adjacency.setdefault(arc.src, []).append(arc)
+
+    on_stack: set[str] = set()
+
+    def dfs(net: str) -> None:
+        nonlocal dropped
+        color[net] = 1
+        on_stack.add(net)
+        for arc in adjacency.get(net, []):
+            if color.get(arc.dst, 0) == 0:
+                kept.append(arc)
+                dfs(arc.dst)
+            elif arc.dst in on_stack:
+                dropped += 1  # back-edge: break the loop here
+            else:
+                kept.append(arc)
+        on_stack.discard(net)
+        color[net] = 2
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        for net in order:
+            if color.get(net, 0) == 0:
+                dfs(net)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    if dropped:
+        graph.notes.append(f"broke {dropped} feedback arc(s) for acyclic analysis")
+        graph.arcs = kept
+        graph.fanout.clear()
+        graph.fanin.clear()
+        for arc in kept:
+            graph.fanout.setdefault(arc.src, []).append(arc)
+            graph.fanin.setdefault(arc.dst, []).append(arc)

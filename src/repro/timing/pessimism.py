@@ -1,0 +1,77 @@
+"""Pessimism settings.
+
+Paper section 4.3: "Static timing verification always has two
+conflicting goals: enough pessimism to insure identification of all
+violations, while not so much pessimism to cause false violations."
+
+Every bounded quantity in the timing engine is widened (or narrowed) by
+these knobs; experiment S43 sweeps ``scale`` against the golden
+simulator to trace the missed-vs-false-violation curve the paper
+describes qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PessimismSettings:
+    """Knobs trading missed violations against false ones.
+
+    Attributes
+    ----------
+    scale:
+        Global widening factor.  1.0 is the calibrated default; 0 would
+        collapse min = max = nominal (maximum optimism, misses real
+        violations); larger values widen every bound (more false
+        violations, no misses).
+    miller_max / miller_min:
+        Coupling multipliers for the slow/fast bounds (2.0 / 0.0 are the
+        physical extremes of an opposing / assisting aggressor).
+    derate_max / derate_min:
+        Multipliers applied to max and min arc delays after RC
+        calculation (model-error guard bands).
+    setup_margin_s / hold_margin_s:
+        Fixed margins added to constraint checks.
+    """
+
+    scale: float = 1.0
+    miller_max: float = 2.0
+    miller_min: float = 0.0
+    derate_max: float = 1.15
+    derate_min: float = 0.85
+    setup_margin_s: float = 10e-12
+    hold_margin_s: float = 10e-12
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError("pessimism scale must be non-negative")
+
+    def effective_miller_max(self) -> float:
+        return 1.0 + (self.miller_max - 1.0) * self.scale
+
+    def effective_miller_min(self) -> float:
+        return max(0.0, 1.0 - (1.0 - self.miller_min) * self.scale)
+
+    def effective_derate_max(self) -> float:
+        return 1.0 + (self.derate_max - 1.0) * self.scale
+
+    def effective_derate_min(self) -> float:
+        return max(0.1, 1.0 - (1.0 - self.derate_min) * self.scale)
+
+    def effective_setup_margin(self) -> float:
+        return self.setup_margin_s * self.scale
+
+    def effective_hold_margin(self) -> float:
+        return self.hold_margin_s * self.scale
+
+    @staticmethod
+    def optimistic() -> "PessimismSettings":
+        """Point-estimate timing: min = max = nominal-ish (scale 0)."""
+        return PessimismSettings(scale=0.0)
+
+    @staticmethod
+    def paranoid() -> "PessimismSettings":
+        """Doubled widening -- floods the designer with false violations."""
+        return PessimismSettings(scale=2.0)

@@ -1,0 +1,67 @@
+"""Timing report rendering: what the designer actually reads.
+
+Section 4.3: "As the number of false violations goes up, the
+productivity of the designer goes down and the greater the risk that
+real violations will be lost in a sea of output."  A report that shows
+each path's per-arc breakdown is how a designer decides in seconds
+whether a violation is real -- the anti-sea-of-output measure.
+"""
+
+from __future__ import annotations
+
+from repro.timing.analyzer import TimingAnalyzer, TimingReport
+
+
+def render_path(analyzer: TimingAnalyzer, report: TimingReport,
+                endpoint: str) -> str:
+    """Per-arc breakdown of the max path to one endpoint."""
+    path = next((p for p in report.critical_paths if p.endpoint == endpoint),
+                None)
+    if path is None:
+        return f"no timing path recorded for {endpoint!r}"
+    lines = [f"path to {endpoint} "
+             f"(arrival {path.arrival_s * 1e12:.1f} ps, "
+             f"slack {path.slack_s * 1e12:+.1f} ps)"]
+    arcs_by_pair = {}
+    for arc in analyzer.graph.arcs:
+        key = (arc.src, arc.dst)
+        existing = arcs_by_pair.get(key)
+        if existing is None or arc.d_max > existing.d_max:
+            arcs_by_pair[key] = arc
+    running = 0.0
+    for src, dst in zip(path.nets, path.nets[1:]):
+        arc = arcs_by_pair.get((src, dst))
+        if arc is None:
+            lines.append(f"  {src} -> {dst}  (arc missing: loop break)")
+            continue
+        running += arc.d_max
+        lines.append(
+            f"  {src:>16} -> {dst:<16} {arc.kind:<10}"
+            f"+{arc.d_max * 1e12:7.1f} ps  @ {running * 1e12:7.1f} ps"
+        )
+    return "\n".join(lines)
+
+
+def render_timing_report(analyzer: TimingAnalyzer, report: TimingReport,
+                         max_paths: int = 5) -> str:
+    """Summary + the worst paths + every race."""
+    lines = [
+        f"=== timing verification ===",
+        f"minimum cycle time : {report.min_cycle_time_s * 1e9:.3f} ns "
+        f"({report.max_frequency_hz() / 1e6:.0f} MHz)",
+        f"setup violations   : {len(report.setup_violations)}",
+        f"race violations    : {len(report.races)}",
+        "",
+    ]
+    interesting = [p for p in report.critical_paths if len(p.nets) > 1]
+    for path in interesting[:max_paths]:
+        lines.append(render_path(analyzer, report, path.endpoint))
+        lines.append("")
+    for race in report.races:
+        lines.append(f"RACE at {race.constraint.net} "
+                     f"(margin {race.margin_s * 1e12:+.1f} ps): {race.note}")
+    if analyzer.graph.notes:
+        lines.append("")
+        for note in analyzer.graph.notes:
+            lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,301 @@
+"""Unit tests for the section-4.2 check battery."""
+
+import pytest
+
+from repro.checks.base import CheckSettings, Severity
+from repro.checks.beta import BetaRatioCheck, DeviceSizeCheck
+from repro.checks.charge_share import ChargeShareCheck
+from repro.checks.coupling import CouplingCheck
+from repro.checks.driver import make_context
+from repro.checks.edge_rate import EdgeRateCheck
+from repro.checks.electromigration import ElectromigrationCheck
+from repro.checks.hot_carrier import HotCarrierCheck, TddbCheck
+from repro.checks.latch import LatchCheck
+from repro.checks.leakage import DynamicLeakageCheck
+from repro.checks.registry import run_battery
+from repro.checks.writability import WritabilityCheck
+from repro.extraction.caps import Bound
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def ctx_for(tech, build, ports, **kwargs):
+    b = CellBuilder("dut", ports=ports)
+    build(b)
+    return make_context(flatten(b.build()), tech, **kwargs)
+
+
+def severities(findings, subject):
+    return {f.severity for f in findings if f.subject == subject}
+
+
+# ---- beta / size -----------------------------------------------------------
+
+
+def test_beta_balanced_inverter_passes(tech):
+    ctx = ctx_for(tech, lambda b: b.inverter("a", "y", wn=2.0, wp=6.0), ["a", "y"])
+    findings = BetaRatioCheck().run(ctx)
+    assert severities(findings, "y") == {Severity.PASS}
+
+
+def test_beta_skewed_gate_flagged(tech):
+    ctx = ctx_for(tech, lambda b: b.inverter("a", "y", wn=30.0, wp=0.5), ["a", "y"])
+    findings = BetaRatioCheck().run(ctx)
+    flagged = severities(findings, "y")
+    assert flagged & {Severity.FILTERED, Severity.VIOLATION}
+
+
+def test_device_size_violation(tech):
+    def build(b):
+        b.nmos("a", "y", "gnd", w=0.2)  # sub-minimum
+        b.pmos("a", "y", "vdd", w=4.0)
+
+    ctx = ctx_for(tech, build, ["a", "y"])
+    findings = DeviceSizeCheck().run(ctx)
+    bad = [f for f in findings if f.severity is Severity.VIOLATION]
+    assert len(bad) == 1
+
+
+# ---- latch ------------------------------------------------------------------
+
+
+def test_latch_clocked_storage_passes(tech):
+    ctx = ctx_for(tech,
+                  lambda b: b.transparent_latch("d", "q", "clk", "clk_b"),
+                  ["d", "q", "clk", "clk_b"],
+                  clock_hints=["clk", "clk_b"])
+    findings = LatchCheck().run(ctx)
+    assert findings
+    assert all(f.severity is not Severity.VIOLATION for f in findings)
+
+
+def test_latch_unclocked_write_violation(tech):
+    def build(b):
+        b.transmission_gate("d", "store", "en", "en_b")  # en is NOT a clock
+        b.inverter("store", "q")
+
+    ctx = ctx_for(tech, build, ["d", "en", "en_b", "q"])
+    findings = LatchCheck().run(ctx)
+    assert any(f.severity is Severity.VIOLATION and f.subject == "store"
+               for f in findings)
+
+
+def test_latch_dynamic_storage_filtered(tech):
+    def build(b):
+        b.transmission_gate("d", "store", "clk", "clk_b")
+        b.inverter("store", "q")
+
+    ctx = ctx_for(tech, build, ["d", "clk", "clk_b", "q"],
+                  clock_hints=["clk", "clk_b"])
+    findings = LatchCheck().run(ctx)
+    assert any(f.severity is Severity.FILTERED and f.subject == "store"
+               for f in findings)
+
+
+# ---- coupling ----------------------------------------------------------------
+
+
+def test_coupling_quiet_net_passes(tech):
+    ctx = ctx_for(tech, lambda b: b.inverter("a", "y"), ["a", "y"])
+    findings = CouplingCheck().run(ctx)
+    assert all(f.severity is Severity.PASS for f in findings)
+
+
+def test_coupling_hammered_dynamic_node_violates(tech):
+    ctx = ctx_for(tech,
+                  lambda b: b.domino_gate("clk", ["a"], "y", dyn_net="dyn"),
+                  ["clk", "a", "y"])
+    # Inject a brutal aggressor onto the dynamic node.
+    from repro.extraction.caps import Coupling
+    dyn_wire = ctx.typical.load("dyn").wire
+    dyn_total = ctx.typical.load("dyn").total_nominal()
+    dyn_wire.couplings.append(
+        Coupling("aggressor", Bound.from_tolerance(dyn_total * 2, 0.1)))
+    findings = CouplingCheck().run(ctx)
+    assert any(f.subject == "dyn" and f.severity is Severity.VIOLATION
+               for f in findings)
+
+
+# ---- charge share ---------------------------------------------------------------
+
+
+def test_charge_share_small_stack_passes_or_filters(tech):
+    ctx = ctx_for(tech,
+                  lambda b: b.domino_gate("clk", ["a"], "y", dyn_net="dyn"),
+                  ["clk", "a", "y"])
+    findings = ChargeShareCheck().run(ctx)
+    assert len(findings) == 1
+    assert findings[0].severity is not Severity.VIOLATION
+
+
+def test_charge_share_deep_keeperless_stack_flagged(tech):
+    def build(b):
+        b.domino_gate("clk", ["a", "b", "c", "d"], "y",
+                      keeper=False, dyn_net="dyn", wn=12.0)
+        # Small dynamic node, big internal nodes: droop city.
+
+    ctx = ctx_for(tech, build, ["clk", "a", "b", "c", "d", "y"])
+    findings = ChargeShareCheck().run(ctx)
+    assert findings[0].severity in (Severity.FILTERED, Severity.VIOLATION)
+    assert findings[0].metric("droop_v") > 0.1
+
+
+def test_charge_share_keeper_demotes_to_filtered(tech):
+    def build(b):
+        b.domino_gate("clk", ["a", "b", "c", "d"], "y",
+                      keeper=True, dyn_net="dyn", wn=12.0)
+
+    ctx = ctx_for(tech, build, ["clk", "a", "b", "c", "d", "y"])
+    findings = ChargeShareCheck().run(ctx)
+    assert findings[0].severity is not Severity.VIOLATION
+
+
+# ---- leakage ----------------------------------------------------------------------
+
+
+def test_leakage_keeper_dominates(tech):
+    ctx = ctx_for(tech,
+                  lambda b: b.domino_gate("clk", ["a"], "y", dyn_net="dyn"),
+                  ["clk", "a", "y"],
+                  clock=TwoPhaseClock(period_s=6.25e-9))
+    findings = DynamicLeakageCheck().run(ctx)
+    dyn = next(f for f in findings if f.subject == "dyn")
+    assert dyn.severity is Severity.PASS
+    assert dyn.metric("keeper_ratio") > 5
+
+
+def test_leakage_keeperless_wide_stack_at_slow_clock(tech):
+    """A keeperless node held for a long phase with a huge leaky stack."""
+    def build(b):
+        b.domino_gate("clk", ["a"], "y", keeper=False, dyn_net="dyn", wn=200.0)
+
+    ctx = ctx_for(tech, build, ["clk", "a", "y"],
+                  clock=TwoPhaseClock(period_s=10e-6))  # 100 kHz scan-ish
+    findings = DynamicLeakageCheck().run(ctx)
+    dyn = next(f for f in findings if f.subject == "dyn")
+    assert dyn.severity in (Severity.FILTERED, Severity.VIOLATION)
+
+
+# ---- writability -------------------------------------------------------------------
+
+
+def test_writability_healthy_latch(tech):
+    ctx = ctx_for(tech,
+                  lambda b: b.transparent_latch("d", "q", "clk", "clk_b"),
+                  ["d", "q", "clk", "clk_b"],
+                  clock_hints=["clk", "clk_b"])
+    findings = WritabilityCheck().run(ctx)
+    assert findings
+    assert all(f.severity is Severity.PASS for f in findings
+               if f.metric("write_ratio"))
+
+
+def test_writability_weak_write_violates(tech):
+    def build(b):
+        # Tiny write tgate against a beefy feedback inverter.
+        b.transmission_gate("d", "store", "clk", "clk_b", wn=0.4, wp=0.4)
+        b.inverter("store", "q", wn=4.0, wp=8.0)
+        fb = "fbn"
+        b.inverter("q", fb, wn=6.0, wp=12.0)
+        b.transmission_gate(fb, "store", "clk_b", "clk", wn=6.0, wp=12.0)
+
+    ctx = ctx_for(tech, build, ["d", "q", "clk", "clk_b"],
+                  clock_hints=["clk", "clk_b"])
+    findings = WritabilityCheck().run(ctx)
+    store = [f for f in findings if f.subject == "store"]
+    assert store and store[0].severity is Severity.VIOLATION
+
+
+# ---- EM / HCI / TDDB -----------------------------------------------------------------
+
+
+def test_em_huge_driver_violates(tech):
+    def build(b):
+        b.inverter("a", "y", wn=400.0, wp=800.0)  # pad-driver class
+        b.cap("y", "gnd", 10e-12)  # 10 pF pad load
+        b.inverter("y", "z", wn=2.0, wp=4.0)
+
+    ctx = ctx_for(tech, build, ["a", "y", "z"],
+                  clock=TwoPhaseClock(period_s=6.25e-9))
+    findings = ElectromigrationCheck().run(ctx)
+    y = next(f for f in findings if f.subject == "y")
+    assert y.severity is Severity.VIOLATION
+
+
+def test_em_small_gate_passes(tech):
+    ctx = ctx_for(tech, lambda b: (b.inverter("a", "y"), b.inverter("y", "z")),
+                  ["a", "z"], clock=TwoPhaseClock(period_s=6.25e-9))
+    findings = ElectromigrationCheck().run(ctx)
+    assert all(f.severity is Severity.PASS for f in findings)
+
+
+def test_tddb_within_limit(tech):
+    ctx = ctx_for(tech, lambda b: b.inverter("a", "y"), ["a", "y"])
+    (finding,) = TddbCheck().run(ctx)
+    assert finding.severity in (Severity.PASS, Severity.FILTERED)
+
+
+def test_hci_single_device_sees_full_vdd(tech):
+    ctx = ctx_for(tech, lambda b: b.inverter("a", "y"), ["a", "y"])
+    findings = HotCarrierCheck().run(ctx)
+    n_findings = [f for f in findings if f.subject.startswith("mn")]
+    assert n_findings
+    # StrongARM at 1.5 V is comfortably under its 2.2 V HCI limit.
+    assert all(f.severity is Severity.PASS for f in n_findings)
+
+
+def test_hci_violation_on_overvoltage_process():
+    """The ALPHA process run at an abusive supply trips HCI."""
+    from dataclasses import replace
+
+    from repro.process.technology import alpha_21064_technology
+    tech = replace(alpha_21064_technology(), vdd_v=5.0, hci_max_vds_v=3.8)
+    b = CellBuilder("dut", ports=["a", "y"])
+    b.inverter("a", "y")
+    ctx = make_context(flatten(b.build()), tech)
+    findings = HotCarrierCheck().run(ctx)
+    assert any(f.severity is Severity.VIOLATION for f in findings)
+
+
+# ---- edge rate & battery ------------------------------------------------------------------
+
+
+def test_edge_rate_weak_driver_flagged(tech):
+    def build(b):
+        b.inverter("a", "y", wn=0.5, wp=0.5)
+        for i in range(30):  # massive fanout
+            b.inverter("y", f"z{i}", wn=8.0, wp=16.0)
+
+    ctx = ctx_for(tech, build, ["a", "y"])
+    findings = EdgeRateCheck().run(ctx)
+    y = next(f for f in findings if f.subject == "y")
+    assert y.severity in (Severity.FILTERED, Severity.VIOLATION)
+
+
+def test_full_battery_runs_clean_design(tech):
+    def build(b):
+        b.nand(["a", "b"], "n1")
+        b.inverter("n1", "y")
+        b.transparent_latch("y", "q", "clk", "clk_b")
+
+    ctx = ctx_for(tech, build, ["a", "b", "q", "clk", "clk_b"],
+                  clock=TwoPhaseClock(period_s=6.25e-9),
+                  clock_hints=["clk", "clk_b"])
+    result = run_battery(ctx)
+    assert result.findings
+    stats = result.queues.stats()
+    # A clean design: most findings auto-cleared, no violations.
+    assert stats.violations == 0
+    assert stats.auto_cleared_fraction() > 0.6
+    # Every paper check that applies produced findings.
+    for name in ("beta_ratio", "device_size", "edge_rate", "latch",
+                 "coupling", "writability", "electromigration",
+                 "hot_carrier", "tddb"):
+        assert result.of_check(name), f"check {name} produced nothing"

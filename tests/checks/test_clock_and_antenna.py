@@ -1,0 +1,99 @@
+"""Coverage for the thinner checks: clock skew, clock RC on real trees,
+and antenna with real macrocell geometry."""
+
+import pytest
+
+from repro.checks.antenna import AntennaCheck
+from repro.checks.base import Severity
+from repro.checks.clock_rc import ClockRcCheck, ClockSkewCheck
+from repro.checks.driver import make_context
+from repro.designs.clocktree import clock_tree
+from repro.extraction.extract import extract_macrocell
+from repro.layout.antenna_geom import AntennaGeometry, antenna_geometry
+from repro.layout.macrocell import generate_macrocell
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock, clock_tree_skew
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def test_clock_rc_on_real_tree(tech):
+    cell, leaves = clock_tree(levels=2, branching=2)
+    ctx = make_context(flatten(cell), tech, clock_hints=["clk_in"],
+                       clock=TwoPhaseClock(period_s=6.25e-9, skew_s=100e-12))
+    findings = ClockRcCheck().run(ctx)
+    # Every recognized clock net gets a node-by-node entry.
+    assert {f.subject for f in findings} >= set(leaves) | {"clk_in"}
+    assert all(f.metric("rc_s") >= 0 for f in findings)
+
+
+def test_clock_skew_check_budget_sensitivity(tech):
+    cell, _leaves = clock_tree(levels=3, branching=2)
+    flat = flatten(cell)
+    tight = make_context(flat, tech, clock_hints=["clk_in"],
+                         clock=TwoPhaseClock(period_s=6.25e-9, skew_s=1e-15))
+    loose = make_context(flat, tech, clock_hints=["clk_in"],
+                         clock=TwoPhaseClock(period_s=6.25e-9, skew_s=5e-9))
+    tight_findings = ClockSkewCheck().run(tight)
+    loose_findings = ClockSkewCheck().run(loose)
+    assert tight_findings and loose_findings
+    worst_tight = max(f.severity.value for f in tight_findings)
+    assert any(f.severity is not Severity.PASS for f in tight_findings)
+    assert all(f.severity is Severity.PASS for f in loose_findings)
+
+
+def test_clock_tree_skew_estimate_grows_with_depth(tech):
+    from repro.extraction.annotate import annotate
+    from repro.extraction.wireload import WireloadModel
+    from repro.process.corners import Corner
+    from repro.recognition.recognizer import recognize
+
+    def skew_of(levels):
+        cell, _ = clock_tree(levels=levels, branching=2)
+        flat = flatten(cell)
+        design = recognize(flat, clock_hints=["clk_in"])
+        par = WireloadModel().extract(flat, tech.wires)
+        annotated = annotate(flat, par, tech, Corner.TYPICAL)
+        return clock_tree_skew(design, annotated)
+
+    assert skew_of(3) >= skew_of(1) >= 0.0
+
+
+def test_antenna_check_with_real_geometry(tech):
+    b = CellBuilder("blk", ports=["a", "y"])
+    b.inverter("a", "mid")
+    b.inverter("mid", "y")
+    flat = flatten(b.build())
+    mc = generate_macrocell("blk", flat.transistors, l_min_um=tech.l_min_um)
+    geoms = antenna_geometry(mc.layout, flat, l_min_um=tech.l_min_um)
+    ctx = make_context(flat, tech,
+                       parasitics=extract_macrocell(mc, tech.wires),
+                       antenna=geoms)
+    findings = AntennaCheck().run(ctx)
+    assert findings
+    # mid has diffusion (driven by the first inverter): waived/pass.
+    mid = next(f for f in findings if f.subject == "mid")
+    assert mid.severity is Severity.PASS
+
+
+def test_antenna_check_flags_monster_wire(tech):
+    """A huge gate-only wire with no diffusion trips the ratio limit."""
+    geom = AntennaGeometry(net="long_route", metal_area_um2=2000.0,
+                           gate_area_um2=1.0, has_diffusion=False)
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "y")
+    ctx = make_context(flatten(b.build()), tech, antenna=[geom])
+    findings = AntennaCheck().run(ctx)
+    assert findings[0].severity is Severity.VIOLATION
+
+
+def test_antenna_check_abstains_without_layout(tech):
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "y")
+    ctx = make_context(flatten(b.build()), tech)
+    assert AntennaCheck().run(ctx) == []

@@ -1,0 +1,109 @@
+"""Unit tests for repro.checks.supply (Figure 3's remaining noise sources)."""
+
+import pytest
+
+from repro.checks.base import Severity
+from repro.checks.driver import make_context
+from repro.checks.supply import ALPHA_CHARGE_FC, AlphaParticleCheck, SupplyDifferenceCheck
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def domino_ctx(tech, **kwargs):
+    b = CellBuilder("dom", ports=["clk", "a", "y"])
+    b.domino_gate("clk", ["a"], "y", dyn_net="dyn", **kwargs)
+    return make_context(flatten(b.build()), tech,
+                        clock=TwoPhaseClock(period_s=6.25e-9))
+
+
+# ---- supply difference ----------------------------------------------------
+
+
+def test_supply_check_abstains_without_region_map(tech):
+    ctx = domino_ctx(tech)
+    assert SupplyDifferenceCheck().run(ctx) == []
+
+
+def test_supply_difference_within_budget_passes(tech):
+    ctx = domino_ctx(tech)
+    ctx.supply_regions = {"a": "north", "dyn": "south", "y": "south"}
+    ctx.supply_offsets_v = {"north": 0.01, "south": 0.02}
+    findings = SupplyDifferenceCheck().run(ctx)
+    assert findings
+    assert all(f.severity is Severity.PASS for f in findings)
+
+
+def test_supply_difference_on_dynamic_receiver_violates(tech):
+    """A big IR drop between the driver of an evaluate input and the
+    dynamic gate it feeds: tight budget, violation."""
+    ctx = domino_ctx(tech)
+    # 'a' gates the evaluate device; pretend its driver is far away.
+    ctx.supply_regions = {"a": "far_corner", "dyn": "local", "y": "local"}
+    ctx.supply_offsets_v = {"far_corner": 0.30, "local": 0.0}
+    findings = SupplyDifferenceCheck().run(ctx)
+    flagged = [f for f in findings if f.severity is not Severity.PASS]
+    assert flagged
+    assert any(f.subject == "a" for f in flagged)
+
+
+def test_supply_difference_static_receiver_filtered_not_violated(tech):
+    b = CellBuilder("c", ports=["x", "z"])
+    b.inverter("x", "mid")
+    b.inverter("mid", "z")
+    ctx = make_context(flatten(b.build()), tech)
+    ctx.supply_regions = {"x": "a_side", "mid": "b_side", "z": "b_side"}
+    ctx.supply_offsets_v = {"a_side": 0.5, "b_side": 0.0}
+    findings = SupplyDifferenceCheck().run(ctx)
+    assert any(f.severity is Severity.FILTERED for f in findings)
+    assert not any(f.severity is Severity.VIOLATION for f in findings)
+
+
+# ---- alpha particle -----------------------------------------------------------
+
+
+def test_alpha_small_dynamic_node_flagged(tech):
+    """A minimum-size dynamic node holds only a few fC of margin charge:
+    well under the strike budget."""
+    ctx = domino_ctx(tech)
+    findings = AlphaParticleCheck().run(ctx)
+    dyn = next(f for f in findings if f.subject == "dyn")
+    assert dyn.severity in (Severity.FILTERED, Severity.VIOLATION)
+    assert dyn.metric("q_crit_fc") < ALPHA_CHARGE_FC * 3
+
+
+def test_alpha_big_node_passes(tech):
+    """Hanging a large capacitor on the dynamic node raises Q_crit past
+    the strike budget -- the classic SER hardening move."""
+    b = CellBuilder("dom", ports=["clk", "a", "y"])
+    b.domino_gate("clk", ["a"], "y", dyn_net="dyn")
+    b.cap("dyn", "gnd", 500e-15)
+    ctx = make_context(flatten(b.build()), tech,
+                       clock=TwoPhaseClock(period_s=6.25e-9))
+    findings = AlphaParticleCheck().run(ctx)
+    dyn = next(f for f in findings if f.subject == "dyn")
+    assert dyn.severity is Severity.PASS
+
+
+def test_alpha_static_nodes_not_reported(tech):
+    b = CellBuilder("c", ports=["x", "z"])
+    b.nand(["x", "x"], "mid")
+    b.inverter("mid", "z")
+    ctx = make_context(flatten(b.build()), tech)
+    assert AlphaParticleCheck().run(ctx) == []
+
+
+def test_alpha_dynamic_latch_reported(tech):
+    b = CellBuilder("lat", ports=["d", "clk", "clk_b", "q"])
+    b.transmission_gate("d", "store", "clk", "clk_b")
+    b.inverter("store", "q")
+    ctx = make_context(flatten(b.build()), tech,
+                       clock_hints=["clk", "clk_b"])
+    findings = AlphaParticleCheck().run(ctx)
+    assert any(f.subject == "store" for f in findings)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core: the full CBV flow."""
+
+import pytest
+
+from repro.checks.base import Severity
+from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.report import render_report
+from repro.core.stages import FlowStage, StageStatus
+from repro.core.triage import DesignerQueue, QueueItem
+from repro.netlist.builder import CellBuilder
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def small_datapath_cell():
+    b = CellBuilder("dp", ports=["a", "b", "c", "y", "q", "clk", "clk_b"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "and_ab")
+    b.nor(["and_ab", "c"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    return b.build()
+
+
+def make_bundle(tech, **overrides):
+    defaults = dict(
+        name="dp",
+        cell=small_datapath_cell(),
+        technology=tech,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        clock_hints=("clk", "clk_b"),
+        rtl_intent={"y": lambda a, b, c: not ((a and b) or c)},
+        rtl_inputs={"y": ("a", "b", "c")},
+    )
+    defaults.update(overrides)
+    return DesignBundle(**defaults)
+
+
+def test_full_campaign_clean_design(tech):
+    report = CbvCampaign(make_bundle(tech)).run()
+    assert report.ok(), render_report(report)
+    for stage in (FlowStage.SCHEMATIC, FlowStage.RECOGNITION,
+                  FlowStage.LAYOUT, FlowStage.EXTRACTION,
+                  FlowStage.LOGIC_VERIFICATION,
+                  FlowStage.CIRCUIT_VERIFICATION,
+                  FlowStage.TIMING_VERIFICATION):
+        assert report.stage(stage).status is not StageStatus.FAIL
+    assert report.stage(FlowStage.LOGIC_VERIFICATION).metrics["outputs_checked"] == 1
+    assert report.timing is not None
+    assert report.timing.min_cycle_time_s < 6.25e-9  # meets 160 MHz easily
+
+
+def test_campaign_catches_wrong_logic(tech):
+    bundle = make_bundle(
+        tech,
+        rtl_intent={"y": lambda a, b, c: not (a and b and c)},  # wrong intent
+        rtl_inputs={"y": ("a", "b", "c")},
+    )
+    report = CbvCampaign(bundle).run()
+    logic = report.stage(FlowStage.LOGIC_VERIFICATION)
+    assert logic.status is StageStatus.FAIL
+    assert logic.details  # counterexample recorded
+
+
+def test_campaign_catches_electrical_defect(tech):
+    """Seed a sub-minimum device: circuit verification must fail and the
+    queue must carry the violation."""
+    cell = small_datapath_cell()
+    bad = next(t for t in cell.transistors if t.polarity == "nmos")
+    bad.w_um = 0.1  # below manufacturable minimum
+    bundle = make_bundle(tech, cell=cell)
+    report = CbvCampaign(bundle).run()
+    assert report.stage(FlowStage.CIRCUIT_VERIFICATION).status is StageStatus.FAIL
+    assert not report.queue.tapeout_clean()
+    assert any(i.source == "device_size" for i in report.queue.open_violations())
+
+
+def test_campaign_catches_timing_failure(tech):
+    bundle = make_bundle(tech, clock=TwoPhaseClock(period_s=30e-12))
+    report = CbvCampaign(bundle).run()
+    assert report.stage(FlowStage.TIMING_VERIFICATION).status is StageStatus.FAIL
+    assert any(i.source == "timing.setup" for i in report.queue.open_violations())
+
+
+def test_campaign_wireload_mode(tech):
+    report = CbvCampaign(make_bundle(tech, use_layout=False)).run()
+    assert report.stage(FlowStage.LAYOUT).status is StageStatus.SKIPPED
+    assert report.stage(FlowStage.EXTRACTION).status is StageStatus.PASS
+
+
+def test_render_report_contains_stages(tech):
+    text = render_report(CbvCampaign(make_bundle(tech)).run())
+    assert "CBV campaign: dp" in text
+    assert "timing_verification" in text
+    assert "designer queue" in text
+
+
+def test_triage_queue_waivers():
+    queue = DesignerQueue()
+    queue.items.append(QueueItem(source="coupling", subject="n1",
+                                 severity=Severity.VIOLATION, message="m"))
+    queue.items.append(QueueItem(source="latch", subject="s1",
+                                 severity=Severity.FILTERED, message="m"))
+    assert not queue.tapeout_clean()
+    with pytest.raises(ValueError):
+        queue.waive("coupling", "n1", "   ")
+    queue.waive("coupling", "n1", "shielded by routing plan rev B")
+    assert queue.tapeout_clean()  # only FILTERED remains
+    assert len(queue.open_items()) == 1
+    with pytest.raises(KeyError):
+        queue.waive("nosuch", "x", "reason")
+
+
+def test_queue_priority_order():
+    queue = DesignerQueue()
+    queue.items.append(QueueItem("b_check", "s2", Severity.FILTERED, "m"))
+    queue.items.append(QueueItem("a_check", "s1", Severity.VIOLATION, "m"))
+    ordered = queue.open_items()
+    assert ordered[0].severity is Severity.VIOLATION

@@ -1,0 +1,52 @@
+"""Unit tests for the JSON report export."""
+
+import json
+
+from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.report import report_to_dict, report_to_json
+from repro.netlist.builder import CellBuilder
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+def make_report():
+    b = CellBuilder("jdut", ports=["a", "bb", "y", "q", "clk", "clk_b"])
+    b.nand(["a", "bb"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    bundle = DesignBundle(
+        name="jdut",
+        cell=b.build(),
+        technology=strongarm_technology(),
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        clock_hints=("clk", "clk_b"),
+        use_layout=False,
+    )
+    return CbvCampaign(bundle).run()
+
+
+def test_report_dict_shape():
+    report = make_report()
+    data = report_to_dict(report)
+    assert data["design"] == "jdut"
+    assert isinstance(data["ok"], bool)
+    stages = {s["stage"] for s in data["stages"]}
+    assert "timing_verification" in stages
+    assert "circuit_verification" in stages
+    for stage in data["stages"]:
+        assert set(stage) == {"stage", "status", "summary", "metrics"}
+
+
+def test_report_json_round_trips():
+    report = make_report()
+    text = report_to_json(report)
+    parsed = json.loads(text)
+    assert parsed == json.loads(report_to_json(report))
+    assert parsed["tapeout_clean"] == report.queue.tapeout_clean()
+
+
+def test_queue_items_serialized():
+    report = make_report()
+    data = report_to_dict(report)
+    for item in data["queue"]:
+        assert item["severity"] in ("filtered", "violation")
+        assert isinstance(item["waived"], bool)

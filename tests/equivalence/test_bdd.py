@@ -1,0 +1,105 @@
+"""Unit tests for repro.equivalence.bdd."""
+
+import pytest
+
+from repro.equivalence.bdd import BddManager
+
+
+@pytest.fixture
+def m():
+    return BddManager()
+
+
+def test_terminals(m):
+    assert m.false == 0 and m.true == 1
+    assert m.not_(m.true) == m.false
+
+
+def test_var_canonical(m):
+    a1 = m.var("a")
+    a2 = m.var("a")
+    assert a1 == a2
+
+
+def test_basic_identities(m):
+    a, b = m.declare("a", "b")
+    assert m.and_(a, m.true) == a
+    assert m.and_(a, m.false) == m.false
+    assert m.or_(a, m.false) == a
+    assert m.and_(a, a) == a
+    assert m.and_(a, m.not_(a)) == m.false
+    assert m.or_(a, m.not_(a)) == m.true
+    assert m.xor_(a, a) == m.false
+    assert m.xor_(a, b) == m.xor_(b, a)
+
+
+def test_de_morgan(m):
+    a, b = m.declare("a", "b")
+    lhs = m.not_(m.and_(a, b))
+    rhs = m.or_(m.not_(a), m.not_(b))
+    assert lhs == rhs
+
+
+def test_canonicity_of_equivalent_expressions(m):
+    a, b, c = m.declare("a", "b", "c")
+    f = m.or_(m.and_(a, b), m.and_(a, c))
+    g = m.and_(a, m.or_(b, c))  # distribution
+    assert f == g
+
+
+def test_evaluate(m):
+    a, b = m.declare("a", "b")
+    f = m.xor_(a, b)
+    assert m.evaluate(f, {"a": True, "b": False}) is True
+    assert m.evaluate(f, {"a": True, "b": True}) is False
+    with pytest.raises(KeyError):
+        m.evaluate(f, {"a": True})
+
+
+def test_support(m):
+    a, b, c = m.declare("a", "b", "c")
+    f = m.and_(a, m.or_(b, m.not_(b)))  # b cancels out
+    assert m.support(f) == {"a"}
+    g = m.and_(a, c)
+    assert m.support(g) == {"a", "c"}
+
+
+def test_any_sat(m):
+    a, b = m.declare("a", "b")
+    f = m.and_(a, m.not_(b))
+    witness = m.any_sat(f)
+    assert witness == {"a": True, "b": False}
+    assert m.any_sat(m.false) is None
+
+
+def test_count_sat(m):
+    a, b, c = m.declare("a", "b", "c")
+    assert m.count_sat(m.true) == 8
+    assert m.count_sat(m.false) == 0
+    assert m.count_sat(a) == 4
+    assert m.count_sat(m.and_(a, b)) == 2
+    assert m.count_sat(m.xor_(a, m.xor_(b, c))) == 4
+
+
+def test_implies_and_xnor(m):
+    a, b = m.declare("a", "b")
+    assert m.implies(m.false, a) == m.true
+    assert m.xnor_(a, a) == m.true
+    assert m.xnor_(a, b) == m.not_(m.xor_(a, b))
+
+
+def test_size_grows_with_structure(m):
+    names = [f"x{i}" for i in range(8)]
+    variables = m.declare(*names)
+    parity = m.false
+    for v in variables:
+        parity = m.xor_(parity, v)
+    # Parity BDD is linear in variable count: 2 nodes per level - 1.
+    assert m.size(parity) == 2 * 8 - 1
+
+
+def test_many_variable_and_chain(m):
+    variables = m.declare(*[f"v{i}" for i in range(12)])
+    conj = m.and_many(variables)
+    assert m.count_sat(conj) == 1
+    assert m.size(conj) == 12

@@ -1,0 +1,116 @@
+"""Unit tests for repro.equivalence.combinational."""
+
+import pytest
+
+from repro.equivalence.bdd import BddManager
+from repro.equivalence.combinational import (
+    bdd_from_function,
+    bdd_from_gates,
+    bdd_from_truth_table,
+    check_combinational,
+    check_gate_vs_function,
+)
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.recognition.recognizer import recognize
+
+
+def recognized(build, ports):
+    b = CellBuilder("dut", ports=ports)
+    build(b)
+    return recognize(flatten(b.build()))
+
+
+def test_truth_table_construction():
+    m = BddManager()
+    # XOR over (a, b): minterms 1 and 2 -> mask 0b0110.
+    f = bdd_from_truth_table(m, ["a", "b"], 0b0110)
+    g = m.xor_(m.var("a"), m.var("b"))
+    assert f == g
+
+
+def test_function_vs_schematic_nand():
+    design = recognized(lambda b: b.nand(["a", "b"], "y"), ["a", "b", "y"])
+    result = check_gate_vs_function(
+        design, "y", lambda a, b: not (a and b), ["a", "b"]
+    )
+    assert result.equivalent
+
+
+def test_function_vs_schematic_mismatch_counterexample():
+    design = recognized(lambda b: b.nand(["a", "b"], "y"), ["a", "b", "y"])
+    result = check_gate_vs_function(
+        design, "y", lambda a, b: not (a or b), ["a", "b"]  # NOR intent
+    )
+    assert not result.equivalent
+    ce = result.counterexample
+    assert ce is not None
+    # NAND and NOR differ exactly when a != b.
+    assert ce["a"] != ce["b"]
+
+
+def test_multi_level_network():
+    def build(b):
+        b.nand(["a", "b"], "n1")
+        b.nand(["c", "d"], "n2")
+        b.nand(["n1", "n2"], "y")  # y = ab + cd
+
+    design = recognized(build, ["a", "b", "c", "d", "y"])
+    result = check_gate_vs_function(
+        design, "y", lambda a, b, c, d: (a and b) or (c and d), ["a", "b", "c", "d"]
+    )
+    assert result.equivalent
+
+
+def test_different_implementations_same_function():
+    """Paper section 2.2: implementations may deviate between views as
+    long as logical intent holds.  An AOI21 vs its NAND/NOR rebuild."""
+    aoi = recognized(lambda b: b.aoi21("a", "b", "c", "y"), ["a", "b", "c", "y"])
+
+    def build_rebuilt(b):
+        b.nand(["a", "b"], "n1")    # n1 = !(ab)
+        b.inverter("c", "c_b")      # c_b = !c
+        b.nand(["n1", "c_b"], "n2")  # n2 = ab + c
+        b.inverter("n2", "y")       # y = !(ab + c)
+
+    rebuilt = recognized(build_rebuilt, ["a", "b", "c", "y"])
+
+    m = BddManager()
+    for name in ("a", "b", "c"):
+        m.var(name)
+    f = bdd_from_gates(m, aoi, "y", inputs=["a", "b", "c"])
+    g = bdd_from_gates(m, rebuilt, "y", inputs=["a", "b", "c"])
+    assert check_combinational(m, f, g).equivalent
+
+
+def test_undeclared_input_rejected():
+    design = recognized(lambda b: b.nand(["a", "b"], "y"), ["a", "b", "y"])
+    m = BddManager()
+    with pytest.raises(ValueError, match="neither"):
+        bdd_from_gates(m, design, "y", inputs=["a"])  # b not declared
+
+
+def test_cyclic_network_rejected():
+    """A latch loop is not combinational; the checker must say so."""
+    def build(b):
+        b.inverter("x", "y")
+        b.inverter("y", "x")
+
+    design = recognized(build, ["x", "y"])
+    m = BddManager()
+    with pytest.raises(ValueError, match="loop|sequential"):
+        bdd_from_gates(m, design, "y")
+
+
+def test_function_enumeration_cap():
+    m = BddManager()
+    with pytest.raises(ValueError):
+        bdd_from_function(m, lambda **kw: True, [f"i{k}" for k in range(17)])
+
+
+def test_free_inputs_default():
+    """inputs=None lets every non-gate net become a variable."""
+    design = recognized(lambda b: b.inverter("a", "y"), ["a", "y"])
+    m = BddManager()
+    f = bdd_from_gates(m, design, "y")
+    assert m.support(f) == {"a"}

@@ -1,0 +1,102 @@
+"""Unit tests for repro.extraction.extract, wireload, and annotate."""
+
+import pytest
+
+from repro.extraction.annotate import annotate
+from repro.extraction.extract import extract_macrocell
+from repro.extraction.wireload import WireloadModel
+from repro.layout.macrocell import generate_macrocell
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+
+
+def two_gate_flat():
+    b = CellBuilder("dut", ports=["a", "b", "c", "y"])
+    b.nand(["a", "b"], "n1")
+    b.nand(["n1", "c"], "y")
+    return flatten(b.build())
+
+
+def test_extract_macrocell_produces_bounded_parasitics():
+    tech = strongarm_technology()
+    flat = two_gate_flat()
+    mc = generate_macrocell("dut", flat.transistors, l_min_um=tech.l_min_um)
+    par = extract_macrocell(mc, tech.wires)
+    n1 = par.of("n1")
+    assert n1.cap_ground.nominal > 0
+    assert n1.cap_ground.lo < n1.cap_ground.nominal < n1.cap_ground.hi
+    assert n1.resistance.nominal > 0
+    assert n1.wire_length_um > 0
+
+
+def test_wireload_model_deterministic_and_fanout_sensitive():
+    tech = strongarm_technology()
+    flat = two_gate_flat()
+    model = WireloadModel(seed=7)
+    par1 = model.extract(flat, tech.wires)
+    par2 = WireloadModel(seed=7).extract(flat, tech.wires)
+    assert par1.of("n1").cap_ground.nominal == par2.of("n1").cap_ground.nominal
+    # n1 has more pins than c (drives a gate + two drains) -> longer wire.
+    assert par1.of("n1").wire_length_um != par1.of("c").wire_length_um
+
+
+def test_wireload_couplings_are_symmetric():
+    tech = strongarm_technology()
+    flat = two_gate_flat()
+    par = WireloadModel(coupling_fraction=0.3).extract(flat, tech.wires)
+    for name, p in par.nets.items():
+        for c in p.couplings:
+            back = par.of(c.other_net).coupling_to(name)
+            assert back is not None
+
+
+def test_annotate_merges_device_caps():
+    tech = strongarm_technology()
+    flat = two_gate_flat()
+    par = WireloadModel().extract(flat, tech.wires)
+    design = annotate(flat, par, tech, Corner.TYPICAL)
+    n1 = design.load("n1")
+    # n1 drives two gates of the second NAND: gate cap present.
+    assert n1.gate_cap_f > 0
+    # n1 is the drain node of the first NAND: junction cap present.
+    assert n1.junction_cap_f > 0
+    assert n1.total_max() > n1.total_nominal() > n1.total_min()
+    assert n1.total_nominal() > n1.wire.cap_nominal()
+
+
+def test_annotate_explicit_capacitor():
+    tech = strongarm_technology()
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "y")
+    b.cap("y", "gnd", 50e-15)
+    flat = flatten(b.build())
+    par = WireloadModel().extract(flat, tech.wires)
+    design = annotate(flat, par, tech)
+    assert design.load("y").extra_cap_f == pytest.approx(50e-15)
+
+
+def test_corner_changes_caps():
+    tech = strongarm_technology()
+    flat = two_gate_flat()
+    par = WireloadModel().extract(flat, tech.wires)
+    typ = annotate(flat, par, tech, Corner.TYPICAL).load("n1").gate_cap_f
+    slow = annotate(flat, par, tech, Corner.SLOW).load("n1").gate_cap_f
+    assert slow > typ  # SLOW corner has a larger cap factor
+
+
+def test_channel_lengthening_raises_gate_cap():
+    tech = strongarm_technology()
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "y", l_add=0.09)
+    flat = flatten(b.build())
+    par = WireloadModel().extract(flat, tech.wires)
+    long_cap = annotate(flat, par, tech).load("a").gate_cap_f
+
+    b2 = CellBuilder("c", ports=["a", "y"])
+    b2.inverter("a", "y")
+    flat2 = flatten(b2.build())
+    par2 = WireloadModel().extract(flat2, tech.wires)
+    short_cap = annotate(flat2, par2, tech).load("a").gate_cap_f
+    assert long_cap > short_cap

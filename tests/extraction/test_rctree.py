@@ -1,0 +1,82 @@
+"""Unit tests for repro.extraction.rctree."""
+
+import pytest
+
+from repro.extraction.rctree import RCTree, ladder_tap_names, uniform_ladder
+
+
+def test_tree_construction_and_validation():
+    t = RCTree(root="drv")
+    t.add_node("a", "drv", resistance=100.0, cap=1e-15)
+    t.add_node("b", "a", resistance=200.0, cap=2e-15)
+    with pytest.raises(ValueError):
+        t.add_node("a", "drv", 1.0, 1e-15)  # duplicate
+    with pytest.raises(KeyError):
+        t.add_node("c", "zz", 1.0, 1e-15)  # unknown parent
+    with pytest.raises(ValueError):
+        t.add_node("c", "b", -1.0, 1e-15)
+
+
+def test_elmore_two_segment_line():
+    """Hand-computed Elmore on a 2-node line."""
+    t = RCTree(root="r")
+    t.add_node("n1", "r", resistance=100.0, cap=1e-15)
+    t.add_node("n2", "n1", resistance=100.0, cap=1e-15)
+    # delay(n2) = R1*(C1+C2) + R2*C2 = 100*2e-15 + 100*1e-15 = 3e-13
+    assert t.elmore_delay("n2") == pytest.approx(3e-13)
+    # delay(n1) = R1*(C1+C2) = 2e-13
+    assert t.elmore_delay("n1") == pytest.approx(2e-13)
+
+
+def test_driver_resistance_sees_total_cap():
+    t = RCTree(root="r")
+    t.add_node("n1", "r", resistance=0.0, cap=10e-15)
+    assert t.elmore_delay("n1", driver_resistance=1000.0) == pytest.approx(1e-11)
+
+
+def test_branching_tree_downstream_cap():
+    t = RCTree(root="r")
+    t.add_node("trunk", "r", 50.0, 1e-15)
+    t.add_node("left", "trunk", 100.0, 2e-15)
+    t.add_node("right", "trunk", 100.0, 3e-15)
+    assert t.downstream_cap("trunk") == pytest.approx(6e-15)
+    # A side branch's cap loads the shared trunk but not the other branch's R.
+    d_left = t.elmore_delay("left")
+    assert d_left == pytest.approx(50.0 * 6e-15 + 100.0 * 2e-15)
+
+
+def test_worst_elmore_is_farthest_on_uniform_line():
+    t = uniform_ladder(10, total_resistance=1000.0, total_cap=100e-15)
+    node, delay = t.worst_elmore()
+    assert node == "n10"
+    assert delay > 0
+    # Distributed line Elmore ~ RC/2 * (1 + 1/N): for N=10 ~ 0.55 RC
+    rc = 1000.0 * 100e-15
+    assert delay == pytest.approx(0.55 * rc, rel=0.01)
+
+
+def test_uniform_ladder_total_cap_preserved():
+    t = uniform_ladder(7, 700.0, 7e-14)
+    assert t.total_cap() == pytest.approx(7e-14)
+    assert t.resistance_to("n7") == pytest.approx(700.0)
+
+
+def test_ladder_validation():
+    with pytest.raises(ValueError):
+        uniform_ladder(0, 1.0, 1.0)
+
+
+def test_ladder_tap_names():
+    assert ladder_tap_names(10, 1) == ["n10"]
+    assert ladder_tap_names(10, 2) == ["n5", "n10"]
+    assert ladder_tap_names(8, 4) == ["n2", "n4", "n6", "n8"]
+    with pytest.raises(ValueError):
+        ladder_tap_names(4, 5)
+
+
+def test_add_cap_at_tap():
+    t = uniform_ladder(4, 400.0, 4e-15)
+    before = t.elmore_delay("n4")
+    t.add_cap("n2", 10e-15)
+    after = t.elmore_delay("n4")
+    assert after > before

@@ -1,0 +1,171 @@
+"""Integration tests: the tools must agree with each other.
+
+The CBV methodology only works if its layers are mutually consistent:
+the recognizer's extracted functions must match what the switch-level
+simulator computes, STA's bounds must bracket the transient simulator,
+and the equivalence checker must agree with exhaustive simulation.
+"""
+
+import pytest
+
+from repro.designs.adders import adder_reference, ripple_carry_adder
+from repro.equivalence.combinational import check_gate_vs_function
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.recognition.recognizer import recognize
+from repro.spice.circuit import PwlSource
+from repro.spice.netlist_bridge import circuit_from_netlist
+from repro.spice.transient import transient
+from repro.spice.waveforms import crossing_time
+from repro.switchsim.engine import SwitchSimulator
+from repro.switchsim.values import Logic
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def test_recognizer_vs_switchsim_on_complex_gate(tech):
+    """The AOI21's recognized truth table matches switch simulation on
+    all 8 input combinations."""
+    b = CellBuilder("aoi", ports=["a", "bb", "c", "y"])
+    b.aoi21("a", "bb", "c", "y")
+    flat = flatten(b.build())
+    design = recognize(flat)
+    gate = design.gates["y"]
+    sim = SwitchSimulator(flat)
+    for i in range(8):
+        assignment = {"a": bool(i & 1), "bb": bool(i & 2), "c": bool(i & 4)}
+        sim.step(**{k: int(v) for k, v in assignment.items()})
+        predicted = gate.evaluate({k: assignment[k] for k in gate.inputs})
+        assert sim.value("y") is Logic.from_bool(predicted), assignment
+
+
+def test_equivalence_vs_exhaustive_simulation(tech):
+    """BDD equivalence and exhaustive switch simulation give the same
+    verdict on the 2-bit adder -- both for the correct circuit and for a
+    seeded-bug variant."""
+    width = 2
+    inputs = [f"a{i}" for i in range(width)] + \
+             [f"b{i}" for i in range(width)] + ["cin"]
+
+    def sum_intent(bit):
+        def fn(**kw):
+            a = sum((1 << i) for i in range(width) if kw[f"a{i}"])
+            bb = sum((1 << i) for i in range(width) if kw[f"b{i}"])
+            return bool((adder_reference(a, bb, int(kw["cin"]), width)[0] >> bit) & 1)
+        return fn
+
+    good = ripple_carry_adder(width)
+    bad = ripple_carry_adder(width)
+    # Seed a wiring bug: swap one NAND input on the s1 cone.
+    victim = next(t for t in bad.transistors if t.gate == "cin")
+    victim.gate = "a0"
+
+    def bdd_verdict(design, bit):
+        try:
+            return check_gate_vs_function(design, f"s{bit}", sum_intent(bit),
+                                          inputs).equivalent
+        except ValueError:
+            # The bug broke complementarity: the cone is no longer even a
+            # recognizable gate network -- certainly not equivalent.
+            return False
+
+    for cell, expect_equal in ((good, True), (bad, False)):
+        flat = flatten(cell)
+        design = recognize(flat)
+        bdd_verdicts = [bdd_verdict(design, bit) for bit in range(width)]
+        # Exhaustive simulation verdict.
+        sim = SwitchSimulator(flat)
+        sim_ok = True
+        for a in range(1 << width):
+            for bb in range(1 << width):
+                for cin in (0, 1):
+                    drives = {"cin": cin}
+                    for i in range(width):
+                        drives[f"a{i}"] = (a >> i) & 1
+                        drives[f"b{i}"] = (bb >> i) & 1
+                    sim.step(**drives)
+                    expected_s = adder_reference(a, bb, cin, width)[0]
+                    for bit in range(width):
+                        value = sim.value(f"s{bit}")
+                        if value is Logic.X or \
+                                (value is Logic.ONE) != bool((expected_s >> bit) & 1):
+                            sim_ok = False
+        assert all(bdd_verdicts) == expect_equal
+        assert sim_ok == expect_equal
+
+
+def test_sta_bounds_bracket_transient_on_gates(tech):
+    """For a spread of single gates, the STA [d_min, d_max] window must
+    contain plausibility: d_max above the SLOW-corner transient delay."""
+    from repro.extraction.annotate import annotate
+    from repro.extraction.caps import Parasitics
+    from repro.timing.delay import ArcDelayCalculator
+    from repro.timing.graph import build_timing_graph
+
+    cases = [
+        ("inv", lambda b: b.inverter("a", "y", wn=2.0, wp=4.0), 10e-15),
+        ("nand3", lambda b: b.nand(["a", "x1", "x2"], "y"), 20e-15),
+        ("nor2", lambda b: b.nor(["a", "x1"], "y"), 15e-15),
+    ]
+    for name, build, load in cases:
+        ports = ["a", "x1", "x2", "y"]
+        b = CellBuilder(name, ports=ports)
+        build(b)
+        b.cap("y", "gnd", load)
+        flat = flatten(b.build())
+
+        design = recognize(flat)
+        parasitics = Parasitics()
+        fast = annotate(flat, parasitics, tech, Corner.FAST)
+        slow = annotate(flat, parasitics, tech, Corner.SLOW)
+        graph = build_timing_graph(design, ArcDelayCalculator(fast, slow))
+        arc = next(a for a in graph.arcs if a.src == "a" and a.dst == "y")
+
+        corner = Corner.SLOW
+        vdd = tech.vdd_at(corner)
+        stim = {"a": PwlSource.step(0.0, vdd, 0.2e-9, 40e-12)}
+        # Side inputs held so 'a' controls the output.
+        gate = design.gates["y"]
+        for side in gate.inputs:
+            if side != "a":
+                # For NAND hold others high; for NOR hold low.
+                stim[side] = PwlSource.dc(vdd if name.startswith("nand") else 0.0)
+        circuit = circuit_from_netlist(flat, tech, corner=corner, stimulus=stim)
+        v_y0 = vdd if gate.evaluate(
+            {k: (k != "a") if name.startswith("nand") else False
+             for k in gate.inputs}) else 0.0
+        result = transient(circuit, t_stop=6e-9, dt=4e-12, v_init={"y": v_y0})
+        t_in = crossing_time(result.wave("a"), vdd / 2, rising=True)
+        t_out = crossing_time(result.wave("y"), vdd / 2, after=t_in)
+        assert t_out is not None, name
+        golden = t_out - t_in
+        assert arc.d_max > golden, (name, arc.d_max, golden)
+        assert arc.d_max < 8 * golden, (name, arc.d_max, golden)
+
+
+def test_spice_vs_switchsim_steady_state(tech):
+    """Transient end-state agrees with switch-level logic on a chain."""
+    b = CellBuilder("chain", ports=["a", "y"])
+    b.nand(["a", "mid1"], "n_out")  # feedback-free: mid1 from inverter
+    b.inverter("a", "mid1")
+    b.inverter("n_out", "y")
+    flat = flatten(b.build())
+    vdd = tech.vdd_v
+
+    for a_val in (0, 1):
+        sim = SwitchSimulator(flat)
+        sim.step(a=a_val)
+        expected = sim.value("y")
+        circuit = circuit_from_netlist(
+            flat, tech, stimulus={"a": PwlSource.dc(vdd * a_val)})
+        result = transient(circuit, t_stop=4e-9, dt=5e-12)
+        final = result.final("y")
+        if expected is Logic.ONE:
+            assert final > 0.9 * vdd
+        else:
+            assert final < 0.1 * vdd

@@ -1,0 +1,107 @@
+"""Coverage for small public surfaces not exercised elsewhere:
+strict-X shadow policy, error branches, and report describers."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.netlist.spice_io import format_value
+from repro.process.technology import strongarm_technology
+from repro.rtl.module import RtlModule
+from repro.rtl.signals import Signal
+from repro.rtl.simulator import PhaseSimulator, SimulationError
+from repro.shadow.binding import ShadowBinding
+from repro.shadow.shadowsim import ShadowSimulator
+from repro.switchsim.engine import SwitchSimulator
+
+
+def test_format_value_scales():
+    assert format_value(2e-6, unit_scale=1e-6) == "2"
+    assert format_value(0.5) == "0.5"
+
+
+def test_cpus_needed_requires_cycles():
+    sim = PhaseSimulator(RtlModule("empty"))
+    with pytest.raises(SimulationError):
+        sim.cpus_needed()
+
+
+def test_shadow_strict_x_promotes_unknowns():
+    """With strict_x, a circuit stuck at X against definite RTL values
+    is a mismatch (post-reset discipline)."""
+    m = RtlModule("top")
+    d = m.signal("d", 1, reset=1)
+    rtl = PhaseSimulator(m)
+
+    b = CellBuilder("blk", ports=["a", "y"])
+    b.inverter("a", "y")
+    circuit = SwitchSimulator(flatten(b.build()))
+    # Compare y against d but never drive a: y stays X forever.
+    binding = ShadowBinding().compare("y", d)
+    lax = ShadowSimulator(rtl, circuit, binding, strict_x=False)
+    report = lax.cycle(2)
+    assert report.clean()
+    assert report.unknowns == report.compared
+
+    m2 = RtlModule("top")
+    d2 = m2.signal("d", 1, reset=1)
+    rtl2 = PhaseSimulator(m2)
+    circuit2 = SwitchSimulator(flatten(b.build()))
+    strict = ShadowSimulator(rtl2, circuit2,
+                             ShadowBinding().compare("y", d2), strict_x=True)
+    report2 = strict.cycle(2)
+    assert not report2.clean()
+
+
+def test_sizing_result_describe():
+    from repro.recognition.recognizer import recognize
+    from repro.timing.sizing import size_path
+
+    tech = strongarm_technology()
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "s0", wn=1.0, wp=2.5)
+    b.inverter("s0", "y", wn=1.0, wp=2.5)
+    b.cap("y", "gnd", 100e-15)
+    flat = flatten(b.build())
+    result = size_path(flat, recognize(flat), tech, ["a", "s0", "y"],
+                       c_load_f=100e-15)
+    text = result.describe()
+    assert "sized 2 stage(s)" in text
+    assert "x1.00" in text  # the anchor stage
+
+
+def test_timing_run_exposes_corner_designs():
+    from repro.process.corners import Corner
+    from repro.timing.clocking import TwoPhaseClock
+    from repro.timing.driver import analyze_design
+
+    tech = strongarm_technology()
+    b = CellBuilder("c", ports=["a", "y"])
+    b.inverter("a", "y")
+    run = analyze_design(flatten(b.build()), tech,
+                         TwoPhaseClock(period_s=6.25e-9))
+    assert run.fast.corner is Corner.FAST
+    assert run.slow.corner is Corner.SLOW
+    assert run.design.flat is run.fast.flat
+
+
+def test_stage_result_ok_semantics():
+    from repro.core.stages import FlowStage, StageResult, StageStatus
+
+    for status, expected in ((StageStatus.PASS, True),
+                             (StageStatus.ATTENTION, True),
+                             (StageStatus.SKIPPED, True),
+                             (StageStatus.FAIL, False)):
+        result = StageResult(stage=FlowStage.SCHEMATIC, status=status,
+                             summary="x")
+        assert result.ok() is expected
+
+
+def test_standby_describe_mentions_assignments():
+    from repro.power.standby import optimize_lengthening, strongarm_regions
+
+    tech = strongarm_technology()
+    result = optimize_lengthening(strongarm_regions(), tech)
+    text = result.describe()
+    assert "standby leakage" in text
+    assert "icache" in text

@@ -1,0 +1,50 @@
+"""Unit tests for repro.layout.geometry."""
+
+import pytest
+
+from repro.layout.geometry import Layout, Rect
+
+
+def test_rect_validation_and_measures():
+    r = Rect("metal1", 0, 0, 10, 2, net="a")
+    assert r.width == 10 and r.height == 2
+    assert r.area() == 20
+    assert r.perimeter() == 24
+    with pytest.raises(ValueError):
+        Rect("metal1", 5, 0, 0, 2)
+
+
+def test_intersection_and_gaps():
+    a = Rect("m1", 0, 0, 4, 4)
+    b = Rect("m1", 2, 2, 6, 6)
+    c = Rect("m1", 10, 0, 12, 4)
+    assert a.intersects(b)
+    assert not a.intersects(c)
+    assert a.horizontal_gap(c) == 6
+    assert a.horizontal_gap(b) == 0
+    assert a.vertical_overlap(c) == 4
+    assert a.horizontal_overlap(b) == 2
+
+
+def test_layout_queries():
+    lay = Layout("cell")
+    lay.add(Rect("metal1", 0, 0, 10, 1, net="a"))
+    lay.add(Rect("metal1", 0, 2, 5, 3, net="b"))
+    lay.add(Rect("poly", 0, 0, 1, 5, net="a"))
+    assert {r.net for r in lay.on_layer("metal1")} == {"a", "b"}
+    assert len(lay.of_net("a")) == 2
+    assert len(lay.of_net("a", "poly")) == 1
+    assert lay.nets() == {"a", "b"}
+    assert lay.net_area("a", "metal1") == 10
+    assert lay.net_wire_length("a", "metal1") == 10
+
+
+def test_bounding_box_and_area():
+    lay = Layout("c")
+    lay.add(Rect("m1", -2, 0, 3, 1))
+    lay.add(Rect("m1", 0, -1, 1, 4))
+    box = lay.bounding_box()
+    assert (box.x0, box.y0, box.x1, box.y1) == (-2, -1, 3, 4)
+    assert lay.area() == 25
+    with pytest.raises(ValueError):
+        Layout("empty").bounding_box()

@@ -1,0 +1,89 @@
+"""Unit tests for repro.layout.placer and repro.layout.router."""
+
+import pytest
+
+from repro.layout.placer import diffusion_ordering, placement_rows
+from repro.layout.router import channel_route, parallel_runs
+from repro.netlist.builder import CellBuilder
+from repro.netlist.devices import Transistor
+
+
+def test_series_stack_orders_with_no_breaks():
+    """A NAND3's series NMOS stack shares diffusion end to end."""
+    b = CellBuilder("nand3", ports=["a", "b", "c", "y"])
+    b.nand(["a", "b", "c"], "y")
+    nmos = [t for t in b.build().transistors if t.polarity == "nmos"]
+    row = diffusion_ordering(nmos)
+    assert row.breaks == 0
+    assert all(s is not None for s in row.shared_nets())
+
+
+def test_unrelated_devices_break():
+    t1 = Transistor("m1", "nmos", "g1", "a", "b", w_um=2.0)
+    t2 = Transistor("m2", "nmos", "g2", "c", "d", w_um=2.0)
+    row = diffusion_ordering([t1, t2])
+    assert row.breaks == 1
+    assert row.shared_nets() == [None]
+
+
+def test_mixed_polarity_rejected():
+    t1 = Transistor("m1", "nmos", "g", "a", "b", w_um=2.0)
+    t2 = Transistor("m2", "pmos", "g", "a", "b", w_um=2.0)
+    with pytest.raises(ValueError):
+        diffusion_ordering([t1, t2])
+    with pytest.raises(ValueError):
+        diffusion_ordering([])
+
+
+def test_placement_rows_split_by_polarity():
+    b = CellBuilder("inv", ports=["a", "y"])
+    b.inverter("a", "y")
+    p_row, n_row = placement_rows(b.build().transistors)
+    assert p_row is not None and p_row.polarity == "pmos"
+    assert n_row is not None and n_row.polarity == "nmos"
+
+
+def test_channel_route_basic():
+    pins = {
+        "a": [(0.0, 10.0), (20.0, -10.0)],
+        "b": [(5.0, 10.0), (15.0, -10.0)],
+    }
+    segs = channel_route(pins, channel_y0=-5.0, channel_y1=5.0)
+    # One trunk + two branches per net.
+    assert sum(1 for s in segs if s.kind == "trunk") == 2
+    assert sum(1 for s in segs if s.kind == "branch") == 4
+    # Overlapping spans must land on different tracks.
+    tracks = {s.net: s.track for s in segs if s.kind == "trunk"}
+    assert tracks["a"] != tracks["b"]
+
+
+def test_channel_route_reuses_tracks_for_disjoint_spans():
+    pins = {
+        "a": [(0.0, 10.0), (5.0, -10.0)],
+        "b": [(20.0, 10.0), (30.0, -10.0)],
+    }
+    segs = channel_route(pins, channel_y0=-5.0, channel_y1=5.0)
+    tracks = {s.net: s.track for s in segs if s.kind == "trunk"}
+    assert tracks["a"] == tracks["b"]
+
+
+def test_channel_overflow_raises():
+    pins = {f"n{i}": [(0.0, 10.0), (50.0, -10.0)] for i in range(10)}
+    with pytest.raises(ValueError, match="tracks"):
+        channel_route(pins, channel_y0=-2.0, channel_y1=2.0)
+
+
+def test_parallel_runs_report_adjacent_tracks_only():
+    pins = {
+        "a": [(0.0, 10.0), (20.0, -10.0)],
+        "b": [(0.0, 10.0), (20.0, -10.0)],
+        "c": [(0.0, 10.0), (20.0, -10.0)],
+    }
+    segs = channel_route(pins, channel_y0=-6.0, channel_y1=6.0)
+    runs = parallel_runs(segs, max_gap=5.0)
+    pairs = {tuple(sorted((a, b))) for a, b, _run, _gap in runs}
+    # Three nets on three stacked tracks: only adjacent pairs couple.
+    assert len(pairs) == 2
+    for _a, _b, run, gap in runs:
+        assert run > 15.0
+        assert gap >= 0.0

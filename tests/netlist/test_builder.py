@@ -1,0 +1,130 @@
+"""Unit tests for repro.netlist.builder."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+
+
+def test_rails_added_automatically():
+    b = CellBuilder("g", ports=["a", "y"])
+    assert "vdd" in b.cell.ports and "gnd" in b.cell.ports
+
+
+def test_rails_opt_out():
+    b = CellBuilder("g", ports=["a"], add_rails=False)
+    assert b.cell.ports == ["a"]
+
+
+def test_inverter_template():
+    b = CellBuilder("inv", ports=["a", "y"])
+    b.inverter("a", "y", wn=2.0, wp=5.0)
+    cell = b.build()
+    assert len(cell.transistors) == 2
+    n = next(t for t in cell.transistors if t.polarity == "nmos")
+    p = next(t for t in cell.transistors if t.polarity == "pmos")
+    assert n.w_um == 2.0 and n.source == "gnd"
+    assert p.w_um == 5.0 and p.source == "vdd"
+
+
+def test_nand_structure():
+    b = CellBuilder("nand3", ports=["a", "b", "c", "y"])
+    b.nand(["a", "b", "c"], "y", wn=6.0, wp=4.0)
+    cell = b.build()
+    nmos = [t for t in cell.transistors if t.polarity == "nmos"]
+    pmos = [t for t in cell.transistors if t.polarity == "pmos"]
+    assert len(nmos) == 3 and len(pmos) == 3
+    # Series N stack: exactly one N device touches gnd; all P touch vdd.
+    assert sum(1 for t in nmos if "gnd" in t.channel_terminals()) == 1
+    assert all("vdd" in t.channel_terminals() for t in pmos)
+
+
+def test_nor_structure():
+    b = CellBuilder("nor2", ports=["a", "b", "y"])
+    b.nor(["a", "b"], "y")
+    cell = b.build()
+    nmos = [t for t in cell.transistors if t.polarity == "nmos"]
+    pmos = [t for t in cell.transistors if t.polarity == "pmos"]
+    assert all("gnd" in t.channel_terminals() for t in nmos)
+    assert sum(1 for t in pmos if "vdd" in t.channel_terminals()) == 1
+
+
+def test_empty_gate_rejected():
+    b = CellBuilder("bad", ports=["y"])
+    with pytest.raises(ValueError):
+        b.nand([], "y")
+    with pytest.raises(ValueError):
+        b.nor([], "y")
+
+
+def test_domino_gate_has_precharge_foot_keeper_and_output_inverter():
+    b = CellBuilder("dom", ports=["clk", "a", "b", "y"])
+    dyn = b.domino_gate("clk", ["a", "b"], "y")
+    cell = b.build()
+    # Precharge: PMOS gated by clk touching the dynamic node and vdd.
+    pre = [t for t in cell.transistors
+           if t.polarity == "pmos" and t.gate == "clk"
+           and dyn in t.channel_terminals() and "vdd" in t.channel_terminals()]
+    assert len(pre) == 1
+    # Foot: NMOS gated by clk reaching gnd.
+    foot = [t for t in cell.transistors
+            if t.polarity == "nmos" and t.gate == "clk"
+            and "gnd" in t.channel_terminals()]
+    assert len(foot) == 1
+    # Keeper: PMOS gated by the output, holding dyn high.
+    keep = [t for t in cell.transistors
+            if t.polarity == "pmos" and t.gate == "y"
+            and dyn in t.channel_terminals()]
+    assert len(keep) == 1
+    # Output inverter driven by dyn.
+    out_inv = [t for t in cell.transistors if t.gate == dyn]
+    assert len(out_inv) == 2
+
+
+def test_domino_gate_keeperless():
+    b = CellBuilder("dom", ports=["clk", "a", "y"])
+    dyn = b.domino_gate("clk", ["a"], "y", keeper=False)
+    cell = b.build()
+    keep = [t for t in cell.transistors
+            if t.polarity == "pmos" and t.gate == "y" and dyn in t.channel_terminals()]
+    assert not keep
+
+
+def test_dual_rail_domino_two_dynamic_nodes():
+    b = CellBuilder("dr", ports=["clk", "a", "a_b", "t", "f"])
+    dyn_t, dyn_f = b.dual_rail_domino("clk", ["a"], ["a_b"], "t", "f")
+    assert dyn_t != dyn_f
+    # Per rail: precharge + evaluate + foot + output inverter (2) + keeper = 6.
+    assert b.build().transistor_count() == 12
+
+
+def test_dcvsl_cross_coupled_loads():
+    b = CellBuilder("dcvsl", ports=["a", "b", "a_b", "b_b", "t", "f"])
+    b.dcvsl(["a", "b"], ["a_b", "b_b"], "t", "f")
+    cell = b.build()
+    pmos = [t for t in cell.transistors if t.polarity == "pmos"]
+    assert len(pmos) == 2
+    gates = {t.gate for t in pmos}
+    drains = {t.drain for t in pmos}
+    assert gates == {"t", "f"} and drains == {"t", "f"}
+
+
+def test_transparent_latch_storage_node():
+    b = CellBuilder("lat", ports=["d", "q", "clk", "clk_b"])
+    store = b.transparent_latch("d", "q", "clk", "clk_b")
+    cell = b.build()
+    assert any(store in t.channel_terminals() for t in cell.transistors)
+    assert cell.transistor_count() == 8  # tgate(2) + inv(2) + fb inv(2) + fb tgate(2)
+
+
+def test_sram_cell_lengthening_applied_to_all_devices():
+    b = CellBuilder("bit", ports=["bl", "bl_b", "wl"])
+    b.sram_cell("bl", "bl_b", "wl", l_add=0.045)
+    cell = b.build()
+    assert cell.transistor_count() == 6
+    assert all(t.l_add_um == 0.045 for t in cell.transistors)
+
+
+def test_fresh_net_names_unique():
+    b = CellBuilder("x", ports=[])
+    names = {b.net() for _ in range(100)}
+    assert len(names) == 100

@@ -1,0 +1,66 @@
+"""Unit tests for repro.netlist.cell."""
+
+import pytest
+
+from repro.netlist.cell import Cell
+from repro.netlist.devices import Capacitor, Transistor
+
+
+def make_inv() -> Cell:
+    inv = Cell(name="inv", ports=["a", "y", "vdd", "gnd"])
+    inv.add(Transistor("mn", "nmos", "a", "y", "gnd", w_um=2.0))
+    inv.add(Transistor("mp", "pmos", "a", "y", "vdd", w_um=4.0))
+    return inv
+
+
+def test_add_rejects_duplicates():
+    cell = make_inv()
+    with pytest.raises(ValueError):
+        cell.add(Transistor("mn", "nmos", "a", "y", "gnd", w_um=1.0))
+    with pytest.raises(ValueError):
+        cell.add(Capacitor("mn", "a", "y", 1e-15))
+
+
+def test_instantiate_checks_ports():
+    inv = make_inv()
+    top = Cell(name="top", ports=["in", "out", "vdd", "gnd"])
+    top.instantiate("u1", inv, a="in", y="out")
+    with pytest.raises(ValueError):
+        top.instantiate("u1", inv, a="in", y="out")  # duplicate name
+    with pytest.raises(ValueError):
+        top.instantiate("u2", inv, nosuch="in")  # unknown port
+
+
+def test_local_nets():
+    inv = make_inv()
+    assert inv.local_nets() == {"a", "y", "vdd", "gnd"}
+
+
+def test_transistor_count_recursive():
+    inv = make_inv()
+    top = Cell(name="top", ports=["in", "out"])
+    top.instantiate("u1", inv, a="in", y="mid")
+    top.instantiate("u2", inv, a="mid", y="out")
+    top.add(Transistor("mx", "nmos", "en", "out", "gnd", w_um=1.0))
+    assert top.transistor_count(recursive=False) == 1
+    assert top.transistor_count() == 5
+
+
+def test_all_cells_and_name_clash_detection():
+    inv = make_inv()
+    top = Cell(name="top", ports=[])
+    top.instantiate("u1", inv, a="x", y="y")
+    cells = top.all_cells()
+    assert set(cells) == {"top", "inv"}
+
+    impostor = Cell(name="inv", ports=["a", "y"])
+    top.instantiate("u2", impostor, a="p", y="q")
+    with pytest.raises(ValueError):
+        top.all_cells()
+
+
+def test_find_transistor():
+    inv = make_inv()
+    assert inv.find_transistor("mp").polarity == "pmos"
+    with pytest.raises(KeyError):
+        inv.find_transistor("zz")

@@ -1,0 +1,52 @@
+"""Unit tests for repro.netlist.devices."""
+
+import pytest
+
+from repro.netlist.devices import Capacitor, Resistor, Transistor
+
+
+def test_transistor_validation():
+    with pytest.raises(ValueError):
+        Transistor("m1", "diode", "g", "d", "s", w_um=1.0)
+    with pytest.raises(ValueError):
+        Transistor("m1", "nmos", "g", "d", "s", w_um=0.0)
+    with pytest.raises(ValueError):
+        Transistor("m1", "nmos", "g", "d", "s", w_um=1.0, l_add_um=-0.1)
+
+
+def test_effective_length_resolution():
+    t = Transistor("m1", "nmos", "g", "d", "s", w_um=2.0)
+    assert t.effective_length(0.35) == 0.35
+    t2 = Transistor("m2", "nmos", "g", "d", "s", w_um=2.0, l_um=0.5, l_add_um=0.045)
+    assert t2.effective_length(0.35) == pytest.approx(0.545)
+    t3 = Transistor("m3", "nmos", "g", "d", "s", w_um=2.0, l_add_um=0.09)
+    assert t3.effective_length(0.35) == pytest.approx(0.44)
+
+
+def test_terminal_helpers():
+    t = Transistor("m1", "nmos", "g", "d", "s", w_um=2.0)
+    assert t.terminals() == ("g", "d", "s")
+    assert t.channel_terminals() == ("d", "s")
+    assert t.other_channel_terminal("d") == "s"
+    assert t.other_channel_terminal("s") == "d"
+    with pytest.raises(ValueError):
+        t.other_channel_terminal("g")
+
+
+def test_transistor_renamed():
+    t = Transistor("m1", "pmos", "a", "b", "vdd", w_um=3.0)
+    r = t.renamed("u1.", {"a": "u1.a", "b": "top_b", "vdd": "vdd"})
+    assert r.name == "u1.m1"
+    assert r.gate == "u1.a"
+    assert r.drain == "top_b"
+    assert r.source == "vdd"
+    assert t.name == "m1"  # original untouched
+
+
+def test_capacitor_and_resistor_validation():
+    with pytest.raises(ValueError):
+        Capacitor("c1", "a", "b", cap_f=-1e-15)
+    with pytest.raises(ValueError):
+        Resistor("r1", "a", "b", res_ohm=-5.0)
+    c = Capacitor("c1", "a", "b", 1e-15).renamed("x.", {"a": "x.a"})
+    assert c.name == "x.c1" and c.a == "x.a" and c.b == "b"

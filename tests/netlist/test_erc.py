@@ -1,0 +1,77 @@
+"""Unit tests for repro.netlist.erc."""
+
+from repro.designs.adders import domino_carry_adder
+from repro.netlist.builder import CellBuilder
+from repro.netlist.erc import erc_clean, run_erc
+from repro.netlist.flatten import flatten
+
+
+def rules_of(violations):
+    return {v.rule for v in violations}
+
+
+def test_clean_inverter():
+    b = CellBuilder("inv", ports=["a", "y"])
+    b.inverter("a", "y")
+    assert erc_clean(flatten(b.build()))
+
+
+def test_clean_full_designs():
+    assert erc_clean(flatten(domino_carry_adder(4)))
+
+
+def test_floating_gate_detected():
+    b = CellBuilder("bad", ports=["a", "y"])
+    b.inverter("a", "y")
+    b.nmos("nowhere", "y", "gnd", w=2.0)  # gate net driven by nothing
+    violations = run_erc(flatten(b.build()))
+    assert "floating_gate" in rules_of(violations)
+    # The same net also shows as undriven.
+    assert "undriven_net" in rules_of(violations)
+
+
+def test_dangling_channel_detected():
+    b = CellBuilder("bad", ports=["a"])
+    b.nmos("a", "stub", "gnd", w=2.0)  # drain goes nowhere
+    violations = run_erc(flatten(b.build()))
+    assert "dangling_channel" in rules_of(violations)
+
+
+def test_rail_short_detected():
+    b = CellBuilder("bad", ports=[])
+    b.nmos("vdd", "vdd", "gnd", w=2.0)  # always-on bridge
+    violations = run_erc(flatten(b.build()))
+    assert "rail_short" in rules_of(violations)
+
+
+def test_gate_between_rails_is_not_a_short():
+    """An ordinary off device across the rails gated by a signal is just
+    half of a gate; only permanently-on bridges are shorts."""
+    b = CellBuilder("ok", ports=["en"])
+    b.nmos("en", "vdd", "gnd", w=2.0)  # questionable but not a DC short
+    violations = run_erc(flatten(b.build()))
+    assert "rail_short" not in rules_of(violations)
+
+
+def test_self_loop_detected():
+    b = CellBuilder("bad", ports=["a", "y"])
+    b.inverter("a", "y")
+    b.nmos("a", "y", "y", w=5.0)  # both channel terminals on y
+    violations = run_erc(flatten(b.build()))
+    assert "self_loop" in rules_of(violations)
+
+
+def test_decap_gate_to_rail_is_clean():
+    """A MOS decap (gate to vdd, channel shorted on gnd) trips only the
+    self-loop note, not floating-gate rules."""
+    b = CellBuilder("decap", ports=[])
+    b.nmos("vdd", "gnd", "gnd", w=20.0)
+    violations = run_erc(flatten(b.build()))
+    assert "floating_gate" not in rules_of(violations)
+    assert "undriven_net" not in rules_of(violations)
+
+
+def test_port_driven_inputs_are_not_undriven():
+    b = CellBuilder("ok", ports=["a", "y"])
+    b.nand(["a", "a"], "y")
+    assert erc_clean(flatten(b.build()))

@@ -1,0 +1,108 @@
+"""Unit tests for repro.netlist.flatten."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+from repro.netlist.devices import Transistor
+from repro.netlist.flatten import flatten
+
+
+def inverter_cell(name="inv"):
+    b = CellBuilder(name, ports=["a", "y"])
+    b.inverter("a", "y")
+    return b.build()
+
+
+def test_flatten_leaf_cell():
+    flat = flatten(inverter_cell())
+    assert flat.device_count() == 2
+    assert set(flat.nets) >= {"a", "y", "vdd", "gnd"}
+    assert flat.nets["a"].gate_pins()
+    assert flat.nets["vdd"].is_supply and flat.nets["gnd"].is_ground
+
+
+def test_flatten_two_level_hierarchy_names():
+    inv = inverter_cell()
+    top = Cell(name="buf", ports=["in", "out", "vdd", "gnd"])
+    top.instantiate("u1", inv, a="in", y="mid")
+    top.instantiate("u2", inv, a="mid", y="out")
+    flat = flatten(top)
+    names = {t.name for t in flat.transistors}
+    assert any(n.startswith("u1.") for n in names)
+    assert any(n.startswith("u2.") for n in names)
+    # "mid" is a top-level local net, shared by both instances.
+    assert "mid" in flat.nets
+    assert len(flat.nets["mid"].pins) == 4  # 2 drains + 2 gate pins... (1 gate pin per device of u2)
+
+
+def test_flatten_mid_net_pin_accounting():
+    inv = inverter_cell()
+    top = Cell(name="buf", ports=["in", "out"])
+    top.instantiate("u1", inv, a="in", y="mid")
+    top.instantiate("u2", inv, a="mid", y="out")
+    flat = flatten(top)
+    mid = flat.nets["mid"]
+    assert len(mid.channel_pins()) == 2  # u1's two drains
+    assert len(mid.gate_pins()) == 2  # u2's two gates
+
+
+def test_rail_aliases_merge():
+    cell = Cell(name="t", ports=[])
+    cell.add(Transistor("m1", "nmos", "a", "y", "VSS", w_um=1.0))
+    cell.add(Transistor("m2", "nmos", "b", "y", "gnd!", w_um=1.0))
+    cell.add(Transistor("m3", "pmos", "a", "y", "VCC", w_um=1.0))
+    flat = flatten(cell)
+    assert "gnd" in flat.nets and "vdd" in flat.nets
+    assert len(flat.nets["gnd"].channel_pins()) == 2
+    assert len(flat.nets["vdd"].channel_pins()) == 1
+
+
+def test_unconnected_non_rail_port_rejected():
+    inv = inverter_cell()
+    top = Cell(name="t", ports=[])
+    top.instantiate("u1", inv, a="in")  # 'y' left dangling
+    with pytest.raises(ValueError, match="unconnected"):
+        flatten(top)
+
+
+def test_rails_connect_implicitly():
+    inv = inverter_cell()
+    top = Cell(name="t", ports=["in", "out"])
+    top.instantiate("u1", inv, a="in", y="out")  # vdd/gnd not mapped
+    flat = flatten(top)
+    assert len(flat.nets["vdd"].pins) == 1
+    assert len(flat.nets["gnd"].pins) == 1
+
+
+def test_ports_marked_on_nets():
+    flat = flatten(inverter_cell())
+    assert flat.nets["a"].is_port
+    assert flat.nets["y"].is_port
+
+
+def test_local_nets_get_hierarchical_names():
+    b = CellBuilder("nand2", ports=["a", "b", "y"])
+    b.nand(["a", "b"], "y")
+    nand = b.build()
+    top = Cell(name="t", ports=["a", "b", "y"])
+    top.instantiate("g", nand, a="a", b="b", y="y")
+    flat = flatten(top)
+    internal = [n for n in flat.nets if n.startswith("g.")]
+    assert len(internal) == 1  # the series-stack midpoint
+
+
+def test_rebuild_connectivity_after_mutation():
+    flat = flatten(inverter_cell())
+    t = flat.transistors[0]
+    t.gate = "new_input"
+    flat.rebuild_connectivity()
+    assert "new_input" in flat.nets
+    assert flat.nets["new_input"].gate_pins()
+
+
+def test_total_width_by_polarity():
+    flat = flatten(inverter_cell())
+    assert flat.total_width_um("nmos") == pytest.approx(2.0)
+    assert flat.total_width_um("pmos") == pytest.approx(4.0)
+    assert flat.total_width_um() == pytest.approx(6.0)

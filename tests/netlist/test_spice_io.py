@@ -1,0 +1,107 @@
+"""Unit tests for repro.netlist.spice_io."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+from repro.netlist.flatten import flatten
+from repro.netlist.spice_io import parse_spice, parse_value, write_spice
+
+
+def test_parse_value_suffixes():
+    assert parse_value("1.5") == 1.5
+    assert parse_value("2u") == pytest.approx(2e-6)
+    assert parse_value("100n") == pytest.approx(1e-7)
+    assert parse_value("3p") == pytest.approx(3e-12)
+    assert parse_value("4f") == pytest.approx(4e-15)
+    assert parse_value("2k") == pytest.approx(2e3)
+    assert parse_value("1meg") == pytest.approx(1e6)
+    assert parse_value("1e-15") == pytest.approx(1e-15)
+    with pytest.raises(ValueError):
+        parse_value("abc")
+
+
+def test_parse_flat_mosfets():
+    text = """
+* an inverter
+Mn1 y a gnd gnd nmos W=2u L=0.35u
+Mp1 y a vdd vdd pmos W=4u L=0.35u
+Cload y gnd 10f
+"""
+    cell = parse_spice(text)
+    assert cell.name == "main"
+    assert len(cell.transistors) == 2
+    n = cell.find_transistor("n1")
+    assert n.polarity == "nmos" and n.w_um == pytest.approx(2.0)
+    assert n.l_um == pytest.approx(0.35)
+    assert cell.capacitors[0].cap_f == pytest.approx(1e-14)
+
+
+def test_parse_subckt_hierarchy():
+    text = """
+.subckt inv a y vdd gnd
+Mn y a gnd gnd nch W=2u L=0.35u
+Mp y a vdd vdd pch W=4u L=0.35u
+.ends
+
+.subckt buf in out vdd gnd
+Xu1 in mid vdd gnd inv
+Xu2 mid out vdd gnd inv
+.ends
+.end
+"""
+    cell = parse_spice(text)
+    assert cell.name == "buf"
+    assert cell.transistor_count() == 4
+    flat = flatten(cell)
+    assert "mid" in flat.nets
+
+
+def test_parse_continuation_lines():
+    text = """
+Mn1 y a gnd gnd nmos
++ W=2u L=0.35u
+"""
+    cell = parse_spice(text)
+    assert cell.transistors[0].w_um == pytest.approx(2.0)
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_spice("Mn1 y a gnd\n")  # too few tokens
+    with pytest.raises(ValueError):
+        parse_spice("Qx a b c model\n")  # unknown element
+    with pytest.raises(ValueError):
+        parse_spice(".subckt a p\nMn y g gnd gnd nmos W=1u L=1u\n")  # unclosed
+    with pytest.raises(ValueError):
+        parse_spice("Xu1 a b nowhere\n")  # unknown subckt
+
+
+def test_roundtrip_write_then_parse():
+    b = CellBuilder("nand2", ports=["a", "b", "y"])
+    b.nand(["a", "b"], "y", wn=5.0, wp=3.0)
+    nand = b.build()
+    top = Cell(name="pair", ports=["a", "b", "y1", "y2", "vdd", "gnd"])
+    top.instantiate("g1", nand, a="a", b="b", y="y1", vdd="vdd", gnd="gnd")
+    top.instantiate("g2", nand, a="y1", b="b", y="y2", vdd="vdd", gnd="gnd")
+
+    text = write_spice(top)
+    reparsed = parse_spice(text, top="pair")
+    assert reparsed.transistor_count() == top.transistor_count()
+
+    f1, f2 = flatten(top), flatten(reparsed)
+    assert {t.name for t in f1.transistors} == {t.name for t in f2.transistors}
+    for t1 in f1.transistors:
+        t2 = f2.transistor(t1.name)
+        assert t1.polarity == t2.polarity
+        assert t1.w_um == pytest.approx(t2.w_um)
+        assert (t1.gate, t1.drain, t1.source) == (t2.gate, t2.drain, t2.source)
+
+
+def test_writer_emits_children_first():
+    inv_b = CellBuilder("inv", ports=["a", "y"])
+    inv_b.inverter("a", "y")
+    top = Cell(name="t", ports=["a", "y"])
+    top.instantiate("u1", inv_b.build(), a="a", y="y")
+    text = write_spice(top)
+    assert text.index(".subckt inv") < text.index(".subckt t")

@@ -1,0 +1,82 @@
+"""Unit tests for repro.netlist.views (paper Figure 1)."""
+
+import pytest
+
+from repro.netlist.views import DesignViews, HierarchyView, overlap_matrix, view_alignment
+
+
+def make_views():
+    """The Figure-1 picture: three RTL boxes vs three schematic boxes with
+    irregular overlap (S1 spans RTL1+RTL2, etc.)."""
+    leaves = [f"f{i}" for i in range(12)]
+    rtl = HierarchyView("rtl")
+    rtl.add_group("RTL1", leaves[0:4])
+    rtl.add_group("RTL2", leaves[4:8])
+    rtl.add_group("RTL3", leaves[8:12])
+    sch = HierarchyView("schematic")
+    sch.add_group("S1", leaves[0:3] + leaves[4:6])   # spans RTL1 and RTL2
+    sch.add_group("S2", leaves[3:4] + leaves[6:8])   # spans RTL1 and RTL2
+    sch.add_group("S3", leaves[8:12])                # matches RTL3 exactly
+    return rtl, sch
+
+
+def test_disjoint_groups_enforced():
+    v = HierarchyView("x")
+    v.add_group("a", ["l1", "l2"])
+    with pytest.raises(ValueError):
+        v.add_group("b", ["l2", "l3"])
+
+
+def test_group_of():
+    v = HierarchyView("x")
+    v.add_group("a", ["l1"])
+    assert v.group_of("l1") == "a"
+    with pytest.raises(KeyError):
+        v.group_of("zz")
+
+
+def test_design_views_universe_check():
+    rtl, sch = make_views()
+    DesignViews(rtl=rtl, schematic=sch)  # ok
+    small = HierarchyView("schematic")
+    small.add_group("S1", ["f0"])
+    with pytest.raises(ValueError):
+        DesignViews(rtl=rtl, schematic=small)
+
+
+def test_overlap_matrix_structure():
+    rtl, sch = make_views()
+    m = overlap_matrix(rtl, sch)
+    assert m[("RTL1", "S1")] == 3
+    assert m[("RTL1", "S2")] == 1
+    assert m[("RTL2", "S1")] == 2
+    assert m[("RTL2", "S2")] == 2
+    assert m[("RTL3", "S3")] == 4
+    assert ("RTL3", "S1") not in m
+    # Total overlap equals the leaf count.
+    assert sum(m.values()) == 12
+
+
+def test_alignment_report():
+    rtl, sch = make_views()
+    rep = view_alignment(rtl, sch)
+    assert rep.span == {"RTL1": 2, "RTL2": 2, "RTL3": 1}
+    assert rep.mean_span == pytest.approx(5 / 3)
+    assert rep.aligned_fraction == pytest.approx(1 / 3)  # only RTL3 matches
+    assert 0 < rep.mean_best_jaccard < 1
+
+
+def test_perfectly_aligned_views():
+    v1 = HierarchyView("a")
+    v1.add_group("g1", ["x", "y"])
+    v2 = HierarchyView("b")
+    v2.add_group("h1", ["x", "y"])
+    rep = view_alignment(v1, v2)
+    assert rep.aligned_fraction == 1.0
+    assert rep.mean_best_jaccard == 1.0
+    assert rep.mean_span == 1.0
+
+
+def test_alignment_empty_view_rejected():
+    with pytest.raises(ValueError):
+        view_alignment(HierarchyView("a"), HierarchyView("b"))

@@ -1,0 +1,58 @@
+"""Unit tests for repro.power.netlist_power."""
+
+import pytest
+
+from repro.designs.sram import sram_array
+from repro.extraction.annotate import annotate
+from repro.extraction.wireload import WireloadModel
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.power.netlist_power import (
+    block_power_report,
+    netlist_leakage_power,
+)
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.recognition.recognizer import recognize
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def test_leakage_honours_per_instance_lengthening(tech):
+    base = flatten(sram_array(rows=2, cols=2))
+    lengthened = flatten(sram_array(rows=2, cols=2, l_add_um=0.045))
+    leak_base = netlist_leakage_power(base, tech)
+    leak_long = netlist_leakage_power(lengthened, tech)
+    assert leak_base > 2.0 * leak_long
+
+
+def test_leakage_scales_with_array_size(tech):
+    small = netlist_leakage_power(flatten(sram_array(2, 2)), tech)
+    big = netlist_leakage_power(flatten(sram_array(4, 4)), tech)
+    assert big == pytest.approx(4 * small, rel=0.01)
+
+
+def test_leakage_corner_sensitivity(tech):
+    flat = flatten(sram_array(2, 2))
+    fast = netlist_leakage_power(flat, tech, Corner.FAST)
+    typ = netlist_leakage_power(flat, tech, Corner.TYPICAL)
+    assert fast > 5 * typ
+
+
+def test_block_power_report(tech):
+    b = CellBuilder("blk", ports=["clk", "a", "y"])
+    b.domino_gate("clk", ["a"], "y")
+    flat = flatten(b.build())
+    design = recognize(flat)
+    par = WireloadModel().extract(flat, tech.wires)
+    annotated = annotate(flat, par, tech)
+    report = block_power_report("blk", annotated, design, 160e6)
+    assert report.dynamic_w > 0
+    assert report.clock_w > 0
+    assert report.total_w() == pytest.approx(report.dynamic_w + report.leakage_w)
+    assert 0 < report.clock_fraction() < 1
+    # At 160 MHz a handful of gates: dynamic dominates leakage by orders.
+    assert report.dynamic_w > 10 * report.leakage_w

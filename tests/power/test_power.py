@@ -1,0 +1,171 @@
+"""Unit tests for repro.power: cascade, leakage, standby, dynamic."""
+
+import pytest
+
+from repro.power.activity import ActivityModel
+from repro.power.cascade import (
+    alpha_21064_chip,
+    cascade_table,
+    power_cascade,
+    strongarm_chip,
+)
+from repro.power.dynamic import chip_dynamic_power, netlist_dynamic_power
+from repro.power.leakage import Region, region_leakage_w, total_leakage_w
+from repro.power.standby import (
+    STANDBY_BUDGET_W,
+    optimize_lengthening,
+    strongarm_regions,
+)
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+# ---- chip models & cascade (Table 1) ----------------------------------------
+
+
+def test_alpha_chip_lands_on_published_power():
+    assert alpha_21064_chip().power_w() == pytest.approx(26.0, rel=1e-6)
+
+
+def test_strongarm_chip_lands_near_published_power():
+    # Paper: "close to the realized value of 450mW"; the factor walk
+    # gives 0.5 W.
+    assert 0.4 < strongarm_chip().power_w() < 0.55
+
+
+def test_cascade_factors_match_table1():
+    steps = power_cascade(alpha_21064_chip(), strongarm_chip())
+    labels = [s.label for s in steps[1:]]
+    assert labels == ["VDD reduction", "Reduce functions", "Scale process",
+                      "Clock load", "Clock rate"]
+    factors = {s.label: s.factor for s in steps[1:]}
+    assert factors["VDD reduction"] == pytest.approx(5.29, abs=0.01)
+    assert factors["Reduce functions"] == pytest.approx(3.0)
+    assert factors["Scale process"] == pytest.approx(2.0)
+    assert factors["Clock load"] == pytest.approx(1.3)
+    assert factors["Clock rate"] == pytest.approx(1.25)
+
+
+def test_cascade_running_powers_match_table1():
+    steps = power_cascade(alpha_21064_chip(), strongarm_chip())
+    powers = [s.power_w for s in steps]
+    # 26W -> 4.9W -> 1.6W -> 0.8W -> 0.6W -> 0.5W
+    assert powers[0] == pytest.approx(26.0, rel=1e-6)
+    assert powers[1] == pytest.approx(4.9, abs=0.1)
+    assert powers[2] == pytest.approx(1.6, abs=0.1)
+    assert powers[3] == pytest.approx(0.8, abs=0.05)
+    assert powers[4] == pytest.approx(0.6, abs=0.05)
+    assert powers[5] == pytest.approx(0.5, abs=0.05)
+
+
+def test_cascade_is_exact_decomposition():
+    steps = power_cascade(alpha_21064_chip(), strongarm_chip())
+    assert steps[-1].power_w == pytest.approx(strongarm_chip().power_w())
+    product = 1.0
+    for s in steps[1:]:
+        product *= s.factor
+    assert alpha_21064_chip().power_w() / product == pytest.approx(
+        strongarm_chip().power_w())
+
+
+def test_cascade_table_rendering():
+    text = cascade_table(power_cascade(alpha_21064_chip(), strongarm_chip()))
+    assert "VDD reduction" in text
+    assert "26.0W" in text
+
+
+# ---- leakage & standby --------------------------------------------------------
+
+
+def test_region_leakage_grows_with_width(tech):
+    small = Region("r", nmos_width_um=1e5, pmos_width_um=1e5)
+    big = Region("r", nmos_width_um=1e6, pmos_width_um=1e6)
+    assert region_leakage_w(big, tech) == pytest.approx(
+        10 * region_leakage_w(small, tech), rel=1e-6)
+
+
+def test_lengthening_cuts_region_leakage(tech):
+    base = Region("r", nmos_width_um=1e6, pmos_width_um=1e6)
+    l45 = Region("r", nmos_width_um=1e6, pmos_width_um=1e6, l_add_um=0.045)
+    l90 = Region("r", nmos_width_um=1e6, pmos_width_um=1e6, l_add_um=0.09)
+    p0 = region_leakage_w(base, tech)
+    p45 = region_leakage_w(l45, tech)
+    p90 = region_leakage_w(l90, tech)
+    assert p0 > 2 * p45 > 2 * p90  # strong exponential knob
+
+
+def test_strongarm_standby_story(tech):
+    """The full section-3 narrative: over budget at the fast corner with
+    minimum channels, under budget after lengthening the arrays."""
+    regions = strongarm_regions()
+    baseline = total_leakage_w(regions, tech, Corner.FAST)
+    assert baseline > STANDBY_BUDGET_W  # the problem is real
+    result = optimize_lengthening(regions, tech)
+    assert result.met
+    assert result.leakage_w <= STANDBY_BUDGET_W
+    # The caches got lengthened; the speed-critical core did not.
+    assert result.assignments["icache"] in (0.045, 0.09)
+    assert result.assignments["dcache"] in (0.045, 0.09)
+    assert result.assignments["core"] == 0.0
+
+
+def test_standby_normal_operation_unaffected(tech):
+    """Paper: leakage 'is not large enough to cause a problem for normal
+    operation' -- typical-corner leakage is a tiny fraction of the
+    ~0.5 W operating power."""
+    leak = total_leakage_w(strongarm_regions(), tech, Corner.TYPICAL)
+    assert leak < 0.01 * 0.45
+
+
+def test_impossible_budget_reported_honestly(tech):
+    result = optimize_lengthening(strongarm_regions(), tech, budget_w=1e-6)
+    assert not result.met
+    assert result.leakage_w > 1e-6
+
+
+# ---- dynamic power ---------------------------------------------------------------
+
+
+def test_chip_dynamic_power_formula():
+    assert chip_dynamic_power(1e-9, 2.0, 100e6) == pytest.approx(0.4)
+    with pytest.raises(ValueError):
+        chip_dynamic_power(-1, 1, 1)
+
+
+def test_netlist_dynamic_power_clock_vs_data(tech):
+    from repro.extraction.annotate import annotate
+    from repro.extraction.wireload import WireloadModel
+    from repro.netlist.builder import CellBuilder
+    from repro.netlist.flatten import flatten
+    from repro.recognition.recognizer import recognize
+
+    b = CellBuilder("d", ports=["clk", "a", "y"])
+    b.domino_gate("clk", ["a"], "y")
+    flat = flatten(b.build())
+    design = recognize(flat)
+    par = WireloadModel().extract(flat, tech.wires)
+    annotated = annotate(flat, par, tech)
+    power = netlist_dynamic_power(annotated, design, frequency_hz=160e6)
+    assert power["clock"] > 0
+    assert power["data"] > 0
+    assert power["total"] == pytest.approx(power["clock"] + power["data"])
+    # Clock nets toggle every cycle; per-farad they dominate data nets.
+    gated = netlist_dynamic_power(
+        annotated, design, 160e6,
+        activity=ActivityModel().with_gating(0.25))
+    assert gated["clock"] == pytest.approx(0.25 * power["clock"])
+    assert gated["data"] == pytest.approx(power["data"])
+
+
+def test_activity_model_validation():
+    with pytest.raises(ValueError):
+        ActivityModel(default_data_activity=2.0)
+    model = ActivityModel(overrides={"hot": 0.9})
+    assert model.factor("hot") == 0.9
+    assert model.factor("cold") == 0.15
+    assert model.factor("phi", is_clock=True) == 1.0

@@ -1,0 +1,42 @@
+"""Unit tests for repro.process.corners."""
+
+import pytest
+
+from repro.process.corners import PROCESS_CORNERS, Corner, corner_spec
+
+
+def test_three_corners_defined():
+    assert set(PROCESS_CORNERS) == {Corner.FAST, Corner.TYPICAL, Corner.SLOW}
+
+
+def test_typical_is_identity():
+    spec = corner_spec(Corner.TYPICAL)
+    assert spec.drive_factor == 1.0
+    assert spec.vth_shift_v == 0.0
+    assert spec.cap_factor == 1.0
+    assert spec.res_factor == 1.0
+    assert spec.vdd_factor == 1.0
+
+
+def test_fast_is_stronger_and_leakier_than_slow():
+    fast = corner_spec(Corner.FAST)
+    slow = corner_spec(Corner.SLOW)
+    assert fast.drive_factor > 1.0 > slow.drive_factor
+    assert fast.vth_shift_v < 0.0 < slow.vth_shift_v
+    assert fast.cap_factor < slow.cap_factor
+    assert fast.res_factor < slow.res_factor
+
+
+def test_thermal_voltage_room_temperature():
+    vt = corner_spec(Corner.TYPICAL).thermal_voltage()
+    assert vt == pytest.approx(0.0257, rel=0.01)
+
+
+def test_thermal_voltage_grows_with_temperature():
+    assert (corner_spec(Corner.FAST).thermal_voltage()
+            > corner_spec(Corner.TYPICAL).thermal_voltage())
+
+
+def test_corner_spec_lookup_matches_dict():
+    for corner in Corner:
+        assert corner_spec(corner) is PROCESS_CORNERS[corner]

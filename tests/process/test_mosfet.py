@@ -1,0 +1,134 @@
+"""Unit tests for repro.process.mosfet."""
+
+import math
+
+import pytest
+
+from repro.process.corners import Corner, corner_spec
+from repro.process.mosfet import MosfetModel, MosfetParams
+from repro.process.technology import strongarm_technology
+
+
+@pytest.fixture
+def nmos():
+    tech = strongarm_technology()
+    return MosfetModel(tech.nmos, corner_spec(Corner.TYPICAL))
+
+
+@pytest.fixture
+def pmos():
+    tech = strongarm_technology()
+    return MosfetModel(tech.pmos, corner_spec(Corner.TYPICAL))
+
+
+def test_polarity_validation():
+    with pytest.raises(ValueError):
+        MosfetParams(
+            polarity="cmos", vth0_v=0.3, kp_a_per_v2=1e-4, lambda_per_v=0.05,
+            cox_f_per_um2=3e-15, cov_f_per_um=3e-16, cj_f_per_um2=6e-16,
+            i0_leak_a=1e-7, subthreshold_n=1.5, vth_rolloff_v=0.1,
+            rolloff_lambda_um=0.065, l_min_um=0.35, diff_width_um=0.7,
+        )
+
+
+def test_vth_at_min_length_equals_vth0(nmos):
+    assert nmos.vth() == pytest.approx(nmos.params.vth0_v, abs=1e-12)
+
+
+def test_vth_increases_with_channel_lengthening(nmos):
+    l_min = nmos.params.l_min_um
+    v0 = nmos.vth(l_min)
+    v45 = nmos.vth(l_min + 0.045)
+    v90 = nmos.vth(l_min + 0.090)
+    assert v0 < v45 < v90
+    # Roll-off saturates toward the long-channel value.
+    assert v90 < nmos.params.vth0_v + nmos.params.vth_rolloff_v
+
+
+def test_vth_below_minimum_length_rejected(nmos):
+    with pytest.raises(ValueError):
+        nmos.vth(nmos.params.l_min_um / 2)
+
+
+def test_ids_zero_gate_is_leakage_only(nmos):
+    i = nmos.ids(0.0, 1.5, w_um=2.0)
+    assert 0 < i < 1e-6  # tiny subthreshold current, not a hard zero
+
+
+def test_ids_regions_ordering(nmos):
+    """Saturation current exceeds triode at small Vds; both positive."""
+    i_triode = nmos.ids(1.5, 0.1, w_um=2.0)
+    i_sat = nmos.ids(1.5, 1.5, w_um=2.0)
+    assert 0 < i_triode < i_sat
+
+
+def test_ids_scales_linearly_with_width(nmos):
+    i1 = nmos.ids(1.5, 1.5, w_um=1.0)
+    i4 = nmos.ids(1.5, 1.5, w_um=4.0)
+    assert i4 == pytest.approx(4 * i1, rel=1e-9)
+
+
+def test_ids_reverse_vds_antisymmetric(nmos):
+    """Drain/source swap: ids(vgs, -vds) mirrors the swapped device."""
+    fwd = nmos.ids(1.5, 0.4, w_um=2.0)
+    rev = nmos.ids(1.9, -0.4, w_um=2.0)
+    assert rev == pytest.approx(-fwd, rel=1e-9)
+
+
+def test_ids_at_nmos_node_voltage_convention(nmos):
+    """ids_at with vd > vs matches overdrive-convention ids."""
+    direct = nmos.ids(1.5, 0.7, w_um=2.0)
+    via_nodes = nmos.ids_at(vg=1.5, vd=0.7, vs=0.0, w_um=2.0)
+    assert via_nodes == pytest.approx(direct, rel=1e-12)
+
+
+def test_ids_at_pmos_pulls_up(pmos):
+    """PMOS with gate low and source at VDD conducts toward drain."""
+    i = pmos.ids_at(vg=0.0, vd=0.5, vs=1.5, w_um=4.0)
+    assert i > 1e-5
+
+
+def test_leakage_drops_exponentially_with_lengthening(nmos):
+    l_min = nmos.params.l_min_um
+    base = nmos.leakage(1.5, w_um=10.0, l_um=l_min)
+    l45 = nmos.leakage(1.5, w_um=10.0, l_um=l_min + 0.045)
+    l90 = nmos.leakage(1.5, w_um=10.0, l_um=l_min + 0.090)
+    assert base > 2.0 * l45  # +0.045 um buys well over 2x
+    assert l45 > 1.5 * l90
+
+
+def test_leakage_worse_at_fast_corner():
+    tech = strongarm_technology()
+    typ = tech.nmos_model(Corner.TYPICAL).leakage(1.5, w_um=10.0)
+    fast = tech.nmos_model(Corner.FAST).leakage(1.5, w_um=10.0)
+    assert fast > 3.0 * typ
+
+
+def test_gate_capacitance_components(nmos):
+    c = nmos.gate_capacitance(w_um=2.0)
+    p = nmos.params
+    expected = p.cox_f_per_um2 * 2.0 * p.l_min_um + 2 * p.cov_f_per_um * 2.0
+    assert c == pytest.approx(expected, rel=1e-9)
+    assert c > 0
+
+
+def test_on_resistance_decreases_with_width(nmos):
+    r2 = nmos.on_resistance(1.5, w_um=2.0)
+    r8 = nmos.on_resistance(1.5, w_um=8.0)
+    assert r8 == pytest.approx(r2 / 4, rel=1e-6)
+
+
+def test_on_resistance_infinite_when_off():
+    tech = strongarm_technology()
+    model = tech.nmos_model()
+    # Below threshold "vdd": no strong conduction.
+    assert model.on_resistance(0.0, w_um=2.0) == math.inf
+
+
+def test_subthreshold_continuity_at_threshold(nmos):
+    """Current is continuous in order of magnitude across Vgs = Vth."""
+    vth = nmos.vth()
+    below = nmos.ids(vth - 1e-6, 1.5, w_um=2.0)
+    above = nmos.ids(vth + 1e-3, 1.5, w_um=2.0)
+    assert above > below
+    assert above / below < 50  # no discontinuous jump

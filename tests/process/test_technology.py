@@ -1,0 +1,85 @@
+"""Unit tests for repro.process.technology."""
+
+import pytest
+
+from repro.process.corners import Corner
+from repro.process.technology import (
+    alpha_21064_technology,
+    alpha_21164_technology,
+    strongarm_technology,
+)
+
+
+def test_alpha_preset_basics():
+    tech = alpha_21064_technology()
+    assert tech.l_min_um == 0.75
+    assert tech.vdd_v == 3.45
+    assert tech.nmos.polarity == "nmos"
+    assert tech.pmos.polarity == "pmos"
+
+
+def test_strongarm_preset_is_low_voltage_low_threshold():
+    alpha = alpha_21064_technology()
+    sarm = strongarm_technology()
+    assert sarm.vdd_v < alpha.vdd_v / 2
+    assert sarm.nmos.vth0_v < alpha.nmos.vth0_v / 2
+
+
+def test_vdd_at_corner_applies_tolerance():
+    tech = strongarm_technology()
+    assert tech.vdd_at(Corner.FAST) > tech.vdd_v > tech.vdd_at(Corner.SLOW)
+
+
+def test_mosfet_factory_polarity_dispatch():
+    tech = strongarm_technology()
+    assert tech.mosfet("nmos").params.polarity == "nmos"
+    assert tech.mosfet("pmos").params.polarity == "pmos"
+    with pytest.raises(ValueError):
+        tech.mosfet("bjt")
+
+
+def test_scaled_technology_shrink():
+    t075 = alpha_21064_technology()
+    t050 = alpha_21164_technology()
+    assert t050.l_min_um == 0.50
+    # Shrink: thinner oxide -> larger Cox and kp.
+    assert t050.nmos.cox_f_per_um2 > t075.nmos.cox_f_per_um2
+    assert t050.nmos.kp_a_per_v2 > t075.nmos.kp_a_per_v2
+    assert t050.tox_nm < t075.tox_nm
+
+
+def test_oxide_field_reasonable():
+    tech = strongarm_technology()
+    field = tech.oxide_field_mv_per_cm()
+    assert 1.0 < field < tech.tddb_max_field_mv_per_cm
+
+
+def test_strongarm_leakage_knob_is_live():
+    """The paper's section-3 story: minimum-length low-Vt devices at the
+    FAST corner leak orders of magnitude more than the ALPHA-era process;
+    channel lengthening claws back a large factor."""
+    sarm = strongarm_technology()
+    alpha = alpha_21064_technology()
+    sarm_n = sarm.nmos_model(Corner.FAST)
+    alpha_n = alpha.nmos_model(Corner.FAST)
+    leak_sarm = sarm_n.leakage(sarm.vdd_at(Corner.FAST), w_um=10.0)
+    leak_alpha = alpha_n.leakage(alpha.vdd_at(Corner.FAST), w_um=10.0)
+    assert leak_sarm > 100 * leak_alpha
+    lengthened = sarm_n.leakage(sarm.vdd_at(Corner.FAST), w_um=10.0,
+                                l_um=sarm.l_min_um + 0.045)
+    assert leak_sarm / lengthened > 2.0
+
+
+def test_drive_current_order_of_magnitude():
+    """A 10 um StrongARM NMOS should source a few mA at full overdrive --
+    the right ballpark for a 160 MHz, 1.5 V design."""
+    sarm = strongarm_technology()
+    i = sarm.nmos_model().saturation_current(1.5, w_um=10.0)
+    assert 1e-3 < i < 2e-2
+
+
+def test_wire_stack_present():
+    tech = strongarm_technology()
+    assert "metal1" in tech.wires
+    assert "metal3" in tech.wires
+    assert "metal9" not in tech.wires

@@ -1,0 +1,52 @@
+"""Unit tests for repro.process.wires."""
+
+import pytest
+
+from repro.process.wires import WireLayer, WireStack, aluminium_stack
+
+
+@pytest.fixture
+def m1():
+    return aluminium_stack(0.35)["metal1"]
+
+
+def test_stack_layer_lookup():
+    stack = aluminium_stack(0.35, n_layers=3)
+    assert stack.names() == ["metal1", "metal2", "metal3"]
+    assert isinstance(stack["metal2"], WireLayer)
+    with pytest.raises(KeyError):
+        stack["poly"]
+
+
+def test_resistance_scales_with_geometry(m1):
+    r = m1.resistance(length_um=100.0, width_um=1.0)
+    assert r == pytest.approx(m1.sheet_res_ohm_sq * 100.0)
+    assert m1.resistance(100.0, 2.0) == pytest.approx(r / 2)
+    with pytest.raises(ValueError):
+        m1.resistance(100.0, 0.0)
+
+
+def test_ground_capacitance_positive_and_linear(m1):
+    c1 = m1.ground_capacitance(length_um=50.0, width_um=1.0)
+    c2 = m1.ground_capacitance(length_um=100.0, width_um=1.0)
+    assert c1 > 0
+    assert c2 == pytest.approx(2 * c1)
+
+
+def test_coupling_capacitance_shrinks_with_spacing(m1):
+    tight = m1.coupling_capacitance(parallel_run_um=100.0, spacing_um=m1.min_space_um)
+    loose = m1.coupling_capacitance(parallel_run_um=100.0, spacing_um=4 * m1.min_space_um)
+    assert tight == pytest.approx(4 * loose)
+    with pytest.raises(ValueError):
+        m1.coupling_capacitance(100.0, spacing_um=0.0)
+
+
+def test_upper_layers_are_lower_resistance():
+    stack = aluminium_stack(0.35)
+    assert stack["metal3"].sheet_res_ohm_sq < stack["metal1"].sheet_res_ohm_sq
+
+
+def test_wire_widths_scale_with_node():
+    coarse = aluminium_stack(0.75)["metal1"]
+    fine = aluminium_stack(0.35)["metal1"]
+    assert coarse.min_width_um > fine.min_width_um

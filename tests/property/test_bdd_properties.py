@@ -1,0 +1,120 @@
+"""Property-based tests for the BDD package.
+
+The canonical-form guarantee is the foundation of equivalence checking:
+whatever order operations are applied in, equal functions must be equal
+node ids, and evaluation must agree with direct boolean semantics.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.equivalence.bdd import BddManager
+
+N_VARS = 4
+VAR_NAMES = [f"v{i}" for i in range(N_VARS)]
+
+
+# A random boolean expression tree over N_VARS variables.
+def expr_strategy(depth=4):
+    leaves = st.sampled_from(VAR_NAMES + ["0", "1"])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        ),
+        max_leaves=12,
+    )
+
+
+def build_bdd(manager: BddManager, expr) -> int:
+    if expr == "0":
+        return manager.false
+    if expr == "1":
+        return manager.true
+    if isinstance(expr, str):
+        return manager.var(expr)
+    op = expr[0]
+    if op == "not":
+        return manager.not_(build_bdd(manager, expr[1]))
+    a = build_bdd(manager, expr[1])
+    b = build_bdd(manager, expr[2])
+    return {"and": manager.and_, "or": manager.or_, "xor": manager.xor_}[op](a, b)
+
+
+def eval_expr(expr, assignment) -> bool:
+    if expr == "0":
+        return False
+    if expr == "1":
+        return True
+    if isinstance(expr, str):
+        return assignment[expr]
+    op = expr[0]
+    if op == "not":
+        return not eval_expr(expr[1], assignment)
+    a = eval_expr(expr[1], assignment)
+    b = eval_expr(expr[2], assignment)
+    return {"and": a and b, "or": a or b, "xor": a != b}[op]
+
+
+@given(expr_strategy())
+@settings(max_examples=200, deadline=None)
+def test_bdd_matches_direct_evaluation(expr):
+    manager = BddManager()
+    for name in VAR_NAMES:
+        manager.var(name)
+    node = build_bdd(manager, expr)
+    for i in range(1 << N_VARS):
+        assignment = {name: bool((i >> k) & 1) for k, name in enumerate(VAR_NAMES)}
+        assert manager.evaluate(node, assignment) == eval_expr(expr, assignment)
+
+
+@given(expr_strategy(), expr_strategy())
+@settings(max_examples=150, deadline=None)
+def test_bdd_canonicity(e1, e2):
+    """Two expressions are the same node iff they are the same function."""
+    manager = BddManager()
+    for name in VAR_NAMES:
+        manager.var(name)
+    n1 = build_bdd(manager, e1)
+    n2 = build_bdd(manager, e2)
+    same_function = all(
+        eval_expr(e1, {name: bool((i >> k) & 1) for k, name in enumerate(VAR_NAMES)})
+        == eval_expr(e2, {name: bool((i >> k) & 1) for k, name in enumerate(VAR_NAMES)})
+        for i in range(1 << N_VARS)
+    )
+    assert (n1 == n2) == same_function
+
+
+@given(expr_strategy())
+@settings(max_examples=100, deadline=None)
+def test_bdd_double_negation_and_excluded_middle(expr):
+    manager = BddManager()
+    for name in VAR_NAMES:
+        manager.var(name)
+    node = build_bdd(manager, expr)
+    assert manager.not_(manager.not_(node)) == node
+    assert manager.or_(node, manager.not_(node)) == manager.true
+    assert manager.and_(node, manager.not_(node)) == manager.false
+
+
+@given(expr_strategy())
+@settings(max_examples=100, deadline=None)
+def test_bdd_count_sat_consistent(expr):
+    manager = BddManager()
+    for name in VAR_NAMES:
+        manager.var(name)
+    node = build_bdd(manager, expr)
+    expected = sum(
+        1 for i in range(1 << N_VARS)
+        if eval_expr(expr, {name: bool((i >> k) & 1)
+                            for k, name in enumerate(VAR_NAMES)})
+    )
+    assert manager.count_sat(node) == expected
+    witness = manager.any_sat(node)
+    assert (witness is None) == (expected == 0)
+    if witness is not None:
+        full = {name: witness.get(name, False) for name in VAR_NAMES}
+        assert eval_expr(expr, full)

@@ -1,0 +1,149 @@
+"""Property-based tests on circuit-level invariants: recognition vs
+switch simulation, conduction semantics, flattening conservation."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.cell import Cell
+from repro.netlist.flatten import flatten
+from repro.recognition.ccc import extract_cccs
+from repro.recognition.gates import recognize_static_gate
+from repro.switchsim.engine import SwitchSimulator
+from repro.switchsim.values import Logic
+
+INPUTS = ["a", "bb", "c"]
+
+# Random 2-level static networks: a gate type and a subset of inputs.
+gate_kind = st.sampled_from(["nand", "nor", "inv"])
+input_subset = st.lists(st.sampled_from(INPUTS), min_size=1, max_size=3,
+                        unique=True)
+
+
+@st.composite
+def static_network(draw):
+    """(cell builder actions, evaluator) for a random 2-gate network."""
+    k1 = draw(gate_kind)
+    in1 = draw(input_subset) if k1 != "inv" else [draw(st.sampled_from(INPUTS))]
+    k2 = draw(gate_kind)
+    in2_pool = INPUTS + ["n1"]
+    in2 = (draw(st.lists(st.sampled_from(in2_pool), min_size=1, max_size=3,
+                         unique=True))
+           if k2 != "inv" else [draw(st.sampled_from(in2_pool))])
+
+    def build(b: CellBuilder) -> None:
+        apply_gate(b, k1, in1, "n1")
+        apply_gate(b, k2, in2, "y")
+
+    def evaluate(values: dict) -> bool:
+        n1 = gate_fn(k1, [values[i] for i in in1])
+        pool = dict(values, n1=n1)
+        return gate_fn(k2, [pool[i] for i in in2])
+
+    return build, evaluate
+
+
+def apply_gate(b: CellBuilder, kind: str, inputs, out: str) -> None:
+    if kind == "nand":
+        b.nand(inputs, out)
+    elif kind == "nor":
+        b.nor(inputs, out)
+    else:
+        b.inverter(inputs[0], out)
+
+
+def gate_fn(kind: str, values) -> bool:
+    if kind == "nand":
+        return not all(values)
+    if kind == "nor":
+        return not any(values)
+    return not values[0]
+
+
+@given(static_network(),
+       st.tuples(st.booleans(), st.booleans(), st.booleans()))
+@settings(max_examples=120, deadline=None)
+def test_switchsim_matches_boolean_semantics(network, values):
+    """Any random static network simulates to its boolean function."""
+    build, evaluate = network
+    b = CellBuilder("dut", ports=INPUTS + ["y"])
+    build(b)
+    sim = SwitchSimulator(flatten(b.build()))
+    assignment = dict(zip(INPUTS, values))
+    sim.step(**{k: int(v) for k, v in assignment.items()})
+    expected = evaluate(assignment)
+    assert sim.value("y") is Logic.from_bool(expected)
+
+
+@given(static_network())
+@settings(max_examples=100, deadline=None)
+def test_recognition_matches_boolean_semantics(network):
+    """Recognition extracts the same function the network computes."""
+    build, evaluate = network
+    b = CellBuilder("dut", ports=INPUTS + ["y"])
+    build(b)
+    flat = flatten(b.build())
+    cccs = extract_cccs(flat)
+    ccc = next(c for c in cccs if "y" in c.channel_nets)
+    gate = recognize_static_gate(ccc, "y")
+    assert gate is not None and gate.complementary
+    # Exhaust the gate's own inputs; complete with the upstream value.
+    for i in range(1 << 3):
+        assignment = {name: bool((i >> k) & 1) for k, name in enumerate(INPUTS)}
+        n1_ccc = next(c for c in cccs if "n1" in c.channel_nets)
+        n1_gate = recognize_static_gate(n1_ccc, "n1")
+        pool = dict(assignment)
+        if n1_gate is not None:
+            pool["n1"] = n1_gate.evaluate(
+                {k: assignment[k] for k in n1_gate.inputs})
+        relevant = {k: pool[k] for k in gate.inputs}
+        assert gate.evaluate(relevant) == evaluate(assignment)
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_flatten_conserves_devices(depth, fanout):
+    """Hierarchical composition never loses or duplicates devices."""
+    leaf_b = CellBuilder("leaf", ports=["a", "y"])
+    leaf_b.inverter("a", "y")
+    leaf = leaf_b.build()
+
+    current = leaf
+    expected = 2
+    for level in range(depth):
+        parent = Cell(name=f"lvl{level}", ports=["a", "y", "vdd", "gnd"])
+        for k in range(fanout):
+            parent.instantiate(f"u{k}", current, a="a", y=f"mid{k}")
+        expected *= fanout
+        current = parent
+
+    flat = flatten(current)
+    assert flat.device_count() == expected
+    # Every transistor terminal resolves to a known net.
+    for t in flat.transistors:
+        for term in t.terminals():
+            assert term in flat.nets
+    # Pin counts are consistent: 3 pins per transistor.
+    total_pins = sum(len(n.pins) for n in flat.nets.values())
+    assert total_pins == 3 * expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=3),
+       st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_switchsim_deterministic(bits, extra):
+    """Same stimulus, same result -- independent of history length."""
+    def make():
+        b = CellBuilder("dut", ports=INPUTS + ["y"])
+        b.nand(INPUTS, "n1")
+        b.inverter("n1", "y")
+        return SwitchSimulator(flatten(b.build()))
+
+    fresh = make()
+    fresh.step(**dict(zip(INPUTS, bits)))
+    warm = make()
+    for i in range(extra):
+        warm.step(**dict(zip(INPUTS, [(i >> k) & 1 for k in range(3)])))
+    warm.step(**dict(zip(INPUTS, bits)))
+    assert fresh.value("y") is warm.value("y")

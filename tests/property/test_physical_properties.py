@@ -1,0 +1,125 @@
+"""Property-based tests on physical-model invariants: device monotonicity,
+bound arithmetic, Elmore monotonicity, sequential-equivalence invariance."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.extraction.caps import Bound
+from repro.extraction.rctree import uniform_ladder
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.equivalence.sequential import TableFsm, check_sequential
+
+TECH = strongarm_technology()
+NMOS = TECH.nmos_model()
+
+
+# ---- MOSFET model ------------------------------------------------------------
+
+
+@given(st.floats(min_value=0.0, max_value=1.5),
+       st.floats(min_value=0.05, max_value=1.5),
+       st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=150, deadline=None)
+def test_ids_monotone_in_vgs(vgs, vds, w):
+    i_low = NMOS.ids(vgs, vds, w)
+    i_high = NMOS.ids(vgs + 0.1, vds, w)
+    assert i_high >= i_low >= 0.0
+
+
+@given(st.floats(min_value=0.35, max_value=1.0),
+       st.floats(min_value=0.5, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_leakage_monotone_decreasing_in_length(l_um, w):
+    shorter = NMOS.leakage(1.5, w, l_um)
+    longer = NMOS.leakage(1.5, w, l_um + 0.05)
+    assert longer <= shorter
+    assert longer > 0.0
+
+
+@given(st.floats(min_value=0.2, max_value=100.0),
+       st.floats(min_value=0.2, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_gate_cap_additive_in_width(w1, w2):
+    c1 = NMOS.gate_capacitance(w1)
+    c2 = NMOS.gate_capacitance(w2)
+    c12 = NMOS.gate_capacitance(w1 + w2)
+    assert abs(c12 - (c1 + c2)) < 1e-18
+
+
+@given(st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=60, deadline=None)
+def test_corner_ordering_on_drive(w):
+    """FAST >= TYPICAL >= SLOW drive current, always."""
+    fast = TECH.nmos_model(Corner.FAST).saturation_current(1.5, w)
+    typ = TECH.nmos_model(Corner.TYPICAL).saturation_current(1.5, w)
+    slow = TECH.nmos_model(Corner.SLOW).saturation_current(1.5, w)
+    assert fast > typ > slow > 0
+
+
+# ---- bounds -----------------------------------------------------------------------
+
+
+@given(st.floats(min_value=0.0, max_value=1e-9),
+       st.floats(min_value=0.0, max_value=1e-9),
+       st.floats(min_value=0.0, max_value=0.9),
+       st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=150, deadline=None)
+def test_bound_arithmetic_preserves_ordering(a, b, tol, scale):
+    ba = Bound.from_tolerance(a, tol)
+    bb = Bound.from_tolerance(b, tol)
+    for bound in (ba + bb, ba.scaled(scale)):
+        assert bound.lo <= bound.nominal <= bound.hi
+
+
+# ---- Elmore ------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=1.0, max_value=1e4),
+       st.floats(min_value=1e-16, max_value=1e-12),
+       st.integers(min_value=1, max_value=20),
+       st.floats(min_value=1e-16, max_value=1e-12))
+@settings(max_examples=100, deadline=None)
+def test_elmore_monotone_along_chain_and_in_cap(sections, r_total, c_total,
+                                                tap_index, extra_cap):
+    assume(tap_index <= sections)
+    tree = uniform_ladder(sections, r_total, c_total)
+    delays = [tree.elmore_delay(f"n{i}") for i in range(1, sections + 1)]
+    # Farther along the line is never faster.
+    assert delays == sorted(delays)
+    # Adding capacitance anywhere never speeds anything up.
+    before = tree.elmore_delay(f"n{sections}")
+    tree.add_cap(f"n{tap_index}", extra_cap)
+    after = tree.elmore_delay(f"n{sections}")
+    assert after >= before
+
+
+# ---- sequential equivalence ------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.permutations(list(range(8))))
+@settings(max_examples=60, deadline=None)
+def test_sequential_equivalence_invariant_under_relabeling(modulus, perm):
+    """Renaming a machine's states never changes its behaviour -- the
+    core 'different state declarations' property of section 4.1."""
+    def counter():
+        return TableFsm(
+            input_width=1,
+            reset=0,
+            next_fn=lambda s, i: (s + 1) % modulus if i & 1 else s,
+            out_fn=lambda s, i: 1 if (i & 1 and s == modulus - 1) else 0,
+        )
+
+    mapping = {s: perm[s] for s in range(modulus)}
+    inverse = {v: k for k, v in mapping.items()}
+    relabeled = TableFsm(
+        input_width=1,
+        reset=mapping[0],
+        next_fn=lambda s, i: mapping[(inverse[s] + 1) % modulus] if i & 1 else s,
+        out_fn=lambda s, i: 1 if (i & 1 and inverse[s] == modulus - 1) else 0,
+    )
+    result = check_sequential(counter(), relabeled)
+    assert result.equivalent
+    assert result.explored == modulus

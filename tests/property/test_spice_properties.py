@@ -1,0 +1,81 @@
+"""Property-based tests on the transient simulator's physics.
+
+The golden reference must obey textbook circuit laws for arbitrary
+(bounded) element values: exponential settling, charge conservation in
+dividers, and monotone dependence of delay on R and C.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.spice.circuit import Circuit, PwlSource
+from repro.spice.transient import transient
+from repro.spice.waveforms import crossing_time
+
+resistance = st.floats(min_value=100.0, max_value=50e3)
+capacitance = st.floats(min_value=10e-15, max_value=5e-12)
+voltage = st.floats(min_value=0.5, max_value=5.0)
+
+
+@given(resistance, capacitance, voltage)
+@settings(max_examples=40, deadline=None)
+def test_rc_step_settles_to_source(r, c, v):
+    circuit = Circuit()
+    circuit.vsource("in", PwlSource.step(0.0, v, 0.0, 1e-15))
+    circuit.resistor("in", "out", r)
+    circuit.capacitor("out", "gnd", c)
+    tau = r * c
+    result = transient(circuit, t_stop=8 * tau, dt=tau / 50)
+    assert abs(result.final("out") - v) < 0.01 * v
+
+
+@given(resistance, capacitance, voltage)
+@settings(max_examples=40, deadline=None)
+def test_rc_63_percent_at_one_tau(r, c, v):
+    circuit = Circuit()
+    circuit.vsource("in", PwlSource.step(0.0, v, 0.0, 1e-15))
+    circuit.resistor("in", "out", r)
+    circuit.capacitor("out", "gnd", c)
+    tau = r * c
+    result = transient(circuit, t_stop=5 * tau, dt=tau / 100)
+    t63 = crossing_time(result.wave("out"), v * (1 - math.exp(-1)),
+                        rising=True)
+    assert t63 is not None
+    assert abs(t63 - tau) < 0.07 * tau  # backward-Euler bias bound
+
+
+@given(resistance, resistance, voltage)
+@settings(max_examples=40, deadline=None)
+def test_divider_obeys_ratio(r1, r2, v):
+    circuit = Circuit()
+    circuit.vsource("top", v)
+    circuit.resistor("top", "mid", r1)
+    circuit.resistor("mid", "gnd", r2)
+    result = transient(circuit, t_stop=1e-9, dt=1e-11)
+    expected = v * r2 / (r1 + r2)
+    assert abs(result.final("mid") - expected) < 0.01 * v
+
+
+@given(resistance, capacitance,
+       st.floats(min_value=1.5, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_delay_monotone_in_scaling(r, c, factor):
+    """Scaling R (or C) by k scales the 50% crossing by exactly k."""
+    def t50(res, cap):
+        circuit = Circuit()
+        circuit.vsource("in", PwlSource.step(0.0, 1.0, 0.0, 1e-15))
+        circuit.resistor("in", "out", res)
+        circuit.capacitor("out", "gnd", cap)
+        tau = res * cap
+        result = transient(circuit, t_stop=4 * tau, dt=tau / 80)
+        value = crossing_time(result.wave("out"), 0.5, rising=True)
+        assert value is not None
+        return value
+
+    base = t50(r, c)
+    scaled_r = t50(r * factor, c)
+    scaled_c = t50(r, c * factor)
+    assert abs(scaled_r / base - factor) < 0.08 * factor
+    assert abs(scaled_c / base - factor) < 0.08 * factor

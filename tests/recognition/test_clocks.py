@@ -1,0 +1,76 @@
+"""Unit tests for repro.recognition.clocks."""
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.recognition.ccc import extract_cccs
+from repro.recognition.clocks import infer_clocks, structural_clock_seeds
+
+
+def build_and_extract(build, ports):
+    b = CellBuilder("c", ports=ports)
+    build(b)
+    flat = flatten(b.build())
+    return flat, extract_cccs(flat)
+
+
+def test_domino_clock_seed_found():
+    flat, cccs = build_and_extract(
+        lambda b: b.domino_gate("clk", ["a", "b"], "y"),
+        ["clk", "a", "b", "y"],
+    )
+    assert structural_clock_seeds(cccs) == {"clk"}
+
+
+def test_static_gate_inputs_are_not_seeds():
+    flat, cccs = build_and_extract(
+        lambda b: (b.nand(["a", "b"], "y"), b.inverter("y", "z")),
+        ["a", "b", "y", "z"],
+    )
+    assert structural_clock_seeds(cccs) == set()
+
+
+def test_clock_propagates_through_inverter_chain():
+    def build(b):
+        b.domino_gate("clk", ["a"], "y")
+        b.inverter("clk", "clk_b")
+        b.inverter("clk_b", "clk_2")
+
+    flat, cccs = build_and_extract(build, ["clk", "a", "y"])
+    clocks = infer_clocks(flat, cccs)
+    assert {"clk", "clk_b", "clk_2"} <= set(clocks)
+    assert clocks["clk"].inverted is False and clocks["clk"].depth == 0
+    assert clocks["clk_b"].inverted is True and clocks["clk_b"].depth == 1
+    assert clocks["clk_2"].inverted is False and clocks["clk_2"].depth == 2
+    assert clocks["clk_2"].root == "clk"
+
+
+def test_hints_create_roots():
+    flat, cccs = build_and_extract(
+        lambda b: b.transparent_latch("d", "q", "phi", "phi_b"),
+        ["d", "q", "phi", "phi_b"],
+    )
+    clocks = infer_clocks(flat, cccs, hints=["phi", "phi_b"])
+    assert "phi" in clocks and clocks["phi"].root == "phi"
+    assert "phi_b" in clocks
+
+
+def test_data_signals_not_classified_as_clocks():
+    def build(b):
+        b.domino_gate("clk", ["a"], "y")
+        b.inverter("a", "a_b")  # inverter on a *data* net
+
+    flat, cccs = build_and_extract(build, ["clk", "a", "y"])
+    clocks = infer_clocks(flat, cccs)
+    assert "a" not in clocks
+    assert "a_b" not in clocks
+
+
+def test_dynamic_output_inverter_not_marked_clock():
+    """The domino output inverter's input is the dynamic node, not a
+    clock; its output must not become a derived clock."""
+    flat, cccs = build_and_extract(
+        lambda b: b.domino_gate("clk", ["a"], "y"),
+        ["clk", "a", "y"],
+    )
+    clocks = infer_clocks(flat, cccs)
+    assert "y" not in clocks

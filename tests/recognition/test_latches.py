@@ -1,0 +1,88 @@
+"""Unit tests for repro.recognition.latches."""
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.recognition.ccc import extract_cccs
+from repro.recognition.families import classify_ccc
+from repro.recognition.latches import find_storage_nodes
+
+
+def storage_of(cell, clocks=frozenset()):
+    flat = flatten(cell)
+    cccs = extract_cccs(flat)
+    classified = [classify_ccc(c, clocks) for c in cccs]
+    return find_storage_nodes(flat, cccs, classified, clocks)
+
+
+def test_sram_cell_cross_coupled_storage():
+    b = CellBuilder("bit", ports=["bl", "bl_b", "wl"])
+    s, s_b = b.sram_cell("bl", "bl_b", "wl")
+    nodes = storage_of(b.build())
+    cross = [n for n in nodes if n.kind == "cross_coupled"]
+    assert {n.net for n in cross} == {s, s_b}
+    for n in cross:
+        assert n.static
+        assert n.partner in {s, s_b} - {n.net}
+        assert n.write_devices  # the access transistors
+        assert "wl" in n.enables
+
+
+def test_transparent_latch_storage_node_static():
+    """The staticized latch's storage node is recognized as *static*
+    storage with clock-gated write devices.  Because the feedback
+    transmission gate channel-connects the storage node to the feedback
+    inverter, the whole front end is one CCC and the loop is seen as
+    cross-coupled storage (store <-> q) -- electrically accurate: the
+    restoring loop is exactly what staticizes the node."""
+    b = CellBuilder("lat", ports=["d", "q", "clk", "clk_b"])
+    store = b.transparent_latch("d", "q", "clk", "clk_b")
+    nodes = storage_of(b.build(), clocks=frozenset({"clk", "clk_b"}))
+    target = next(n for n in nodes if n.net == store)
+    assert target.static
+    assert target.write_devices  # the input (and feedback) pass gates
+    assert {"clk", "clk_b"} & target.enables
+
+
+def test_dynamic_latch_storage_node():
+    """Pass gate into an inverter with no feedback: dynamic storage."""
+    b = CellBuilder("dynlat", ports=["d", "q", "clk", "clk_b"])
+    b.transmission_gate("d", "store", "clk", "clk_b")
+    b.inverter("store", "q")
+    nodes = storage_of(b.build(), clocks=frozenset({"clk", "clk_b"}))
+    target = next(n for n in nodes if n.net == "store")
+    assert not target.static
+    assert target.kind == "pass_written"
+
+
+def test_latch_input_port_not_storage():
+    b = CellBuilder("dynlat", ports=["d", "q", "clk", "clk_b"])
+    b.transmission_gate("d", "store", "clk", "clk_b")
+    b.inverter("store", "q")
+    nodes = storage_of(b.build(), clocks=frozenset({"clk", "clk_b"}))
+    assert all(n.net != "d" for n in nodes)
+
+
+def test_strongly_driven_net_not_pass_storage():
+    """A net with a real gate driver that also feeds a mux is not storage."""
+    b = CellBuilder("c", ports=["a", "s", "y", "z"])
+    b.inverter("a", "mid")        # strong driver of mid
+    b.nmos_pass("mid", "z", "s")  # mid also routes through a pass device
+    b.inverter("mid", "y")
+    nodes = storage_of(b.build())
+    assert all(n.net != "mid" for n in nodes)
+
+
+def test_combinational_design_has_no_storage():
+    b = CellBuilder("comb", ports=["a", "b", "y"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "y")
+    assert storage_of(b.build()) == []
+
+
+def test_dcvsl_not_reported_as_storage():
+    b = CellBuilder("dcvsl", ports=["a", "a_b", "t", "f"])
+    b.dcvsl(["a"], ["a_b"], "t", "f")
+    b.inverter("t", "to")  # give outputs gate loads
+    b.inverter("f", "fo")
+    nodes = storage_of(b.build())
+    assert all(n.net not in ("t", "f") for n in nodes)

@@ -1,0 +1,92 @@
+"""Integration-level unit tests for repro.recognition.recognizer."""
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.recognition.families import CircuitFamily
+from repro.recognition.recognizer import NetKind, recognize
+
+
+def build_mixed_design():
+    """A miniature full-custom block exercising several families at once:
+    static NAND -> domino stage -> output inverter, a transparent latch on
+    the output, and an SRAM bit on the side."""
+    b = CellBuilder("block", ports=["clk", "clk_b", "a", "b", "bl", "bl_b", "wl", "q"])
+    b.nand(["a", "b"], "nd")
+    b.inverter("nd", "and_ab")
+    b.domino_gate("clk", ["and_ab"], "dom_out", dyn_net="dyn")
+    store = b.transparent_latch("dom_out", "q", "clk", "clk_b")
+    s, s_b = b.sram_cell("bl", "bl_b", "wl")
+    return b.build(), store, s, s_b
+
+
+def test_full_recognition_pipeline():
+    cell, store, s, s_b = build_mixed_design()
+    design = recognize(flatten(cell), clock_hints=["clk_b"])
+
+    # Clocks: structural (clk from the domino) + hinted (clk_b).
+    assert "clk" in design.clocks
+    assert "clk_b" in design.clocks
+
+    # Dynamic node found with its anatomy.
+    assert "dyn" in design.dynamic_nodes
+    dyn = design.dynamic_nodes["dyn"]
+    assert dyn.clock == "clk"
+    assert dyn.eval_inputs == {"and_ab"}
+
+    # Static gates extracted: the NAND and the inverters.
+    assert "nd" in design.gates
+    assert design.gates["nd"].function_name() == "nand"
+
+    # Storage: latch node + both SRAM nodes.
+    storage_nets = {n.net for n in design.storage}
+    assert store in storage_nets
+    assert {s, s_b} <= storage_nets
+
+
+def test_net_kind_assignment():
+    cell, store, s, s_b = build_mixed_design()
+    design = recognize(flatten(cell), clock_hints=["clk_b"])
+    assert design.kind("vdd") is NetKind.RAIL
+    assert design.kind("clk") is NetKind.CLOCK
+    assert design.kind("dyn") is NetKind.DYNAMIC
+    assert design.kind(store) is NetKind.STORAGE
+    assert design.kind("nd") is NetKind.STATIC
+    assert design.kind("a") is NetKind.INPUT
+    assert design.kind("never_heard_of_it") is NetKind.UNKNOWN
+
+
+def test_family_histogram():
+    cell, *_ = build_mixed_design()
+    design = recognize(flatten(cell), clock_hints=["clk_b"])
+    hist = design.family_histogram()
+    assert hist.get(CircuitFamily.STATIC, 0) >= 3  # nand + inverters
+    assert hist.get(CircuitFamily.DYNAMIC, 0) == 1
+
+
+def test_dcvsl_pair_reported():
+    b = CellBuilder("d", ports=["a", "a_b", "t", "f"])
+    b.dcvsl(["a"], ["a_b"], "t", "f")
+    b.inverter("t", "to")
+    b.inverter("f", "fo")
+    design = recognize(flatten(b.build()))
+    assert design.dcvsl_pairs == [("t", "f")] or design.dcvsl_pairs == [("f", "t")]
+    # And DCVSL outputs are not storage.
+    assert all(n.net not in ("t", "f") for n in design.storage)
+
+
+def test_nets_of_kind_listing():
+    cell, *_ = build_mixed_design()
+    design = recognize(flatten(cell), clock_hints=["clk_b"])
+    clocks = design.nets_of_kind(NetKind.CLOCK)
+    assert "clk" in clocks and "clk_b" in clocks
+
+
+def test_recognizer_on_pure_combinational():
+    b = CellBuilder("comb", ports=["x", "y", "z"])
+    b.nand(["x", "y"], "w")
+    b.inverter("w", "z")
+    design = recognize(flatten(b.build()))
+    assert design.clocks == {}
+    assert design.dynamic_nodes == {}
+    assert design.storage == []
+    assert design.kind("w") is NetKind.STATIC

@@ -1,0 +1,83 @@
+"""Unit tests for repro.rtl.cam."""
+
+import numpy as np
+import pytest
+
+from repro.rtl.cam import Cam
+
+
+def test_basic_write_and_match():
+    cam = Cam(entries=8, width=16)
+    cam.write(3, 0xBEEF)
+    cam.write(5, 0xCAFE)
+    hits = cam.match(0xBEEF)
+    assert hits[3] and not hits[5]
+    assert cam.first_hit(0xCAFE) == 5
+    assert cam.first_hit(0x0000) is None
+
+
+def test_invalid_entries_do_not_match():
+    cam = Cam(entries=4, width=8)
+    cam.write(0, 0xAA)
+    cam.invalidate(0)
+    assert cam.hit_count(0xAA) == 0
+    cam.write(0, 0xAA)
+    cam.write(1, 0xAA)
+    assert cam.hit_count(0xAA) == 2
+    cam.invalidate_all()
+    assert cam.hit_count(0xAA) == 0
+
+
+def test_ternary_masking():
+    cam = Cam(entries=4, width=8)
+    cam.write(0, 0b1010_0000, care_mask=0b1111_0000)  # low nibble wildcard
+    assert cam.match(0b1010_0101)[0]
+    assert cam.match(0b1010_1111)[0]
+    assert not cam.match(0b1011_0000)[0]
+
+
+def test_match_many_ports():
+    """The paper's 2000-port CAM: simultaneous matching on many ports."""
+    cam = Cam(entries=64, width=32)
+    for i in range(64):
+        cam.write(i, i * 7919)
+    keys = [i * 7919 for i in range(2000)]
+    hits = cam.match_many(keys)
+    assert hits.shape == (2000, 64)
+    # The first 64 ports hit exactly their own entry.
+    for port in range(64):
+        assert hits[port].sum() == 1
+        assert hits[port, port]
+    # Ports beyond the stored range miss entirely.
+    assert hits[64:].sum() == 0
+
+
+def test_match_many_agrees_with_match():
+    cam = Cam(entries=16, width=12)
+    rng = np.random.default_rng(7)
+    for i in range(16):
+        cam.write(i, int(rng.integers(0, 1 << 12)))
+    keys = [int(rng.integers(0, 1 << 12)) for _ in range(50)]
+    many = cam.match_many(keys)
+    for port, key in enumerate(keys):
+        assert np.array_equal(many[port], cam.match(key))
+
+
+def test_width_and_index_validation():
+    with pytest.raises(ValueError):
+        Cam(entries=0, width=8)
+    with pytest.raises(ValueError):
+        Cam(entries=8, width=65)
+    cam = Cam(entries=4, width=8)
+    with pytest.raises(IndexError):
+        cam.write(4, 0)
+    with pytest.raises(IndexError):
+        cam.stored(-1)
+
+
+def test_full_width_64_bit_tags():
+    cam = Cam(entries=2, width=64)
+    tag = 0xFFFF_FFFF_FFFF_FFFF
+    cam.write(0, tag)
+    assert cam.match(tag)[0]
+    assert cam.stored(0)[0] == tag

@@ -1,0 +1,84 @@
+"""Unit tests for repro.rtl.memory."""
+
+import pytest
+
+from repro.rtl.memory import Memory
+from repro.rtl.module import Phase, RtlModule
+from repro.rtl.signals import X
+from repro.rtl.simulator import PhaseSimulator
+
+
+def make_memory(words=8, width=8):
+    m = RtlModule("m")
+    mem = Memory(m, "ram", words=words, width=width)
+    return m, mem, PhaseSimulator(m)
+
+
+def test_write_then_read():
+    m, mem, sim = make_memory()
+    mem.write_enable.set(1)
+    mem.write_addr.set(3)
+    mem.write_data.set(0xAB)
+    sim.cycle()
+    assert mem.read(3) == 0xAB
+    assert mem.read(0) is X  # untouched words stay unknown
+
+
+def test_two_phase_write_discipline():
+    """Reads during the write cycle see old data; new data appears only
+    after PHI2 commits."""
+    m, mem, sim = make_memory()
+    mem.load({2: 0x11})
+    mem.write_enable.set(1)
+    mem.write_addr.set(2)
+    mem.write_data.set(0x22)
+    sim.eval_phase(Phase.PHI1)
+    assert mem.read(2) == 0x11   # master sampled, array unchanged
+    sim.eval_phase(Phase.PHI2)
+    assert mem.read(2) == 0x22
+
+
+def test_write_enable_gating():
+    m, mem, sim = make_memory()
+    mem.load({1: 0x55})
+    mem.write_enable.set(0)
+    mem.write_addr.set(1)
+    mem.write_data.set(0xFF)
+    sim.cycle(3)
+    assert mem.read(1) == 0x55
+
+
+def test_unknown_enable_poisons_target_word():
+    m, mem, sim = make_memory()
+    mem.load({4: 0x99})
+    mem.write_enable.set(X)
+    mem.write_addr.set(4)
+    mem.write_data.set(0x00)
+    sim.cycle()
+    assert mem.read(4) is X  # conservative: might have been written
+
+
+def test_width_masking_and_bounds():
+    m, mem, sim = make_memory(words=4, width=4)
+    mem.write_enable.set(1)
+    mem.write_addr.set(0)
+    mem.write_data.set(0x1F)   # beyond 4 bits
+    sim.cycle()
+    assert mem.read(0) == 0xF
+    with pytest.raises(IndexError):
+        mem.read(9)
+    with pytest.raises(IndexError):
+        mem.load({17: 1})
+    with pytest.raises(ValueError):
+        Memory(RtlModule("x"), "bad", words=0, width=4)
+
+
+def test_dump_skips_undefined():
+    m, mem, sim = make_memory()
+    mem.load({0: 1, 5: 2})
+    assert mem.dump() == {0: 1, 5: 2}
+
+
+def test_read_x_address():
+    m, mem, sim = make_memory()
+    assert mem.read(X) is X

@@ -1,0 +1,64 @@
+"""Unit tests for repro.rtl.signals."""
+
+import pytest
+
+from repro.rtl.signals import Signal, X, xand, xnot, xor_unknown
+
+
+def test_signal_width_masking():
+    s = Signal("s", width=4)
+    s.set(0x1F)
+    assert s.get() == 0xF
+
+
+def test_signal_width_validation():
+    with pytest.raises(ValueError):
+        Signal("s", width=0)
+    with pytest.raises(ValueError):
+        Signal("s", width=1000)
+
+
+def test_x_is_singleton_and_unbool():
+    s = Signal("s", width=8)
+    assert s.get() is X
+    assert s.is_x()
+    with pytest.raises(TypeError):
+        bool(X)
+
+
+def test_set_returns_change_flag():
+    s = Signal("s", width=2, reset=0)
+    assert s.set(1) is True
+    assert s.set(1) is False
+    assert s.set(X) is True
+    assert s.set(X) is False
+    assert s.set(0) is True
+
+
+def test_reset_value():
+    s = Signal("s", width=8, reset=0xAB)
+    assert s.get() == 0xAB
+    s.set(0)
+    s.reset()
+    assert s.get() == 0xAB
+
+
+def test_bit_access():
+    s = Signal("s", width=4, reset=0b1010)
+    assert s.bit(0) == 0
+    assert s.bit(1) == 1
+    assert s.bit(3) == 1
+    with pytest.raises(IndexError):
+        s.bit(4)
+    s.set(X)
+    assert s.bit(2) is X
+
+
+def test_x_aware_operators():
+    assert xand(1, 1) == 1
+    assert xand(0, X) == 0  # zero dominates
+    assert xand(1, X) is X
+    assert xor_unknown(1, 0) == 1
+    assert xor_unknown(X, 0) is X
+    assert xnot(0b0101, width=4) == 0b1010
+    assert xnot(X) is X

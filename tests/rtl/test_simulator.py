@@ -1,0 +1,162 @@
+"""Unit tests for repro.rtl.module and repro.rtl.simulator."""
+
+import pytest
+
+from repro.rtl.constructs import (
+    ClockActivity,
+    conditional_register,
+    two_phase_register,
+    xadd,
+    xeq,
+    xmux,
+)
+from repro.rtl.module import Phase, RtlModule
+from repro.rtl.signals import X
+from repro.rtl.simulator import PhaseSimulator, SimulationError
+
+
+def test_combinational_process_fixpoint():
+    m = RtlModule("comb")
+    a = m.signal("a", 4, reset=3)
+    b = m.signal("b", 4, reset=5)
+    y = m.signal("y", 4)
+
+    @m.comb
+    def _sum():
+        y.set(xadd(a.get(), b.get(), 4))
+
+    sim = PhaseSimulator(m)
+    sim.cycle()
+    assert y.get() == 8
+
+
+def test_two_phase_register_pipeline():
+    """A register only advances once per full cycle."""
+    m = RtlModule("pipe")
+    counter = two_phase_register(m, "count", 8, lambda: xadd(counter.get(), 1, 8), reset=0)
+    sim = PhaseSimulator(m)
+    sim.cycle(5)
+    assert counter.get() == 5
+
+
+def test_phase_accuracy_master_vs_slave():
+    m = RtlModule("p")
+    count = two_phase_register(m, "c", 8, lambda: xadd(count.get(), 1, 8), reset=0)
+    master = m.signals["c_m"]
+    sim = PhaseSimulator(m)
+    sim.eval_phase(Phase.PHI1)
+    assert master.get() == 1   # master sampled
+    assert count.get() == 0    # slave not yet
+    sim.eval_phase(Phase.PHI2)
+    assert count.get() == 1
+
+
+def test_conditional_register_gating_and_activity():
+    m = RtlModule("g")
+    en = m.signal("en", 1, reset=0)
+    activity = ClockActivity()
+    reg = conditional_register(
+        m, "r", 8,
+        next_fn=lambda: xadd(reg.get(), 1, 8),
+        enable_fn=en.get,
+        activity=activity,
+        reset=0,
+    )
+    sim = PhaseSimulator(m)
+    sim.cycle(3)                      # gated: nothing moves
+    assert reg.get() == 0
+    en.set(1)
+    sim.cycle(2)
+    assert reg.get() == 2
+    assert activity.enabled_updates > 0
+    assert activity.gated_updates > 0
+    assert 0.0 < activity.activity_factor() < 1.0
+
+
+def test_x_poisons_arithmetic():
+    m = RtlModule("x")
+    a = m.signal("a", 8)  # reset X
+    y = m.signal("y", 8)
+
+    @m.comb
+    def _inc():
+        y.set(xadd(a.get(), 1, 8))
+
+    sim = PhaseSimulator(m)
+    sim.cycle()
+    assert y.get() is X
+
+
+def test_invariant_check_failure():
+    m = RtlModule("inv")
+    v = m.signal("v", 4, reset=9)
+
+    @m.check
+    def _small():
+        value = v.get()
+        if value is not X and value > 5:
+            return f"v={value} exceeds 5"
+        return None
+
+    sim = PhaseSimulator(m)
+    with pytest.raises(SimulationError, match="exceeds 5"):
+        sim.cycle()
+
+
+def test_unstable_fixpoint_detected():
+    m = RtlModule("osc")
+    a = m.signal("a", 1, reset=0)
+
+    @m.comb
+    def _invert():
+        value = a.get()
+        a.set(0 if value is X or value else 1)
+
+    sim = PhaseSimulator(m, max_iterations=20)
+    with pytest.raises(SimulationError, match="fixpoint"):
+        sim.eval_phase(Phase.PHI1)
+
+
+def test_hierarchy_flattening_and_duplicate_detection():
+    top = RtlModule("top")
+    child = RtlModule("child")
+    child.signal("s", 1)
+    top.submodule(child)
+    top.signal("s", 1)  # same local name, different hierarchy: fine
+    assert set(top.all_signals()) == {"top.s", "child.s"}
+
+    dup = RtlModule("child")  # same module name clashes
+    dup.signal("s", 1)
+    top.submodule(dup)
+    with pytest.raises(ValueError):
+        top.all_signals()
+
+
+def test_watch_and_trace():
+    m = RtlModule("t")
+    c = two_phase_register(m, "c", 4, lambda: xadd(c.get(), 1, 4), reset=0)
+    sim = PhaseSimulator(m)
+    sim.watch(c)
+    sim.cycle(3)
+    values = [v for _phase, v in sim.trace["t.c"]]
+    assert values[-1] == 3
+    assert len(values) == 6  # one sample per phase
+
+
+def test_throughput_measurement():
+    m = RtlModule("perf")
+    c = two_phase_register(m, "c", 16, lambda: xadd(c.get(), 1, 16), reset=0)
+    sim = PhaseSimulator(m)
+    sim.cycle(200)
+    assert sim.cycles_per_second() > 200  # the paper's per-CPU floor
+    assert sim.cpus_needed(2e9) > 0
+
+
+def test_mux_and_eq_helpers():
+    assert xmux(1, 0xA, 0xB) == 0xA
+    assert xmux(0, 0xA, 0xB) == 0xB
+    assert xmux(X, 0xA, 0xB) is X
+    assert xmux(X, 0xA, 0xA) == 0xA
+    assert xeq(3, 3) == 1
+    assert xeq(3, 4) == 0
+    assert xeq(X, 4) is X

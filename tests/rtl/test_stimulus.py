@@ -1,0 +1,55 @@
+"""Unit tests for repro.rtl.stimulus."""
+
+import pytest
+
+from repro.rtl.signals import Signal
+from repro.rtl.stimulus import RandomStimulus, StimulusProgram
+
+
+def test_random_stimulus_reproducible():
+    sigs1 = [Signal("a", 8), Signal("b", 4)]
+    sigs2 = [Signal("a", 8), Signal("b", 4)]
+    seq1 = [dict(v) for v in RandomStimulus(sigs1, seed=42).vectors(20)]
+    seq2 = [dict(v) for v in RandomStimulus(sigs2, seed=42).vectors(20)]
+    assert seq1 == seq2
+    seq3 = [dict(v) for v in RandomStimulus(sigs1, seed=43).vectors(20)]
+    assert seq1 != seq3
+
+
+def test_random_stimulus_applies_values():
+    sig = Signal("a", 8)
+    stim = RandomStimulus([sig], seed=1)
+    vec = stim.next_vector()
+    assert sig.get() == vec["a"]
+    assert 0 <= vec["a"] <= 0xFF
+
+
+def test_random_stimulus_bias():
+    sig = Signal("wide", 64)
+    high = RandomStimulus([sig], seed=9, bias=0.95)
+    total_ones = 0
+    for vec in high.vectors(50):
+        total_ones += bin(vec["wide"]).count("1")
+    assert total_ones > 0.8 * 64 * 50  # strongly biased toward 1
+
+
+def test_bias_validation():
+    with pytest.raises(ValueError):
+        RandomStimulus([], bias=1.5)
+
+
+def test_stimulus_program_steps_and_holds():
+    a, b = Signal("a", 4, reset=0), Signal("b", 4, reset=0)
+    prog = StimulusProgram({"a": a, "b": b})
+    prog.step(a=1, b=2).step(a=3).repeat(2, b=7)
+    assert len(prog) == 4
+    applied = list(prog.play())
+    assert applied[0] == {"a": 1, "b": 2}
+    assert a.get() == 3  # last write to a
+    assert b.get() == 7
+
+
+def test_stimulus_program_unknown_signal():
+    prog = StimulusProgram({"a": Signal("a", 1)})
+    with pytest.raises(KeyError):
+        prog.step(zz=1)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.spice.analysis: VTC, trip points, noise margins."""
+
+import pytest
+
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.spice.analysis import inverter_vtc
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+@pytest.fixture(scope="module")
+def balanced_vtc(tech):
+    # wp/wn ~ mobility ratio: a roughly centered inverter.
+    return inverter_vtc(tech, wn=2.0, wp=5.0, points=31)
+
+
+def test_vtc_endpoints_rail_to_rail(tech, balanced_vtc):
+    vdd = tech.vdd_v
+    assert balanced_vtc.vout[0] > 0.95 * vdd
+    assert balanced_vtc.vout[-1] < 0.05 * vdd
+
+
+def test_vtc_monotone_falling(balanced_vtc):
+    diffs = balanced_vtc.vout[1:] - balanced_vtc.vout[:-1]
+    assert (diffs <= 1e-6).all()
+
+
+def test_trip_point_near_center(tech, balanced_vtc):
+    trip = balanced_vtc.trip_point()
+    assert 0.35 * tech.vdd_v < trip < 0.65 * tech.vdd_v
+
+
+def test_skew_moves_trip_point(tech):
+    weak_p = inverter_vtc(tech, wn=6.0, wp=1.0, points=31)
+    weak_n = inverter_vtc(tech, wn=0.6, wp=10.0, points=31)
+    assert weak_p.trip_point() < weak_n.trip_point()
+
+
+def test_noise_margins_positive_and_bounded(tech, balanced_vtc):
+    nml, nmh = balanced_vtc.noise_margins()
+    vdd = tech.vdd_v
+    assert 0.0 < nml < vdd
+    assert 0.0 < nmh < vdd
+    # A restoring CMOS inverter gives healthy margins on both sides.
+    assert nml > 0.15 * vdd
+    assert nmh > 0.15 * vdd
+
+
+def test_gain_exceeds_unity_in_transition(tech, balanced_vtc):
+    trip = balanced_vtc.trip_point()
+    assert balanced_vtc.gain_at(trip) > 1.0
+    assert balanced_vtc.gain_at(0.02) < 0.5  # flat near the rails
+
+
+def test_check_settings_margin_is_defensible(tech, balanced_vtc):
+    """The 25%-of-VDD noise-margin assumption baked into the check
+    battery must be supported by actual inverter physics."""
+    from repro.checks.base import CheckSettings
+
+    nml, nmh = balanced_vtc.noise_margins()
+    assumed = CheckSettings().noise_margin_fraction * tech.vdd_v
+    assert assumed <= max(nml, nmh) * 1.5  # not wildly optimistic
+    assert assumed >= min(nml, nmh) * 0.3  # not uselessly tiny

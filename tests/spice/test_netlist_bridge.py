@@ -1,0 +1,109 @@
+"""Unit tests for repro.spice.netlist_bridge: end-to-end netlist-driven
+transient runs, including the charge-sharing physics that motivates the
+section-4.2 dynamic checks."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.spice.circuit import PwlSource
+from repro.spice.netlist_bridge import circuit_from_netlist
+from repro.spice.transient import transient
+from repro.spice.waveforms import delay_between
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def test_netlist_inverter_transient(tech):
+    b = CellBuilder("inv", ports=["a", "y"])
+    b.inverter("a", "y")
+    flat = flatten(b.build())
+    vdd = tech.vdd_v
+    circuit = circuit_from_netlist(
+        flat, tech,
+        stimulus={"a": PwlSource.step(0.0, vdd, 0.2e-9, 50e-12)},
+    )
+    result = transient(circuit, t_stop=3e-9, dt=2e-12, v_init={"y": vdd})
+    assert result.final("y") < 0.1 * vdd
+
+
+def test_netlist_nand_chain_delay(tech):
+    b = CellBuilder("chain", ports=["a", "b", "y"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "y")
+    flat = flatten(b.build())
+    vdd = tech.vdd_v
+    circuit = circuit_from_netlist(
+        flat, tech,
+        stimulus={
+            "a": PwlSource.step(0.0, vdd, 0.3e-9, 50e-12),
+            "b": PwlSource.dc(vdd),
+        },
+    )
+    result = transient(circuit, t_stop=4e-9, dt=2e-12,
+                       v_init={"n1": vdd, "y": 0.0})
+    # a rising -> n1 falls -> y rises.
+    d = delay_between(result.wave("a"), result.wave("y"), vdd / 2,
+                      cause_rising=True, effect_rising=True)
+    assert d is not None and 0 < d < 1e-9
+    assert result.final("y") > 0.9 * vdd
+
+
+def test_domino_charge_sharing_droop(tech):
+    """The Figure-3 physics: with the keeper removed, opening the top
+    evaluate device against a discharged internal node steals charge
+    from the dynamic node, drooping it."""
+    vdd = tech.vdd_v
+    b = CellBuilder("dom", ports=["clk", "a", "b", "y"])
+    b.domino_gate("clk", ["a", "b"], "y", keeper=False, dyn_net="dyn")
+    flat = flatten(b.build())
+    internal = next(n for n in flat.nets if n.startswith("ev_"))
+    # Exaggerate the internal-node capacitance to make the droop clear.
+    b.cap(internal, "gnd", 10e-15)
+    flat = flatten(b.build())
+
+    def run(a_wave):
+        circuit = circuit_from_netlist(
+            flat, tech,
+            stimulus={
+                "clk": PwlSource.dc(vdd),       # evaluate phase
+                "a": a_wave,
+                "b": PwlSource.dc(0.0),         # bottom device off
+            },
+        )
+        # Start: dyn precharged high, internal node discharged.
+        return transient(circuit, t_stop=2e-9, dt=2e-12,
+                         v_init={"dyn": vdd, internal: 0.0})
+
+    quiet = run(PwlSource.dc(0.0))
+    droop_quiet = vdd - quiet.wave("dyn").min_after(0.0)
+    shared = run(PwlSource.step(0.0, vdd, 0.2e-9, 50e-12))
+    droop_shared = vdd - shared.wave("dyn").min_after(0.0)
+    assert droop_shared > droop_quiet + 0.05  # visible charge-share droop
+    # But not a full discharge (b stays off).
+    assert shared.wave("dyn").min_after(0.0) > 0.3 * vdd
+
+
+def test_keeper_fights_leakage_droop(tech):
+    """With the keeper present, the same disturbance recovers."""
+    vdd = tech.vdd_v
+    b = CellBuilder("dom", ports=["clk", "a", "b", "y"])
+    b.domino_gate("clk", ["a", "b"], "y", keeper=True, dyn_net="dyn")
+    flat = flatten(b.build())
+    internal = next(n for n in flat.nets if n.startswith("ev_"))
+    circuit = circuit_from_netlist(
+        flat, tech,
+        stimulus={
+            "clk": PwlSource.dc(vdd),
+            "a": PwlSource.step(0.0, vdd, 0.2e-9, 50e-12),
+            "b": PwlSource.dc(0.0),
+        },
+    )
+    result = transient(circuit, t_stop=5e-9, dt=2e-12,
+                       v_init={"dyn": vdd, internal: 0.0, "y": 0.0})
+    # Keeper restores the dynamic node by the end of the window.
+    assert result.final("dyn") > 0.85 * vdd

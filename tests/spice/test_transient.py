@@ -1,0 +1,146 @@
+"""Unit tests for repro.spice: RC physics, MOSFET switching, waveforms."""
+
+import math
+
+import pytest
+
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.spice.circuit import Circuit, PwlSource
+from repro.spice.transient import transient
+from repro.spice.waveforms import crossing_time, delay_between, slew_time
+
+
+def test_pwl_source_interpolation():
+    src = PwlSource([(0.0, 0.0), (1e-9, 0.0), (2e-9, 1.5)])
+    assert src.value(-1.0) == 0.0
+    assert src.value(0.5e-9) == 0.0
+    assert src.value(1.5e-9) == pytest.approx(0.75)
+    assert src.value(5e-9) == 1.5
+    with pytest.raises(ValueError):
+        PwlSource([(1.0, 0.0), (0.0, 1.0)])
+
+
+def test_rc_charging_matches_analytic():
+    """A driven RC: v(t) = V(1 - exp(-t/RC)), within integrator error."""
+    circuit = Circuit()
+    circuit.vsource("in", PwlSource.step(0.0, 1.0, t_edge=0.0, t_rise=1e-15))
+    circuit.resistor("in", "out", 1000.0)
+    circuit.capacitor("out", "gnd", 1e-12)  # tau = 1 ns
+    result = transient(circuit, t_stop=5e-9, dt=5e-12)
+    wave = result.wave("out")
+    for t_check in (0.5e-9, 1e-9, 2e-9):
+        expected = 1.0 - math.exp(-t_check / 1e-9)
+        assert wave.at(t_check) == pytest.approx(expected, abs=0.02)
+
+
+def test_rc_time_constant_via_crossing():
+    circuit = Circuit()
+    circuit.vsource("in", PwlSource.step(0.0, 1.0, 0.0, 1e-15))
+    circuit.resistor("in", "out", 2000.0)
+    circuit.capacitor("out", "gnd", 1e-12)  # tau = 2 ns
+    result = transient(circuit, t_stop=10e-9, dt=10e-12)
+    t63 = crossing_time(result.wave("out"), 0.632, rising=True)
+    assert t63 == pytest.approx(2e-9, rel=0.05)
+
+
+def test_resistive_divider_dc():
+    circuit = Circuit()
+    circuit.vsource("top", 3.0)
+    circuit.resistor("top", "mid", 1000.0)
+    circuit.resistor("mid", "gnd", 2000.0)
+    result = transient(circuit, t_stop=1e-9, dt=1e-11)
+    assert result.final("mid") == pytest.approx(2.0, rel=1e-3)
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def inverter_circuit(tech, w_n=4.0, w_p=8.0, c_load=20e-15):
+    circuit = Circuit()
+    vdd = tech.vdd_v
+    circuit.vsource("vdd", vdd)
+    circuit.vsource("a", PwlSource.step(0.0, vdd, t_edge=0.2e-9, t_rise=50e-12))
+    circuit.mosfet("mn", tech.nmos_model(), "a", "y", "gnd", w_um=w_n)
+    circuit.mosfet("mp", tech.pmos_model(), "a", "y", "vdd", w_um=w_p)
+    circuit.capacitor("y", "gnd", c_load)
+    return circuit
+
+
+def test_inverter_switches(tech):
+    circuit = inverter_circuit(tech)
+    result = transient(circuit, t_stop=3e-9, dt=2e-12,
+                       v_init={"y": tech.vdd_v})
+    wave = result.wave("y")
+    # Before the input edge the output is high; after, it falls.
+    assert wave.at(0.1e-9) > 0.9 * tech.vdd_v
+    assert result.final("y") < 0.05 * tech.vdd_v
+
+
+def test_inverter_delay_scales_with_load(tech):
+    def fall_delay(c_load):
+        circuit = inverter_circuit(tech, c_load=c_load)
+        result = transient(circuit, t_stop=4e-9, dt=2e-12,
+                           v_init={"y": tech.vdd_v})
+        return delay_between(result.wave("a"), result.wave("y"),
+                             threshold=tech.vdd_v / 2,
+                             cause_rising=True, effect_rising=False)
+
+    d_small = fall_delay(10e-15)
+    d_big = fall_delay(40e-15)
+    assert d_small is not None and d_big is not None
+    assert d_big > 2.0 * d_small  # roughly linear in C
+
+
+def test_inverter_delay_scales_with_width(tech):
+    def fall_delay(w_n):
+        circuit = inverter_circuit(tech, w_n=w_n, c_load=30e-15)
+        result = transient(circuit, t_stop=4e-9, dt=2e-12,
+                           v_init={"y": tech.vdd_v})
+        return delay_between(result.wave("a"), result.wave("y"),
+                             threshold=tech.vdd_v / 2,
+                             cause_rising=True, effect_rising=False)
+
+    # 4x width would be ~4x faster if not input-slew limited; demand >2x.
+    assert fall_delay(8.0) < fall_delay(2.0) / 2.0
+
+
+def test_slow_corner_is_slower(tech):
+    def delay_at(corner):
+        circuit = Circuit()
+        vdd = tech.vdd_at(corner)
+        circuit.vsource("vdd", vdd)
+        circuit.vsource("a", PwlSource.step(0.0, vdd, 0.2e-9, 50e-12))
+        circuit.mosfet("mn", tech.nmos_model(corner), "a", "y", "gnd", w_um=4.0)
+        circuit.mosfet("mp", tech.pmos_model(corner), "a", "y", "vdd", w_um=8.0)
+        circuit.capacitor("y", "gnd", 20e-15)
+        result = transient(circuit, t_stop=4e-9, dt=2e-12, v_init={"y": vdd})
+        return delay_between(result.wave("a"), result.wave("y"), vdd / 2,
+                             cause_rising=True, effect_rising=False)
+
+    assert delay_at(Corner.SLOW) > delay_at(Corner.FAST) * 1.3
+
+
+def test_slew_measurement(tech):
+    circuit = inverter_circuit(tech, c_load=30e-15)
+    result = transient(circuit, t_stop=4e-9, dt=2e-12, v_init={"y": tech.vdd_v})
+    fall = slew_time(result.wave("y"), v_low=0.1 * tech.vdd_v,
+                     v_high=0.9 * tech.vdd_v, rising=False)
+    assert fall is not None and fall > 0
+
+
+def test_crossing_occurrence_and_direction():
+    import numpy as np
+
+    from repro.spice.waveforms import Waveform
+    t = np.linspace(0, 4, 401)
+    v = np.sin(t * math.pi)  # crosses 0.5 up at ~1/6, down at ~5/6, up at ~13/6...
+    w = Waveform(times=t, values=v)
+    up1 = crossing_time(w, 0.5, rising=True)
+    down1 = crossing_time(w, 0.5, rising=False)
+    up2 = crossing_time(w, 0.5, rising=True, occurrence=2)
+    assert up1 == pytest.approx(1 / 6, abs=0.02)
+    assert down1 == pytest.approx(5 / 6, abs=0.02)
+    assert up2 == pytest.approx(13 / 6, abs=0.02)

@@ -1,0 +1,227 @@
+"""Unit tests for repro.switchsim.engine."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.switchsim.engine import OscillationError, SwitchSimulator
+from repro.switchsim.values import Logic
+
+
+def make_sim(build, ports):
+    b = CellBuilder("dut", ports=ports)
+    build(b)
+    return SwitchSimulator(flatten(b.build()))
+
+
+def test_inverter():
+    sim = make_sim(lambda b: b.inverter("a", "y"), ["a", "y"])
+    sim.step(a=1)
+    assert sim.value("y") is Logic.ZERO
+    sim.step(a=0)
+    assert sim.value("y") is Logic.ONE
+
+
+def test_unknown_input_gives_unknown_output():
+    sim = make_sim(lambda b: b.inverter("a", "y"), ["a", "y"])
+    sim.settle()
+    assert sim.value("y") is Logic.X
+
+
+def test_nand_truth_table():
+    sim = make_sim(lambda b: b.nand(["a", "b"], "y"), ["a", "b", "y"])
+    for a, b_, y in [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]:
+        sim.step(a=a, b=b_)
+        assert sim.value("y") is Logic.from_int(y), f"nand({a},{b_})"
+
+
+def test_combinational_chain():
+    def build(b):
+        b.nand(["a", "b"], "n1")
+        b.inverter("n1", "y")  # y = a AND b
+
+    sim = make_sim(build, ["a", "b", "y"])
+    sim.step(a=1, b=1)
+    assert sim.value("y") is Logic.ONE
+    sim.step(b=0)
+    assert sim.value("y") is Logic.ZERO
+
+
+def test_transmission_gate_pass_and_hold():
+    def build(b):
+        b.transmission_gate("d", "store", "en", "en_b")
+        b.inverter("store", "q")
+
+    sim = make_sim(build, ["d", "en", "en_b", "q"])
+    sim.step(d=1, en=1, en_b=0)
+    assert sim.value("store") is Logic.ONE
+    assert sim.value("q") is Logic.ZERO
+    assert sim.is_driven("store")
+    # Close the gate: store retains charge, q holds.
+    sim.step(en=0, en_b=1)
+    assert sim.value("store") is Logic.ONE
+    assert not sim.is_driven("store")
+    # Change d with the gate closed: nothing moves.
+    sim.step(d=0)
+    assert sim.value("store") is Logic.ONE
+    assert sim.value("q") is Logic.ZERO
+    # Reopen: new value flows through.
+    sim.step(en=1, en_b=0)
+    assert sim.value("store") is Logic.ZERO
+    assert sim.value("q") is Logic.ONE
+
+
+def test_domino_precharge_evaluate_cycle():
+    sim = make_sim(
+        lambda b: b.domino_gate("clk", ["a", "b"], "y", dyn_net="dyn"),
+        ["clk", "a", "b", "y"],
+    )
+    # Precharge phase.
+    sim.step(clk=0, a=0, b=0)
+    assert sim.value("dyn") is Logic.ONE
+    assert sim.value("y") is Logic.ZERO
+    # Evaluate with inputs low: keeper holds the dynamic node high.
+    sim.step(clk=1)
+    assert sim.value("dyn") is Logic.ONE
+    assert sim.value("y") is Logic.ZERO
+    # Evaluate with both inputs high: node discharges through the stack,
+    # winning the fight against the weak keeper.
+    sim.step(a=1, b=1)
+    assert sim.value("dyn") is Logic.ZERO
+    assert sim.value("y") is Logic.ONE
+    # Back to precharge.
+    sim.step(clk=0)
+    assert sim.value("dyn") is Logic.ONE
+    assert sim.value("y") is Logic.ZERO
+
+
+def test_keeperless_domino_holds_charge_dynamically():
+    sim = make_sim(
+        lambda b: b.domino_gate("clk", ["a"], "y", keeper=False, dyn_net="dyn"),
+        ["clk", "a", "y"],
+    )
+    sim.step(clk=0, a=0)
+    assert sim.value("dyn") is Logic.ONE
+    sim.step(clk=1)  # evaluate, input low: no path anywhere
+    assert sim.value("dyn") is Logic.ONE
+    assert not sim.is_driven("dyn")
+
+
+def test_sram_cell_write_and_hold():
+    def build(b):
+        b.sram_cell("bl", "bl_b", "wl")
+
+    b = CellBuilder("dut", ports=["bl", "bl_b", "wl"])
+    s, s_b = b.sram_cell("bl", "bl_b", "wl")
+    sim = SwitchSimulator(flatten(b.build()))
+
+    # Differential write of 0.
+    sim.step(bl=0, bl_b=1, wl=1)
+    assert sim.value(s) is Logic.ZERO
+    assert sim.value(s_b) is Logic.ONE
+    # Deselect; release the bitlines entirely: the cell holds.
+    sim.step(wl=0)
+    sim.release("bl")
+    sim.release("bl_b")
+    sim.settle()
+    assert sim.value(s) is Logic.ZERO
+    assert sim.value(s_b) is Logic.ONE
+    # Write the opposite value.
+    sim.step(bl=1, bl_b=0, wl=1)
+    assert sim.value(s) is Logic.ONE
+    assert sim.value(s_b) is Logic.ZERO
+
+
+def test_sram_read_through_released_bitline():
+    b = CellBuilder("dut", ports=["bl", "bl_b", "wl"])
+    s, s_b = b.sram_cell("bl", "bl_b", "wl")
+    sim = SwitchSimulator(flatten(b.build()))
+    sim.step(bl=0, bl_b=1, wl=1)   # write 0
+    sim.step(wl=0)
+    sim.drive("bl", 1)             # precharge both bitlines
+    sim.drive("bl_b", 1)
+    sim.settle()
+    sim.release("bl")
+    sim.release("bl_b")
+    sim.step(wl=1)                 # read
+    assert sim.value("bl") is Logic.ZERO      # cell pulls its side low
+    assert sim.value(s) is Logic.ZERO         # without losing its state
+
+
+def test_transparent_latch_full_behaviour():
+    """The template latch is inverting: q = NOT(stored d)."""
+    b = CellBuilder("dut", ports=["d", "q", "clk", "clk_b"])
+    b.transparent_latch("d", "q", "clk", "clk_b")
+    sim = SwitchSimulator(flatten(b.build()))
+    # Transparent: q follows NOT d.
+    sim.step(d=1, clk=1, clk_b=0)
+    assert sim.value("q") is Logic.ZERO
+    sim.step(d=0)
+    assert sim.value("q") is Logic.ONE
+    # Opaque: q holds through d changes, restored by feedback.
+    sim.step(clk=0, clk_b=1)
+    sim.step(d=1)
+    assert sim.value("q") is Logic.ONE
+    # Transparent again: the new d=1 flows through.
+    sim.step(clk=1, clk_b=0)
+    assert sim.value("q") is Logic.ZERO
+
+
+def test_ratioed_pseudo_nmos():
+    def build(b):
+        b.pmos("gnd", "y", "vdd", w=0.5)   # weak always-on load
+        b.nmos("a", "y", "gnd", w=6.0)     # strong pull-down
+
+    sim = make_sim(build, ["a", "y"])
+    sim.step(a=0)
+    assert sim.value("y") is Logic.ONE
+    sim.step(a=1)
+    assert sim.value("y") is Logic.ZERO  # ratio fight resolves low
+
+
+def test_balanced_fight_goes_x():
+    def build(b):
+        b.pmos("gnd", "y", "vdd", w=2.0)   # g ~ 0.4 * 5.7 = 2.3
+        b.nmos("a", "y", "gnd", w=1.0)     # g ~ 2.9: too close to dominate
+
+    sim = make_sim(build, ["a", "y"])
+    sim.step(a=1)
+    assert sim.value("y") is Logic.X
+
+
+def test_ring_oscillator_raises():
+    def build(b):
+        b.inverter("a", "b")
+        b.inverter("b", "c")
+        b.inverter("c", "a")
+
+    b = CellBuilder("ring", ports=[])
+    build(b)
+    sim = SwitchSimulator(flatten(b.build()))
+    # Kick one node so definite values circulate.
+    sim.drive("a", 1)
+    sim.settle()
+    sim.release("a")
+    with pytest.raises(OscillationError):
+        sim.settle(max_events=500)
+
+
+def test_x_propagates_pessimistically_through_fight():
+    """X on a gate that might open a disturbing path makes the node X."""
+    def build(b):
+        b.transmission_gate("d", "y", "en", "en_b")
+        b.inverter("y", "q")
+
+    sim = make_sim(build, ["d", "en", "en_b", "q"])
+    sim.step(d=0, en=1, en_b=0)
+    assert sim.value("y") is Logic.ZERO
+    # Enable goes X while d is 1: y might now be written with 1 -> X.
+    sim.step(d=1, en=Logic.X, en_b=Logic.X)
+    assert sim.value("y") is Logic.X
+
+
+def test_history_records_changes():
+    sim = make_sim(lambda b: b.inverter("a", "y"), ["a", "y"])
+    sim.step(a=1)
+    nets_changed = {net for _t, net, _v in sim.history}
+    assert "a" in nets_changed and "y" in nets_changed

@@ -1,0 +1,181 @@
+"""Unit tests for repro.timing.analyzer, constraints, clocking, driver."""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.constraints import ConstraintKind, generate_constraints, glitch_risks
+from repro.timing.driver import analyze_design
+from repro.timing.pessimism import PessimismSettings
+from repro.recognition.recognizer import recognize
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def latch_pipeline_cell(stages=3):
+    """inverter chain -> transparent latch, clocked by phi1/phi1_b."""
+    b = CellBuilder("pipe", ports=["d", "q", "phi", "phi_b"])
+    prev = "d"
+    for i in range(stages):
+        nxt = f"s{i}"
+        b.inverter(prev, nxt)
+        prev = nxt
+    b.transparent_latch(prev, "q", "phi", "phi_b")
+    return b.build()
+
+
+def test_clock_model_validation():
+    with pytest.raises(ValueError):
+        TwoPhaseClock(period_s=0.0)
+    with pytest.raises(ValueError):
+        TwoPhaseClock(period_s=1e-9, non_overlap_s=0.6e-9)
+    clk = TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.25e-9)
+    assert clk.phase_width_s == pytest.approx(2.875e-9)
+    assert clk.frequency_hz() == pytest.approx(160e6)
+
+
+def test_constraints_generated_for_latch(tech):
+    flat = flatten(latch_pipeline_cell())
+    design = recognize(flat, clock_hints=["phi", "phi_b"])
+    constraints = generate_constraints(design)
+    kinds = {c.kind for c in constraints}
+    assert ConstraintKind.SETUP in kinds
+    assert ConstraintKind.HOLD in kinds
+    setups = [c for c in constraints if c.kind is ConstraintKind.SETUP]
+    assert any(c.reference in ("phi", "phi_b") for c in setups)
+
+
+def test_constraints_for_domino(tech):
+    b = CellBuilder("dom", ports=["clk", "a", "y"])
+    b.inverter("a", "a_inv")
+    b.domino_gate("clk", ["a_inv"], "y", dyn_net="dyn")
+    design = recognize(flatten(b.build()))
+    constraints = generate_constraints(design)
+    kinds = [c.kind for c in constraints]
+    # The footed template is precharge-race-immune (the footer holds the
+    # stack off during precharge); only GLITCH and SETUP apply.
+    assert ConstraintKind.PRECHARGE_RACE not in kinds
+    assert ConstraintKind.SETUP in kinds
+    assert ConstraintKind.GLITCH in kinds
+    # a_inv comes from a static inverter on a primary input: glitch risk.
+    risky = glitch_risks(constraints)
+    assert any(c.net == "a_inv" for c in risky)
+
+
+def test_footless_domino_gets_precharge_race(tech):
+    b = CellBuilder("dom", ports=["clk", "a", "y"])
+    b.pmos("clk", "dyn", "vdd", w=4.0)   # footless: eval straight to gnd
+    b.nmos("a", "dyn", "gnd", w=4.0)
+    b.inverter("dyn", "y")
+    design = recognize(flatten(b.build()), clock_hints=["clk"])
+    constraints = generate_constraints(design)
+    kinds = [c.kind for c in constraints]
+    assert ConstraintKind.PRECHARGE_RACE in kinds
+
+
+def test_domino_fed_domino_not_glitch_risky(tech):
+    b = CellBuilder("dom2", ports=["clk", "a", "y2"])
+    b.domino_gate("clk", ["a"], "y1", dyn_net="d1")
+    b.domino_gate("clk", ["y1"], "y2", dyn_net="d2")
+    design = recognize(flatten(b.build()))
+    constraints = generate_constraints(design)
+    risky_nets = {c.net for c in glitch_risks(constraints)}
+    # y1 is a domino output inverter: monotonic, not risky.
+    assert "y1" not in risky_nets
+
+
+def test_full_run_critical_path_and_min_cycle(tech):
+    flat = flatten(latch_pipeline_cell(stages=4))
+    clk = TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9)
+    run = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"])
+    report = run.report
+    assert report.critical_paths
+    # The latch storage node is an endpoint fed through the chain.
+    endpoints = {p.endpoint for p in report.critical_paths}
+    assert any(e.startswith("lat_") or e == "q" for e in endpoints)
+    assert report.min_cycle_time_s > 0
+    # At a 160 MHz-class period, a 4-inverter chain has positive slack.
+    assert report.worst_slack() > 0
+    assert not report.setup_violations
+
+
+def test_setup_violation_at_absurd_frequency(tech):
+    flat = flatten(latch_pipeline_cell(stages=4))
+    clk = TwoPhaseClock(period_s=20e-12)  # 50 GHz: hopeless
+    run = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"])
+    assert run.report.setup_violations
+
+
+def test_min_cycle_time_consistency(tech):
+    """Running at exactly the reported min cycle time leaves ~zero worst
+    slack at the binding endpoint."""
+    flat = flatten(latch_pipeline_cell(stages=5))
+    clk = TwoPhaseClock(period_s=6.25e-9)
+    run = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"])
+    t_min = run.report.min_cycle_time_s
+    rerun = analyze_design(flat, tech, clk.scaled(t_min),
+                           clock_hints=["phi", "phi_b"])
+    assert rerun.report.worst_slack() == pytest.approx(0.0, abs=1e-12)
+    assert not rerun.report.setup_violations
+
+
+def test_races_are_frequency_independent(tech):
+    """The Figure-4 claim: race margins do not move with the period."""
+    flat = flatten(latch_pipeline_cell(stages=1))
+    clk_fast = TwoPhaseClock(period_s=2e-9, skew_s=120e-12)
+    clk_slow = TwoPhaseClock(period_s=50e-9, skew_s=120e-12)
+    run_fast = analyze_design(flat, tech, clk_fast, clock_hints=["phi", "phi_b"])
+    run_slow = analyze_design(flat, tech, clk_slow, clock_hints=["phi", "phi_b"])
+    margins_fast = sorted(r.margin_s for r in run_fast.report.races)
+    margins_slow = sorted(r.margin_s for r in run_slow.report.races)
+    assert margins_fast == pytest.approx(margins_slow)
+
+
+def test_race_appears_with_large_skew(tech):
+    """A short path that clears zero skew loses to a big skew budget."""
+    flat = flatten(latch_pipeline_cell(stages=1))
+    clk_clean = TwoPhaseClock(period_s=6.25e-9, skew_s=0.0)
+    clk_skewed = TwoPhaseClock(period_s=6.25e-9, skew_s=2e-9)
+    clean = analyze_design(flat, tech, clk_clean, clock_hints=["phi", "phi_b"])
+    skewed = analyze_design(flat, tech, clk_skewed, clock_hints=["phi", "phi_b"])
+    assert len(skewed.report.races) > len(clean.report.races)
+
+
+def test_false_path_exclusion_reduces_arrival(tech):
+    def build(b):
+        b.inverter("a", "m1")
+        b.inverter("m1", "m2")
+        b.inverter("m2", "m3")
+        b.inverter("m3", "y")   # long path a -> y
+        b.inverter("a", "y2")
+        b.nand(["y2", "m3"], "q_in")
+        b.transparent_latch("q_in", "q", "phi", "phi_b")
+
+    b = CellBuilder("fp", ports=["a", "q", "y", "phi", "phi_b"])
+    build(b)
+    flat = flatten(b.build())
+    clk = TwoPhaseClock(period_s=6.25e-9)
+    full = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"])
+    pruned = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"],
+                            false_through=["m2"])
+    # The long chain ends at port y; declaring m2 false cuts it off.
+    full_y = full.report.arrivals["y"].t_max
+    pruned_y = pruned.report.arrivals.get("y")
+    assert full_y > 0
+    assert pruned_y is None or pruned_y.t_max < full_y
+
+
+def test_pessimism_monotonic_min_cycle(tech):
+    flat = flatten(latch_pipeline_cell(stages=3))
+    clk = TwoPhaseClock(period_s=6.25e-9)
+    cycles = []
+    for scale in (0.0, 1.0, 2.0):
+        run = analyze_design(flat, tech, clk, clock_hints=["phi", "phi_b"],
+                             pessimism=PessimismSettings(scale=scale))
+        cycles.append(run.report.min_cycle_time_s)
+    assert cycles[0] < cycles[1] < cycles[2]

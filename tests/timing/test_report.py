@@ -1,0 +1,56 @@
+"""Unit tests for repro.timing.report."""
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.driver import analyze_design
+from repro.timing.report import render_path, render_timing_report
+
+
+def make_run(period=6.25e-9, skew=0.0):
+    b = CellBuilder("pipe", ports=["d", "q", "phi", "phi_b"])
+    b.inverter("d", "s0")
+    b.inverter("s0", "s1")
+    b.transparent_latch("s1", "q", "phi", "phi_b")
+    return analyze_design(flatten(b.build()), strongarm_technology(),
+                          TwoPhaseClock(period_s=period, skew_s=skew),
+                          clock_hints=["phi", "phi_b"])
+
+
+def test_render_path_breakdown():
+    run = make_run()
+    endpoint = next(p.endpoint for p in run.report.critical_paths
+                    if len(p.nets) > 1)
+    text = render_path(run.analyzer, run.report, endpoint)
+    assert endpoint in text
+    assert "ps" in text
+    assert "->" in text
+    # Per-arc rows accumulate: the running column appears per hop.
+    assert text.count("@") >= 1
+
+
+def test_render_path_unknown_endpoint():
+    run = make_run()
+    assert "no timing path" in render_path(run.analyzer, run.report, "zz")
+
+
+def test_render_full_report_sections():
+    run = make_run()
+    text = render_timing_report(run.analyzer, run.report)
+    assert "minimum cycle time" in text
+    assert "setup violations   : 0" in text
+    assert "race violations    : 0" in text
+
+
+def test_render_report_includes_races():
+    run = make_run(skew=3e-9)
+    text = render_timing_report(run.analyzer, run.report)
+    assert "RACE at" in text
+
+
+def test_render_report_notes_loop_breaks():
+    run = make_run()
+    if run.analyzer.graph.notes:
+        text = render_timing_report(run.analyzer, run.report)
+        assert "note:" in text

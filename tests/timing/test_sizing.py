@@ -1,0 +1,144 @@
+"""Unit tests for repro.timing.sizing: automatic path sizing (paper §2.2).
+
+The acceptance criterion is the real one: after sizing, the path is
+faster -- according to both the static verifier and the transient golden
+simulator.
+"""
+
+import pytest
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.corners import Corner
+from repro.process.technology import strongarm_technology
+from repro.recognition.recognizer import recognize
+from repro.spice.circuit import PwlSource
+from repro.spice.netlist_bridge import circuit_from_netlist
+from repro.spice.transient import transient
+from repro.spice.waveforms import crossing_time
+from repro.timing.sizing import size_path
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return strongarm_technology()
+
+
+def chain_flat(stages=3, load_f=200e-15):
+    b = CellBuilder("chain", ports=["a", "y"])
+    prev = "a"
+    for i in range(stages):
+        nxt = "y" if i == stages - 1 else f"s{i}"
+        b.inverter(prev, nxt, wn=1.0, wp=2.5)  # uniformly tiny: bad for 200 fF
+        prev = nxt
+    b.cap("y", "gnd", load_f)
+    return flatten(b.build()), ["a"] + [f"s{i}" for i in range(stages - 1)] + ["y"]
+
+
+def sta_delay(flat, tech):
+    from repro.extraction.annotate import annotate
+    from repro.extraction.caps import Parasitics
+    from repro.timing.delay import ArcDelayCalculator
+    from repro.timing.graph import build_timing_graph
+
+    design = recognize(flat)
+    fast = annotate(flat, Parasitics(), tech, Corner.FAST)
+    slow = annotate(flat, Parasitics(), tech, Corner.SLOW)
+    graph = build_timing_graph(design, ArcDelayCalculator(fast, slow))
+    arrival = {"a": 0.0}
+    changed = True
+    while changed:
+        changed = False
+        for arc in graph.arcs:
+            if arc.src in arrival:
+                t = arrival[arc.src] + arc.d_max
+                if t > arrival.get(arc.dst, -1.0):
+                    arrival[arc.dst] = t
+                    changed = True
+    return arrival["y"]
+
+
+def golden_delay(flat, tech):
+    vdd = tech.vdd_v
+    circuit = circuit_from_netlist(
+        flat, tech,
+        stimulus={"a": PwlSource.step(0.0, vdd, 0.1e-9, 40e-12)})
+    v_init = {}
+    stage_nets = sorted(n for n in flat.nets if n.startswith("s")) + ["y"]
+    for i, net in enumerate(stage_nets):
+        v_init[net] = vdd if i % 2 == 0 else 0.0
+    result = transient(circuit, t_stop=20e-9, dt=10e-12, v_init=v_init)
+    t_in = crossing_time(result.wave("a"), vdd / 2, rising=True)
+    t_out = crossing_time(result.wave("y"), vdd / 2, after=t_in)
+    assert t_out is not None
+    return t_out - t_in
+
+
+def test_sizing_speeds_up_sta_and_golden(tech):
+    load = 200e-15
+    flat_ref, path = chain_flat(load_f=load)
+    before_sta = sta_delay(flat_ref, tech)
+    before_golden = golden_delay(flat_ref, tech)
+
+    flat, path = chain_flat(load_f=load)
+    design = recognize(flat)
+    result = size_path(flat, design, tech, path, c_load_f=load)
+    after_sta = sta_delay(flat, tech)
+    after_golden = golden_delay(flat, tech)
+
+    assert result.stage_effort > 1.0
+    assert after_sta < 0.6 * before_sta
+    assert after_golden < 0.6 * before_golden
+
+
+def test_sizing_tapers_geometrically(tech):
+    flat, path = chain_flat(stages=4, load_f=400e-15)
+    design = recognize(flat)
+    result = size_path(flat, design, tech, path, c_load_f=400e-15)
+    caps = [s.c_in_after_f for s in result.stages]
+    # Each stage presents ~stage_effort times the previous one's input cap.
+    for earlier, later in zip(caps, caps[1:]):
+        assert later / earlier == pytest.approx(result.stage_effort, rel=0.1)
+
+
+def test_sizing_first_stage_untouched(tech):
+    flat, path = chain_flat()
+    first_widths = {t.name: t.w_um for t in flat.transistors
+                    if t.gate == "a"}
+    design = recognize(flat)
+    size_path(flat, design, tech, path, c_load_f=100e-15)
+    for t in flat.transistors:
+        if t.name in first_widths:
+            assert t.w_um == first_widths[t.name]
+
+
+def test_sizing_respects_min_width_and_scale_cap(tech):
+    flat, path = chain_flat(stages=2, load_f=1e-9)  # absurd load
+    design = recognize(flat)
+    result = size_path(flat, design, tech, path, c_load_f=1e-9,
+                       max_scale=8.0)
+    assert all(s.scale <= 8.0 for s in result.stages)
+    assert all(t.w_um >= 0.4 for t in flat.transistors)
+
+
+def test_sizing_validation(tech):
+    flat, path = chain_flat()
+    design = recognize(flat)
+    with pytest.raises(ValueError):
+        size_path(flat, design, tech, ["a"], c_load_f=1e-13)
+    with pytest.raises(ValueError):
+        size_path(flat, design, tech, ["a", "nosuch"], c_load_f=1e-13)
+
+
+def test_sizing_works_on_multi_input_gates(tech):
+    """The sized input is the path input; side inputs are untouched
+    conceptually (whole-stage scaling is the logical-effort convention)."""
+    b = CellBuilder("c", ports=["a", "bb", "y"])
+    b.nand(["a", "bb"], "n1", wn=1.0, wp=1.0)
+    b.inverter("n1", "y", wn=1.0, wp=2.5)
+    b.cap("y", "gnd", 100e-15)
+    flat = flatten(b.build())
+    design = recognize(flat)
+    result = size_path(flat, design, tech, ["a", "n1", "y"], c_load_f=100e-15)
+    assert len(result.stages) == 2
+    assert result.stages[1].scale > 1.0
