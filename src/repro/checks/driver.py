@@ -12,7 +12,7 @@ from repro.layout.antenna_geom import AntennaGeometry
 from repro.netlist.flatten import FlatNetlist
 from repro.process.corners import Corner
 from repro.process.technology import Technology
-from repro.recognition.recognizer import recognize
+from repro.recognition.recognizer import RecognizedDesign, recognize
 from repro.timing.clocking import TwoPhaseClock
 
 
@@ -24,13 +24,33 @@ def make_context(
     parasitics: Parasitics | None = None,
     antenna: list[AntennaGeometry] | None = None,
     settings: CheckSettings | None = None,
+    design: RecognizedDesign | None = None,
+    cache=None,
 ) -> CheckContext:
-    """Recognize, extract (wireload default), annotate, and bundle."""
-    design = recognize(flat, clock_hints=clock_hints)
+    """Recognize, extract (wireload default), annotate, and bundle.
+
+    ``design`` short-circuits recognition with a precomputed
+    :class:`RecognizedDesign` (it must be for this ``flat``).  ``cache``
+    is a :class:`repro.perf.DesignCache`: every derived artifact not
+    explicitly supplied is obtained through it, so a session building
+    many contexts over the same netlist derives each artifact once.
+    """
+    if design is None:
+        if cache is not None:
+            design = cache.recognized(flat, clock_hints=clock_hints)
+        else:
+            design = recognize(flat, clock_hints=clock_hints)
     if parasitics is None:
-        parasitics = WireloadModel().extract(flat, technology.wires)
-    typical = annotate(flat, parasitics, technology, Corner.TYPICAL)
-    fast = annotate(flat, parasitics, technology, Corner.FAST)
+        if cache is not None:
+            parasitics = cache.parasitics(flat, technology)
+        else:
+            parasitics = WireloadModel().extract(flat, technology.wires)
+    if cache is not None:
+        typical = cache.annotated(flat, parasitics, technology, Corner.TYPICAL)
+        fast = cache.annotated(flat, parasitics, technology, Corner.FAST)
+    else:
+        typical = annotate(flat, parasitics, technology, Corner.TYPICAL)
+        fast = annotate(flat, parasitics, technology, Corner.FAST)
     return CheckContext(
         design=design,
         typical=typical,
@@ -38,4 +58,5 @@ def make_context(
         clock=clock,
         antenna=antenna,
         settings=settings or CheckSettings(),
+        cache=cache,
     )

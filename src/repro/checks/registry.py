@@ -2,11 +2,22 @@
 
 ``run_battery`` executes every registered check (the complete section-4.2
 list) over one context and returns the findings plus the triage queues.
+
+The battery is embarrassingly parallel -- checks only read the shared
+context -- so ``run_battery(ctx, parallel=N)`` fans the registry out over
+a process pool.  The context is pickled once into each worker (its
+session cache stripped first: caches are process-local), and results are
+reassembled in registry order, so parallel output is byte-identical to
+serial.  This mirrors the paper's farm of "several hundred workstations
+... used for the verification effort": the unit of distribution is one
+whole check over one design.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+import time
+from dataclasses import dataclass, field
 
 from repro.checks.antenna import AntennaCheck
 from repro.checks.base import Check, CheckContext, Finding
@@ -51,25 +62,95 @@ class BatteryResult:
     findings: list[Finding]
     queues: TriageQueues
     per_check: dict[str, list[Finding]]
+    #: Wall-clock seconds per check class name, in run order.
+    per_check_seconds: dict[str, float] = field(default_factory=dict)
 
     def of_check(self, name: str) -> list[Finding]:
         return self.per_check.get(name, [])
+
+    def total_seconds(self) -> float:
+        return sum(self.per_check_seconds.values())
+
+
+# Worker-process state for the parallel battery.  The context is shipped
+# once via the pool initializer (not per task): it dominates the payload,
+# and every check in the worker reuses the same unpickled copy.
+_WORKER_CTX: CheckContext | None = None
+
+
+def _battery_worker_init(ctx: CheckContext) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _battery_worker_run(task: tuple[int, type[Check]]
+                        ) -> tuple[int, str, list[Finding], float]:
+    idx, check_cls = task
+    check = check_cls()
+    start = time.perf_counter()
+    produced = check.run(_WORKER_CTX)
+    return idx, check.name, produced, time.perf_counter() - start
+
+
+def _run_serial(ctx: CheckContext, checks: tuple[type[Check], ...]
+                ) -> list[tuple[str, list[Finding], float]]:
+    rows = []
+    for check_cls in checks:
+        check = check_cls()
+        start = time.perf_counter()
+        produced = check.run(ctx)
+        rows.append((check.name, produced, time.perf_counter() - start))
+    return rows
+
+
+def _run_parallel(ctx: CheckContext, checks: tuple[type[Check], ...],
+                  workers: int) -> list[tuple[str, list[Finding], float]]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    # The session cache is process-local (and may hold unpicklable or
+    # merely useless state in a worker); ship the context without it.
+    payload = dataclasses.replace(ctx, cache=None)
+    ordered: list = [None] * len(checks)
+    with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_battery_worker_init,
+            initargs=(payload,)) as pool:
+        for idx, name, produced, seconds in pool.map(
+                _battery_worker_run, enumerate(checks)):
+            ordered[idx] = (name, produced, seconds)
+    return ordered
 
 
 def run_battery(
     ctx: CheckContext,
     checks: tuple[type[Check], ...] = ALL_CHECKS,
+    parallel: int | None = None,
 ) -> BatteryResult:
-    """Run the battery; order follows the registry."""
+    """Run the battery; order follows the registry.
+
+    ``parallel=N`` runs the checks across ``N`` worker processes.
+    Findings are assembled in registry order regardless of completion
+    order, so the result is byte-identical to a serial run; only
+    ``per_check_seconds`` differs (worker wall-clock vs in-process).
+    ``parallel=None`` or ``1`` stays in-process.
+    """
+    if parallel is not None and parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if parallel is not None and parallel > 1 and len(checks) > 1:
+        rows = _run_parallel(ctx, checks, min(parallel, len(checks)))
+    else:
+        rows = _run_serial(ctx, checks)
+
     findings: list[Finding] = []
     per_check: dict[str, list[Finding]] = {}
-    for check_cls in checks:
-        check = check_cls()
-        produced = check.run(ctx)
+    per_check_seconds: dict[str, float] = {}
+    for name, produced, seconds in rows:
         findings.extend(produced)
-        per_check.setdefault(check.name, []).extend(produced)
+        per_check.setdefault(name, []).extend(produced)
+        per_check_seconds[name] = per_check_seconds.get(name, 0.0) + seconds
     return BatteryResult(
         findings=findings,
         queues=filter_findings(findings),
         per_check=per_check,
+        per_check_seconds=per_check_seconds,
     )

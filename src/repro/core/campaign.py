@@ -27,6 +27,7 @@ from repro.layout.macrocell import generate_macrocell
 from repro.netlist.cell import Cell
 from repro.netlist.erc import run_erc
 from repro.netlist.flatten import FlatNetlist, flatten
+from repro.perf import collect_counters
 from repro.process.corners import Corner
 from repro.process.technology import Technology
 from repro.recognition.recognizer import RecognizedDesign, recognize
@@ -133,12 +134,15 @@ class CbvCampaign:
             summary=", ".join(f"{fam.value}: {count}"
                               for fam, count in sorted(
                                   hist.items(), key=lambda kv: kv[0].value)),
-            metrics={
-                "cccs": float(len(design.cccs)),
-                "clocks": float(len(design.clocks)),
-                "storage": float(len(design.storage)),
-                "dynamic_nodes": float(len(design.dynamic_nodes)),
-            },
+            metrics=collect_counters(
+                {
+                    "cccs": float(len(design.cccs)),
+                    "clocks": float(len(design.clocks)),
+                    "storage": float(len(design.storage)),
+                    "dynamic_nodes": float(len(design.dynamic_nodes)),
+                },
+                design.perf,
+            ),
         ))
 
         # -- layout & extraction ------------------------------------------------
@@ -193,7 +197,8 @@ class CbvCampaign:
             metrics={"findings": float(stats.total),
                      "inspect": float(stats.inspect),
                      "violations": float(stats.violations),
-                     "auto_cleared_fraction": stats.auto_cleared_fraction()},
+                     "auto_cleared_fraction": stats.auto_cleared_fraction(),
+                     "battery_seconds": battery.total_seconds()},
         ))
 
         # -- timing verification ---------------------------------------------------------

@@ -13,6 +13,7 @@ recognition algorithm in section 2.3 starts from knowing the rails).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 #: Net names treated as the positive supply, case-insensitively.
 SUPPLY_NAMES = frozenset({"vdd", "vdd!", "vcc", "pwr"})
@@ -21,16 +22,23 @@ SUPPLY_NAMES = frozenset({"vdd", "vdd!", "vcc", "pwr"})
 GROUND_NAMES = frozenset({"gnd", "gnd!", "vss", "vss!", "0"})
 
 
+# Rail classification sits on every hot path (CCC extraction, conduction
+# enumeration, simulation) and net names repeat endlessly, so the name
+# predicates are cached.  Unbounded is fine: entries are tiny and the
+# name population is the design's net list.
+@lru_cache(maxsize=None)
 def is_supply_name(name: str) -> bool:
     """True if ``name`` is a positive-rail net (hierarchy-aware)."""
     return _leaf(name) in SUPPLY_NAMES
 
 
+@lru_cache(maxsize=None)
 def is_ground_name(name: str) -> bool:
     """True if ``name`` is a ground net (hierarchy-aware)."""
     return _leaf(name) in GROUND_NAMES
 
 
+@lru_cache(maxsize=None)
 def is_rail_name(name: str) -> bool:
     """True if ``name`` is either rail."""
     leaf = _leaf(name)

@@ -1,0 +1,20 @@
+"""Cross-cutting performance layer.
+
+The paper is blunt that tool throughput is the methodology's lifeblood
+("the speed of simulation is very important"; the farm exists because
+designers iterate daily).  This package holds the pieces that keep the
+verification loop fast without touching what any tool computes:
+
+* :class:`DesignCache` -- per-netlist memo for recognition, parasitic
+  extraction, and corner annotation, plus the shared classification
+  memo, so a session verifying one design with many tools derives each
+  artifact once;
+* the perf counters every hot path maintains (see
+  ``SwitchSimulator.counters``, ``RecognizedDesign.perf``, and
+  ``BatteryResult.per_check_seconds``) are aggregated for reports by
+  :func:`collect_counters`.
+"""
+
+from repro.perf.cache import DesignCache, collect_counters
+
+__all__ = ["DesignCache", "collect_counters"]

@@ -1,0 +1,132 @@
+"""Shared derived-artifact cache for one verification session.
+
+A verification session touches the same flat netlist from many angles:
+the check battery, STA, power analysis, and ad-hoc queries all start by
+recognizing the design, extracting parasitics, and annotating corners.
+:class:`DesignCache` derives each artifact once per netlist and hands
+out the shared instance; every product is immutable-in-practice (nothing
+downstream mutates a ``RecognizedDesign`` or ``Parasitics``), so sharing
+is safe.
+
+Keys are ``id()``-based with a strong reference to the keyed object:
+identity equality is exact (no hashing of huge netlists), and the strong
+reference both keeps the artifact valid and prevents the classic
+recycled-``id()`` aliasing bug.  The flip side is that cached netlists
+live as long as the cache -- scope a ``DesignCache`` to a session or
+campaign, not to the process.
+
+The classification memo inside (:class:`ClassificationMemo`) is shared
+across *all* designs in the cache: it stores name-free topology
+templates, so a regfile and a datapath that stamp the same latch reuse
+one classification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.extraction.annotate import AnnotatedDesign, annotate
+from repro.extraction.caps import Parasitics
+from repro.extraction.wireload import WireloadModel
+from repro.netlist.flatten import FlatNetlist
+from repro.process.corners import Corner
+from repro.process.technology import Technology
+from repro.recognition.ccc import ChannelConnectedComponent
+from repro.recognition.memo import ClassificationMemo
+from repro.recognition.recognizer import RecognizedDesign, recognize
+
+
+class DesignCache:
+    """Session-scoped cache of recognition/extraction/annotation results.
+
+    Parameters
+    ----------
+    memo:
+        Classification memo to share; a fresh one is created by default
+        so the cache is fully self-contained (pass the process-wide memo
+        if you want cross-session template reuse).
+    """
+
+    def __init__(self, memo: ClassificationMemo | None = None) -> None:
+        self.memo = memo if memo is not None else ClassificationMemo()
+        # key -> (keyed objects kept alive, value)
+        self._recognized: dict[tuple, tuple] = {}
+        self._parasitics: dict[tuple, tuple] = {}
+        self._annotated: dict[tuple, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- recognition ---------------------------------------------------------
+
+    def recognized(self, flat: FlatNetlist,
+                   clock_hints: Iterable[str] = ()) -> RecognizedDesign:
+        """The (cached) recognition result for ``flat``."""
+        hints = tuple(clock_hints)
+        key = (id(flat), hints)
+        entry = self._recognized.get(key)
+        if entry is not None and entry[0] is flat:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        design = recognize(flat, clock_hints=hints, memo=self.memo)
+        self._recognized[key] = (flat, design)
+        return design
+
+    def cccs_of_net(self, flat: FlatNetlist,
+                    net: str) -> list[ChannelConnectedComponent]:
+        """Indexed replacement for the linear scan in ``ccc_of_net``."""
+        return self.recognized(flat).cccs_of_net(net)
+
+    # -- extraction / annotation ---------------------------------------------
+
+    def parasitics(self, flat: FlatNetlist,
+                   technology: Technology) -> Parasitics:
+        """Wireload-model parasitics for ``flat`` (cached)."""
+        key = (id(flat), id(technology))
+        entry = self._parasitics.get(key)
+        if entry is not None and entry[0] is flat and entry[1] is technology:
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        parasitics = WireloadModel().extract(flat, technology.wires)
+        self._parasitics[key] = (flat, technology, parasitics)
+        return parasitics
+
+    def annotated(self, flat: FlatNetlist, parasitics: Parasitics,
+                  technology: Technology, corner: Corner) -> AnnotatedDesign:
+        """Corner-annotated design for ``flat`` (cached)."""
+        key = (id(flat), id(parasitics), id(technology), corner)
+        entry = self._annotated.get(key)
+        if (entry is not None and entry[0] is flat
+                and entry[1] is parasitics and entry[2] is technology):
+            self.hits += 1
+            return entry[3]
+        self.misses += 1
+        annotated = annotate(flat, parasitics, technology, corner)
+        self._annotated[key] = (flat, parasitics, technology, annotated)
+        return annotated
+
+    # -- introspection --------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        out = {"cache_hits": self.hits, "cache_misses": self.misses}
+        out.update(self.memo.counters())
+        return out
+
+
+def collect_counters(*sources) -> dict[str, float]:
+    """Merge perf-counter dicts (later sources win on key collisions).
+
+    Accepts plain dicts or objects exposing ``counters()`` -- e.g. a
+    ``SwitchSimulator``, a :class:`DesignCache`, or a
+    ``ClassificationMemo`` -- skipping ``None`` so call sites can pass
+    optional components unconditionally.
+    """
+    merged: dict[str, float] = {}
+    for src in sources:
+        if src is None:
+            continue
+        counters = src.counters() if hasattr(src, "counters") else src
+        for name, value in counters.items():
+            merged[name] = float(value)
+    return merged

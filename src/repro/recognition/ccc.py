@@ -40,6 +40,15 @@ class ChannelConnectedComponent:
         deduced" rule.
     internal_nets:
         Channel nets that are not outputs (stack midpoints).
+    path_cache:
+        Memo for :func:`~repro.recognition.conduction.conduction_paths`,
+        keyed ``(source, target, max_paths)``.  Safe because a CCC's
+        topology never changes after extraction; excluded from equality.
+    signature_cache:
+        Lazily computed
+        :class:`~repro.recognition.signature.CCCSignature`.  Living on
+        the CCC (not in a cache keyed by it) ties its lifetime to the
+        component, so long-lived memo objects never pin dead designs.
     """
 
     index: int
@@ -48,6 +57,8 @@ class ChannelConnectedComponent:
     input_nets: set[str] = field(default_factory=set)
     output_nets: set[str] = field(default_factory=set)
     internal_nets: set[str] = field(default_factory=set)
+    path_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    signature_cache: object = field(default=None, repr=False, compare=False)
 
     def nmos(self) -> list[Transistor]:
         return [t for t in self.transistors if t.polarity == "nmos"]
@@ -74,6 +85,7 @@ class ChannelConnectedComponent:
 class _UnionFind:
     def __init__(self) -> None:
         self.parent: dict[str, str] = {}
+        self.size: dict[str, int] = {}
 
     def find(self, x: str) -> str:
         self.parent.setdefault(x, x)
@@ -85,9 +97,19 @@ class _UnionFind:
         return root
 
     def union(self, a: str, b: str) -> None:
+        # Union by size: attaching the smaller tree keeps find() paths
+        # logarithmic even on long pass-transistor strings, where naive
+        # linking degenerates into linear chains and quadratic
+        # extraction.
         ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            self.parent[ra] = rb
+        if ra == rb:
+            return
+        sa = self.size.get(ra, 1)
+        sb = self.size.get(rb, 1)
+        if sa < sb:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] = sa + sb
 
 
 def extract_cccs(flat: FlatNetlist) -> list[ChannelConnectedComponent]:
@@ -96,45 +118,76 @@ def extract_cccs(flat: FlatNetlist) -> list[ChannelConnectedComponent]:
     Isolated transistors (both channel terminals on rails, e.g. decap
     devices) each form their own single-device component.
     """
-    uf = _UnionFind()
-    for i, t in enumerate(flat.transistors):
-        anchor = f"dev:{i}"
-        for term in t.channel_terminals():
-            net = flat.nets.get(term)
-            if net is not None and net.is_rail:
-                continue
-            uf.union(anchor, f"net:{term}")
+    from repro.netlist.nets import is_rail_name
 
-    groups: dict[str, list[int]] = {}
-    for i in range(len(flat.transistors)):
-        root = uf.find(f"dev:{i}")
-        groups.setdefault(root, []).append(i)
+    transistors = flat.transistors
+    nets = flat.nets
+    n_dev = len(transistors)
+
+    # A net known to the netlist and rail-named merges nothing; an
+    # unregistered name is conservatively treated as a channel net.
+    rail: dict[str, bool] = {}
+
+    def is_rail_net(term: str) -> bool:
+        r = rail.get(term)
+        if r is None:
+            rail[term] = r = term in nets and is_rail_name(term)
+        return r
+
+    # Integer union-find: slots 0..n_dev-1 are device anchors, channel
+    # nets get slots on first sight.
+    parent = list(range(n_dev))
+    size = [1] * n_dev
+    net_slot: dict[str, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = x = parent[parent[x]]
+        return x
+
+    for i, t in enumerate(transistors):
+        for term in t.channel_terminals():
+            if is_rail_net(term):
+                continue
+            j = net_slot.get(term)
+            if j is None:
+                net_slot[term] = j = len(parent)
+                parent.append(j)
+                size.append(1)
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                # Union by size keeps find() paths logarithmic even on
+                # long pass-transistor strings.
+                if size[ri] < size[rj]:
+                    ri, rj = rj, ri
+                parent[rj] = ri
+                size[ri] += size[rj]
+
+    groups: dict[int, list[int]] = {}
+    for i in range(n_dev):
+        groups.setdefault(find(i), []).append(i)
 
     # Which nets drive at least one gate anywhere in the design.
     gate_loads: dict[str, int] = {}
-    for t in flat.transistors:
+    for t in transistors:
         gate_loads[t.gate] = gate_loads.get(t.gate, 0) + 1
 
     cccs: list[ChannelConnectedComponent] = []
     # Deterministic order: by smallest member device index.
     for members in sorted(groups.values(), key=lambda m: m[0]):
         ccc = ChannelConnectedComponent(index=len(cccs))
-        ccc.transistors = [flat.transistors[i] for i in members]
+        ccc.transistors = [transistors[i] for i in members]
         for t in ccc.transistors:
             for term in t.channel_terminals():
-                net = flat.nets.get(term)
-                if net is None or not net.is_rail:
+                if not is_rail_net(term):
                     ccc.channel_nets.add(term)
         for t in ccc.transistors:
-            if t.gate not in ccc.channel_nets:
-                net = flat.nets.get(t.gate)
-                if net is None or not net.is_rail:
-                    ccc.input_nets.add(t.gate)
+            if t.gate not in ccc.channel_nets and not is_rail_net(t.gate):
+                ccc.input_nets.add(t.gate)
         for net_name in ccc.channel_nets:
-            net = flat.nets.get(net_name)
+            net = nets.get(net_name)
             is_port = net.is_port if net is not None else False
-            drives_gate = gate_loads.get(net_name, 0) > 0
-            if is_port or drives_gate:
+            if is_port or gate_loads.get(net_name, 0) > 0:
                 ccc.output_nets.add(net_name)
         ccc.internal_nets = ccc.channel_nets - ccc.output_nets
         cccs.append(ccc)

@@ -47,7 +47,56 @@ class ClockNet:
     depth: int
 
 
-def structural_clock_seeds(cccs: Iterable[ChannelConnectedComponent]) -> set[str]:
+def ccc_clock_seeds(ccc: ChannelConnectedComponent, gate_fn=None) -> set[str]:
+    """Precharge + footer seeds contributed by one CCC.
+
+    Purely topological, so :class:`~repro.recognition.memo.ClassificationMemo`
+    caches the result per topology signature.
+    """
+    from repro.netlist.nets import is_rail_name
+    from repro.recognition.conduction import conduction_paths
+
+    if gate_fn is None:
+        gate_fn = recognize_static_gate
+    seeds: set[str] = set()
+    nmos_names = {t.name for t in ccc.nmos()}
+    checked: set[tuple[str, str]] = set()
+    for p in ccc.pmos():
+        terms = p.channel_terminals()
+        if "vdd" not in terms:
+            continue
+        x = p.other_channel_terminal("vdd")
+        g = p.gate
+        if x in ("vdd", "gnd") or is_rail_name(g) or g in seeds:
+            continue
+        if (g, x) in checked:
+            continue
+        checked.add((g, x))
+        # Ordinary complementary gate inputs also gate a P-to-vdd;
+        # rule those out first.
+        gate = gate_fn(ccc, x)
+        if gate is not None and gate.complementary:
+            continue
+        # Demand a genuine evaluate stack: an all-NMOS path from the
+        # precharged node to gnd that passes through a G-gated footer
+        # *and* carries at least one data condition.  A plain
+        # inverter (path = {G} alone) or a tgate detour (mixed
+        # polarities) does not qualify.
+        for path in conduction_paths(ccc, x, "gnd"):
+            if set(path.devices) - nmos_names:
+                continue
+            conds = set(path.conditions)
+            if (g, True) in conds and conds - {(g, True)}:
+                seeds.add(g)
+                break
+    return seeds
+
+
+def structural_clock_seeds(
+    cccs: Iterable[ChannelConnectedComponent],
+    gate_fn=None,
+    seeds_fn=None,
+) -> set[str]:
     """Nets matching the precharge + footer signature.
 
     A net G is a seed when, within one CCC:
@@ -61,43 +110,16 @@ def structural_clock_seeds(cccs: Iterable[ChannelConnectedComponent]) -> set[str
     Footless domino has no footer device and therefore needs a user
     hint; section 4.3's "reliability of recognizing circuit constraints"
     caveat applies.
-    """
-    from repro.netlist.nets import is_rail_name
-    from repro.recognition.conduction import conduction_paths
-    from repro.recognition.gates import recognize_static_gate
 
+    ``seeds_fn`` substitutes for :func:`ccc_clock_seeds` (the memoized
+    variant caches per topology).
+    """
+    if seeds_fn is None:
+        def seeds_fn(ccc):
+            return ccc_clock_seeds(ccc, gate_fn=gate_fn)
     seeds: set[str] = set()
     for ccc in cccs:
-        nmos_names = {t.name for t in ccc.nmos()}
-        checked: set[tuple[str, str]] = set()
-        for p in ccc.pmos():
-            terms = p.channel_terminals()
-            if "vdd" not in terms:
-                continue
-            x = p.other_channel_terminal("vdd")
-            g = p.gate
-            if x in ("vdd", "gnd") or is_rail_name(g) or g in seeds:
-                continue
-            if (g, x) in checked:
-                continue
-            checked.add((g, x))
-            # Ordinary complementary gate inputs also gate a P-to-vdd;
-            # rule those out first.
-            gate = recognize_static_gate(ccc, x)
-            if gate is not None and gate.complementary:
-                continue
-            # Demand a genuine evaluate stack: an all-NMOS path from the
-            # precharged node to gnd that passes through a G-gated footer
-            # *and* carries at least one data condition.  A plain
-            # inverter (path = {G} alone) or a tgate detour (mixed
-            # polarities) does not qualify.
-            for path in conduction_paths(ccc, x, "gnd"):
-                if set(path.devices) - nmos_names:
-                    continue
-                conds = set(path.conditions)
-                if (g, True) in conds and conds - {(g, True)}:
-                    seeds.add(g)
-                    break
+        seeds |= seeds_fn(ccc)
     return seeds
 
 
@@ -105,15 +127,22 @@ def infer_clocks(
     flat: FlatNetlist,
     cccs: list[ChannelConnectedComponent],
     hints: Iterable[str] = (),
+    gate_fn=None,
+    seeds_fn=None,
 ) -> dict[str, ClockNet]:
     """Infer the design's clock nets.
 
     Returns a map net name -> :class:`ClockNet`.  Hinted nets become
     roots even without the structural signature; structural seeds are
-    their own roots.
+    their own roots.  ``gate_fn``/``seeds_fn`` substitute for
+    :func:`recognize_static_gate` / :func:`ccc_clock_seeds` (see
+    :mod:`repro.recognition.memo`).
     """
+    if gate_fn is None:
+        gate_fn = recognize_static_gate
     clocks: dict[str, ClockNet] = {}
-    roots = set(hints) | structural_clock_seeds(cccs)
+    roots = set(hints) | structural_clock_seeds(
+        cccs, gate_fn=gate_fn, seeds_fn=seeds_fn)
     for net in sorted(roots):
         clocks[net] = ClockNet(name=net, root=net, inverted=False, depth=0)
 
@@ -123,7 +152,7 @@ def infer_clocks(
         # Dangling outputs (no gate load yet) still count as stages so a
         # partially assembled clock tree classifies correctly.
         for out in ccc.output_nets or ccc.channel_nets:
-            gate = recognize_static_gate(ccc, out)
+            gate = gate_fn(ccc, out)
             if gate is None or not gate.complementary or len(gate.inputs) != 1:
                 continue
             if gate.is_inverter():

@@ -21,6 +21,10 @@ from repro.netlist.devices import Transistor
 from repro.netlist.nets import is_rail_name, is_supply_name
 from repro.recognition.ccc import ChannelConnectedComponent
 
+#: Benchmark escape hatch: ``benchmarks/perf_report.py`` flips this off
+#: to measure the uncached baseline.  Leave on everywhere else.
+PATH_CACHE_ENABLED = True
+
 
 @dataclass(frozen=True)
 class ConductionPath:
@@ -72,7 +76,17 @@ def conduction_paths(
     paths (requiring a gate at both levels) are dropped.  Raises if the
     enumeration exceeds ``max_paths`` -- a guard against pathological
     networks, not a silent truncation.
+
+    Results are memoized on ``ccc.path_cache`` (sound: a CCC's topology
+    is immutable after extraction, and :class:`ConductionPath` is
+    frozen).  Clock inference, classification, latch finding, and the
+    electrical checks all enumerate the same (net, rail) pairs.
     """
+    cache_key = (source, target, max_paths)
+    if PATH_CACHE_ENABLED:
+        cached = ccc.path_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
     # Adjacency: net -> [(device, other_net)]
     adj: dict[str, list[tuple[Transistor, str]]] = {}
     for t in ccc.transistors:
@@ -122,6 +136,7 @@ def conduction_paths(
                 new_conds,
                 visited | {other},
             ))
+    ccc.path_cache[cache_key] = tuple(paths)
     return paths
 
 

@@ -80,8 +80,16 @@ class CCCClassification:
 def classify_ccc(
     ccc: ChannelConnectedComponent,
     clock_nets: frozenset[str] | set[str] = frozenset(),
+    gate_fn=None,
 ) -> CCCClassification:
-    """Classify one CCC given the design's (inferred) clock nets."""
+    """Classify one CCC given the design's (inferred) clock nets.
+
+    ``gate_fn`` substitutes for :func:`recognize_static_gate`; the
+    memoization layer (:mod:`repro.recognition.memo`) passes its cached
+    variant here so gate extraction is shared with clock inference.
+    """
+    if gate_fn is None:
+        gate_fn = recognize_static_gate
     result = CCCClassification(ccc=ccc, family=CircuitFamily.UNKNOWN)
 
     if not ccc.channel_nets:
@@ -116,7 +124,7 @@ def classify_ccc(
         up_support = support(up_paths)
         down_support = support(down_paths)
 
-        gate = recognize_static_gate(ccc, out)
+        gate = gate_fn(ccc, out)
         if gate is not None and gate.complementary:
             result.gates[out] = gate
             n_static += 1

@@ -25,11 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
-
 from repro.netlist.flatten import FlatNetlist
 from repro.recognition.ccc import ChannelConnectedComponent
-from repro.recognition.conduction import ConductionPath, conduction_paths, support
+from repro.recognition.conduction import conduction_paths, support
 from repro.recognition.families import CCCClassification, CircuitFamily
 
 
@@ -69,7 +67,7 @@ class _OutputInfo:
     """Per-restoring-output structural facts used for pairing."""
 
     classification: CCCClassification
-    down_paths: list[ConductionPath]
+    down_gates: list[frozenset[str]]  # gate support of each pull-down path
     up_support: set[str]
     down_support: set[str]
 
@@ -77,25 +75,47 @@ class _OutputInfo:
         return self.up_support | self.down_support
 
 
+def restoring_facts(
+    ccc: ChannelConnectedComponent,
+) -> dict[str, tuple[list[frozenset[str]], set[str], set[str]]]:
+    """Per-output ``(down path gates, up support, down support)`` facts.
+
+    Only outputs with both pull-up and pull-down paths appear; a CCC not
+    touching both rails yields an empty dict.  Purely topological, so
+    :class:`~repro.recognition.memo.ClassificationMemo` caches it per
+    topology signature.
+    """
+    facts: dict[str, tuple[list[frozenset[str]], set[str], set[str]]] = {}
+    if not (ccc.touches_rail("vdd") and ccc.touches_rail("gnd")):
+        return facts
+    for out in ccc.output_nets:
+        down = conduction_paths(ccc, out, "gnd")
+        up = conduction_paths(ccc, out, "vdd")
+        if not down or not up:
+            continue
+        facts[out] = (
+            [frozenset(p.gates()) for p in down],
+            support(up),
+            support(down),
+        )
+    return facts
+
+
 def _restoring_outputs(
     classified: list[CCCClassification],
+    facts_fn=None,
 ) -> dict[str, _OutputInfo]:
     """Facts about every output of every CCC that touches both rails."""
+    if facts_fn is None:
+        facts_fn = restoring_facts
     info: dict[str, _OutputInfo] = {}
     for c in classified:
-        ccc = c.ccc
-        if not (ccc.touches_rail("vdd") and ccc.touches_rail("gnd")):
-            continue
-        for out in ccc.output_nets:
-            down = conduction_paths(ccc, out, "gnd")
-            up = conduction_paths(ccc, out, "vdd")
-            if not down or not up:
-                continue
+        for out, (down_gates, up_sup, down_sup) in facts_fn(c.ccc).items():
             info[out] = _OutputInfo(
                 classification=c,
-                down_paths=down,
-                up_support=support(up),
-                down_support=support(down),
+                down_gates=down_gates,
+                up_support=up_sup,
+                down_support=down_sup,
             )
     return info
 
@@ -110,7 +130,61 @@ def _inverter_coupled(info: _OutputInfo, sibling: str) -> bool:
     excluded because the dynamic node's pull-down is gated by data and
     clock, not by the output inverter.
     """
-    return any(sibling in p.gates() for p in info.down_paths)
+    return any(sibling in gates for gates in info.down_gates)
+
+
+def _strongly_connected(adj: dict[str, set[str]]) -> list[set[str]]:
+    """Iterative Tarjan SCC.
+
+    Hand-rolled because this sits on the recognition hot path and the
+    graph is rebuilt for every design; a generic graph library costs
+    more in node/edge object churn than the algorithm itself.
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = 0
+    for root in adj:
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work: list[tuple[str, object]] = [(root, iter(adj[root]))]
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack and index[w] < low[v]:
+                    low[v] = index[w]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                u = work[-1][0]
+                if low[v] < low[u]:
+                    low[u] = low[v]
+            if low[v] == index[v]:
+                scc: set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+    return sccs
 
 
 def find_storage_nodes(
@@ -118,13 +192,18 @@ def find_storage_nodes(
     cccs: list[ChannelConnectedComponent],
     classified: list[CCCClassification],
     clock_nets: set[str] | frozenset[str] = frozenset(),
+    facts_fn=None,
 ) -> list[StorageNode]:
-    """Locate every state element in a classified design."""
+    """Locate every state element in a classified design.
+
+    ``facts_fn`` substitutes for :func:`restoring_facts` (the memoized
+    variant caches per topology).
+    """
     nodes: list[StorageNode] = []
     claimed: set[str] = set()
 
     # ---- cross-coupled pairs ------------------------------------------------
-    outputs = _restoring_outputs(classified)
+    outputs = _restoring_outputs(classified, facts_fn=facts_fn)
     for x in sorted(outputs):
         if x in claimed:
             continue
@@ -167,13 +246,14 @@ def find_storage_nodes(
 
     # Feedback detection: graph of gate edges (input -> output) plus pass
     # edges; a storage node is static if it lies on a cycle.
-    g = nx.DiGraph()
+    adj: dict[str, set[str]] = {}
     gate_edges: set[tuple[str, str]] = set()
     for c in classified:
         for out in c.ccc.output_nets:
             for inp in c.ccc.gate_nets():
                 if inp not in ("vdd", "gnd"):
-                    g.add_edge(inp, out)
+                    adj.setdefault(inp, set()).add(out)
+                    adj.setdefault(out, set())
                     gate_edges.add((inp, out))
     for net, writers in pass_writers.items():
         for c, dev in writers:
@@ -181,14 +261,14 @@ def find_storage_nodes(
             t = c.ccc.transistors[names.index(dev)]
             other = t.other_channel_terminal(net)
             if other not in ("vdd", "gnd") and other != net:
-                g.add_edge(other, net)
-                g.add_edge(net, other)
+                adj.setdefault(other, set()).add(net)
+                adj.setdefault(net, set()).add(other)
 
     # A node is *staticized* only if its cycle goes through a restoring
     # (gate) edge -- the bidirectional pass edges alone just say the
     # channel is traversable, not that anything refreshes the level.
     cyclic_nets: set[str] = set()
-    for scc in nx.strongly_connected_components(g):
+    for scc in _strongly_connected(adj):
         if len(scc) > 1 and any(u in scc and v in scc for u, v in gate_edges):
             cyclic_nets |= scc
 

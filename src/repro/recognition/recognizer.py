@@ -53,9 +53,27 @@ class RecognizedDesign:
     gates: dict[str, RecognizedGate] = field(default_factory=dict)
     dcvsl_pairs: list[tuple[str, str]] = field(default_factory=list)
     net_kinds: dict[str, NetKind] = field(default_factory=dict)
+    perf: dict[str, int] = field(default_factory=dict)
+    _net_ccc_index: dict[str, list[int]] | None = field(
+        default=None, repr=False, compare=False)
 
     def kind(self, net: str) -> NetKind:
         return self.net_kinds.get(net, NetKind.UNKNOWN)
+
+    def cccs_of_net(self, net: str) -> list[ChannelConnectedComponent]:
+        """All CCCs whose channel nets include ``net`` (indexed, O(1)).
+
+        Replaces linear scans over ``cccs`` (see
+        :func:`repro.recognition.ccc.ccc_of_net`); the index is built
+        lazily on first use and covers every channel net of the design.
+        """
+        if self._net_ccc_index is None:
+            index: dict[str, list[int]] = {}
+            for ccc in self.cccs:
+                for n in ccc.channel_nets:
+                    index.setdefault(n, []).append(ccc.index)
+            self._net_ccc_index = index
+        return [self.cccs[i] for i in self._net_ccc_index.get(net, [])]
 
     def nets_of_kind(self, kind: NetKind) -> list[str]:
         return sorted(n for n, k in self.net_kinds.items() if k is kind)
@@ -76,7 +94,23 @@ class RecognizedDesign:
         return hist
 
 
-def recognize(flat: FlatNetlist, clock_hints: Iterable[str] = ()) -> RecognizedDesign:
+_SHARED_MEMO = None
+
+
+def _default_memo():
+    """The process-wide classification memo (lazily constructed)."""
+    global _SHARED_MEMO
+    if _SHARED_MEMO is None:
+        from repro.recognition.memo import ClassificationMemo
+        _SHARED_MEMO = ClassificationMemo()
+    return _SHARED_MEMO
+
+
+def recognize(
+    flat: FlatNetlist,
+    clock_hints: Iterable[str] = (),
+    memo=None,
+) -> RecognizedDesign:
     """Run the full recognition pipeline.
 
     Parameters
@@ -87,21 +121,48 @@ def recognize(flat: FlatNetlist, clock_hints: Iterable[str] = ()) -> RecognizedD
         Net names the designer declares to be clocks (needed for
         footless domino and pass-gate-only clocking; everything else is
         found structurally).
+    memo:
+        Classification cache.  ``None`` (default) uses the process-wide
+        shared :class:`~repro.recognition.memo.ClassificationMemo`, so
+        repeated bit-slices classify once per *process*, not per design
+        (the memo stores only name-free templates; it cannot leak one
+        design's nets into another, and it holds no reference to any
+        netlist).  Pass your own memo for isolation, or ``False`` to
+        disable memoization entirely.
     """
+    if memo is None:
+        memo = _default_memo()
+    elif memo is False:
+        memo = None
+    counters_before = memo.counters() if memo is not None else {}
+
     cccs = extract_cccs(flat)
-    clocks = infer_clocks(flat, cccs, hints=clock_hints)
+    gate_fn = memo.gate if memo is not None else None
+    seeds_fn = memo.clock_seeds if memo is not None else None
+    clocks = infer_clocks(flat, cccs, hints=clock_hints,
+                          gate_fn=gate_fn, seeds_fn=seeds_fn)
     clock_set = frozenset(clocks)
 
-    classifications = [classify_ccc(ccc, clock_set) for ccc in cccs]
-    storage = find_storage_nodes(flat, cccs, classifications, clock_set)
+    if memo is not None:
+        classifications = [memo.classify(ccc, clock_set) for ccc in cccs]
+    else:
+        classifications = [classify_ccc(ccc, clock_set) for ccc in cccs]
+    storage = find_storage_nodes(
+        flat, cccs, classifications, clock_set,
+        facts_fn=memo.restoring if memo is not None else None)
     storage_nets = {s.net for s in storage}
 
+    perf = {}
+    if memo is not None:
+        perf = {k: v - counters_before.get(k, 0)
+                for k, v in memo.counters().items()}
     design = RecognizedDesign(
         flat=flat,
         cccs=cccs,
         classifications=classifications,
         clocks=clocks,
         storage=storage,
+        perf=perf,
     )
 
     for c in classifications:

@@ -1,0 +1,63 @@
+"""Parallel battery: identical findings, registry order, timing data."""
+
+import pytest
+
+from repro.checks.driver import make_context
+from repro.checks.registry import ALL_CHECKS, run_battery
+from repro.designs.adders import domino_carry_adder
+from repro.designs.latch_zoo import jamb_latch
+from repro.netlist.flatten import flatten
+from repro.perf import DesignCache
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context(
+        flatten(domino_carry_adder(4)),
+        strongarm_technology(),
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        cache=DesignCache(),
+    )
+
+
+def test_parallel_findings_byte_identical(ctx):
+    serial = run_battery(ctx)
+    par = run_battery(ctx, parallel=4)
+    assert par.findings == serial.findings
+    assert par.per_check == serial.per_check
+    assert list(par.per_check_seconds) == list(serial.per_check_seconds)
+    assert par.queues.stats() == serial.queues.stats()
+
+
+def test_parallel_on_sequential_design():
+    ctx = make_context(flatten(jamb_latch()), strongarm_technology(),
+                       clock=TwoPhaseClock(period_s=6.25e-9))
+    assert run_battery(ctx, parallel=2).findings == run_battery(ctx).findings
+
+
+def test_parallel_one_stays_serial(ctx):
+    # parallel=1 must not spin up a pool; result is still complete.
+    result = run_battery(ctx, parallel=1)
+    assert set(result.per_check_seconds) == {c().name for c in ALL_CHECKS}
+
+
+def test_parallel_rejects_nonpositive(ctx):
+    with pytest.raises(ValueError):
+        run_battery(ctx, parallel=0)
+
+
+def test_per_check_seconds_populated(ctx):
+    result = run_battery(ctx)
+    assert set(result.per_check_seconds) == {c().name for c in ALL_CHECKS}
+    assert all(s >= 0.0 for s in result.per_check_seconds.values())
+    assert result.total_seconds() == pytest.approx(
+        sum(result.per_check_seconds.values()))
+
+
+def test_subset_battery_parallel(ctx):
+    checks = ALL_CHECKS[:5]
+    serial = run_battery(ctx, checks=checks)
+    par = run_battery(ctx, checks=checks, parallel=3)
+    assert par.findings == serial.findings
