@@ -1,6 +1,7 @@
-"""Measure the hot-path performance layer and emit ``BENCH_perf.json``.
+"""Measure the hot-path performance layer; emit ``BENCH_perf.json`` and
+``BENCH_timing.json``.
 
-Three experiments, one per tentpole optimisation:
+``BENCH_perf.json`` -- three experiments, one per PR-1 optimisation:
 
 * ``recognition``  -- the width sweep from ``test_scaling.py``, timed
   with the memo/path-cache disabled (the pre-optimisation baseline) and
@@ -11,6 +12,22 @@ Three experiments, one per tentpole optimisation:
 * ``battery``      -- serial vs ``parallel=N`` over the same context;
   asserts byte-identical findings (speedup is reported, not asserted:
   at this design scale pool startup dominates).
+
+``BENCH_timing.json`` -- the incremental timing engine:
+
+* ``elmore``       -- RC-ladder scaling: one pre-optimisation
+  ``elmore_delay_reference`` query vs the linear-pass ``elmore_all``
+  sweep of *every* node; asserts the full sweep beats a single legacy
+  query >= 5x at 1000 sections (the honest lower bound -- the legacy
+  ``worst_elmore`` issued N such queries).
+* ``sizing_loop``  -- the size -> re-verify loop over a multi-lane
+  datapath, full rebuild vs incremental (load refresh + arc re-price +
+  dirty-cone propagation); asserts >= 2x wall-clock and bit-identical
+  reports.
+* ``incremental_sta`` -- random arc re-pricings on the domino adder;
+  asserts incremental arrival windows equal a from-scratch analyzer's.
+* ``battery_timing`` -- the setup/race check inside the parallel
+  battery; asserts byte-identical findings with the check present.
 
 Run directly::
 
@@ -31,13 +48,19 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.checks.driver import make_context                    # noqa: E402
 from repro.checks.registry import run_battery                   # noqa: E402
 from repro.designs.adders import domino_carry_adder             # noqa: E402
+from repro.extraction.rctree import uniform_ladder              # noqa: E402
+from repro.netlist.builder import CellBuilder                   # noqa: E402
 from repro.netlist.flatten import flatten                       # noqa: E402
 from repro.process.technology import strongarm_technology       # noqa: E402
 from repro.recognition import conduction                        # noqa: E402
 from repro.recognition.memo import ClassificationMemo           # noqa: E402
 from repro.recognition.recognizer import recognize              # noqa: E402
 from repro.switchsim.engine import SwitchSimulator              # noqa: E402
+from repro.timing.analyzer import TimingAnalyzer                # noqa: E402
 from repro.timing.clocking import TwoPhaseClock                 # noqa: E402
+from repro.timing.constraints import generate_constraints       # noqa: E402
+from repro.timing.driver import analyze_design                  # noqa: E402
+from repro.timing.sizing import close_timing                    # noqa: E402
 
 WIDTHS = (2, 4, 8, 16)
 REPEATS = 5
@@ -144,6 +167,158 @@ def bench_battery(width: int = 8, workers: int = 4) -> dict:
     }
 
 
+def bench_elmore(sections_list=(100, 300, 1000)) -> dict:
+    """RC-ladder scaling: legacy per-query kernel vs the linear passes.
+
+    The baseline is ONE ``elmore_delay_reference`` query at the far tap
+    (the pre-optimisation kernel re-walked the subtree per path node);
+    the optimised side is ``elmore_all`` computing EVERY node.  The
+    legacy ``worst_elmore`` issued N baseline queries, so the reported
+    speedup is a deep lower bound on the real sweep-vs-sweep ratio.
+    """
+    rows = {}
+    for sections in sections_list:
+        tree = uniform_ladder(sections, total_resistance=200.0 * sections,
+                              total_cap=2e-15 * sections)
+        far = f"n{sections}"
+        base_s = _best(lambda: tree.elmore_delay_reference(far, 100.0))
+        all_s = _best(lambda: [tree._invalidate(), tree.elmore_all(100.0)])
+        # Identity of the kernels on the worst tap (float-exact).
+        assert tree.elmore_all(100.0)[far] == tree.elmore_delay(far, 100.0)
+        rows[sections] = {
+            "reference_single_query_ms": base_s * 1e3,
+            "elmore_all_full_sweep_ms": all_s * 1e3,
+            "reference_full_sweep_est_ms": base_s * sections * 1e3,
+            "speedup_single_query_vs_full_sweep": base_s / all_s,
+        }
+    return rows
+
+
+def _sizing_workload(tech, lanes=32, stages=8, load_f=300e-15):
+    ports = [f"a{k}" for k in range(lanes)] + [f"y{k}" for k in range(lanes)]
+    b = CellBuilder("dp", ports=ports)
+    for k in range(lanes):
+        prev = f"a{k}"
+        for i in range(stages):
+            nxt = f"y{k}" if i == stages - 1 else f"l{k}s{i}"
+            b.inverter(prev, nxt, wn=1.0, wp=2.5)
+            prev = nxt
+        b.cap(f"y{k}", "gnd", load_f)
+    path = ["a0"] + [f"l0s{i}" for i in range(stages - 1)] + ["y0"]
+    return flatten(b.build()), path
+
+
+def bench_sizing_loop(iterations: int = 6) -> dict:
+    """The size -> re-verify loop, full rebuild vs incremental."""
+    tech = strongarm_technology()
+    clock = TwoPhaseClock(period_s=6.25e-9)
+    loads = [300e-15 * (1.2 ** i) for i in range(iterations)]
+
+    def run(incremental: bool):
+        flat, path = _sizing_workload(tech)
+        run_ = analyze_design(flat, tech, clock)
+        start = time.perf_counter()
+        closure = close_timing(run_, tech, path, loads,
+                               incremental=incremental)
+        return time.perf_counter() - start, closure
+
+    full_s, full = run(False)
+    inc_s, inc = run(True)
+    identical = (
+        sorted((n, w.t_min, w.t_max) for n, w in full.report.arrivals.items())
+        == sorted((n, w.t_min, w.t_max) for n, w in inc.report.arrivals.items())
+        and full.report.critical_paths == inc.report.critical_paths
+        and full.report.races == inc.report.races
+        and full.report.min_cycle_time_s == inc.report.min_cycle_time_s
+    )
+    return {
+        "iterations": iterations,
+        "full_ms": full_s * 1e3,
+        "incremental_ms": inc_s * 1e3,
+        "speedup": full_s / inc_s,
+        "reports_identical": identical,
+        "full_arcs_repriced": sum(i.arcs_repriced for i in full.iterations),
+        "incremental_arcs_repriced": sum(i.arcs_repriced
+                                         for i in inc.iterations),
+    }
+
+
+def bench_incremental_sta(width: int = 8, edits: int = 24) -> dict:
+    """Random arc re-pricings: incremental windows vs a fresh analyzer."""
+    import random
+
+    tech = strongarm_technology()
+    clock = TwoPhaseClock(period_s=6.25e-9)
+    run = analyze_design(flatten(domino_carry_adder(width)), tech, clock,
+                         clock_hints=("clk",))
+    rng = random.Random(1997)
+    arcs = run.analyzer.graph.arcs
+    for _ in range(edits):
+        arc = arcs[rng.randrange(len(arcs))]
+        factor = rng.uniform(0.5, 2.0)
+        run.analyzer.graph.reprice(arc, arc.d_min * factor,
+                                   arc.d_max * factor)
+    incremental = run.analyzer.verify(incremental=True)
+    oracle = TimingAnalyzer(run.design, run.analyzer.graph, clock,
+                            generate_constraints(run.design)).verify()
+    identical = (
+        sorted((n, w.t_min, w.t_max)
+               for n, w in incremental.arrivals.items())
+        == sorted((n, w.t_min, w.t_max) for n, w in oracle.arrivals.items())
+        and incremental.critical_paths == oracle.critical_paths
+        and incremental.min_cycle_time_s == oracle.min_cycle_time_s
+    )
+    counters = run.analyzer.counters()
+    return {
+        "arc_edits": edits,
+        "identical_to_full": identical,
+        "nets_in_graph": len(run.analyzer.graph.nets()),
+        "nets_repropagated": counters["sta_nets_repropagated"],
+        "full_propagations": counters["sta_full_propagations"],
+        "incremental_propagations": counters["sta_incremental_propagations"],
+    }
+
+
+def bench_battery_timing(width: int = 4, workers: int = 4) -> dict:
+    """Parallel battery identity with the setup/race check on board."""
+    ctx = make_context(flatten(domino_carry_adder(width)),
+                       strongarm_technology(),
+                       clock=TwoPhaseClock(period_s=6.25e-9),
+                       clock_hints=("clk",))
+    serial = run_battery(ctx)
+    par = run_battery(ctx, parallel=workers)
+    return {
+        "workers": workers,
+        "findings": len(serial.findings),
+        "timing_findings": len(serial.of_check("timing_setup_race")),
+        "identical_findings": par.findings == serial.findings,
+        "timing_check_present": "timing_setup_race" in serial.per_check,
+    }
+
+
+def timing_report() -> dict:
+    report = {
+        "elmore": bench_elmore(),
+        "sizing_loop": bench_sizing_loop(),
+        "incremental_sta": bench_incremental_sta(),
+        "battery_timing": bench_battery_timing(),
+    }
+    el1k = report["elmore"][1000]
+    sz = report["sizing_loop"]
+    report["acceptance"] = {
+        "elmore_1k_speedup_ge_5x":
+            el1k["speedup_single_query_vs_full_sweep"] >= 5.0,
+        "sizing_incremental_ge_2x": sz["speedup"] >= 2.0,
+        "sizing_reports_identical": sz["reports_identical"],
+        "incremental_sta_identical":
+            report["incremental_sta"]["identical_to_full"],
+        "battery_parallel_identical_with_timing_check":
+            report["battery_timing"]["identical_findings"]
+            and report["battery_timing"]["timing_check_present"],
+    }
+    return report
+
+
 def main() -> dict:
     report = {
         "recognition": bench_recognition(),
@@ -164,6 +339,11 @@ def main() -> dict:
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
 
+    timing = timing_report()
+    timing_out = os.path.join(os.path.dirname(__file__), "BENCH_timing.json")
+    with open(timing_out, "w") as fh:
+        json.dump(timing, fh, indent=2)
+
     print(f"recognition w16: {rec16['baseline_ms']:.2f} ms -> "
           f"{rec16['memoized_ms']:.2f} ms ({rec16['speedup']:.2f}x)")
     print(f"switchsim w8: {sw['exhaustive_net_solves']} exhaustive -> "
@@ -171,9 +351,21 @@ def main() -> dict:
     print(f"battery: serial {report['battery']['serial_ms']:.1f} ms, "
           f"parallel {report['battery']['parallel_ms']:.1f} ms, "
           f"identical={report['battery']['identical_findings']}")
+    el1k = timing["elmore"][1000]
+    sz = timing["sizing_loop"]
+    print(f"elmore 1k-ladder: one legacy query "
+          f"{el1k['reference_single_query_ms']:.2f} ms vs full sweep "
+          f"{el1k['elmore_all_full_sweep_ms']:.2f} ms "
+          f"({el1k['speedup_single_query_vs_full_sweep']:.0f}x)")
+    print(f"sizing loop: full {sz['full_ms']:.1f} ms -> incremental "
+          f"{sz['incremental_ms']:.1f} ms ({sz['speedup']:.2f}x), "
+          f"identical={sz['reports_identical']}")
+    print(f"incremental STA: {timing['incremental_sta']}")
     print(f"acceptance: {ok}")
+    print(f"timing acceptance: {timing['acceptance']}")
     print(f"wrote {out}")
-    if not all(ok.values()):
+    print(f"wrote {timing_out}")
+    if not all(ok.values()) or not all(timing["acceptance"].values()):
         raise SystemExit(1)
     return report
 

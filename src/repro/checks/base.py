@@ -90,13 +90,16 @@ class CheckContext:
     """Everything a check may consult.
 
     ``typical`` / ``fast`` are annotated designs (fast = leakage/EM worst
-    corner).  ``clock`` provides hold-time windows for droop checks;
+    corner).  ``slow`` is the max-delay corner; it is optional because
+    only the timing setup/race check consumes it (the check no-ops
+    without it).  ``clock`` provides hold-time windows for droop checks;
     ``antenna`` carries layout-derived geometry when available.
     """
 
     design: RecognizedDesign
     typical: AnnotatedDesign
     fast: AnnotatedDesign
+    slow: AnnotatedDesign | None = None
     clock: TwoPhaseClock | None = None
     antenna: list[AntennaGeometry] | None = None
     settings: CheckSettings = field(default_factory=CheckSettings)

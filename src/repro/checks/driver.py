@@ -51,10 +51,19 @@ def make_context(
     else:
         typical = annotate(flat, parasitics, technology, Corner.TYPICAL)
         fast = annotate(flat, parasitics, technology, Corner.FAST)
+    # The SLOW corner exists for the battery's setup/race check, which
+    # only runs when a clock is declared; skip the annotation otherwise.
+    slow = None
+    if clock is not None:
+        if cache is not None:
+            slow = cache.annotated(flat, parasitics, technology, Corner.SLOW)
+        else:
+            slow = annotate(flat, parasitics, technology, Corner.SLOW)
     return CheckContext(
         design=design,
         typical=typical,
         fast=fast,
+        slow=slow,
         clock=clock,
         antenna=antenna,
         settings=settings or CheckSettings(),

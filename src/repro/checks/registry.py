@@ -32,6 +32,7 @@ from repro.checks.hot_carrier import HotCarrierCheck, TddbCheck
 from repro.checks.latch import LatchCheck
 from repro.checks.supply import AlphaParticleCheck, SupplyDifferenceCheck
 from repro.checks.leakage import DynamicLeakageCheck
+from repro.checks.timing_sta import SetupRaceCheck
 from repro.checks.writability import WritabilityCheck
 
 #: The full section-4.2 battery, in the paper's own listing order.
@@ -52,6 +53,10 @@ ALL_CHECKS: tuple[type[Check], ...] = (
     TddbCheck,
     SupplyDifferenceCheck,
     AlphaParticleCheck,
+    # Timing verification joins the battery last: per-endpoint setup and
+    # race findings flow into the same designer queue as the electrical
+    # checks (it no-ops on contexts without a clock + SLOW corner).
+    SetupRaceCheck,
 )
 
 

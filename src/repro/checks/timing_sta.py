@@ -1,0 +1,60 @@
+"""Per-endpoint setup and race checking as a battery member.
+
+Section 4.2's list of electrical checks and section 4.3's timing
+verification are one workflow for the designer: everything lands in the
+same triage queue.  This check runs the static timing verifier inside
+the battery so each setup endpoint and each race constraint becomes one
+:class:`~repro.checks.base.Finding` -- PASS endpoints are auto-cleared
+by the designer-filter model, violations queue with slack metrics.
+
+The check is a pure function of the shared context (it builds its own
+graph and analyzer), so it parallelizes like every other battery member:
+``run_battery(parallel=N)`` reassembles its findings in registry order,
+byte-identical to a serial run.
+
+It needs both delay corners; contexts built without a SLOW annotation
+or without a clock (e.g. quick feasibility studies) skip it silently.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Check, CheckContext, Finding, Severity
+from repro.timing.analyzer import TimingAnalyzer
+from repro.timing.constraints import generate_constraints
+from repro.timing.delay import ArcDelayCalculator
+from repro.timing.graph import build_timing_graph
+
+
+class SetupRaceCheck(Check):
+    """Static timing setup/race verification, one finding per endpoint."""
+
+    name = "timing_setup_race"
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        if ctx.clock is None or ctx.slow is None:
+            return []
+        design = ctx.design
+        calculator = ArcDelayCalculator(ctx.fast, ctx.slow)
+        graph = build_timing_graph(design, calculator)
+        analyzer = TimingAnalyzer(design, graph, ctx.clock,
+                                  generate_constraints(design))
+        report = analyzer.verify()
+
+        findings: list[Finding] = []
+        for path in report.critical_paths:
+            severity = Severity.VIOLATION if path.violated() else Severity.PASS
+            findings.append(self._finding(
+                path.endpoint, severity,
+                f"setup slack {path.slack_s * 1e12:.1f} ps, max arrival "
+                f"{path.arrival_s * 1e12:.1f} ps "
+                f"through {' -> '.join(path.nets[-4:])}",
+                slack_s=path.slack_s,
+                arrival_s=path.arrival_s,
+            ))
+        for race in report.races:
+            findings.append(self._finding(
+                race.constraint.net, Severity.VIOLATION,
+                f"{race.constraint.kind.value} race: {race.note}",
+                margin_s=race.margin_s,
+            ))
+        return findings

@@ -32,6 +32,7 @@ from repro.process.corners import Corner
 from repro.process.technology import Technology
 from repro.recognition.recognizer import RecognizedDesign, recognize
 from repro.timing.analyzer import TimingReport
+from repro.timing.arccache import ArcPriceCache
 from repro.timing.clocking import TwoPhaseClock
 from repro.timing.constraints import generate_constraints
 from repro.timing.delay import ArcDelayCalculator
@@ -181,8 +182,9 @@ class CbvCampaign:
         # -- circuit verification (the check battery) ---------------------------------
         typical = annotate(flat, parasitics, bundle.technology, Corner.TYPICAL)
         fast = annotate(flat, parasitics, bundle.technology, Corner.FAST)
+        slow = annotate(flat, parasitics, bundle.technology, Corner.SLOW)
         ctx = CheckContext(design=design, typical=typical, fast=fast,
-                           clock=bundle.clock, antenna=antenna,
+                           slow=slow, clock=bundle.clock, antenna=antenna,
                            settings=bundle.check_settings)
         battery = run_battery(ctx)
         stats = battery.queues.stats()
@@ -202,9 +204,9 @@ class CbvCampaign:
         ))
 
         # -- timing verification ---------------------------------------------------------
-        slow = annotate(flat, parasitics, bundle.technology, Corner.SLOW)
         calculator = ArcDelayCalculator(fast, slow, bundle.pessimism)
-        graph = build_timing_graph(design, calculator)
+        arc_cache = ArcPriceCache()
+        graph = build_timing_graph(design, calculator, arc_cache=arc_cache)
         constraints = generate_constraints(design, bundle.pessimism)
         analyzer = TimingAnalyzer(design, graph, bundle.clock, constraints)
         analyzer.declare_false_through(*bundle.false_through)
@@ -220,9 +222,13 @@ class CbvCampaign:
                     f"({timing.max_frequency_hz() / 1e6:.0f} MHz), "
                     f"{len(timing.setup_violations)} setup violations, "
                     f"{len(timing.races)} races",
-            metrics={"min_cycle_s": timing.min_cycle_time_s,
-                     "setup_violations": float(len(timing.setup_violations)),
-                     "races": float(len(timing.races))},
+            metrics=collect_counters(
+                {"min_cycle_s": timing.min_cycle_time_s,
+                 "setup_violations": float(len(timing.setup_violations)),
+                 "races": float(len(timing.races))},
+                analyzer,
+                arc_cache,
+            ),
         ))
         return report
 

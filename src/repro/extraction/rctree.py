@@ -10,6 +10,15 @@ capacitances; it provides Elmore delays (the standard pessimistic-ish
 first moment) to any node.  :func:`uniform_ladder` builds the N-section
 approximation of a distributed line, with arbitrary tap positions for
 the Figure-5 multi-finger study.
+
+Delay kernels are linear-time: one iterative post-order pass
+accumulates downstream capacitance for every node, one pre-order pass
+turns those into Elmore delays for every node (:meth:`RCTree.elmore_all`).
+Both passes are cached and invalidated only when the tree itself
+changes (:meth:`add_node` / :meth:`add_cap`), so a Fig-5 multi-tap
+study over an N-section ladder costs O(N), not O(N^2).
+:meth:`elmore_delay_reference` keeps the naive per-query walk as the
+correctness baseline for the property suite and the benchmark.
 """
 
 from __future__ import annotations
@@ -39,6 +48,14 @@ class RCTree:
         self._nodes: dict[str, _TreeNode] = {
             root: _TreeNode(name=root, parent=None, r_to_parent=0.0, cap=root_cap)
         }
+        # Linear-pass caches: preorder node list (parents before children)
+        # and downstream capacitance per node.  Invalidated on mutation.
+        self._preorder: list[str] | None = None
+        self._down: dict[str, float] | None = None
+
+    def _invalidate(self) -> None:
+        self._preorder = None
+        self._down = None
 
     def add_node(self, name: str, parent: str, resistance: float, cap: float) -> None:
         """Attach a node below ``parent`` through ``resistance``."""
@@ -51,23 +68,47 @@ class RCTree:
         self._nodes[name] = _TreeNode(name=name, parent=parent,
                                       r_to_parent=resistance, cap=cap)
         self._nodes[parent].children.append(name)
+        self._invalidate()
 
     def add_cap(self, node: str, cap: float) -> None:
         """Add load capacitance at an existing node."""
         self._nodes[node].cap += cap
+        self._invalidate()
 
     def nodes(self) -> list[str]:
         return list(self._nodes)
 
+    # -- linear kernels --------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """One post-order sweep: downstream cap for every node, cached."""
+        if self._down is not None:
+            return
+        preorder: list[str] = []
+        stack = [self.root]
+        while stack:
+            name = stack.pop()
+            preorder.append(name)
+            # reversed() keeps visit order equal to child insertion order.
+            stack.extend(reversed(self._nodes[name].children))
+        down = {name: self._nodes[name].cap for name in preorder}
+        for name in reversed(preorder):
+            node = self._nodes[name]
+            if node.parent is not None:
+                down[node.parent] += down[name]
+        self._preorder = preorder
+        self._down = down
+
     def total_cap(self) -> float:
-        return sum(n.cap for n in self._nodes.values())
+        self._refresh()
+        return self._down[self.root]  # type: ignore[index]
 
     def downstream_cap(self, node: str) -> float:
-        """Capacitance at and below a node."""
-        total = self._nodes[node].cap
-        for child in self._nodes[node].children:
-            total += self.downstream_cap(child)
-        return total
+        """Capacitance at and below a node (cached linear pass)."""
+        if node not in self._nodes:
+            raise KeyError(f"RC tree has no node {node!r}")
+        self._refresh()
+        return self._down[node]  # type: ignore[index]
 
     def path_to_root(self, node: str) -> list[str]:
         path = [node]
@@ -75,30 +116,80 @@ class RCTree:
             path.append(self._nodes[path[-1]].parent)  # type: ignore[arg-type]
         return path
 
+    def elmore_all(self, driver_resistance: float = 0.0) -> dict[str, float]:
+        """Elmore delay from the driven root to *every* node, in one
+        pre-order pass over the cached downstream caps.
+
+        ``driver_resistance`` models the switching transistor: it sees
+        the tree's total capacitance.  Each segment then adds
+        R_segment * (cap at and below its far end), accumulated
+        root-to-leaf, so the whole tree prices in O(N).
+        """
+        self._refresh()
+        down = self._down
+        delays: dict[str, float] = {}
+        base = driver_resistance * down[self.root]  # type: ignore[index]
+        for name in self._preorder:  # type: ignore[union-attr]
+            node = self._nodes[name]
+            if node.parent is None:
+                delays[name] = base
+            else:
+                delays[name] = delays[node.parent] + node.r_to_parent * down[name]
+        return delays
+
     def elmore_delay(self, node: str, driver_resistance: float = 0.0) -> float:
         """Elmore delay from the (resistively driven) root to ``node``.
 
-        ``driver_resistance`` models the switching transistor: it sees
-        the tree's *total* capacitance.  Each wire segment on the path
-        contributes R_segment * (cap at and below its far end).
+        Accumulates the same root-to-leaf sum as :meth:`elmore_all`
+        (bit-identical), touching only the root path.
         """
         if node not in self._nodes:
             raise KeyError(f"RC tree has no node {node!r}")
-        delay = driver_resistance * self.total_cap()
-        path = self.path_to_root(node)
-        for name in path:
+        self._refresh()
+        delay = driver_resistance * self._down[self.root]  # type: ignore[index]
+        for name in reversed(self.path_to_root(node)):
             tree_node = self._nodes[name]
             if tree_node.parent is None:
                 continue
-            delay += tree_node.r_to_parent * self.downstream_cap(name)
+            delay += tree_node.r_to_parent * self._down[name]  # type: ignore[index]
+        return delay
+
+    def elmore_delay_reference(self, node: str,
+                               driver_resistance: float = 0.0) -> float:
+        """The pre-optimisation per-query kernel: every downstream cap
+        on the path is re-walked from scratch (O(path * subtree)).
+
+        Kept as the independent correctness reference for the property
+        suite and as the honest baseline ``benchmarks/perf_report.py``
+        times ``elmore_all`` against.
+        """
+        if node not in self._nodes:
+            raise KeyError(f"RC tree has no node {node!r}")
+
+        def subtree_cap(name: str) -> float:
+            total = 0.0
+            stack = [name]
+            while stack:
+                n = self._nodes[stack.pop()]
+                total += n.cap
+                stack.extend(n.children)
+            return total
+
+        delay = driver_resistance * subtree_cap(self.root)
+        for name in self.path_to_root(node):
+            tree_node = self._nodes[name]
+            if tree_node.parent is None:
+                continue
+            delay += tree_node.r_to_parent * subtree_cap(name)
         return delay
 
     def worst_elmore(self, driver_resistance: float = 0.0) -> tuple[str, float]:
-        """(node, delay) of the slowest node."""
+        """(node, delay) of the slowest node -- one O(N) sweep."""
+        delays = self.elmore_all(driver_resistance)
         worst_node = self.root
-        worst = self.elmore_delay(self.root, driver_resistance)
+        worst = delays[self.root]
         for name in self._nodes:
-            d = self.elmore_delay(name, driver_resistance)
+            d = delays[name]
             if d > worst:
                 worst_node, worst = name, d
         return worst_node, worst

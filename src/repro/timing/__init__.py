@@ -24,8 +24,9 @@ Structure:
 """
 
 from repro.timing.pessimism import PessimismSettings
+from repro.timing.arccache import ArcPriceCache
 from repro.timing.delay import ArcDelayCalculator
-from repro.timing.graph import DelayArc, TimingGraph, build_timing_graph
+from repro.timing.graph import DelayArc, TimingGraph, build_timing_graph, reprice_arcs
 from repro.timing.clocking import TwoPhaseClock
 from repro.timing.constraints import Constraint, ConstraintKind, generate_constraints
 from repro.timing.analyzer import (
@@ -37,14 +38,16 @@ from repro.timing.analyzer import (
 )
 from repro.timing.driver import TimingRun, analyze_design
 from repro.timing.report import render_path, render_timing_report
-from repro.timing.sizing import SizingResult, size_path
+from repro.timing.sizing import ClosureResult, SizingResult, close_timing, size_path
 
 __all__ = [
     "PessimismSettings",
+    "ArcPriceCache",
     "ArcDelayCalculator",
     "DelayArc",
     "TimingGraph",
     "build_timing_graph",
+    "reprice_arcs",
     "TwoPhaseClock",
     "Constraint",
     "ConstraintKind",
@@ -58,6 +61,8 @@ __all__ = [
     "analyze_design",
     "render_path",
     "render_timing_report",
+    "ClosureResult",
     "SizingResult",
+    "close_timing",
     "size_path",
 ]

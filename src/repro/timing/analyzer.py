@@ -13,10 +13,23 @@ Figure 4's two deliverables:
 False-path elimination (section 4.3's third false-violation culprit) is
 supported by declaring *through-net* exclusions, the designer-intent
 input the paper says tools cannot infer.
+
+The analyzer is **incremental**: after a full propagation, a handful of
+re-priced arcs (a sizing step, a parasitic refresh) re-propagates only
+the affected fan-out cone in level order, pruning wherever a recomputed
+window is unchanged.  The recompute applies the exact full-propagation
+formula to the exact same operands in the same order, so incremental
+windows are bit-identical to a from-scratch ``verify()`` -- the same
+contract as the incremental switch simulator, pinned by the property
+suite in ``tests/property/test_incremental_sta.py``.  Any change the
+cone logic cannot prove local (new arcs, edited source arrivals, edited
+false-path set, a different clock skew) silently falls back to full
+propagation.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.recognition.recognizer import NetKind, RecognizedDesign
@@ -76,7 +89,7 @@ class TimingReport:
 
 
 class TimingAnalyzer:
-    """Drives one static timing verification run."""
+    """Drives static timing verification runs, full or incremental."""
 
     def __init__(
         self,
@@ -91,6 +104,23 @@ class TimingAnalyzer:
         self.constraints = constraints
         self._false_through: set[str] = set()
         self._input_windows: dict[str, ArrivalWindow] = {}
+        # Incremental-propagation state: the windows and source seeds of
+        # the last propagation, plus the exact configuration they were
+        # computed under.  A configuration or structure mismatch forces
+        # a full re-propagation.
+        self._windows: dict[str, ArrivalWindow] | None = None
+        self._seeds: dict[str, ArrivalWindow] = {}
+        self._propagated_config: tuple | None = None
+        self._endpoints: list[str] | None = None
+        self._endpoints_key: tuple | None = None
+        self._counters: dict[str, int] = {
+            "sta_full_propagations": 0,
+            "sta_incremental_propagations": 0,
+            "sta_nets_propagated": 0,
+            "sta_nets_repropagated": 0,
+            "sta_cones_repropagated": 0,
+            "sta_endpoint_cache_hits": 0,
+        }
 
     # -- designer intent -------------------------------------------------------
 
@@ -103,68 +133,136 @@ class TimingAnalyzer:
 
     # -- arrival propagation ------------------------------------------------------
 
-    def arrivals(self) -> dict[str, ArrivalWindow]:
-        """Propagate arrival windows from sources through the arc graph.
+    def _source_seeds(self) -> dict[str, ArrivalWindow]:
+        """Arrival seeds: declared inputs, INPUT ports, clock roots.
 
-        Sources: declared inputs, ports with NetKind.INPUT, and clock
-        roots -- all at t = 0 (phase start) unless overridden.  Clock
-        arrivals carry +/- skew.
+        Clock roots carry +/- skew; explicit input windows override.
         """
-        windows: dict[str, ArrivalWindow] = {}
+        seeds: dict[str, ArrivalWindow] = {}
         skew = self.clock.skew_s
         for name, clock_net in self.design.clocks.items():
             if clock_net.depth == 0:
-                windows[name] = ArrivalWindow(0.0, skew)
+                seeds[name] = ArrivalWindow(0.0, skew)
         for net in self.design.nets_of_kind(NetKind.INPUT):
-            windows.setdefault(net, ArrivalWindow(0.0, 0.0))
-        windows.update(self._input_windows)
+            seeds.setdefault(net, ArrivalWindow(0.0, 0.0))
+        seeds.update(self._input_windows)
+        return seeds
 
-        order = self._topological_order()
-        for net in order:
-            fanin = [a for a in self.graph.fanin.get(net, [])
-                     if a.src in windows
-                     and a.src not in self._false_through
-                     and net not in self._false_through]
-            if not fanin:
+    def _config(self) -> tuple:
+        """Everything besides arc delays that arrival windows depend on."""
+        return (
+            self.graph.structure_version,
+            self.clock.skew_s,
+            frozenset(self._false_through),
+            tuple(sorted(self._input_windows.items())),
+        )
+
+    def _recompute_window(
+        self,
+        net: str,
+        windows: dict[str, ArrivalWindow],
+        seeds: dict[str, ArrivalWindow],
+    ) -> ArrivalWindow | None:
+        """One net's window from its fan-in -- the propagation formula.
+
+        Mirrors the full-propagation loop body operand for operand
+        (same filtering, same reduction order, same seed merge), which
+        is what makes incremental results bit-identical.
+        """
+        fanin = [a for a in self.graph.fanin.get(net, [])
+                 if a.src in windows
+                 and a.src not in self._false_through
+                 and net not in self._false_through]
+        if not fanin:
+            return seeds.get(net)
+        t_min = min(windows[a.src].t_min + a.d_min for a in fanin)
+        t_max = max(windows[a.src].t_max + a.d_max for a in fanin)
+        seed = seeds.get(net)
+        if seed is not None:
+            t_min = min(t_min, seed.t_min)
+            t_max = max(t_max, seed.t_max)
+        return ArrivalWindow(t_min=t_min, t_max=t_max)
+
+    def arrivals(self, incremental: bool = False) -> dict[str, ArrivalWindow]:
+        """Propagate arrival windows from sources through the arc graph.
+
+        ``incremental=True`` reuses the previous propagation and only
+        re-propagates the fan-out cones of arcs re-priced since (falling
+        back to a full pass when no previous result is reusable).  The
+        returned mapping is always a fresh dict.
+        """
+        config = self._config()
+        if (incremental and self._windows is not None
+                and config == self._propagated_config):
+            self._propagate_cones(self.graph.take_dirty_dsts())
+        else:
+            self._propagate_full()
+            self._propagated_config = config
+            self.graph.take_dirty_dsts()  # consumed by the full pass
+        return dict(self._windows)  # type: ignore[arg-type]
+
+    def _propagate_full(self) -> None:
+        seeds = self._source_seeds()
+        windows: dict[str, ArrivalWindow] = dict(seeds)
+        for net in self.graph.topo_order():
+            computed = self._recompute_window(net, windows, seeds)
+            if computed is not None:
+                windows[net] = computed
+            self._counters["sta_nets_propagated"] += 1
+        self._windows = windows
+        self._seeds = seeds
+        self._counters["sta_full_propagations"] += 1
+
+    def _propagate_cones(self, dirty: set[str]) -> None:
+        """Re-propagate the fan-out cones of the dirty nets, level order.
+
+        Every arc points strictly up-level, so a (level, name) heap pops
+        each net only after all its re-propagated predecessors settled;
+        propagation prunes at nets whose recomputed window is unchanged
+        (float-exact, so pruning never alters the result).
+        """
+        windows = self._windows
+        assert windows is not None
+        seeds = self._seeds
+        levels = self.graph.levels()
+        heap = [(levels[n], n) for n in dirty if n in levels]
+        heapq.heapify(heap)
+        done: set[str] = set()
+        self._counters["sta_incremental_propagations"] += 1
+        self._counters["sta_cones_repropagated"] += len(heap)
+        while heap:
+            _, net = heapq.heappop(heap)
+            if net in done:
                 continue
-            t_min = min(windows[a.src].t_min + a.d_min for a in fanin)
-            t_max = max(windows[a.src].t_max + a.d_max for a in fanin)
-            if net in windows:
-                existing = windows[net]
-                t_min = min(t_min, existing.t_min)
-                t_max = max(t_max, existing.t_max)
-            windows[net] = ArrivalWindow(t_min=t_min, t_max=t_max)
-        return windows
-
-    def _topological_order(self) -> list[str]:
-        indegree: dict[str, int] = {n: 0 for n in self.graph.nets()}
-        for arc in self.graph.arcs:
-            indegree[arc.dst] += 1
-        frontier = sorted(n for n, d in indegree.items() if d == 0)
-        order: list[str] = []
-        while frontier:
-            net = frontier.pop()
-            order.append(net)
+            done.add(net)
+            self._counters["sta_nets_repropagated"] += 1
+            computed = self._recompute_window(net, windows, seeds)
+            if computed == windows.get(net):
+                continue  # cone converged here
+            if computed is None:
+                windows.pop(net, None)
+            else:
+                windows[net] = computed
             for arc in self.graph.fanout.get(net, []):
-                indegree[arc.dst] -= 1
-                if indegree[arc.dst] == 0:
-                    frontier.append(arc.dst)
-        return order
+                if arc.dst not in done:
+                    heapq.heappush(heap, (levels[arc.dst], arc.dst))
 
     # -- path tracing ------------------------------------------------------------
 
     def _trace_back(self, endpoint: str, windows: dict[str, ArrivalWindow]) -> list[str]:
         """The max-arrival path ending at ``endpoint``."""
         nets = [endpoint]
+        seen = {endpoint}
         current = endpoint
         while True:
             fanin = [a for a in self.graph.fanin.get(current, []) if a.src in windows]
             if not fanin:
                 break
             best = max(fanin, key=lambda a: windows[a.src].t_max + a.d_max)
-            if best.src in nets:
+            if best.src in seen:
                 break  # safety against residual loops
             nets.append(best.src)
+            seen.add(best.src)
             current = best.src
         nets.reverse()
         return nets
@@ -172,16 +270,38 @@ class TimingAnalyzer:
     # -- verification -----------------------------------------------------------------
 
     def endpoints(self) -> list[str]:
-        """Setup endpoints: storage nodes, dynamic nodes, output ports."""
+        """Setup endpoints: storage nodes, dynamic nodes, output ports.
+
+        Cached per (design, graph structure): the scan over every flat
+        net runs once, not once per ``verify()``.
+        """
+        key = (id(self.design), self.graph.structure_version)
+        if self._endpoints is not None and self._endpoints_key == key:
+            self._counters["sta_endpoint_cache_hits"] += 1
+            return self._endpoints
         out = {s.net for s in self.design.storage}
         out |= set(self.design.dynamic_nodes)
         for net in self.design.flat.nets.values():
             if net.is_port and not net.is_rail:
                 out.add(net.name)
-        return sorted(out)
+        self._endpoints = sorted(out)
+        self._endpoints_key = key
+        return self._endpoints
 
-    def verify(self) -> TimingReport:
-        windows = self.arrivals()
+    def counters(self) -> dict[str, int]:
+        """Propagation/cache counters, merged with the graph's."""
+        merged = dict(self._counters)
+        merged.update(self.graph.counters())
+        return merged
+
+    def verify(self, incremental: bool = False) -> TimingReport:
+        """One verification run.
+
+        ``incremental=True`` reuses the previous arrival propagation
+        where the dirty-cone logic proves it sound; the report is
+        guaranteed bit-identical to ``verify()`` on the same state.
+        """
+        windows = self.arrivals(incremental=incremental)
         phase = self.clock.phase_width_s
         setup_margins = {
             c.net: c.margin_s for c in self.constraints

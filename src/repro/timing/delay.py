@@ -69,14 +69,18 @@ class ArcDelayCalculator:
     def _path_resistance(self, path: ConductionPath, design: AnnotatedDesign) -> float:
         tech = design.technology
         vdd = tech.vdd_at(design.corner)
-        total = 0.0
+        values = []
         for name in path.devices:
             device = self._device_fast[name]
             model = tech.mosfet(device.polarity, design.corner)
-            total += model.on_resistance(
+            values.append(model.on_resistance(
                 vdd, device.w_um, device.effective_length(tech.l_min_um)
-            )
-        return total
+            ))
+        # Summed in sorted order so the result depends only on the
+        # multiset of device resistances, never on device *names* --
+        # which is what lets topologically identical bit-slices share
+        # one bit-identical resistance via the arc-price cache.
+        return sum(sorted(values))
 
     def _load(self, net: str, design: AnnotatedDesign, maximal: bool) -> float:
         load = design.load(net)
@@ -90,6 +94,44 @@ class ArcDelayCalculator:
 
     # -- public delay queries ------------------------------------------------------
 
+    def drive_bounds(
+        self, paths_through_input: list[ConductionPath]
+    ) -> tuple[float, float]:
+        """(min, max) driver resistance over the given conduction paths.
+
+        The load-independent half of :meth:`arc_delay`: min resistance
+        at the FAST corner, max at the SLOW corner.  It is a pure
+        function of the driver topology and device geometry, which
+        makes it the cacheable unit shared by identical bit-slices
+        (:mod:`repro.timing.arccache`).
+        """
+        if not paths_through_input:
+            raise ValueError("arc needs at least one conduction path")
+        r_min = min(self._path_resistance(path, self.fast)
+                    for path in paths_through_input)
+        r_max = max(self._path_resistance(path, self.slow)
+                    for path in paths_through_input)
+        return r_min, r_max
+
+    def delay_from_drive(
+        self, r_min: float, r_max: float, output_net: str
+    ) -> ArcDelay:
+        """Apply ``output_net``'s load to precomputed drive bounds --
+        the per-arc half of :meth:`arc_delay`."""
+        p = self.pessimism
+
+        r_hi = r_max + self._wire_resistance(output_net, self.slow, maximal=True)
+        c_max = self._load(output_net, self.slow, maximal=True)
+        d_max = r_hi * c_max * (1.0 + SLEW_FRACTION) * p.effective_derate_max()
+
+        r_lo = r_min + self._wire_resistance(output_net, self.fast, maximal=False)
+        c_min = self._load(output_net, self.fast, maximal=False)
+        d_min = r_lo * c_min * p.effective_derate_min()
+
+        if d_min > d_max:  # possible only at scale 0 with rounding
+            d_min = d_max
+        return ArcDelay(d_min=d_min, d_max=d_max)
+
     def arc_delay(
         self,
         paths_through_input: list[ConductionPath],
@@ -102,25 +144,23 @@ class ArcDelayCalculator:
         maximal load.  Min delay: the *least resistive* path at the FAST
         corner into the minimal load.
         """
-        if not paths_through_input:
-            raise ValueError("arc needs at least one conduction path")
-        p = self.pessimism
-
-        r_max = max(self._path_resistance(path, self.slow) for path in paths_through_input)
-        r_max += self._wire_resistance(output_net, self.slow, maximal=True)
-        c_max = self._load(output_net, self.slow, maximal=True)
-        d_max = r_max * c_max * (1.0 + SLEW_FRACTION) * p.effective_derate_max()
-
-        r_min = min(self._path_resistance(path, self.fast) for path in paths_through_input)
-        r_min += self._wire_resistance(output_net, self.fast, maximal=False)
-        c_min = self._load(output_net, self.fast, maximal=False)
-        d_min = r_min * c_min * p.effective_derate_min()
-
-        if d_min > d_max:  # possible only at scale 0 with rounding
-            d_min = d_max
-        return ArcDelay(d_min=d_min, d_max=d_max)
+        r_min, r_max = self.drive_bounds(paths_through_input)
+        return self.delay_from_drive(r_min, r_max, output_net)
 
     def nominal_delay(self, paths: list[ConductionPath], output_net: str) -> float:
         """A single point estimate (geometric middle of the bounds)."""
         arc = self.arc_delay(paths, output_net)
         return (arc.d_min * arc.d_max) ** 0.5 if arc.d_min > 0 else arc.d_max / 2
+
+    # -- arc-price cache keys ------------------------------------------------
+
+    def environment_key(self) -> tuple:
+        """The environment component of an arc-price key.
+
+        :meth:`drive_bounds` reads only the device models, which are
+        functions of the technology object and the (fixed FAST/SLOW)
+        corner enums, so pinning the technology by identity fixes every
+        non-geometry input of the resistance computation.  Load and
+        pessimism are applied per arc, outside the cache.
+        """
+        return (id(self.slow.technology),)

@@ -28,13 +28,20 @@ from repro.timing.pessimism import PessimismSettings
 
 @dataclass
 class TimingRun:
-    """Everything a timing verification run built and found."""
+    """Everything a timing verification run built and found.
+
+    ``analyzer`` stays live for incremental re-verification: re-price
+    arcs (``timing.graph.reprice_arcs``) and call
+    ``analyzer.verify(incremental=True)``; ``calculator`` is the pricing
+    engine bound to the FAST/SLOW annotations below.
+    """
 
     design: RecognizedDesign
     fast: AnnotatedDesign
     slow: AnnotatedDesign
     analyzer: TimingAnalyzer
     report: TimingReport
+    calculator: ArcDelayCalculator | None = None
 
 
 def analyze_design(
@@ -45,18 +52,28 @@ def analyze_design(
     pessimism: PessimismSettings | None = None,
     parasitics: Parasitics | None = None,
     false_through: Iterable[str] = (),
+    design: RecognizedDesign | None = None,
+    arc_cache=None,
 ) -> TimingRun:
-    """Run the complete static timing verification stack."""
-    design = recognize(flat, clock_hints=clock_hints)
+    """Run the complete static timing verification stack.
+
+    ``design`` short-circuits recognition with a precomputed result
+    (it must be for this ``flat``); ``arc_cache`` is an
+    :class:`~repro.timing.arccache.ArcPriceCache` shared across builds
+    so identical bit-slices price their arcs once.
+    """
+    if design is None:
+        design = recognize(flat, clock_hints=clock_hints)
     if parasitics is None:
         parasitics = WireloadModel().extract(flat, technology.wires)
     fast = annotate(flat, parasitics, technology, Corner.FAST)
     slow = annotate(flat, parasitics, technology, Corner.SLOW)
     calculator = ArcDelayCalculator(fast, slow, pessimism)
-    graph = build_timing_graph(design, calculator)
+    graph = build_timing_graph(design, calculator, arc_cache=arc_cache)
     constraints = generate_constraints(design, pessimism)
     analyzer = TimingAnalyzer(design, graph, clock, constraints)
     analyzer.declare_false_through(*false_through)
     report = analyzer.verify()
     return TimingRun(design=design, fast=fast, slow=slow,
-                     analyzer=analyzer, report=report)
+                     analyzer=analyzer, report=report,
+                     calculator=calculator)

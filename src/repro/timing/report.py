@@ -60,6 +60,12 @@ def render_timing_report(analyzer: TimingAnalyzer, report: TimingReport,
     for race in report.races:
         lines.append(f"RACE at {race.constraint.net} "
                      f"(margin {race.margin_s * 1e12:+.1f} ps): {race.note}")
+    counters = analyzer.counters()
+    engine = {k: v for k, v in counters.items() if v}
+    if engine:
+        lines.append("")
+        lines.append("engine: " + ", ".join(
+            f"{name}={value}" for name, value in sorted(engine.items())))
     if analyzer.graph.notes:
         lines.append("")
         for note in analyzer.graph.notes:

@@ -1,0 +1,110 @@
+"""Property tests: incremental STA is bit-identical to full re-verify.
+
+The incremental engine's contract (see ``TimingAnalyzer``): after any
+sequence of arc re-pricings, ``verify(incremental=True)`` returns the
+same arrival windows, critical paths, races, and minimum cycle time --
+float for float -- as a from-scratch ``verify()`` on the same graph.
+Random arc edits over a real mixed design (static + domino + latch arcs)
+probe exactly where a pruned cone or a stale window would hide.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.designs.adders import domino_carry_adder, ripple_carry_adder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+from repro.timing.analyzer import TimingAnalyzer
+from repro.timing.clocking import TwoPhaseClock
+from repro.timing.constraints import generate_constraints
+from repro.timing.driver import analyze_design
+
+TECH = strongarm_technology()
+CLOCK = TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9)
+
+
+def _fresh_run(builder, width):
+    flat = flatten(builder(width))
+    hints = ("clk",) if builder is domino_carry_adder else ()
+    return analyze_design(flat, TECH, CLOCK, clock_hints=hints)
+
+
+def _full_reference(run):
+    """A brand-new analyzer over the same (edited) graph: the oracle."""
+    analyzer = TimingAnalyzer(run.design, run.analyzer.graph, CLOCK,
+                              generate_constraints(run.design))
+    return analyzer.verify()
+
+
+def _report_key(report):
+    return (
+        sorted((n, w.t_min, w.t_max) for n, w in report.arrivals.items()),
+        [(p.endpoint, p.arrival_s, p.slack_s, p.nets)
+         for p in report.critical_paths],
+        [(r.constraint.net, r.margin_s) for r in report.races],
+        report.min_cycle_time_s,
+    )
+
+
+def _apply_edits(run, edits):
+    """Scale a pseudo-random subset of arc delays in place."""
+    arcs = run.analyzer.graph.arcs
+    for index, scale_pct in edits:
+        arc = arcs[index % len(arcs)]
+        factor = scale_pct / 100.0
+        run.analyzer.graph.reprice(arc, arc.d_min * factor,
+                                   arc.d_max * factor)
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(10, 400)),
+                min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_domino_adder_incremental_matches_full(edits):
+    run = _fresh_run(domino_carry_adder, 3)
+    _apply_edits(run, edits)
+    incremental = run.analyzer.verify(incremental=True)
+    assert _report_key(incremental) == _report_key(_full_reference(run))
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(10, 400)),
+                min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_static_adder_incremental_matches_full(edits):
+    run = _fresh_run(ripple_carry_adder, 3)
+    _apply_edits(run, edits)
+    incremental = run.analyzer.verify(incremental=True)
+    assert _report_key(incremental) == _report_key(_full_reference(run))
+
+
+@given(st.lists(st.lists(st.tuples(st.integers(0, 10_000),
+                                   st.integers(10, 400)),
+                         min_size=1, max_size=4),
+                min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_repeated_edit_verify_cycles_stay_identical(rounds):
+    """Many edit -> incremental-verify rounds never drift from full."""
+    run = _fresh_run(domino_carry_adder, 2)
+    for edits in rounds:
+        _apply_edits(run, edits)
+        incremental = run.analyzer.verify(incremental=True)
+        assert _report_key(incremental) == _report_key(_full_reference(run))
+
+
+def test_incremental_does_less_work_than_full():
+    run = _fresh_run(domino_carry_adder, 8)
+    nets_full = run.analyzer.counters()["sta_nets_propagated"]
+    arc = run.analyzer.graph.arcs[0]
+    run.analyzer.graph.reprice(arc, arc.d_min * 1.01, arc.d_max * 1.01)
+    run.analyzer.verify(incremental=True)
+    counters = run.analyzer.counters()
+    assert counters["sta_incremental_propagations"] == 1
+    assert counters["sta_nets_repropagated"] < nets_full
+
+
+def test_noop_reprice_propagates_nothing():
+    """Re-pricing an arc to its current bounds marks nothing dirty."""
+    run = _fresh_run(ripple_carry_adder, 4)
+    arc = run.analyzer.graph.arcs[0]
+    assert not run.analyzer.graph.reprice(arc, arc.d_min, arc.d_max)
+    run.analyzer.verify(incremental=True)
+    assert run.analyzer.counters()["sta_nets_repropagated"] == 0
