@@ -1,0 +1,99 @@
+"""Run the CBV campaign over the seed designs and emit the JSON-lines trace.
+
+CI runs this after the tier-1 suite: the concatenated campaign traces
+land in ``benchmarks/TRACE_campaign.jsonl`` (uploaded as a workflow
+artifact), and the script exits non-zero if any stage reports
+``StageStatus.ERROR`` on a seed design -- an ERROR there is a tool
+fault, never a design verdict, and must fail the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_report.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.report import render_report
+from repro.core.stages import StageStatus
+from repro.designs.adders import domino_carry_adder
+from repro.netlist.builder import CellBuilder
+from repro.perf import DesignCache
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+OUT_PATH = pathlib.Path(__file__).parent / "TRACE_campaign.jsonl"
+
+
+def alpha_slice_bundle(technology) -> DesignBundle:
+    """The Figure-2 mixed-style datapath slice (layout mode)."""
+    b = CellBuilder("alpha_slice",
+                    ports=["clk", "clk_b", "a", "b", "c", "y", "q"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "and_ab")
+    b.domino_gate("clk", ["and_ab", "c"], "dom", dyn_net="dyn")
+    b.nor(["dom", "and_ab"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    return DesignBundle(
+        name="alpha_slice",
+        cell=b.build(),
+        technology=technology,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        clock_hints=("clk", "clk_b"),
+        rtl_intent={
+            "and_ab": lambda a, b: a and b,
+            "n1": lambda a, b: not (a and b),
+        },
+        rtl_inputs={"and_ab": ("a", "b"), "n1": ("a", "b")},
+    )
+
+
+def adder_bundle(technology) -> DesignBundle:
+    """An 8-bit domino carry chain in wireload mode."""
+    return DesignBundle(
+        name="adder8",
+        cell=domino_carry_adder(8),
+        technology=technology,
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        use_layout=False,
+    )
+
+
+def main() -> int:
+    technology = strongarm_technology()
+    cache = DesignCache()
+    chunks: list[str] = []
+    errored: list[tuple[str, str, str]] = []
+
+    for bundle in (alpha_slice_bundle(technology), adder_bundle(technology)):
+        report = CbvCampaign(bundle).run(cache=cache)
+        chunks.append(report.trace.to_jsonl())
+        print(render_report(report))
+        print()
+        for stage in report.errored_stages():
+            errored.append((bundle.name, stage.stage.value, stage.summary))
+
+    text = "".join(chunks)
+    OUT_PATH.write_text(text, encoding="utf-8")
+
+    # Sanity: every line must be a well-formed JSON object.
+    events = [json.loads(line) for line in text.splitlines() if line.strip()]
+    campaigns = sum(1 for e in events if e["event"] == "campaign_start")
+    print(f"wrote {OUT_PATH.name}: {len(events)} events "
+          f"from {campaigns} campaign(s)")
+
+    if errored:
+        print("\nFAIL: stage ERROR(s) on seed designs:", file=sys.stderr)
+        for design, stage, summary in errored:
+            print(f"  {design} / {stage}: {summary}", file=sys.stderr)
+        return 1
+    print("no stage errors on seed designs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

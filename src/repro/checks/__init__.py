@@ -33,7 +33,12 @@ from repro.checks.filters import (
     filter_findings,
     recall_against_seeded,
 )
-from repro.checks.registry import ALL_CHECKS, BatteryResult, run_battery
+from repro.checks.registry import (
+    ALL_CHECKS,
+    BatteryResult,
+    crash_finding,
+    run_battery,
+)
 
 __all__ = [
     "Check",
@@ -47,5 +52,6 @@ __all__ = [
     "recall_against_seeded",
     "ALL_CHECKS",
     "BatteryResult",
+    "crash_finding",
     "run_battery",
 ]

@@ -40,6 +40,10 @@ class Finding:
     severity: Severity
     message: str
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Free-form long-form context; the battery uses it for the full
+    #: traceback of a synthesized crash finding.  Empty for ordinary
+    #: findings, so serial/parallel byte-identity is unaffected.
+    detail: str = ""
 
     def metric(self, name: str, default: float = 0.0) -> float:
         return self.metrics.get(name, default)

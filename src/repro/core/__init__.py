@@ -15,9 +15,15 @@ static timing -> a designer triage queue.  Each stage produces a
 """
 
 from repro.core.stages import FlowStage, StageResult, StageStatus
+from repro.core.trace import CampaignTrace, TraceEvent
 from repro.core.campaign import CbvCampaign, CbvReport, DesignBundle
 from repro.core.triage import DesignerQueue, QueueItem
-from repro.core.report import render_report, report_to_dict, report_to_json
+from repro.core.report import (
+    render_report,
+    render_trace,
+    report_to_dict,
+    report_to_json,
+)
 from repro.core.feasibility import (
     FeasibilityRow,
     compare_implementations,
@@ -34,7 +40,10 @@ __all__ = [
     "DesignBundle",
     "DesignerQueue",
     "QueueItem",
+    "CampaignTrace",
+    "TraceEvent",
     "render_report",
+    "render_trace",
     "report_to_dict",
     "report_to_json",
     "FeasibilityRow",

@@ -5,20 +5,31 @@ design; :meth:`CbvCampaign.run` executes the stages in order and
 collects a :class:`CbvReport`.  Verification stages never block each
 other -- the paper's flow reports everything and lets the designer
 triage, rather than dying at the first red box.
+
+That promise is enforced, not aspirational: every stage runs under fault
+isolation.  A stage that raises records ``StageStatus.ERROR`` with its
+traceback and the campaign keeps going -- downstream stages run on
+whatever artifacts exist and only true dependents are skipped (with a
+``SKIPPED`` result naming the missing artifact).  The check battery has
+its own per-check isolation (see :mod:`repro.checks.registry`), so a
+crashing or hung check degrades to one VIOLATION finding.  Everything
+the run did is logged to a structured :class:`~repro.core.trace.CampaignTrace`
+on the report.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+import traceback
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.checks.base import CheckContext, CheckSettings
-from repro.checks.filters import filter_findings
-from repro.checks.registry import run_battery
+from repro.checks.base import Check, CheckSettings
+from repro.checks.driver import make_context
+from repro.checks.registry import ALL_CHECKS, run_battery
 from repro.core.stages import FlowStage, StageResult, StageStatus
+from repro.core.trace import CampaignTrace
 from repro.core.triage import DesignerQueue
 from repro.equivalence.combinational import check_gate_vs_function
-from repro.extraction.annotate import annotate
 from repro.extraction.caps import Parasitics
 from repro.extraction.extract import extract_macrocell
 from repro.extraction.wireload import WireloadModel
@@ -28,7 +39,7 @@ from repro.netlist.cell import Cell
 from repro.netlist.erc import run_erc
 from repro.netlist.flatten import FlatNetlist, flatten
 from repro.perf import collect_counters
-from repro.process.corners import Corner
+from repro.perf.stopwatch import Stopwatch
 from repro.process.technology import Technology
 from repro.recognition.recognizer import RecognizedDesign, recognize
 from repro.timing.analyzer import TimingReport
@@ -39,6 +50,8 @@ from repro.timing.delay import ArcDelayCalculator
 from repro.timing.graph import build_timing_graph
 from repro.timing.analyzer import TimingAnalyzer
 from repro.timing.pessimism import PessimismSettings
+
+_MISSING = object()
 
 
 @dataclass
@@ -88,12 +101,23 @@ class CbvReport:
     flat: FlatNetlist | None = None
     design: RecognizedDesign | None = None
     timing: TimingReport | None = None
+    #: Structured event log of the run (JSON-lines serializable).
+    trace: CampaignTrace = field(default_factory=CampaignTrace)
 
-    def stage(self, stage: FlowStage) -> StageResult:
+    def stage(self, stage: FlowStage, default=_MISSING) -> StageResult:
+        """The result of ``stage``; ``default`` (when given) instead of a
+        KeyError for stages a degraded run never reached."""
         for result in self.stages:
             if result.stage is stage:
                 return result
-        raise KeyError(f"stage {stage} did not run")
+        if default is not _MISSING:
+            return default
+        ran = ", ".join(s.stage.value for s in self.stages) or "none"
+        raise KeyError(f"stage {stage.value!r} did not run "
+                       f"(stages that ran: {ran})")
+
+    def errored_stages(self) -> list[StageResult]:
+        return [s for s in self.stages if s.status is StageStatus.ERROR]
 
     def ok(self) -> bool:
         return all(s.ok() for s in self.stages) and self.queue.tapeout_clean()
@@ -105,131 +129,242 @@ class CbvCampaign:
     def __init__(self, bundle: DesignBundle):
         self.bundle = bundle
 
-    def run(self) -> CbvReport:
+    def run(self, *, cache=None, parallel: int | None = None,
+            checks: tuple[type[Check], ...] = ALL_CHECKS,
+            timeout_s: float | None = None,
+            trace: CampaignTrace | None = None) -> CbvReport:
+        """Execute the flow; never raises for a stage or check fault.
+
+        ``cache`` is a :class:`repro.perf.DesignCache`: recognition,
+        extraction, and corner annotation route through it (and through
+        :func:`repro.checks.driver.make_context`), so a session verifying
+        several views of one netlist derives each artifact once.
+        ``parallel`` / ``timeout_s`` / ``checks`` are handed to
+        :func:`repro.checks.registry.run_battery`.
+        """
         bundle = self.bundle
-        report = CbvReport(bundle_name=bundle.name)
+        if trace is None:
+            trace = CampaignTrace()
+        report = CbvReport(bundle_name=bundle.name, trace=trace)
+        art: dict[str, object] = {}
+        watch = Stopwatch()
+        trace.emit("campaign_start", name=bundle.name)
+
+        def run_stage(flow: FlowStage, fn: Callable[[], StageResult],
+                      requires: tuple[str, ...] = ()) -> None:
+            missing = [key for key in requires if key not in art]
+            if missing:
+                result = StageResult(
+                    stage=flow, status=StageStatus.SKIPPED,
+                    summary="skipped: missing upstream artifact(s): "
+                            + ", ".join(missing),
+                )
+                report.stages.append(result)
+                trace.emit("stage_skipped", name=flow.value,
+                           status=result.status.value, detail=result.summary)
+                return
+            trace.emit("stage_start", name=flow.value)
+            stage_watch = Stopwatch()
+            try:
+                result = fn()
+            except Exception as exc:  # noqa: BLE001 -- isolation is the point
+                tb = traceback.format_exc()
+                result = StageResult(
+                    stage=flow, status=StageStatus.ERROR,
+                    summary=f"stage crashed: {type(exc).__name__}: {exc}",
+                    details=tb.rstrip().splitlines(),
+                )
+            report.stages.append(result)
+            trace.emit(
+                "stage_end", name=flow.value, status=result.status.value,
+                wall_s=stage_watch.elapsed(), counters=result.metrics,
+                detail=("\n".join(result.details)
+                        if result.status is StageStatus.ERROR else ""),
+            )
 
         # -- schematic entry (with ERC) -----------------------------------------
-        flat = flatten(bundle.cell)
-        report.flat = flat
-        erc_violations = run_erc(flat)
-        report.stages.append(StageResult(
-            stage=FlowStage.SCHEMATIC,
-            status=StageStatus.FAIL if erc_violations else StageStatus.PASS,
-            summary=f"{flat.device_count()} transistors, "
-                    f"{len(flat.nets)} nets, "
-                    f"{len(erc_violations)} ERC violation(s)",
-            metrics={"transistors": float(flat.device_count()),
-                     "nets": float(len(flat.nets)),
-                     "erc_violations": float(len(erc_violations))},
-            details=[f"{v.rule}: {v.subject}: {v.message}"
-                     for v in erc_violations[:10]],
-        ))
+        def schematic() -> StageResult:
+            flat = flatten(bundle.cell)
+            art["flat"] = flat
+            report.flat = flat
+            erc_violations = run_erc(flat)
+            return StageResult(
+                stage=FlowStage.SCHEMATIC,
+                status=StageStatus.FAIL if erc_violations else StageStatus.PASS,
+                summary=f"{flat.device_count()} transistors, "
+                        f"{len(flat.nets)} nets, "
+                        f"{len(erc_violations)} ERC violation(s)",
+                metrics={"transistors": float(flat.device_count()),
+                         "nets": float(len(flat.nets)),
+                         "erc_violations": float(len(erc_violations))},
+                details=[f"{v.rule}: {v.subject}: {v.message}"
+                         for v in erc_violations[:10]],
+            )
 
         # -- recognition -------------------------------------------------------
-        design = recognize(flat, clock_hints=bundle.clock_hints)
-        report.design = design
-        hist = design.family_histogram()
-        report.stages.append(StageResult(
-            stage=FlowStage.RECOGNITION, status=StageStatus.PASS,
-            summary=", ".join(f"{fam.value}: {count}"
-                              for fam, count in sorted(
-                                  hist.items(), key=lambda kv: kv[0].value)),
-            metrics=collect_counters(
-                {
-                    "cccs": float(len(design.cccs)),
-                    "clocks": float(len(design.clocks)),
-                    "storage": float(len(design.storage)),
-                    "dynamic_nodes": float(len(design.dynamic_nodes)),
-                },
-                design.perf,
-            ),
-        ))
+        def recognition() -> StageResult:
+            flat = art["flat"]
+            if cache is not None:
+                design = cache.recognized(flat, clock_hints=bundle.clock_hints)
+            else:
+                design = recognize(flat, clock_hints=bundle.clock_hints)
+            art["design"] = design
+            report.design = design
+            hist = design.family_histogram()
+            return StageResult(
+                stage=FlowStage.RECOGNITION, status=StageStatus.PASS,
+                summary=", ".join(f"{fam.value}: {count}"
+                                  for fam, count in sorted(
+                                      hist.items(), key=lambda kv: kv[0].value)),
+                metrics=collect_counters(
+                    {
+                        "cccs": float(len(design.cccs)),
+                        "clocks": float(len(design.clocks)),
+                        "storage": float(len(design.storage)),
+                        "dynamic_nodes": float(len(design.dynamic_nodes)),
+                    },
+                    design.perf,
+                ),
+            )
 
-        # -- layout & extraction ------------------------------------------------
-        antenna = None
-        if bundle.use_layout:
+        # -- layout ------------------------------------------------------------
+        def layout() -> StageResult:
+            if not bundle.use_layout:
+                return StageResult(
+                    stage=FlowStage.LAYOUT, status=StageStatus.SKIPPED,
+                    summary="no layout; wireload parasitics in use",
+                )
+            flat = art["flat"]
             mc = generate_macrocell(bundle.name, flat.transistors,
                                     l_min_um=bundle.technology.l_min_um)
-            parasitics = extract_macrocell(mc, bundle.technology.wires)
-            antenna = antenna_geometry(mc.layout, flat,
-                                       l_min_um=bundle.technology.l_min_um)
-            report.stages.append(StageResult(
+            art["layout_parasitics"] = extract_macrocell(
+                mc, bundle.technology.wires)
+            art["antenna"] = antenna_geometry(
+                mc.layout, flat, l_min_um=bundle.technology.l_min_um)
+            return StageResult(
                 stage=FlowStage.LAYOUT, status=StageStatus.PASS,
                 summary=f"macrocell {mc.width_um:.1f} um wide, "
                         f"{mc.breaks} diffusion breaks",
                 metrics={"width_um": mc.width_um, "breaks": float(mc.breaks)},
-            ))
-        else:
-            parasitics = bundle.parasitics if bundle.parasitics is not None \
-                else WireloadModel().extract(flat, bundle.technology.wires)
-            report.stages.append(StageResult(
-                stage=FlowStage.LAYOUT, status=StageStatus.SKIPPED,
-                summary="no layout; wireload parasitics in use",
-            ))
-        coupled = sum(1 for p in parasitics.nets.values() if p.couplings)
-        report.stages.append(StageResult(
-            stage=FlowStage.EXTRACTION, status=StageStatus.PASS,
-            summary=f"{len(parasitics.nets)} nets extracted, "
-                    f"{coupled} with coupling",
-            metrics={"nets": float(len(parasitics.nets)),
-                     "coupled_nets": float(coupled)},
-        ))
+            )
 
-        # -- logic verification ----------------------------------------------------
-        report.stages.append(self._logic_stage(design))
+        # -- extraction (wireload fallback keeps the flow alive if layout
+        #    errored: the paper's feasibility mode is exactly this) ------------
+        def extraction() -> StageResult:
+            flat = art["flat"]
+            fallback = ""
+            parasitics = art.get("layout_parasitics")
+            if parasitics is None:
+                if bundle.parasitics is not None:
+                    parasitics = bundle.parasitics
+                elif cache is not None:
+                    parasitics = cache.parasitics(flat, bundle.technology)
+                else:
+                    parasitics = WireloadModel().extract(
+                        flat, bundle.technology.wires)
+                if bundle.use_layout:
+                    fallback = " (wireload fallback: layout stage failed)"
+            art["parasitics"] = parasitics
+            coupled = sum(1 for p in parasitics.nets.values() if p.couplings)
+            return StageResult(
+                stage=FlowStage.EXTRACTION, status=StageStatus.PASS,
+                summary=f"{len(parasitics.nets)} nets extracted, "
+                        f"{coupled} with coupling" + fallback,
+                metrics={"nets": float(len(parasitics.nets)),
+                         "coupled_nets": float(coupled)},
+            )
 
-        # -- circuit verification (the check battery) ---------------------------------
-        typical = annotate(flat, parasitics, bundle.technology, Corner.TYPICAL)
-        fast = annotate(flat, parasitics, bundle.technology, Corner.FAST)
-        slow = annotate(flat, parasitics, bundle.technology, Corner.SLOW)
-        ctx = CheckContext(design=design, typical=typical, fast=fast,
-                           slow=slow, clock=bundle.clock, antenna=antenna,
-                           settings=bundle.check_settings)
-        battery = run_battery(ctx)
-        stats = battery.queues.stats()
-        report.queue.add_findings(battery.findings)
-        status = (StageStatus.FAIL if stats.violations
-                  else StageStatus.ATTENTION if stats.inspect
-                  else StageStatus.PASS)
-        report.stages.append(StageResult(
-            stage=FlowStage.CIRCUIT_VERIFICATION, status=status,
-            summary=f"{stats.total} findings: {stats.passed} auto-cleared, "
-                    f"{stats.inspect} to inspect, {stats.violations} violations",
-            metrics={"findings": float(stats.total),
-                     "inspect": float(stats.inspect),
-                     "violations": float(stats.violations),
-                     "auto_cleared_fraction": stats.auto_cleared_fraction(),
-                     "battery_seconds": battery.total_seconds()},
-        ))
+        # -- logic verification -------------------------------------------------
+        def logic() -> StageResult:
+            return self._logic_stage(art["design"])
 
-        # -- timing verification ---------------------------------------------------------
-        calculator = ArcDelayCalculator(fast, slow, bundle.pessimism)
-        arc_cache = ArcPriceCache()
-        graph = build_timing_graph(design, calculator, arc_cache=arc_cache)
-        constraints = generate_constraints(design, bundle.pessimism)
-        analyzer = TimingAnalyzer(design, graph, bundle.clock, constraints)
-        analyzer.declare_false_through(*bundle.false_through)
-        timing = analyzer.verify()
-        report.timing = timing
-        report.queue.add_timing(timing.setup_violations, timing.races)
-        timing_status = (StageStatus.FAIL
-                         if timing.setup_violations or timing.races
-                         else StageStatus.PASS)
-        report.stages.append(StageResult(
-            stage=FlowStage.TIMING_VERIFICATION, status=timing_status,
-            summary=f"min cycle {timing.min_cycle_time_s * 1e9:.2f} ns "
-                    f"({timing.max_frequency_hz() / 1e6:.0f} MHz), "
-                    f"{len(timing.setup_violations)} setup violations, "
-                    f"{len(timing.races)} races",
-            metrics=collect_counters(
-                {"min_cycle_s": timing.min_cycle_time_s,
-                 "setup_violations": float(len(timing.setup_violations)),
-                 "races": float(len(timing.races))},
-                analyzer,
-                arc_cache,
+        # -- circuit verification (the check battery) ---------------------------
+        def circuit() -> StageResult:
+            ctx = make_context(
+                art["flat"], bundle.technology, clock=bundle.clock,
+                clock_hints=bundle.clock_hints, parasitics=art["parasitics"],
+                antenna=art.get("antenna"), settings=bundle.check_settings,
+                design=art["design"], cache=cache,
+            )
+            art["ctx"] = ctx
+            battery = run_battery(ctx, checks=checks, parallel=parallel,
+                                  timeout_s=timeout_s, trace=trace)
+            stats = battery.queues.stats()
+            report.queue.add_findings(battery.findings)
+            status = (StageStatus.FAIL if stats.violations
+                      else StageStatus.ATTENTION if stats.inspect
+                      else StageStatus.PASS)
+            return StageResult(
+                stage=FlowStage.CIRCUIT_VERIFICATION, status=status,
+                summary=f"{stats.total} findings: {stats.passed} auto-cleared, "
+                        f"{stats.inspect} to inspect, "
+                        f"{stats.violations} violations"
+                        + (f", {len(battery.crashes)} check crash(es)"
+                           if battery.crashes else ""),
+                metrics={"findings": float(stats.total),
+                         "inspect": float(stats.inspect),
+                         "violations": float(stats.violations),
+                         "check_crashes": float(len(battery.crashes)),
+                         "auto_cleared_fraction": stats.auto_cleared_fraction(),
+                         "battery_seconds": battery.total_seconds()},
+                details=[f"{name}: {detail.splitlines()[-1]}"
+                         for name, detail in battery.crashes.items()],
+            )
+
+        # -- timing verification ------------------------------------------------
+        def timing_stage() -> StageResult:
+            ctx = art["ctx"]
+            design = art["design"]
+            calculator = ArcDelayCalculator(ctx.fast, ctx.slow,
+                                            bundle.pessimism)
+            arc_cache = ArcPriceCache()
+            graph = build_timing_graph(design, calculator,
+                                       arc_cache=arc_cache)
+            constraints = generate_constraints(design, bundle.pessimism)
+            analyzer = TimingAnalyzer(design, graph, bundle.clock, constraints)
+            analyzer.declare_false_through(*bundle.false_through)
+            timing = analyzer.verify()
+            report.timing = timing
+            report.queue.add_timing(timing.setup_violations, timing.races)
+            timing_status = (StageStatus.FAIL
+                             if timing.setup_violations or timing.races
+                             else StageStatus.PASS)
+            return StageResult(
+                stage=FlowStage.TIMING_VERIFICATION, status=timing_status,
+                summary=f"min cycle {timing.min_cycle_time_s * 1e9:.2f} ns "
+                        f"({timing.max_frequency_hz() / 1e6:.0f} MHz), "
+                        f"{len(timing.setup_violations)} setup violations, "
+                        f"{len(timing.races)} races",
+                metrics=collect_counters(
+                    {"min_cycle_s": timing.min_cycle_time_s,
+                     "setup_violations": float(len(timing.setup_violations)),
+                     "races": float(len(timing.races))},
+                    analyzer,
+                    arc_cache,
+                ),
+            )
+
+        run_stage(FlowStage.SCHEMATIC, schematic)
+        run_stage(FlowStage.RECOGNITION, recognition, requires=("flat",))
+        run_stage(FlowStage.LAYOUT, layout, requires=("flat",))
+        run_stage(FlowStage.EXTRACTION, extraction, requires=("flat",))
+        run_stage(FlowStage.LOGIC_VERIFICATION, logic, requires=("design",))
+        run_stage(FlowStage.CIRCUIT_VERIFICATION, circuit,
+                  requires=("flat", "design", "parasitics"))
+        run_stage(FlowStage.TIMING_VERIFICATION, timing_stage,
+                  requires=("design", "ctx"))
+
+        trace.emit(
+            "campaign_end", name=bundle.name,
+            status="ok" if report.ok() else "needs-triage",
+            wall_s=watch.elapsed(),
+            counters=collect_counters(
+                {"stages": float(len(report.stages)),
+                 "errors": float(len(report.errored_stages())),
+                 "open_items": float(len(report.queue.open_items()))},
+                cache,
             ),
-        ))
+        )
         return report
 
     def _logic_stage(self, design: RecognizedDesign) -> StageResult:

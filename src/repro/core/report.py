@@ -1,4 +1,4 @@
-"""Text and JSON rendering of a CBV report."""
+"""Text and JSON rendering of a CBV report and its campaign trace."""
 
 from __future__ import annotations
 
@@ -6,12 +6,14 @@ import json
 
 from repro.core.campaign import CbvReport
 from repro.core.stages import StageStatus
+from repro.core.trace import CampaignTrace
 
 _STATUS_MARK = {
     StageStatus.PASS: "ok",
     StageStatus.ATTENTION: "ATTN",
     StageStatus.FAIL: "FAIL",
     StageStatus.SKIPPED: "--",
+    StageStatus.ERROR: "ERR!",
 }
 
 
@@ -23,14 +25,34 @@ def render_report(report: CbvReport, max_queue_items: int = 20) -> str:
         lines.append(f"[{mark:>4}] {stage.stage.value}: {stage.summary}")
         for detail in stage.details[:5]:
             lines.append(f"        - {detail}")
+    errored = report.errored_stages()
+    if errored:
+        lines.append(f"--- {len(errored)} stage(s) ERRORED (tool faults, "
+                     f"not design verdicts) ---")
     open_items = report.queue.open_items()
     lines.append(f"--- designer queue: {len(open_items)} open item(s), "
                  f"{'tapeout-clean' if report.queue.tapeout_clean() else 'NOT clean'} ---")
     for item in open_items[:max_queue_items]:
+        dup = f" (x{item.count})" if item.count > 1 else ""
         lines.append(f"  [{item.severity.value:>9}] {item.source} / "
-                     f"{item.subject}: {item.message}")
+                     f"{item.subject}: {item.message}{dup}")
     if len(open_items) > max_queue_items:
         lines.append(f"  ... and {len(open_items) - max_queue_items} more")
+    return "\n".join(lines)
+
+
+def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
+    """Human-readable event log (one line per trace event)."""
+    lines = [f"=== campaign trace: {len(trace.events)} event(s), "
+             f"{trace.total_seconds() * 1e3:.1f} ms ==="]
+    events = trace.events if max_events is None else trace.events[:max_events]
+    for e in events:
+        status = f" [{e.status}]" if e.status else ""
+        wall = f" ({e.wall_s * 1e3:.2f} ms)" if e.wall_s is not None else ""
+        lines.append(f"  t+{e.t_s * 1e3:9.2f}ms {e.event:<14} "
+                     f"{e.name}{status}{wall}")
+    if max_events is not None and len(trace.events) > max_events:
+        lines.append(f"  ... and {len(trace.events) - max_events} more")
     return "\n".join(lines)
 
 
@@ -55,11 +77,13 @@ def report_to_dict(report: CbvReport) -> dict:
                 "subject": i.subject,
                 "severity": i.severity.value,
                 "message": i.message,
+                "count": i.count,
                 "waived": i.waived,
                 "waive_reason": i.waive_reason,
             }
             for i in report.queue.items
         ],
+        "trace": report.trace.to_dicts(),
     }
 
 

@@ -24,6 +24,10 @@ class StageStatus(enum.Enum):
     ATTENTION = "attention"  # filtered items awaiting designer review
     FAIL = "fail"
     SKIPPED = "skipped"
+    #: The stage itself crashed (tool fault, not a design fault).  The
+    #: campaign records the traceback and keeps running whatever later
+    #: stages do not depend on this one's artifacts; ``ok()`` is False.
+    ERROR = "error"
 
 
 @dataclass

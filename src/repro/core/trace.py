@@ -1,0 +1,158 @@
+"""Structured campaign event log (JSON-lines).
+
+The paper's flow runs on "several hundred workstations"; what makes that
+operable is not that nothing fails but that every run leaves an audit
+trail the designer (or CI) can replay the next morning.  A
+:class:`CampaignTrace` is that trail: an append-only sequence of
+:class:`TraceEvent` records -- campaign/stage/battery/check start and
+stop, wall-clock, perf counters, and crash events with their tracebacks.
+
+The serialized form is JSON-lines (one event object per line), chosen so
+a trace can be streamed to disk as it happens, concatenated across
+designs, and grepped by CI without a parser.  Event kinds:
+
+================  ===========================================================
+``campaign_start``  one per :meth:`CbvCampaign.run`, ``name`` = bundle name
+``stage_start``     a flow stage began
+``stage_end``       it finished; ``status`` is the StageStatus value,
+                    ``counters`` the stage metrics, ``detail`` the
+                    traceback when the status is ``error``
+``stage_skipped``   the stage never ran (upstream artifacts missing)
+``battery_start``   the check battery began (``counters``: checks, workers)
+``check_start``     one check dispatched (re-emitted on a pool retry)
+``check_end``       it finished; ``status`` ``ok``/``crash``
+``check_crash``     a check raised, timed out, or killed its worker;
+                    ``detail`` carries the traceback
+``battery_end``     battery totals
+``campaign_end``    run totals (``counters`` include cache counters)
+================  ===========================================================
+
+Timestamps (``t_s``) are seconds since the trace's own monotonic epoch
+(:class:`repro.perf.Stopwatch`); ``started_at`` on the trace anchors that
+epoch to the wall clock for log correlation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.perf.stopwatch import Stopwatch
+
+#: Bump when the event schema changes shape incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class TraceEvent:
+    """One structured log record."""
+
+    seq: int
+    t_s: float
+    event: str
+    name: str = ""
+    status: str | None = None
+    wall_s: float | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; optional fields are omitted when empty."""
+        out: dict = {
+            "seq": self.seq,
+            "t_s": round(self.t_s, 6),
+            "event": self.event,
+            "name": self.name,
+        }
+        if self.status is not None:
+            out["status"] = self.status
+        if self.wall_s is not None:
+            out["wall_s"] = round(self.wall_s, 6)
+        if self.counters:
+            out["counters"] = {k: float(v) for k, v in self.counters.items()}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            seq=int(data["seq"]),
+            t_s=float(data["t_s"]),
+            event=str(data["event"]),
+            name=str(data.get("name", "")),
+            status=data.get("status"),
+            wall_s=data.get("wall_s"),
+            counters=dict(data.get("counters", {})),
+            detail=str(data.get("detail", "")),
+        )
+
+
+class CampaignTrace:
+    """Append-only event log for one (or several) campaign runs."""
+
+    def __init__(self) -> None:
+        import time
+
+        self.started_at = time.time()
+        self._watch = Stopwatch()
+        self.events: list[TraceEvent] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, event: str, name: str = "", status: str | None = None,
+             wall_s: float | None = None,
+             counters: dict[str, float] | None = None,
+             detail: str = "") -> TraceEvent:
+        """Append one event stamped with the trace clock."""
+        record = TraceEvent(
+            seq=len(self.events),
+            t_s=self._watch.elapsed(),
+            event=event,
+            name=name,
+            status=status,
+            wall_s=wall_s,
+            counters=dict(counters or {}),
+            detail=detail,
+        )
+        self.events.append(record)
+        return record
+
+    # -- queries -------------------------------------------------------------
+
+    def of(self, event: str) -> list[TraceEvent]:
+        """Every event of one kind, in emission order."""
+        return [e for e in self.events if e.event == event]
+
+    def crashes(self) -> list[TraceEvent]:
+        """Every crash record: check crashes and errored stages."""
+        return [e for e in self.events
+                if e.event == "check_crash"
+                or (e.event == "stage_end" and e.status == "error")]
+
+    def total_seconds(self) -> float:
+        return self.events[-1].t_s if self.events else 0.0
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line (ends with a newline when non-empty)."""
+        lines = [json.dumps(e.to_dict(), sort_keys=True) for e in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "CampaignTrace":
+        """Rebuild a trace from its JSON-lines form (CI post-processing)."""
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                trace.events.append(TraceEvent.from_dict(json.loads(line)))
+        return trace

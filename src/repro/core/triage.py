@@ -7,6 +7,12 @@ one prioritized queue; the designer disposes of each item by *waiving*
 it (with a recorded reason) or leaving it open.  A clean tapeout needs
 an empty open-violation list, exactly the project-control discipline
 section 4's introduction demands.
+
+Identical findings (same source, subject, severity, and message -- e.g.
+the same check re-reporting one net across corners) collapse into a
+single item with an occurrence ``count``, and a waiver signs off exactly
+one open item per call unless ``all_matching=True`` is explicit: a
+duplicate can never be mass-waived under somebody else's reason.
 """
 
 from __future__ import annotations
@@ -27,9 +33,16 @@ class QueueItem:
     message: str
     waived: bool = False
     waive_reason: str = ""
+    #: Identical findings collapsed into this item.
+    count: int = 1
 
     def key(self) -> tuple[str, str]:
         return (self.source, self.subject)
+
+    def identity(self) -> tuple[str, str, Severity, str]:
+        """Full dedup key: two findings with this tuple equal are the
+        same item, reported again."""
+        return (self.source, self.subject, self.severity, self.message)
 
 
 @dataclass
@@ -38,11 +51,19 @@ class DesignerQueue:
 
     items: list[QueueItem] = field(default_factory=list)
 
+    def _absorb(self, item: QueueItem) -> None:
+        """Append ``item``, collapsing exact duplicates into a count."""
+        for existing in self.items:
+            if existing.identity() == item.identity():
+                existing.count += item.count
+                return
+        self.items.append(item)
+
     def add_findings(self, findings: list[Finding]) -> None:
         for f in findings:
             if f.severity is Severity.PASS:
                 continue
-            self.items.append(QueueItem(
+            self._absorb(QueueItem(
                 source=f.check, subject=f.subject,
                 severity=f.severity, message=f.message,
             ))
@@ -50,31 +71,43 @@ class DesignerQueue:
     def add_timing(self, setup_violations: list[TimingPath],
                    races: list[RaceViolation]) -> None:
         for path in setup_violations:
-            self.items.append(QueueItem(
+            self._absorb(QueueItem(
                 source="timing.setup", subject=path.endpoint,
                 severity=Severity.VIOLATION,
                 message=f"setup slack {path.slack_s * 1e12:.1f} ps "
                         f"through {' -> '.join(path.nets[-4:])}",
             ))
         for race in races:
-            self.items.append(QueueItem(
+            self._absorb(QueueItem(
                 source="timing.race", subject=race.constraint.net,
                 severity=Severity.VIOLATION,
                 message=race.note,
             ))
 
-    def waive(self, source: str, subject: str, reason: str) -> None:
-        """Designer sign-off on one item (reason is mandatory)."""
+    def waive(self, source: str, subject: str, reason: str,
+              all_matching: bool = False) -> int:
+        """Designer sign-off (reason is mandatory); returns items waived.
+
+        Exactly one *open* item matching ``(source, subject)`` is waived
+        per call; distinct findings sharing a key each need their own
+        recorded reason.  ``all_matching=True`` waives every open match
+        at once (an explicit bulk disposition).
+        """
         if not reason.strip():
             raise ValueError("a waiver requires a recorded reason")
-        matched = False
-        for item in self.items:
-            if item.key() == (source, subject):
-                item.waived = True
-                item.waive_reason = reason
-                matched = True
-        if not matched:
+        matches = [i for i in self.items if i.key() == (source, subject)]
+        if not matches:
             raise KeyError(f"no queue item ({source!r}, {subject!r})")
+        open_matches = [i for i in matches if not i.waived]
+        if not open_matches:
+            raise KeyError(
+                f"no open queue item ({source!r}, {subject!r}): "
+                f"all {len(matches)} matching item(s) already waived")
+        targets = open_matches if all_matching else open_matches[:1]
+        for item in targets:
+            item.waived = True
+            item.waive_reason = reason
+        return len(targets)
 
     def open_items(self) -> list[QueueItem]:
         order = {Severity.VIOLATION: 0, Severity.FILTERED: 1}

@@ -16,5 +16,6 @@ verification loop fast without touching what any tool computes:
 """
 
 from repro.perf.cache import DesignCache, collect_counters
+from repro.perf.stopwatch import Stopwatch
 
-__all__ = ["DesignCache", "collect_counters"]
+__all__ = ["DesignCache", "Stopwatch", "collect_counters"]
