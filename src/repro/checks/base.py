@@ -48,6 +48,31 @@ class Finding:
     def metric(self, name: str, default: float = 0.0) -> float:
         return self.metrics.get(name, default)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (checkpoint store, CI exports)."""
+        out: dict = {
+            "check": self.check,
+            "subject": self.subject,
+            "severity": self.severity.value,
+            "message": self.message,
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            check=str(data["check"]),
+            subject=str(data["subject"]),
+            severity=Severity(data["severity"]),
+            message=str(data["message"]),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            detail=str(data.get("detail", "")),
+        )
+
 
 @dataclass
 class CheckSettings:

@@ -123,6 +123,41 @@ class BatteryResult:
     def total_seconds(self) -> float:
         return sum(self.per_check_seconds.values())
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; the checkpoint store persists exactly this.
+
+        Only the findings stream, the crash record, and the per-check
+        wall clock are primary data -- ``queues`` and ``per_check`` are
+        derived and rebuilt on load (see :meth:`from_dict`), so the
+        serialized form cannot drift out of sync with them.
+        """
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "per_check_seconds": {k: float(v)
+                                  for k, v in self.per_check_seconds.items()},
+            "crashes": dict(self.crashes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatteryResult":
+        """Rebuild a :class:`BatteryResult`, re-deriving the triage split."""
+        findings = [Finding.from_dict(d) for d in data.get("findings", [])]
+        # Seed from the per-check clock so checks that produced zero
+        # findings keep their (empty) slot, exactly as run_battery built it.
+        per_check: dict[str, list[Finding]] = {
+            str(name): [] for name in data.get("per_check_seconds", {})}
+        for f in findings:
+            per_check.setdefault(f.check, []).append(f)
+        return cls(
+            findings=findings,
+            queues=filter_findings(findings),
+            per_check=per_check,
+            per_check_seconds={k: float(v) for k, v in
+                               data.get("per_check_seconds", {}).items()},
+            crashes={str(k): str(v)
+                     for k, v in data.get("crashes", {}).items()},
+        )
+
 
 # Worker-process state for the parallel battery.  The context is shipped
 # once via the pool initializer (not per task): it dominates the payload,

@@ -15,6 +15,14 @@ its own per-check isolation (see :mod:`repro.checks.registry`), so a
 crashing or hung check degrades to one VIOLATION finding.  Everything
 the run did is logged to a structured :class:`~repro.core.trace.CampaignTrace`
 on the report.
+
+Durability is the third leg (``run(store=..., resume=True)``): each
+completed stage is checkpointed to a crash-safe
+:class:`~repro.store.ArtifactStore` under a key fingerprinting exactly
+that stage's inputs, and a resumed run replays finished stages --
+verified by checksum, corrupt blobs quarantined and re-run -- producing
+a report canonically byte-identical to a cold run.  See
+:mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -25,9 +33,9 @@ from dataclasses import dataclass, field
 
 from repro.checks.base import Check, CheckSettings
 from repro.checks.driver import make_context
-from repro.checks.registry import ALL_CHECKS, run_battery
+from repro.checks.registry import ALL_CHECKS, BatteryResult, run_battery
 from repro.core.stages import FlowStage, StageResult, StageStatus
-from repro.core.trace import CampaignTrace
+from repro.core.trace import CampaignTrace, TraceEvent
 from repro.core.triage import DesignerQueue
 from repro.equivalence.combinational import check_gate_vs_function
 from repro.extraction.caps import Parasitics
@@ -132,7 +140,8 @@ class CbvCampaign:
     def run(self, *, cache=None, parallel: int | None = None,
             checks: tuple[type[Check], ...] = ALL_CHECKS,
             timeout_s: float | None = None,
-            trace: CampaignTrace | None = None) -> CbvReport:
+            trace: CampaignTrace | None = None,
+            store=None, resume: bool = False) -> CbvReport:
         """Execute the flow; never raises for a stage or check fault.
 
         ``cache`` is a :class:`repro.perf.DesignCache`: recognition,
@@ -141,6 +150,17 @@ class CbvCampaign:
         several views of one netlist derives each artifact once.
         ``parallel`` / ``timeout_s`` / ``checks`` are handed to
         :func:`repro.checks.registry.run_battery`.
+
+        ``store`` is a :class:`repro.store.ArtifactStore`: every stage
+        that completes with a design verdict (PASS / ATTENTION / FAIL)
+        is checkpointed atomically under its input fingerprint.  With
+        ``resume=True``, stages whose checkpoint verifies are replayed
+        (result, artifacts, and trace events restored) instead of
+        re-executed; ERROR and SKIPPED outcomes, batteries that recorded
+        check crashes, and corrupt or missing blobs always re-run.
+        Checkpoint faults degrade -- a corrupt blob is quarantined and
+        logged as a ``checkpoint.corrupt`` trace event, a failed write
+        as ``checkpoint.write_error`` -- and never abort the campaign.
         """
         bundle = self.bundle
         if trace is None:
@@ -148,10 +168,52 @@ class CbvCampaign:
         report = CbvReport(bundle_name=bundle.name, trace=trace)
         art: dict[str, object] = {}
         watch = Stopwatch()
+        keys: dict[FlowStage, str] = {}
+        # Imported here, not at module top: repro.store fingerprints
+        # FlowStage-keyed inputs, so a module-level import would be
+        # circular (store -> core.stages -> core -> campaign -> store).
+        from repro.store.artifact import CorruptArtifact, StoreMiss
+        if store is not None:
+            from repro.store.checkpoint import stage_keys
+            keys = stage_keys(bundle, checks=checks, timeout_s=timeout_s)
         trace.emit("campaign_start", name=bundle.name)
 
+        def load_checkpoint(flow: FlowStage, key: str):
+            """(result, artifacts, events) from the store, or None.
+
+            Any verification failure -- including a payload that decodes
+            but has the wrong shape -- quarantines the blob, emits
+            ``checkpoint.corrupt``, and falls back to execution.
+            """
+            try:
+                payload, _meta = store.get(key)
+            except StoreMiss:
+                return None
+            except CorruptArtifact as exc:
+                trace.emit("checkpoint.corrupt", name=flow.value,
+                           detail=str(exc))
+                return None
+            result = payload.get("result") if isinstance(payload, dict) else None
+            try:
+                if (not isinstance(result, StageResult)
+                        or result.stage is not flow
+                        or not isinstance(payload.get("artifacts"), dict)):
+                    raise ValueError("payload shape is not a stage checkpoint")
+                # Validate the event slice up front so replay cannot fail
+                # halfway through its side effects.
+                for d in payload["events"]:
+                    TraceEvent.from_dict(d)
+            except Exception as exc:  # noqa: BLE001 -- degrade to re-run
+                store.invalidate(key)
+                trace.emit("checkpoint.corrupt", name=flow.value,
+                           detail=f"{key}: {type(exc).__name__}: {exc}")
+                return None
+            return result, payload["artifacts"], payload["events"]
+
         def run_stage(flow: FlowStage, fn: Callable[[], StageResult],
-                      requires: tuple[str, ...] = ()) -> None:
+                      requires: tuple[str, ...] = (),
+                      capture: Callable[[], dict | None] | None = None,
+                      replay: Callable[[dict], None] | None = None) -> None:
             missing = [key for key in requires if key not in art]
             if missing:
                 result = StageResult(
@@ -163,6 +225,38 @@ class CbvCampaign:
                 trace.emit("stage_skipped", name=flow.value,
                            status=result.status.value, detail=result.summary)
                 return
+
+            key = keys.get(flow)
+            if store is not None and resume and key is not None:
+                loaded = load_checkpoint(flow, key)
+                if loaded is not None:
+                    result, artifacts, events = loaded
+                    rerun = result.status in (StageStatus.ERROR,
+                                              StageStatus.SKIPPED)
+                    if not rerun:
+                        try:
+                            # Artifact restoration comes first: a payload
+                            # missing a key fails here, before any trace
+                            # or report mutation, and degrades to re-run.
+                            if replay is not None:
+                                replay(artifacts)
+                        except Exception as exc:  # noqa: BLE001 -- degrade
+                            store.invalidate(key)
+                            trace.emit(
+                                "checkpoint.corrupt", name=flow.value,
+                                detail=f"{key}: replay failed: "
+                                       f"{type(exc).__name__}: {exc}")
+                        else:
+                            trace.replay(events)
+                            report.stages.append(result)
+                            trace.emit("checkpoint.hit", name=flow.value,
+                                       status=result.status.value)
+                            return
+                    else:
+                        trace.emit("checkpoint.rerun", name=flow.value,
+                                   status=result.status.value)
+
+            first_event = len(trace.events)
             trace.emit("stage_start", name=flow.value)
             stage_watch = Stopwatch()
             try:
@@ -181,6 +275,27 @@ class CbvCampaign:
                 detail=("\n".join(result.details)
                         if result.status is StageStatus.ERROR else ""),
             )
+            if (store is not None and key is not None
+                    and result.status not in (StageStatus.ERROR,
+                                              StageStatus.SKIPPED)):
+                artifacts = capture() if capture is not None else {}
+                if artifacts is not None:
+                    payload = {
+                        "result": result,
+                        "artifacts": artifacts,
+                        "events": [e.to_dict()
+                                   for e in trace.events[first_event:]],
+                    }
+                    try:
+                        store.put(key, payload, meta={
+                            "design": bundle.name, "stage": flow.value,
+                            "status": result.status.value,
+                        })
+                        trace.emit("checkpoint.write", name=flow.value)
+                    except Exception as exc:  # noqa: BLE001 -- durability
+                        # is best-effort; a full disk must not fail the run
+                        trace.emit("checkpoint.write_error", name=flow.value,
+                                   detail=f"{type(exc).__name__}: {exc}")
 
         # -- schematic entry (with ERC) -----------------------------------------
         def schematic() -> StageResult:
@@ -289,6 +404,7 @@ class CbvCampaign:
             art["ctx"] = ctx
             battery = run_battery(ctx, checks=checks, parallel=parallel,
                                   timeout_s=timeout_s, trace=trace)
+            art["battery"] = battery
             stats = battery.queues.stats()
             report.queue.add_findings(battery.findings)
             status = (StageStatus.FAIL if stats.violations
@@ -344,15 +460,89 @@ class CbvCampaign:
                 ),
             )
 
-        run_stage(FlowStage.SCHEMATIC, schematic)
-        run_stage(FlowStage.RECOGNITION, recognition, requires=("flat",))
-        run_stage(FlowStage.LAYOUT, layout, requires=("flat",))
-        run_stage(FlowStage.EXTRACTION, extraction, requires=("flat",))
+        # -- checkpoint plumbing: what each stage persists (capture) and
+        #    how a stored stage re-enters the live run (replay).  Replay
+        #    handlers do their fallible work first and mutate the report/
+        #    queue last, so a bad payload degrades cleanly to re-execution.
+        def capture_schematic() -> dict:
+            return {"flat": art["flat"]}
+
+        def replay_schematic(a: dict) -> None:
+            flat = a["flat"]
+            art["flat"] = flat
+            report.flat = flat
+
+        def capture_recognition() -> dict:
+            return {"design": art["design"]}
+
+        def replay_recognition(a: dict) -> None:
+            design = a["design"]
+            art["design"] = design
+            report.design = design
+
+        def capture_layout() -> dict:
+            return {"layout_parasitics": art["layout_parasitics"],
+                    "antenna": art["antenna"]}
+
+        def replay_layout(a: dict) -> None:
+            parasitics, antenna = a["layout_parasitics"], a["antenna"]
+            art["layout_parasitics"] = parasitics
+            art["antenna"] = antenna
+
+        def capture_extraction() -> dict:
+            return {"parasitics": art["parasitics"]}
+
+        def replay_extraction(a: dict) -> None:
+            art["parasitics"] = a["parasitics"]
+
+        def capture_circuit() -> dict | None:
+            battery = art["battery"]
+            # A battery that recorded check crashes is a tool fault, not
+            # a design verdict: never checkpoint it, so the resume re-runs
+            # the checks in (hopefully) a healthier environment.
+            if battery.crashes:
+                return None
+            return {"battery": battery.to_dict()}
+
+        def replay_circuit(a: dict) -> None:
+            battery = BatteryResult.from_dict(a["battery"])
+            # Rebuild the live context: downstream timing needs it even
+            # when the battery itself is replayed from the store.
+            ctx = make_context(
+                art["flat"], bundle.technology, clock=bundle.clock,
+                clock_hints=bundle.clock_hints, parasitics=art["parasitics"],
+                antenna=art.get("antenna"), settings=bundle.check_settings,
+                design=art["design"], cache=cache,
+            )
+            art["ctx"] = ctx
+            art["battery"] = battery
+            report.queue.add_findings(battery.findings)
+
+        def capture_timing() -> dict:
+            return {"timing": report.timing}
+
+        def replay_timing(a: dict) -> None:
+            timing = a["timing"]
+            if not isinstance(timing, TimingReport):
+                raise TypeError("checkpoint payload is not a TimingReport")
+            report.timing = timing
+            report.queue.add_timing(timing.setup_violations, timing.races)
+
+        run_stage(FlowStage.SCHEMATIC, schematic,
+                  capture=capture_schematic, replay=replay_schematic)
+        run_stage(FlowStage.RECOGNITION, recognition, requires=("flat",),
+                  capture=capture_recognition, replay=replay_recognition)
+        run_stage(FlowStage.LAYOUT, layout, requires=("flat",),
+                  capture=capture_layout, replay=replay_layout)
+        run_stage(FlowStage.EXTRACTION, extraction, requires=("flat",),
+                  capture=capture_extraction, replay=replay_extraction)
         run_stage(FlowStage.LOGIC_VERIFICATION, logic, requires=("design",))
         run_stage(FlowStage.CIRCUIT_VERIFICATION, circuit,
-                  requires=("flat", "design", "parasitics"))
+                  requires=("flat", "design", "parasitics"),
+                  capture=capture_circuit, replay=replay_circuit)
         run_stage(FlowStage.TIMING_VERIFICATION, timing_stage,
-                  requires=("design", "ctx"))
+                  requires=("design", "ctx"),
+                  capture=capture_timing, replay=replay_timing)
 
         trace.emit(
             "campaign_end", name=bundle.name,
@@ -363,6 +553,7 @@ class CbvCampaign:
                  "errors": float(len(report.errored_stages())),
                  "open_items": float(len(report.queue.open_items()))},
                 cache,
+                store,
             ),
         )
         return report

@@ -1,12 +1,34 @@
-"""Text and JSON rendering of a CBV report and its campaign trace."""
+"""Text and JSON rendering of a CBV report and its campaign trace.
+
+Two JSON shapes exist:
+
+* the **full** form (default) -- everything the run recorded, including
+  wall-clock timings and cache/store effectiveness counters; what a CI
+  dashboard trends.
+* the **canonical** form (``canonical=True``) -- the run's *facts* only:
+  wall-clock fields, cache/store counters, and ``checkpoint.*`` trace
+  events are stripped.  Two runs over the same design produce
+  byte-identical canonical JSON whether they ran cold, resumed from a
+  checkpoint store, or ran the battery in parallel; this is the form the
+  resume acceptance test (and the CI kill-and-resume smoke job) compare.
+
+``report_from_dict`` is the exact inverse of ``report_to_dict`` for
+everything the dict carries: stages (all statuses, including ERROR
+tracebacks in ``details``), the designer queue with waivers, and the
+trace event log.  The heavyweight in-memory artifacts (``flat`` /
+``design`` / ``timing``) are not serialized here -- the checkpoint store
+(:mod:`repro.store`) owns those.
+"""
 
 from __future__ import annotations
 
 import json
 
+from repro.checks.base import Severity
 from repro.core.campaign import CbvReport
-from repro.core.stages import StageStatus
+from repro.core.stages import StageResult, StageStatus
 from repro.core.trace import CampaignTrace
+from repro.core.triage import QueueItem
 
 _STATUS_MARK = {
     StageStatus.PASS: "ok",
@@ -15,6 +37,25 @@ _STATUS_MARK = {
     StageStatus.SKIPPED: "--",
     StageStatus.ERROR: "ERR!",
 }
+
+#: Metric / counter keys that record how fast (or how cached) a run was,
+#: not what it concluded; the canonical form drops them.
+_NONCANONICAL_KEYS = frozenset({
+    "wall_s", "seconds", "battery_seconds",
+    # classification-memo effectiveness (process-history dependent)
+    "classify_hits", "classify_misses", "gate_hits", "gate_misses",
+})
+_NONCANONICAL_PREFIXES = ("store_", "cache_")
+
+
+def _is_canonical_key(key: str) -> bool:
+    return not (key in _NONCANONICAL_KEYS
+                or key.endswith("_seconds")
+                or key.startswith(_NONCANONICAL_PREFIXES))
+
+
+def _canonical_counters(counters: dict) -> dict:
+    return {k: v for k, v in counters.items() if _is_canonical_key(k)}
 
 
 def render_report(report: CbvReport, max_queue_items: int = 20) -> str:
@@ -56,19 +97,41 @@ def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def report_to_dict(report: CbvReport) -> dict:
-    """Machine-readable campaign summary (CI dashboards, trend lines)."""
+def _trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
+    if not canonical:
+        return trace.to_dicts()
+    out = []
+    for e in trace.events:
+        if e.event.startswith("checkpoint."):
+            continue
+        d = e.to_dict()
+        for key in ("seq", "t_s", "wall_s"):
+            d.pop(key, None)
+        if "counters" in d:
+            counters = _canonical_counters(d["counters"])
+            if counters:
+                d["counters"] = counters
+            else:
+                del d["counters"]
+        out.append(d)
+    return out
+
+
+def report_to_dict(report: CbvReport, canonical: bool = False) -> dict:
+    """Machine-readable campaign summary (CI dashboards, trend lines).
+
+    ``canonical=True`` yields the run-order-independent form: wall-clock
+    and cache/store-effectiveness values and ``checkpoint.*`` trace
+    events are stripped, so a resumed run and a cold run of the same
+    design serialize identically.
+    """
     return {
         "design": report.bundle_name,
         "ok": report.ok(),
         "tapeout_clean": report.queue.tapeout_clean(),
         "stages": [
-            {
-                "stage": s.stage.value,
-                "status": s.status.value,
-                "summary": s.summary,
-                "metrics": dict(s.metrics),
-            }
+            (dict(s.to_dict(), metrics=_canonical_counters(s.metrics))
+             if canonical else s.to_dict())
             for s in report.stages
         ],
         "queue": [
@@ -83,10 +146,39 @@ def report_to_dict(report: CbvReport) -> dict:
             }
             for i in report.queue.items
         ],
-        "trace": report.trace.to_dicts(),
+        "trace": _trace_to_dicts(report.trace, canonical),
     }
 
 
-def report_to_json(report: CbvReport, indent: int = 2) -> str:
+def report_from_dict(data: dict) -> CbvReport:
+    """Inverse of :func:`report_to_dict` (full form).
+
+    Restores every serialized field -- stages of any status (ERROR
+    tracebacks ride in ``details``), queue items with waiver state and
+    duplicate counts, and the trace event log.  ``flat`` / ``design`` /
+    ``timing`` are not part of the dict and come back ``None``; the
+    derived ``ok`` / ``tapeout_clean`` entries are recomputed from the
+    restored state rather than trusted.
+    """
+    report = CbvReport(bundle_name=str(data["design"]))
+    for s in data.get("stages", []):
+        report.stages.append(StageResult.from_dict(s))
+    for i in data.get("queue", []):
+        report.queue.items.append(QueueItem(
+            source=str(i["source"]),
+            subject=str(i["subject"]),
+            severity=Severity(i["severity"]),
+            message=str(i["message"]),
+            waived=bool(i.get("waived", False)),
+            waive_reason=str(i.get("waive_reason", "")),
+            count=int(i.get("count", 1)),
+        ))
+    report.trace = CampaignTrace.from_dicts(data.get("trace", []))
+    return report
+
+
+def report_to_json(report: CbvReport, indent: int = 2,
+                   canonical: bool = False) -> str:
     """JSON text of :func:`report_to_dict`."""
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    return json.dumps(report_to_dict(report, canonical=canonical),
+                      indent=indent, sort_keys=True)

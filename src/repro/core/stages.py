@@ -43,3 +43,25 @@ class StageResult:
     def ok(self) -> bool:
         return self.status in (StageStatus.PASS, StageStatus.ATTENTION,
                                StageStatus.SKIPPED)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (report export, checkpoint metadata)."""
+        return {
+            "stage": self.stage.value,
+            "status": self.status.value,
+            "summary": self.summary,
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "details": [str(d) for d in self.details],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageResult":
+        """Exact inverse of :meth:`to_dict` (any status, ERROR tracebacks
+        included -- they ride in ``details``)."""
+        return cls(
+            stage=FlowStage(data["stage"]),
+            status=StageStatus(data["status"]),
+            summary=str(data["summary"]),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            details=[str(d) for d in data.get("details", [])],
+        )

@@ -27,6 +27,27 @@ designs, and grepped by CI without a parser.  Event kinds:
 ``campaign_end``    run totals (``counters`` include cache counters)
 ================  ===========================================================
 
+Checkpoint/resume runs (``CbvCampaign.run(store=..., resume=True)``)
+additionally emit a ``checkpoint.*`` namespace:
+
+=======================  ===================================================
+``checkpoint.hit``         a stage was replayed from the store; its original
+                           stage-scoped events are re-emitted just before
+``checkpoint.rerun``       a checkpoint existed but its status (ERROR /
+                           SKIPPED / crashed battery) forces re-execution
+``checkpoint.corrupt``     a stored blob failed verification; it was
+                           quarantined and the stage re-runs (``detail``
+                           carries the diagnosis)
+``checkpoint.write``       a completed stage was durably checkpointed
+``checkpoint.write_error`` the checkpoint write itself failed; the
+                           campaign continues without durability for
+                           that stage
+=======================  ===================================================
+
+``checkpoint.*`` events (and wall-clock fields) are stripped by the
+canonical report form (``report_to_json(report, canonical=True)``), which
+is how a resumed run's report is byte-comparable to a cold run's.
+
 Timestamps (``t_s``) are seconds since the trace's own monotonic epoch
 (:class:`repro.perf.Stopwatch`); ``started_at`` on the trace anchors that
 epoch to the wall clock for log correlation.
@@ -77,8 +98,8 @@ class TraceEvent:
     @classmethod
     def from_dict(cls, data: dict) -> "TraceEvent":
         return cls(
-            seq=int(data["seq"]),
-            t_s=float(data["t_s"]),
+            seq=int(data.get("seq", 0)),
+            t_s=float(data.get("t_s", 0.0)),
             event=str(data["event"]),
             name=str(data.get("name", "")),
             status=data.get("status"),
@@ -118,6 +139,19 @@ class CampaignTrace:
         self.events.append(record)
         return record
 
+    def replay(self, dicts: list[dict]) -> None:
+        """Re-emit previously recorded events (checkpoint replay).
+
+        Each event keeps its kind, name, status, counters, detail, and
+        original ``wall_s``, but is restamped with this trace's own
+        sequence numbers and clock -- a resumed run's event *stream*
+        matches a cold run's even though its timestamps are its own.
+        """
+        parsed = [TraceEvent.from_dict(data) for data in dicts]
+        for e in parsed:
+            self.emit(e.event, name=e.name, status=e.status,
+                      wall_s=e.wall_s, counters=e.counters, detail=e.detail)
+
     # -- queries -------------------------------------------------------------
 
     def of(self, event: str) -> list[TraceEvent]:
@@ -156,3 +190,21 @@ class CampaignTrace:
             if line:
                 trace.events.append(TraceEvent.from_dict(json.loads(line)))
         return trace
+
+    @classmethod
+    def from_dicts(cls, dicts: list[dict]) -> "CampaignTrace":
+        """Rebuild a trace from ``to_dicts`` output (report round-trip)."""
+        trace = cls()
+        trace.events = [TraceEvent.from_dict(d) for d in dicts]
+        return trace
+
+    def __eq__(self, other) -> bool:
+        """Two traces are equal when they recorded the same events.
+
+        The epoch anchors (``started_at``, the monotonic stopwatch) are
+        identity-of-run, not content, and are excluded -- this is what
+        makes a deserialized trace compare equal to its source.
+        """
+        if not isinstance(other, CampaignTrace):
+            return NotImplemented
+        return self.events == other.events

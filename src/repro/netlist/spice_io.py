@@ -51,16 +51,22 @@ def _polarity_of(model: str) -> str:
     raise ValueError(f"cannot infer polarity from model name {model!r}")
 
 
-def _join_continuations(lines: Iterable[str]) -> list[str]:
-    joined: list[str] = []
-    for raw in lines:
+def _join_continuations(lines: Iterable[str]) -> list[tuple[int, str]]:
+    """Joined statements with the 1-based line number each one starts on.
+
+    A ``+`` continuation keeps its statement's original line number, so
+    every diagnostic points at where the statement *begins* in the deck.
+    """
+    joined: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.rstrip()
         if not line or line.lstrip().startswith("*"):
             continue
         if line.startswith("+") and joined:
-            joined[-1] += " " + line[1:].strip()
+            first, text = joined[-1]
+            joined[-1] = (first, text + " " + line[1:].strip())
         else:
-            joined.append(line.strip())
+            joined.append((lineno, line.strip()))
     return joined
 
 
@@ -70,65 +76,95 @@ def parse_spice(text: str, top: str | None = None) -> Cell:
     If ``top`` is not given, the last ``.subckt`` defined is the top
     unless top-level (unscoped) elements exist, in which case they form
     an implicit top cell named ``main``.
+
+    Every malformed-input ``ValueError`` names the 1-based source line
+    the offending statement starts on (``"line 412: ..."``), so a fault
+    in a large deck can be located without bisecting the file.
     """
     lines = _join_continuations(text.splitlines())
     cells: dict[str, Cell] = {}
-    pending_instances: list[tuple[Cell, str, str, list[str]]] = []
+    pending_instances: list[tuple[int, Cell, str, str, list[str]]] = []
     implicit_top = Cell(name="main")
     current: Cell | None = None
+    current_line = 0  # where the open .subckt began
 
-    for line in lines:
+    def fail(lineno: int, message: str):
+        raise ValueError(f"line {lineno}: {message}")
+
+    for lineno, line in lines:
         tokens = line.split()
         head = tokens[0].lower()
         target = current if current is not None else implicit_top
 
-        if head == ".subckt":
-            if current is not None:
-                raise ValueError("nested .subckt definitions are not supported")
-            current = Cell(name=tokens[1], ports=tokens[2:])
-        elif head == ".ends":
-            if current is None:
-                raise ValueError(".ends without .subckt")
-            cells[current.name] = current
-            current = None
-        elif head == ".end":
-            break
-        elif head.startswith("m"):
-            if len(tokens) < 6:
-                raise ValueError(f"malformed MOSFET line: {line!r}")
-            name, drain, gate, source, _body, model = tokens[:6]
-            params = _parse_params(tokens[6:])
-            target.add(Transistor(
-                name=name[1:] if name[0] in "mM" else name,
-                polarity=_polarity_of(model),
-                gate=gate, drain=drain, source=source,
-                w_um=params.get("w", 1e-6) * 1e6,
-                l_um=params.get("l", 0.0) * 1e6,
-            ))
-        elif head.startswith("c"):
-            target.add(Capacitor(tokens[0][1:], tokens[1], tokens[2], parse_value(tokens[3])))
-        elif head.startswith("r"):
-            target.add(Resistor(tokens[0][1:], tokens[1], tokens[2], parse_value(tokens[3])))
-        elif head.startswith("x"):
-            # X<name> net1 net2 ... subckt  -- resolve after all cells parsed.
-            pending_instances.append((target, tokens[0][1:], tokens[-1], tokens[1:-1]))
-        elif head.startswith("."):
-            continue  # ignore other control cards
-        else:
-            raise ValueError(f"unrecognized SPICE line: {line!r}")
+        try:
+            if head == ".subckt":
+                if current is not None:
+                    fail(lineno, f"nested .subckt definitions are not "
+                                 f"supported (.subckt {current.name!r} "
+                                 f"opened on line {current_line} is still "
+                                 f"open)")
+                if len(tokens) < 2:
+                    fail(lineno, ".subckt needs a name")
+                current = Cell(name=tokens[1], ports=tokens[2:])
+                current_line = lineno
+            elif head == ".ends":
+                if current is None:
+                    fail(lineno, ".ends without .subckt")
+                cells[current.name] = current
+                current = None
+            elif head == ".end":
+                break
+            elif head.startswith("m"):
+                if len(tokens) < 6:
+                    fail(lineno, f"malformed MOSFET line: {line!r}")
+                name, drain, gate, source, _body, model = tokens[:6]
+                params = _parse_params(tokens[6:])
+                target.add(Transistor(
+                    name=name[1:] if name[0] in "mM" else name,
+                    polarity=_polarity_of(model),
+                    gate=gate, drain=drain, source=source,
+                    w_um=params.get("w", 1e-6) * 1e6,
+                    l_um=params.get("l", 0.0) * 1e6,
+                ))
+            elif head.startswith("c"):
+                if len(tokens) < 4:
+                    fail(lineno, f"malformed capacitor line: {line!r}")
+                target.add(Capacitor(tokens[0][1:], tokens[1], tokens[2],
+                                     parse_value(tokens[3])))
+            elif head.startswith("r"):
+                if len(tokens) < 4:
+                    fail(lineno, f"malformed resistor line: {line!r}")
+                target.add(Resistor(tokens[0][1:], tokens[1], tokens[2],
+                                    parse_value(tokens[3])))
+            elif head.startswith("x"):
+                # X<name> net1 net2 ... subckt -- resolve once all cells
+                # are parsed; remember the line for late diagnostics.
+                pending_instances.append(
+                    (lineno, target, tokens[0][1:], tokens[-1], tokens[1:-1]))
+            elif head.startswith("."):
+                continue  # ignore other control cards
+            else:
+                fail(lineno, f"unrecognized SPICE line: {line!r}")
+        except ValueError as exc:
+            # Faults raised below this loop's line context (value suffix
+            # parsing, polarity inference, duplicate element names) get
+            # the statement's line number prepended exactly once.
+            if str(exc).startswith("line "):
+                raise
+            raise ValueError(f"line {lineno}: {exc}") from None
 
     if current is not None:
-        raise ValueError(f".subckt {current.name!r} never closed with .ends")
+        raise ValueError(f"line {current_line}: .subckt {current.name!r} "
+                         f"never closed with .ends")
 
-    for owner, iname, cname, nets in pending_instances:
+    for lineno, owner, iname, cname, nets in pending_instances:
         child = cells.get(cname)
         if child is None:
-            raise ValueError(f"instance {iname!r} references unknown subckt {cname!r}")
+            fail(lineno, f"instance {iname!r} references unknown "
+                         f"subckt {cname!r}")
         if len(nets) != len(child.ports):
-            raise ValueError(
-                f"instance {iname!r} of {cname!r}: {len(nets)} nets for "
-                f"{len(child.ports)} ports"
-            )
+            fail(lineno, f"instance {iname!r} of {cname!r}: {len(nets)} "
+                         f"nets for {len(child.ports)} ports")
         owner.instantiate(iname, child, **dict(zip(child.ports, nets)))
 
     if implicit_top.transistors or implicit_top.capacitors or implicit_top.resistors \

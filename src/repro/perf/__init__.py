@@ -10,9 +10,12 @@ verification loop fast without touching what any tool computes:
   memo, so a session verifying one design with many tools derives each
   artifact once;
 * the perf counters every hot path maintains (see
-  ``SwitchSimulator.counters``, ``RecognizedDesign.perf``, and
-  ``BatteryResult.per_check_seconds``) are aggregated for reports by
-  :func:`collect_counters`.
+  ``SwitchSimulator.counters``, ``RecognizedDesign.perf``,
+  ``BatteryResult.per_check_seconds``, and the checkpoint store's
+  ``ArtifactStore.counters`` -- ``store_hits`` / ``store_misses`` /
+  ``store_writes`` / ``store_corrupt``) are aggregated for reports by
+  :func:`collect_counters`; a resumed campaign's ``campaign_end`` trace
+  event carries the store counters alongside the cache's.
 """
 
 from repro.perf.cache import DesignCache, collect_counters

@@ -1,0 +1,58 @@
+"""Durable checkpoint/resume layer for the CBV campaign.
+
+The paper's flow ran "continuously for several months" over a whole
+chip.  PR 3 made a run survive its own tools crashing; this package
+makes it survive the *process* dying: every completed flow stage is
+serialized to a crash-safe on-disk :class:`ArtifactStore` under a key
+derived from a canonical design fingerprint, and
+``CbvCampaign.run(store=..., resume=True)`` replays finished stages
+instead of recomputing them.
+
+* :mod:`repro.store.artifact` -- atomic (tmp + fsync + rename),
+  checksum-verified blob store; corrupt blobs are quarantined, never
+  trusted.
+* :mod:`repro.store.fingerprint` -- canonical digests of netlist
+  topology, device geometry, technology/corner parameters, and
+  behavioural inputs.
+* :mod:`repro.store.checkpoint` -- the stage -> inputs dependency map
+  and per-stage key derivation, so an edit invalidates exactly the
+  stages whose inputs changed.
+"""
+
+from repro.store.artifact import (
+    ArtifactStore,
+    CorruptArtifact,
+    StoreError,
+    StoreMiss,
+)
+from repro.store.checkpoint import (
+    STAGE_INPUTS,
+    DesignFingerprint,
+    design_fingerprint,
+    stage_key,
+    stage_keys,
+)
+from repro.store.fingerprint import (
+    FINGERPRINT_SCHEMA_VERSION,
+    fingerprint_callable,
+    fingerprint_cell_geometry,
+    fingerprint_cell_topology,
+    fingerprint_value,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CorruptArtifact",
+    "StoreError",
+    "StoreMiss",
+    "DesignFingerprint",
+    "design_fingerprint",
+    "stage_key",
+    "stage_keys",
+    "STAGE_INPUTS",
+    "FINGERPRINT_SCHEMA_VERSION",
+    "fingerprint_callable",
+    "fingerprint_cell_geometry",
+    "fingerprint_cell_topology",
+    "fingerprint_value",
+]

@@ -1,0 +1,265 @@
+"""Crash-safe on-disk artifact store.
+
+The paper's CBV flow ran continuously for months over a whole chip; a
+run at that scale must survive a SIGKILL, an OOM, or a machine reboot
+without redoing finished work.  :class:`ArtifactStore` is the durable
+half of that discipline: a flat, content-checksummed blob store whose
+writes are atomic, so the store on disk is *always* a set of complete,
+verified checkpoints -- never a torn one.
+
+Write path (``put``):
+
+1. serialize the payload (pickle) and compute its SHA-256;
+2. write header + payload to a temporary file in the store's own
+   ``tmp/`` directory (same filesystem as the final home);
+3. ``flush`` + ``fsync`` the file, then ``os.replace`` it into place
+   (atomic on POSIX and NTFS), then best-effort ``fsync`` the directory.
+
+A crash before the rename leaves only a stale temp file (cleaned up
+lazily); a crash after leaves a fully durable blob.  There is no state
+in between.
+
+Read path (``get``) trusts nothing: the header must parse, the declared
+payload length must match, the SHA-256 must match, and the payload must
+deserialize.  Any failure *quarantines* the blob (moved aside into
+``quarantine/`` for post-mortem, never deleted) and raises
+:class:`CorruptArtifact`; the caller degrades to recomputation.  A
+missing key raises :class:`StoreMiss`.
+
+Blob format: one JSON header line (schema, key, sha256, size, caller
+metadata) terminated by ``\\n``, then the raw payload bytes.  Payloads
+are pickles of this repo's own dataclasses -- the store is a private
+cache directory, not an interchange format; do not point it at
+untrusted data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from pathlib import Path
+
+#: Bump when the blob envelope changes incompatibly.
+STORE_FORMAT = "repro-store-v1"
+
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+class StoreError(Exception):
+    """Base class for artifact-store failures."""
+
+
+class StoreMiss(StoreError):
+    """No blob exists under the requested key."""
+
+
+class CorruptArtifact(StoreError):
+    """A blob existed but failed verification; it has been quarantined."""
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync (makes the rename itself durable)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class ArtifactStore:
+    """Content-checksummed blob store with atomic writes.
+
+    Parameters
+    ----------
+    root:
+        Directory to hold the store (created if absent).  Layout:
+        ``objects/<key[:2]>/<key>.ckpt`` blobs, ``quarantine/`` for
+        blobs that failed verification, ``tmp/`` for in-flight writes.
+
+    Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt``) are
+    exposed through :meth:`counters` in the shape
+    :func:`repro.perf.collect_counters` merges into campaign metrics.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.tmp_dir = self.root / "tmp"
+        for d in (self.objects, self.quarantine_dir, self.tmp_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid store key {key!r}")
+        return self.objects / key[:2] / f"{key}.ckpt"
+
+    def has(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> list[str]:
+        """Every stored key (sorted)."""
+        return sorted(p.stem for p in self.objects.glob("*/*.ckpt"))
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, key: str, payload, meta: dict | None = None) -> Path:
+        """Atomically persist ``payload`` under ``key`` (overwrites)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "size": len(blob),
+            "meta": dict(meta or {}),
+        }
+        head = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+        fd, tmp_name = tempfile.mkstemp(prefix=f"{key[:8]}.",
+                                        suffix=".tmp", dir=self.tmp_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(head)
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(path.parent)
+        self.writes += 1
+        return path
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, key: str):
+        """Load ``(payload, meta)``; verify before trusting.
+
+        Raises :class:`StoreMiss` when absent and :class:`CorruptArtifact`
+        (after quarantining the blob) when any verification step fails.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            raise StoreMiss(f"no artifact stored under {key}") from None
+        try:
+            payload, meta = self._decode(key, raw)
+        except CorruptArtifact as exc:
+            self._quarantine(path)
+            self.corrupt += 1
+            raise exc
+        self.hits += 1
+        return payload, meta
+
+    def _decode(self, key: str, raw: bytes):
+        newline = raw.find(b"\n")
+        if newline < 0:
+            raise CorruptArtifact(f"{key}: no header line (truncated blob)")
+        try:
+            header = json.loads(raw[:newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptArtifact(f"{key}: unreadable header: {exc}") from None
+        if header.get("format") != STORE_FORMAT:
+            raise CorruptArtifact(
+                f"{key}: unknown blob format {header.get('format')!r}")
+        if header.get("key") != key:
+            raise CorruptArtifact(
+                f"{key}: blob filed under foreign key {header.get('key')!r}")
+        blob = raw[newline + 1:]
+        if len(blob) != header.get("size"):
+            raise CorruptArtifact(
+                f"{key}: payload is {len(blob)} bytes, header promised "
+                f"{header.get('size')} (truncated or padded)")
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header.get("sha256"):
+            raise CorruptArtifact(f"{key}: checksum mismatch "
+                                  f"({digest[:12]} != declared "
+                                  f"{str(header.get('sha256'))[:12]})")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 -- any unpickle fault
+            raise CorruptArtifact(
+                f"{key}: payload failed to deserialize: "
+                f"{type(exc).__name__}: {exc}") from None
+        return payload, header.get("meta", {})
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key: str, reason: str = "") -> bool:
+        """Quarantine ``key``'s blob (e.g. semantically wrong payload).
+
+        Returns True when a blob existed.  The counter treats this as a
+        corruption, since the caller is declaring the entry unusable.
+        """
+        path = self._path(key)
+        if not path.exists():
+            return False
+        self._quarantine(path)
+        self.corrupt += 1
+        return True
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad blob aside (kept for post-mortem, never reloaded)."""
+        target = self.quarantine_dir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{path.stem}.{n}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear_tmp(self) -> int:
+        """Remove stale in-flight files left by crashed writers."""
+        removed = 0
+        for p in self.tmp_dir.glob("*.tmp"):
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_writes": self.writes,
+            "store_corrupt": self.corrupt,
+        }

@@ -1,0 +1,126 @@
+"""Per-stage checkpoint keys: fingerprint exactly what each stage reads.
+
+A :class:`CbvCampaign <repro.core.campaign.CbvCampaign>` run over a
+:class:`DesignBundle <repro.core.campaign.DesignBundle>` consumes a
+handful of independent inputs -- netlist topology, device geometry,
+technology/corner parameters, the clock, check settings, pessimism
+knobs, RTL intent.  Each flow stage reads a *subset*, and its checkpoint
+key is a digest over that subset only (plus the schema version and the
+stage name), so:
+
+* resizing a device invalidates every electrical stage but nothing in
+  the store for other designs;
+* tightening :class:`PessimismSettings` re-runs timing verification
+  alone -- recognition, extraction, and the check battery replay;
+* changing a check threshold re-runs the battery alone;
+* editing an RTL intent lambda re-proves logic equivalence alone.
+
+``STAGE_INPUTS`` is the single source of truth for that dependency map
+(documented in DESIGN.md as part of the checkpoint contract).  Being
+conservative is always safe -- listing an extra component merely forfeits
+a replay -- while omitting a real input would replay stale results, so
+when in doubt a component is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stages import FlowStage
+from repro.process.corners import Corner, corner_spec
+from repro.store.fingerprint import (
+    FINGERPRINT_SCHEMA_VERSION,
+    _digest,
+    fingerprint_callable,
+    fingerprint_cell_geometry,
+    fingerprint_cell_topology,
+    fingerprint_value,
+)
+
+
+@dataclass
+class DesignFingerprint:
+    """Component digests of one bundle's inputs.
+
+    ``components`` maps component name -> hex digest; ``combined`` is
+    the digest of the whole map (the design's identity for reporting).
+    """
+
+    components: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def combined(self) -> str:
+        return _digest(["combined", FINGERPRINT_SCHEMA_VERSION,
+                        sorted(self.components.items())])
+
+    def subset(self, names: tuple[str, ...]) -> dict[str, str]:
+        return {name: self.components[name] for name in names}
+
+
+#: Which fingerprint components each flow stage's results depend on.
+#: ``circuit_verification`` additionally keys on the battery invocation
+#: (check list and timeout) -- see :func:`stage_key`.
+STAGE_INPUTS: dict[FlowStage, tuple[str, ...]] = {
+    FlowStage.SCHEMATIC: ("topology", "geometry"),
+    FlowStage.RECOGNITION: ("topology", "geometry", "clock_hints"),
+    FlowStage.LAYOUT: ("topology", "geometry", "technology", "mode"),
+    FlowStage.EXTRACTION: ("topology", "geometry", "technology", "mode"),
+    FlowStage.LOGIC_VERIFICATION: (
+        "topology", "geometry", "clock_hints", "rtl"),
+    FlowStage.CIRCUIT_VERIFICATION: (
+        "topology", "geometry", "technology", "mode", "clock",
+        "clock_hints", "settings"),
+    FlowStage.TIMING_VERIFICATION: (
+        "topology", "geometry", "technology", "mode", "clock",
+        "clock_hints", "pessimism"),
+}
+
+
+def design_fingerprint(bundle) -> DesignFingerprint:
+    """Fingerprint every input component of a :class:`DesignBundle`."""
+    rtl = sorted(
+        (out, fingerprint_callable(fn),
+         list(bundle.rtl_inputs.get(out, ())))
+        for out, fn in bundle.rtl_intent.items())
+    corners = {c.value: fingerprint_value(corner_spec(c)) for c in Corner}
+    components = {
+        "topology": fingerprint_cell_topology(bundle.cell),
+        "geometry": fingerprint_cell_geometry(bundle.cell),
+        "technology": fingerprint_value(
+            [bundle.technology, sorted(corners.items())]),
+        "clock": fingerprint_value(bundle.clock),
+        "clock_hints": fingerprint_value(list(bundle.clock_hints)),
+        "rtl": _digest(["rtl", rtl]),
+        "mode": fingerprint_value(
+            [bool(bundle.use_layout), bundle.parasitics]),
+        "settings": fingerprint_value(bundle.check_settings),
+        "pessimism": fingerprint_value(
+            [bundle.pessimism, sorted(bundle.false_through)]),
+    }
+    return DesignFingerprint(components=components)
+
+
+def stage_key(fp: DesignFingerprint, stage: FlowStage, *,
+              checks: tuple = (), timeout_s: float | None = None) -> str:
+    """The store key for one stage's checkpoint.
+
+    ``checks`` / ``timeout_s`` are the battery invocation parameters;
+    they key only the circuit-verification stage (a different check
+    list or budget may legitimately change its findings).  Worker count
+    is deliberately excluded: the battery guarantees parallel output is
+    byte-identical to serial.
+    """
+    parts: list = ["stage", FINGERPRINT_SCHEMA_VERSION, stage.value,
+                   sorted(fp.subset(STAGE_INPUTS[stage]).items())]
+    if stage is FlowStage.CIRCUIT_VERIFICATION:
+        parts.append([[c.__module__, c.__qualname__, c.name] for c in checks])
+        parts.append(repr(timeout_s))
+    return _digest(parts)
+
+
+def stage_keys(bundle, *, checks: tuple = (),
+               timeout_s: float | None = None) -> dict[FlowStage, str]:
+    """Every stage's checkpoint key for one bundle + battery invocation."""
+    fp = design_fingerprint(bundle)
+    return {stage: stage_key(fp, stage, checks=checks, timeout_s=timeout_s)
+            for stage in STAGE_INPUTS}

@@ -1,0 +1,77 @@
+"""Finding / BatteryResult serialization round-trips (checkpoint store)."""
+
+import pytest
+
+from repro.checks.base import Finding, Severity
+from repro.checks.driver import make_context
+from repro.checks.registry import ALL_CHECKS, BatteryResult, run_battery
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.process.technology import strongarm_technology
+
+
+def sample_findings():
+    return [
+        Finding(check="beta_ratio", subject="inv1", severity=Severity.PASS,
+                message="ratio fine", metrics={"beta": 2.1}),
+        Finding(check="beta_ratio", subject="inv2",
+                severity=Severity.VIOLATION, message="ratio out of band",
+                metrics={"beta": 9.0, "limit": 4.0}),
+        Finding(check="charge_share", subject="dyn3",
+                severity=Severity.FILTERED, message="below threshold"),
+        Finding(check="latch", subject="q0", severity=Severity.VIOLATION,
+                message="check crashed (exception): boom",
+                metrics={"crash": 1.0},
+                detail="Traceback (most recent call last):\n  boom\n"),
+    ]
+
+
+@pytest.mark.parametrize("finding", sample_findings())
+def test_finding_roundtrip_exact(finding):
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_finding_to_dict_omits_empty_detail():
+    plain = sample_findings()[0]
+    assert "detail" not in plain.to_dict()
+    crash = sample_findings()[3]
+    assert crash.to_dict()["detail"].startswith("Traceback")
+
+
+def test_battery_result_roundtrip_rederives_consistently():
+    findings = sample_findings()
+    src = BatteryResult(
+        findings=findings,
+        queues=None,  # deliberately wrong: from_dict must not trust it
+        per_check={},
+        per_check_seconds={"beta_ratio": 0.25, "charge_share": 0.5,
+                           "latch": 0.125, "edge_rate": 0.0625},
+        crashes={"latch": "Traceback ...\nboom"},
+    )
+    back = BatteryResult.from_dict(src.to_dict())
+    assert back.findings == findings
+    assert back.per_check_seconds == src.per_check_seconds
+    assert back.crashes == src.crashes
+    # derived views rebuilt: triage split and per-check slots, including
+    # an empty slot for the check that found nothing
+    assert back.of_check("edge_rate") == []
+    assert back.of_check("beta_ratio") == findings[:2]
+    assert [f.subject for f in back.queues.violations] \
+        == [f.subject for f in findings if f.severity is Severity.VIOLATION]
+    # and the round trip is a fixpoint at the dict level
+    assert BatteryResult.from_dict(back.to_dict()).to_dict() == back.to_dict()
+
+
+def test_live_battery_roundtrips():
+    b = CellBuilder("dut", ports=["a", "bb", "y", "q", "clk", "clk_b"])
+    b.nand(["a", "bb"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    ctx = make_context(flatten(b.build()), strongarm_technology(),
+                       clock_hints=("clk", "clk_b"))
+    result = run_battery(ctx, checks=ALL_CHECKS)
+    back = BatteryResult.from_dict(result.to_dict())
+    assert back.findings == result.findings
+    assert sorted(back.per_check) == sorted(result.per_check)
+    for name in result.per_check:
+        assert back.per_check[name] == result.per_check[name]
+    assert back.to_dict() == result.to_dict()

@@ -33,7 +33,8 @@ def test_report_dict_shape():
     assert "timing_verification" in stages
     assert "circuit_verification" in stages
     for stage in data["stages"]:
-        assert set(stage) == {"stage", "status", "summary", "metrics"}
+        assert set(stage) == {"stage", "status", "summary", "metrics",
+                              "details"}
 
 
 def test_report_json_round_trips():

@@ -1,0 +1,134 @@
+"""``report_from_dict`` is the exact inverse of ``report_to_dict``.
+
+Checkpoint/resume leans on this: a replayed stage's result is exactly
+what the cold run would have produced, so the serialized report must
+survive a dict round trip for *every* stage status -- including ERROR
+stages whose tracebacks ride in ``details`` and in trace-event
+``detail`` fields.
+"""
+
+import json
+
+import pytest
+
+from repro.checks.base import Severity
+from repro.core.campaign import CbvCampaign, CbvReport, DesignBundle
+from repro.core.report import report_from_dict, report_to_dict, report_to_json
+from repro.core.stages import FlowStage, StageResult, StageStatus
+from repro.core.trace import TraceEvent
+from repro.core.triage import QueueItem
+from repro.netlist.builder import CellBuilder
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+FAKE_TRACEBACK = (
+    "Traceback (most recent call last):\n"
+    '  File "checks/driver.py", line 99, in run\n'
+    "    raise RuntimeError('extractor died')\n"
+    "RuntimeError: extractor died\n"
+)
+
+
+def synthetic_report(status: StageStatus) -> CbvReport:
+    """A hand-built report exercising one stage status plus the common
+    trimmings (metrics, details, queue waivers, trace events).
+
+    Trace timestamps are pre-rounded to 6 decimals because ``to_dict``
+    rounds them; the inverse can only be exact for values the forward
+    direction did not truncate.
+    """
+    report = CbvReport(bundle_name=f"synth-{status.value}")
+    detail = [FAKE_TRACEBACK] if status is StageStatus.ERROR else ["note a", "note b"]
+    report.stages.append(StageResult(
+        stage=FlowStage.SCHEMATIC, status=StageStatus.PASS,
+        summary="flattened", metrics={"nets": 12.0, "transistors": 8.0},
+    ))
+    report.stages.append(StageResult(
+        stage=FlowStage.CIRCUIT_VERIFICATION, status=status,
+        summary=f"synthetic {status.value}",
+        metrics={"findings": 3.0}, details=detail,
+    ))
+    report.queue.items.append(QueueItem(
+        source="beta_ratio", subject="top/inv1", severity=Severity.VIOLATION,
+        message="ratio out of band", count=2,
+    ))
+    report.queue.items.append(QueueItem(
+        source="charge_share", subject="top/dyn3", severity=Severity.FILTERED,
+        message="shared node below threshold", waived=True,
+        waive_reason="signed off 1997-03-01", count=1,
+    ))
+    events = [
+        TraceEvent(seq=0, t_s=0.0, event="campaign_start",
+                   name=report.bundle_name),
+        TraceEvent(seq=1, t_s=0.00125, event="stage_end", name="schematic",
+                   status="pass", wall_s=0.001, counters={"nets": 12.0}),
+        TraceEvent(seq=2, t_s=0.002,
+                   event="stage_end", name="circuit_verification",
+                   status=status.value, wall_s=0.0005,
+                   detail=FAKE_TRACEBACK if status is StageStatus.ERROR else ""),
+        TraceEvent(seq=3, t_s=0.002375, event="campaign_end",
+                   name=report.bundle_name,
+                   counters={"stages": 2.0, "cache_hits": 5.0}),
+    ]
+    report.trace.events = events
+    return report
+
+
+@pytest.mark.parametrize("status", list(StageStatus))
+def test_roundtrip_exact_for_every_status(status):
+    report = synthetic_report(status)
+    restored = report_from_dict(report_to_dict(report))
+    assert restored == report
+    # and the JSON text re-serializes identically
+    assert report_to_json(restored) == report_to_json(report)
+
+
+def test_roundtrip_restores_error_traceback():
+    report = synthetic_report(StageStatus.ERROR)
+    restored = report_from_dict(report_to_dict(report))
+    stage = restored.stage(FlowStage.CIRCUIT_VERIFICATION)
+    assert stage.status is StageStatus.ERROR
+    assert FAKE_TRACEBACK in stage.details
+    end = [e for e in restored.trace.events if e.event == "stage_end"
+           and e.name == "circuit_verification"]
+    assert end and end[0].detail == FAKE_TRACEBACK
+
+
+def test_roundtrip_recomputes_rather_than_trusts_verdicts():
+    report = synthetic_report(StageStatus.FAIL)
+    data = report_to_dict(report)
+    data["ok"] = True            # tampered
+    data["tapeout_clean"] = True
+    restored = report_from_dict(data)
+    assert restored.ok() is False
+    assert restored.queue.tapeout_clean() is False
+
+
+def test_real_campaign_report_roundtrips_at_dict_level():
+    """A live report's timestamps are not pre-rounded, so the guarantee
+    there is dict-level: to_dict(from_dict(to_dict(r))) == to_dict(r)."""
+    b = CellBuilder("rt", ports=["a", "bb", "y", "q", "clk", "clk_b"])
+    b.nand(["a", "bb"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    bundle = DesignBundle(
+        name="rt", cell=b.build(), technology=strongarm_technology(),
+        clock=TwoPhaseClock(period_s=6.25e-9), clock_hints=("clk", "clk_b"),
+        use_layout=False,
+    )
+    report = CbvCampaign(bundle).run()
+    data = report_to_dict(report)
+    again = report_to_dict(report_from_dict(data))
+    assert json.dumps(again, sort_keys=True) == json.dumps(data, sort_keys=True)
+
+    canon = report_to_dict(report, canonical=True)
+    canon_again = report_to_dict(report_from_dict(canon), canonical=True)
+    assert json.dumps(canon_again, sort_keys=True) == \
+        json.dumps(canon, sort_keys=True)
+
+
+def test_flat_design_timing_come_back_none():
+    report = synthetic_report(StageStatus.PASS)
+    restored = report_from_dict(report_to_dict(report))
+    assert restored.flat is None
+    assert restored.design is None
+    assert restored.timing is None

@@ -77,6 +77,62 @@ def test_parse_errors():
         parse_spice("Xu1 a b nowhere\n")  # unknown subckt
 
 
+def test_parse_errors_carry_line_numbers():
+    deck = "* header comment\n\nMok y a gnd gnd nmos W=1u L=1u\nMbad y a gnd\n"
+    with pytest.raises(ValueError, match=r"^line 4: malformed MOSFET"):
+        parse_spice(deck)
+
+    with pytest.raises(ValueError, match=r"^line 2: unrecognized SPICE"):
+        parse_spice("* ok\nQx a b c model\n")
+
+    # the unclosed-.subckt diagnostic points at the .subckt line itself
+    with pytest.raises(ValueError, match=r"^line 3: \.subckt 'a' never closed"):
+        parse_spice("* one\n* two\n.subckt a p\nMn y g gnd gnd nmos W=1u\n")
+
+    # unknown-subckt resolution happens after the whole deck is read, but
+    # still names the instance's source line
+    deck = (".subckt inv a y\nMn y a gnd gnd nmos W=1u\n.ends\n"
+            "Xu1 a b nowhere\n")
+    with pytest.raises(ValueError, match=r"^line 4: instance 'u1'"):
+        parse_spice(deck)
+
+    # port-count mismatch names the X line too
+    deck = (".subckt inv a y\nMn y a gnd gnd nmos W=1u\n.ends\n"
+            "Xu1 a b c inv\n")
+    with pytest.raises(ValueError, match=r"^line 4: instance 'u1' of 'inv'"):
+        parse_spice(deck)
+
+
+def test_parse_error_line_number_points_at_statement_start():
+    # a fault inside a continuation is charged to the line the statement
+    # started on
+    deck = "* c\nMn1 y a gnd gnd nmos\n+ W=banana L=1u\n"
+    with pytest.raises(ValueError, match=r"^line 2: cannot parse SPICE"):
+        parse_spice(deck)
+
+
+def test_parse_error_nested_subckt_names_both_lines():
+    deck = ".subckt outer a\n.subckt inner b\n"
+    with pytest.raises(ValueError, match=r"^line 2: nested .* line 1"):
+        parse_spice(deck)
+
+
+def test_parse_error_bad_element_value_has_line():
+    with pytest.raises(ValueError, match=r"^line 1: cannot parse SPICE"):
+        parse_spice("Cload y gnd banana\n")
+    with pytest.raises(ValueError, match=r"^line 1: malformed capacitor"):
+        parse_spice("Cload y gnd\n")
+    with pytest.raises(ValueError, match=r"^line 1: malformed resistor"):
+        parse_spice("Rw y gnd\n")
+    with pytest.raises(ValueError, match=r"^line 2: \.ends without"):
+        parse_spice("* nothing open\n.ends\n")
+    with pytest.raises(ValueError, match=r"^line 1: cannot infer polarity"):
+        parse_spice("Mn1 y a gnd gnd zzz W=1u L=1u\n")
+    # duplicate element names surface with the second definition's line
+    with pytest.raises(ValueError, match=r"^line 2: .*duplicate"):
+        parse_spice("Mn1 y a gnd gnd nmos W=1u\nMn1 y a gnd gnd nmos W=1u\n")
+
+
 def test_roundtrip_write_then_parse():
     b = CellBuilder("nand2", ports=["a", "b", "y"])
     b.nand(["a", "b"], "y", wn=5.0, wp=3.0)
