@@ -17,50 +17,16 @@ import json
 import pathlib
 import sys
 
-from repro.core.campaign import CbvCampaign, DesignBundle
+from repro.core.campaign import CbvCampaign
 from repro.core.report import render_report
 from repro.core.stages import StageStatus
-from repro.designs.adders import domino_carry_adder
-from repro.netlist.builder import CellBuilder
+# The seed bundle definitions live with the fleet suites now; the names
+# are re-exported here because resume_report.py (and CI) import them.
+from repro.fleet.suite import adder_bundle, alpha_slice_bundle  # noqa: F401
 from repro.perf import DesignCache
 from repro.process.technology import strongarm_technology
-from repro.timing.clocking import TwoPhaseClock
 
 OUT_PATH = pathlib.Path(__file__).parent / "TRACE_campaign.jsonl"
-
-
-def alpha_slice_bundle(technology) -> DesignBundle:
-    """The Figure-2 mixed-style datapath slice (layout mode)."""
-    b = CellBuilder("alpha_slice",
-                    ports=["clk", "clk_b", "a", "b", "c", "y", "q"])
-    b.nand(["a", "b"], "n1")
-    b.inverter("n1", "and_ab")
-    b.domino_gate("clk", ["and_ab", "c"], "dom", dyn_net="dyn")
-    b.nor(["dom", "and_ab"], "y")
-    b.transparent_latch("y", "q", "clk", "clk_b")
-    return DesignBundle(
-        name="alpha_slice",
-        cell=b.build(),
-        technology=technology,
-        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
-        clock_hints=("clk", "clk_b"),
-        rtl_intent={
-            "and_ab": lambda a, b: a and b,
-            "n1": lambda a, b: not (a and b),
-        },
-        rtl_inputs={"and_ab": ("a", "b"), "n1": ("a", "b")},
-    )
-
-
-def adder_bundle(technology) -> DesignBundle:
-    """An 8-bit domino carry chain in wireload mode."""
-    return DesignBundle(
-        name="adder8",
-        cell=domino_carry_adder(8),
-        technology=technology,
-        clock=TwoPhaseClock(period_s=6.25e-9),
-        use_layout=False,
-    )
 
 
 def main() -> int:

@@ -111,6 +111,13 @@ class CbvReport:
     timing: TimingReport | None = None
     #: Structured event log of the run (JSON-lines serializable).
     trace: CampaignTrace = field(default_factory=CampaignTrace)
+    #: The inter-stage artifact map (``flat`` / ``design`` /
+    #: ``parasitics`` / ``antenna`` / ``ctx`` / ``battery`` ...) exactly
+    #: as the run left it.  Partial runs (``run(until=...)``) expose
+    #: their intermediate products here so a distributed executor
+    #: (:mod:`repro.fleet`) can continue from them; never serialized by
+    #: :func:`repro.core.report.report_to_dict`.
+    artifacts: dict = field(default_factory=dict, repr=False)
 
     def stage(self, stage: FlowStage, default=_MISSING) -> StageResult:
         """The result of ``stage``; ``default`` (when given) instead of a
@@ -141,7 +148,10 @@ class CbvCampaign:
             checks: tuple[type[Check], ...] = ALL_CHECKS,
             timeout_s: float | None = None,
             trace: CampaignTrace | None = None,
-            store=None, resume: bool = False) -> CbvReport:
+            store=None, resume: bool = False,
+            until: FlowStage | None = None,
+            battery_runner: Callable[..., BatteryResult] | None = None,
+            ) -> CbvReport:
         """Execute the flow; never raises for a stage or check fault.
 
         ``cache`` is a :class:`repro.perf.DesignCache`: recognition,
@@ -161,12 +171,20 @@ class CbvCampaign:
         Checkpoint faults degrade -- a corrupt blob is quarantined and
         logged as a ``checkpoint.corrupt`` trace event, a failed write
         as ``checkpoint.write_error`` -- and never abort the campaign.
+
+        ``until`` stops the flow after the named stage (inclusive) -- a
+        partial run whose intermediate products stay available on
+        ``report.artifacts``; the fleet uses this to split one design's
+        flow across processes.  ``battery_runner`` replaces
+        :func:`run_battery` for the circuit stage: it is called as
+        ``battery_runner(ctx, trace)`` and must return a
+        :class:`BatteryResult` (the fleet's merged-shard loader).
         """
         bundle = self.bundle
         if trace is None:
             trace = CampaignTrace()
         report = CbvReport(bundle_name=bundle.name, trace=trace)
-        art: dict[str, object] = {}
+        art: dict[str, object] = report.artifacts
         watch = Stopwatch()
         keys: dict[FlowStage, str] = {}
         # Imported here, not at module top: repro.store fingerprints
@@ -402,8 +420,11 @@ class CbvCampaign:
                 design=art["design"], cache=cache,
             )
             art["ctx"] = ctx
-            battery = run_battery(ctx, checks=checks, parallel=parallel,
-                                  timeout_s=timeout_s, trace=trace)
+            if battery_runner is not None:
+                battery = battery_runner(ctx, trace)
+            else:
+                battery = run_battery(ctx, checks=checks, parallel=parallel,
+                                      timeout_s=timeout_s, trace=trace)
             art["battery"] = battery
             stats = battery.queues.stats()
             report.queue.add_findings(battery.findings)
@@ -528,21 +549,33 @@ class CbvCampaign:
             report.timing = timing
             report.queue.add_timing(timing.setup_violations, timing.races)
 
-        run_stage(FlowStage.SCHEMATIC, schematic,
-                  capture=capture_schematic, replay=replay_schematic)
-        run_stage(FlowStage.RECOGNITION, recognition, requires=("flat",),
-                  capture=capture_recognition, replay=replay_recognition)
-        run_stage(FlowStage.LAYOUT, layout, requires=("flat",),
-                  capture=capture_layout, replay=replay_layout)
-        run_stage(FlowStage.EXTRACTION, extraction, requires=("flat",),
-                  capture=capture_extraction, replay=replay_extraction)
-        run_stage(FlowStage.LOGIC_VERIFICATION, logic, requires=("design",))
-        run_stage(FlowStage.CIRCUIT_VERIFICATION, circuit,
-                  requires=("flat", "design", "parasitics"),
-                  capture=capture_circuit, replay=replay_circuit)
-        run_stage(FlowStage.TIMING_VERIFICATION, timing_stage,
-                  requires=("design", "ctx"),
-                  capture=capture_timing, replay=replay_timing)
+        plan: list[tuple[FlowStage, Callable[[], StageResult], dict]] = [
+            (FlowStage.SCHEMATIC, schematic,
+             dict(capture=capture_schematic, replay=replay_schematic)),
+            (FlowStage.RECOGNITION, recognition,
+             dict(requires=("flat",), capture=capture_recognition,
+                  replay=replay_recognition)),
+            (FlowStage.LAYOUT, layout,
+             dict(requires=("flat",), capture=capture_layout,
+                  replay=replay_layout)),
+            (FlowStage.EXTRACTION, extraction,
+             dict(requires=("flat",), capture=capture_extraction,
+                  replay=replay_extraction)),
+            (FlowStage.LOGIC_VERIFICATION, logic,
+             dict(requires=("design",))),
+            (FlowStage.CIRCUIT_VERIFICATION, circuit,
+             dict(requires=("flat", "design", "parasitics"),
+                  capture=capture_circuit, replay=replay_circuit)),
+            (FlowStage.TIMING_VERIFICATION, timing_stage,
+             dict(requires=("design", "ctx"),
+                  capture=capture_timing, replay=replay_timing)),
+        ]
+        if until is not None and until not in {flow for flow, _, _ in plan}:
+            raise ValueError(f"until={until!r} is not a runnable flow stage")
+        for flow, fn, kwargs in plan:
+            run_stage(flow, fn, **kwargs)
+            if flow is until:
+                break
 
         trace.emit(
             "campaign_end", name=bundle.name,

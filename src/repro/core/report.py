@@ -6,11 +6,13 @@ Two JSON shapes exist:
   wall-clock timings and cache/store effectiveness counters; what a CI
   dashboard trends.
 * the **canonical** form (``canonical=True``) -- the run's *facts* only:
-  wall-clock fields, cache/store counters, and ``checkpoint.*`` trace
-  events are stripped.  Two runs over the same design produce
-  byte-identical canonical JSON whether they ran cold, resumed from a
-  checkpoint store, or ran the battery in parallel; this is the form the
-  resume acceptance test (and the CI kill-and-resume smoke job) compare.
+  wall-clock fields, cache/store counters, worker ids / worker counts,
+  and ``checkpoint.*`` trace events are stripped.  Two runs over the
+  same design produce byte-identical canonical JSON whether they ran
+  cold, resumed from a checkpoint store, ran the battery in parallel,
+  or were sharded across a :mod:`repro.fleet` worker pool; this is the
+  form the resume and fleet acceptance tests (and the CI smoke jobs)
+  compare.
 
 ``report_from_dict`` is the exact inverse of ``report_to_dict`` for
 everything the dict carries: stages (all statuses, including ERROR
@@ -44,6 +46,9 @@ _NONCANONICAL_KEYS = frozenset({
     "wall_s", "seconds", "battery_seconds",
     # classification-memo effectiveness (process-history dependent)
     "classify_hits", "classify_misses", "gate_hits", "gate_misses",
+    # how many processes ran the battery (run mechanics, not a verdict;
+    # serial, parallel, and fleet-sharded runs must compare identical)
+    "workers",
 })
 _NONCANONICAL_PREFIXES = ("store_", "cache_")
 
@@ -105,7 +110,7 @@ def _trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
         if e.event.startswith("checkpoint."):
             continue
         d = e.to_dict()
-        for key in ("seq", "t_s", "wall_s"):
+        for key in ("seq", "t_s", "wall_s", "worker"):
             d.pop(key, None)
         if "counters" in d:
             counters = _canonical_counters(d["counters"])

@@ -51,6 +51,13 @@ is how a resumed run's report is byte-comparable to a cold run's.
 Timestamps (``t_s``) are seconds since the trace's own monotonic epoch
 (:class:`repro.perf.Stopwatch`); ``started_at`` on the trace anchors that
 epoch to the wall clock for log correlation.
+
+Multi-process runs (:mod:`repro.fleet`) give each trace a ``worker_id``;
+every event is stamped with it, so ``(worker, seq)`` is a stable identity
+across an entire fleet and :meth:`CampaignTrace.merge` can interleave
+per-worker logs in a deterministic, reproducible order.  Worker ids --
+like wall-clock fields -- are run mechanics, not conclusions, and are
+stripped by the canonical report form.
 """
 
 from __future__ import annotations
@@ -66,7 +73,13 @@ TRACE_SCHEMA_VERSION = 1
 
 @dataclass
 class TraceEvent:
-    """One structured log record."""
+    """One structured log record.
+
+    ``(worker, seq)`` is the event's stable identity: ``seq`` is unique
+    within one trace, and a fleet stamps each trace's ``worker_id`` onto
+    its events, so identities stay unique (and merge order stays
+    deterministic) across any number of concurrent processes.
+    """
 
     seq: int
     t_s: float
@@ -76,6 +89,9 @@ class TraceEvent:
     wall_s: float | None = None
     counters: dict[str, float] = field(default_factory=dict)
     detail: str = ""
+    #: Id of the process that recorded the event ("" for single-process
+    #: runs, which keeps their serialized form unchanged).
+    worker: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready form; optional fields are omitted when empty."""
@@ -85,6 +101,8 @@ class TraceEvent:
             "event": self.event,
             "name": self.name,
         }
+        if self.worker:
+            out["worker"] = self.worker
         if self.status is not None:
             out["status"] = self.status
         if self.wall_s is not None:
@@ -106,16 +124,23 @@ class TraceEvent:
             wall_s=data.get("wall_s"),
             counters=dict(data.get("counters", {})),
             detail=str(data.get("detail", "")),
+            worker=str(data.get("worker", "")),
         )
 
 
 class CampaignTrace:
-    """Append-only event log for one (or several) campaign runs."""
+    """Append-only event log for one (or several) campaign runs.
 
-    def __init__(self) -> None:
+    ``worker_id`` names the recording process; every emitted event is
+    stamped with it.  Single-process runs leave it "" (the default), so
+    their serialized events are unchanged.
+    """
+
+    def __init__(self, worker_id: str = "") -> None:
         import time
 
         self.started_at = time.time()
+        self.worker_id = worker_id
         self._watch = Stopwatch()
         self.events: list[TraceEvent] = []
 
@@ -135,6 +160,7 @@ class CampaignTrace:
             wall_s=wall_s,
             counters=dict(counters or {}),
             detail=detail,
+            worker=self.worker_id,
         )
         self.events.append(record)
         return record
@@ -144,8 +170,9 @@ class CampaignTrace:
 
         Each event keeps its kind, name, status, counters, detail, and
         original ``wall_s``, but is restamped with this trace's own
-        sequence numbers and clock -- a resumed run's event *stream*
-        matches a cold run's even though its timestamps are its own.
+        sequence numbers, clock, and worker id -- a resumed run's event
+        *stream* matches a cold run's even though its timestamps (and
+        recording process) are its own.
         """
         parsed = [TraceEvent.from_dict(data) for data in dicts]
         for e in parsed:
@@ -197,6 +224,27 @@ class CampaignTrace:
         trace = cls()
         trace.events = [TraceEvent.from_dict(d) for d in dicts]
         return trace
+
+    @classmethod
+    def merge(cls, sources) -> "CampaignTrace":
+        """Deterministically merge per-worker logs into one fleet log.
+
+        ``sources`` is an iterable of :class:`CampaignTrace` instances
+        and/or lists of event dicts.  Events keep their original
+        ``(worker, seq)`` identity and are ordered by it -- a total,
+        input-order-independent order, so the merged log is byte-stable
+        no matter how worker results raced in.  The merged trace is a
+        read-only view: appending to it would reuse sequence numbers.
+        """
+        events: list[TraceEvent] = []
+        for src in sources:
+            if isinstance(src, CampaignTrace):
+                events.extend(src.events)
+            else:
+                events.extend(TraceEvent.from_dict(d) for d in src)
+        merged = cls()
+        merged.events = sorted(events, key=lambda e: (e.worker, e.seq))
+        return merged
 
     def __eq__(self, other) -> bool:
         """Two traces are equal when they recorded the same events.

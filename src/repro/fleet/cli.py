@@ -1,0 +1,115 @@
+"""``repro-fleet`` / ``python -m repro.fleet`` -- run a verification fleet.
+
+Runs the seed suite (or a named subset) on a multi-process fleet and
+prints each design's rendered report plus the fleet counters.  Exits
+non-zero when any design failed to produce a report or any report is
+not triage-clean.
+
+Usage::
+
+    python -m repro.fleet --workers 4
+    repro-fleet --workers 2 --designs alpha_slice --trace FLEET_trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.report import render_report, report_to_json
+from repro.fleet.jobs import FleetConfig
+from repro.fleet.metrics import render_prometheus
+from repro.fleet.scheduler import run_fleet
+from repro.fleet.suite import BENCH_SUITE, SEED_SUITE
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Verify the seed designs on a sharded worker fleet.")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (default: 4)")
+    parser.add_argument("--designs", nargs="*", metavar="NAME",
+                        help="subset of suite designs (default: all)")
+    parser.add_argument("--bench-suite", action="store_true",
+                        help="use the heavier benchmark suite instead of "
+                             "the seed pair")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="shared artifact-store directory (default: a "
+                             "fresh temporary directory; reuse one to "
+                             "resume from its checkpoints)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="max battery shards per design (default: 4)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-check timeout in seconds")
+    parser.add_argument("--fleet-timeout", type=float, default=600.0,
+                        metavar="S", help="whole-fleet wall-clock bound "
+                                          "(default: 600)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write every canonical report JSON to PATH "
+                             "(one object keyed by design)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write the merged fleet event log (JSON lines)")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write fleet counters in Prometheus text "
+                             "format ('-' for stdout)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    suite = dict(BENCH_SUITE if args.bench_suite else SEED_SUITE)
+    if args.designs:
+        unknown = [d for d in args.designs if d not in suite]
+        if unknown:
+            print(f"unknown design(s): {', '.join(unknown)} "
+                  f"(suite has: {', '.join(suite)})", file=sys.stderr)
+            return 2
+        suite = {name: suite[name] for name in args.designs}
+
+    config = FleetConfig(store_dir=args.store, battery_shards=args.shards,
+                         timeout_s=args.timeout,
+                         fleet_timeout_s=args.fleet_timeout)
+    result = run_fleet(suite, workers=args.workers, config=config)
+
+    for name in suite:
+        report = result.reports.get(name)
+        if report is not None:
+            print(render_report(report))
+        else:
+            print(f"== {name}: FLEET FAILURE: "
+                  f"{result.failed.get(name, 'no report')}")
+        print()
+
+    m = result.metrics
+    print(f"fleet: {m.designs_done}/{m.designs} designs in {m.wall_s:.2f}s "
+          f"on {m.workers} workers ({m.workers_spawned} spawned, "
+          f"{m.workers_dead} died) -- {m.jobs_done} jobs, "
+          f"{m.steals} steals, {m.requeues} requeues, "
+          f"{m.retries} retries")
+    print(f"store: {result.store_dir}")
+
+    if args.report:
+        payload = {name: json.loads(report_to_json(report, canonical=True))
+                   for name, report in sorted(result.reports.items())}
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report}")
+    if args.trace:
+        result.trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace}: {len(result.trace.events)} events")
+    if args.metrics:
+        text = render_prometheus(m)
+        if args.metrics == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.metrics}")
+
+    return 0 if result.ok() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Job decomposition: one campaign -> a DAG of shardable fleet jobs.
+
+The unit of distribution follows the paper's farm ("several hundred
+workstations ... used for the verification effort"), refined one level:
+a design's flow is split into
+
+``prepare``
+    the artifact-producing front half of the flow (schematic entry
+    through logic verification), run once per design; every completed
+    stage is checkpointed to the shared :class:`~repro.store.ArtifactStore`
+    so later jobs -- on *any* worker -- resume from it;
+``battery[i/k]``
+    one contiguous partition of the check registry, run over the full
+    context.  Contiguity is what makes the merge trivial and exact:
+    concatenating shard findings (and shard check events) in shard
+    order reproduces the serial battery byte-for-byte.  The shard count
+    is sized when the prepare job reports how many channel-connected
+    components recognition found -- a one-CCC latch gets one shard, a
+    datapath gets up to ``FleetConfig.battery_shards``;
+``finalize``
+    resumes the checkpointed stages, merges the shard batteries (see
+    :mod:`repro.fleet.merge`), runs timing verification, and emits the
+    complete :class:`~repro.core.campaign.CbvReport`.
+
+Dependencies are explicit (``Job.deps``): battery shards wait on
+prepare, finalize waits on every shard.  The scheduler releases a job
+only when its dependencies completed.
+
+Bundles travel between processes as *references* -- an importable
+zero-argument factory (or a ``"module:attr"`` string) -- never as
+pickled objects: a :class:`DesignBundle` may close over RTL-intent
+lambdas, which do not pickle, and re-deriving the bundle in the worker
+guarantees both sides fingerprint identical inputs.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.checks.base import Check
+from repro.checks.registry import ALL_CHECKS
+from repro.core.campaign import DesignBundle
+
+#: How a job names the design bundle it operates on.
+BundleRef = "Callable[[], DesignBundle] | str"
+
+
+class JobKind(Enum):
+    PREPARE = "prepare"
+    BATTERY = "battery"
+    FINALIZE = "finalize"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice ``[lo, hi)`` of the check registry."""
+
+    index: int
+    count: int
+    lo: int
+    hi: int
+
+    def label(self) -> str:
+        return f"{self.index + 1}/{self.count}"
+
+
+@dataclass
+class FleetConfig:
+    """Knobs shared by the scheduler and every worker process.
+
+    The config is pickled once into each worker at spawn; everything on
+    it must be picklable by reference (check classes qualify).
+    """
+
+    #: Shared ArtifactStore root.  ``None`` lets the scheduler create a
+    #: private temporary store for the run.
+    store_dir: str | None = None
+    checks: tuple[type[Check], ...] = ALL_CHECKS
+    timeout_s: float | None = None
+    #: Upper bound on battery shards per design; the actual count is
+    #: sized from the design's recognized CCC partition (see
+    #: :func:`shard_count_for`).
+    battery_shards: int = 4
+    #: Worker -> scheduler liveness beat while a job runs.
+    heartbeat_s: float = 0.5
+    #: Lease duration; a leased job whose worker stops heartbeating for
+    #: this long is presumed lost and requeued.
+    lease_s: float = 30.0
+    #: Bounded retries per job (worker deaths and errors both count).
+    max_retries: int = 2
+    #: How many replacement workers the supervisor may spawn over the
+    #: fleet's lifetime; ``None`` means one replacement per initial
+    #: worker.
+    max_respawns: int | None = None
+    #: Scheduler event-loop tick.
+    poll_s: float = 0.05
+    #: Hard wall-clock bound on the whole fleet run (safety net against
+    #: a wedged queue); ``None`` disables it.
+    fleet_timeout_s: float | None = 600.0
+
+
+@dataclass
+class Job:
+    """One leasable unit of fleet work."""
+
+    job_id: str
+    design: str
+    kind: JobKind
+    bundle_ref: object
+    shard: ShardSpec | None = None
+    #: Finalize jobs carry the full shard list so the merge knows every
+    #: store key to load.
+    shards: tuple[ShardSpec, ...] = ()
+    deps: tuple[str, ...] = ()
+    #: Times this job has been requeued (worker death, error, expired
+    #: lease); bounded by ``FleetConfig.max_retries``.
+    retries: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+def resolve_bundle(ref) -> DesignBundle:
+    """Materialize a bundle from its reference, in any process."""
+    if isinstance(ref, str):
+        module_name, _, attr = ref.partition(":")
+        if not attr:
+            raise ValueError(
+                f"bundle ref {ref!r} must look like 'package.module:factory'")
+        target = getattr(importlib.import_module(module_name), attr)
+    else:
+        target = ref
+    if isinstance(target, DesignBundle):
+        return target
+    bundle = target()
+    if not isinstance(bundle, DesignBundle):
+        raise TypeError(f"bundle factory {ref!r} returned "
+                        f"{type(bundle).__name__}, not a DesignBundle")
+    return bundle
+
+
+def partition_checks(n_checks: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n_checks)`` into ``shards`` contiguous slices.
+
+    Sizes differ by at most one, earlier shards take the remainder, and
+    concatenating the slices in order reproduces the registry order --
+    the invariant the merged battery's byte-identity rests on.
+    """
+    if n_checks < 0:
+        raise ValueError(f"n_checks must be >= 0, got {n_checks}")
+    shards = max(1, min(shards, n_checks or 1))
+    base, rem = divmod(n_checks, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def shard_count_for(cccs: int, n_checks: int, limit: int) -> int:
+    """Battery shards for one design, sized by its CCC partition.
+
+    A design recognition decomposed into few channel-connected
+    components has little check work to spread; never shard finer than
+    the CCC count, the check count, or the configured ceiling.
+    """
+    if cccs <= 0:
+        return 1
+    return max(1, min(limit, n_checks, cccs))
+
+
+def prepare_job(design: str, bundle_ref) -> Job:
+    return Job(job_id=f"{design}:prepare", design=design,
+               kind=JobKind.PREPARE, bundle_ref=bundle_ref)
+
+
+def battery_jobs(design: str, bundle_ref, cccs: int,
+                 config: FleetConfig) -> list[Job]:
+    """The shard jobs for one design, gated on its prepare job."""
+    count = shard_count_for(cccs, len(config.checks), config.battery_shards)
+    jobs = []
+    for i, (lo, hi) in enumerate(partition_checks(len(config.checks), count)):
+        shard = ShardSpec(index=i, count=count, lo=lo, hi=hi)
+        jobs.append(Job(
+            job_id=f"{design}:battery[{shard.label()}]",
+            design=design, kind=JobKind.BATTERY, bundle_ref=bundle_ref,
+            shard=shard, deps=(f"{design}:prepare",),
+        ))
+    return jobs
+
+
+def finalize_job(design: str, bundle_ref, shard_jobs: list[Job]) -> Job:
+    return Job(
+        job_id=f"{design}:finalize", design=design, kind=JobKind.FINALIZE,
+        bundle_ref=bundle_ref,
+        shards=tuple(j.shard for j in shard_jobs),
+        deps=tuple(j.job_id for j in shard_jobs),
+    )

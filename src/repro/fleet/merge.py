@@ -1,0 +1,133 @@
+"""Deterministic merge of battery shards into one canonical battery.
+
+A battery shard is one contiguous slice of the check registry run over
+the full design context; its job stores ``{"battery": BatteryResult
+dict, "events": check-event dicts}`` in the shared artifact store under
+a key derived from the design's circuit-verification fingerprint plus
+the shard coordinates.  Because the slices are contiguous and each
+shard runs serially, concatenating shard findings -- and shard check
+events -- in shard order reproduces a single-process serial battery
+*exactly*; the merge below does only that concatenation plus the
+re-derivation of the triage split, so the merged
+:class:`~repro.checks.registry.BatteryResult` is byte-identical to
+``run_battery(ctx, checks=ALL)`` and the finalize campaign's canonical
+report matches a single-process run's.
+
+The merge is installed into the finalize campaign as a
+``battery_runner`` (see :meth:`CbvCampaign.run`): it loads every shard,
+emits the battery start/end envelope the serial runner would, and
+replays the shard check events into the campaign trace in order.  A
+missing or corrupt shard raises :class:`ShardMissing` -- inside the
+campaign's stage isolation that degrades to a circuit-stage ERROR, not
+a crash.
+"""
+
+from __future__ import annotations
+
+from repro.checks.base import Finding
+from repro.checks.filters import filter_findings
+from repro.checks.registry import BatteryResult
+from repro.core.stages import FlowStage
+from repro.core.trace import CampaignTrace
+from repro.fleet.jobs import FleetConfig, ShardSpec
+from repro.store.artifact import ArtifactStore, StoreError
+from repro.store.checkpoint import stage_keys
+from repro.store.fingerprint import FINGERPRINT_SCHEMA_VERSION, _digest
+
+#: The per-check trace events a shard persists for the merged log; the
+#: battery envelope (battery_start / battery_end) is the merger's to
+#: emit, exactly once.
+CHECK_EVENTS = frozenset({"check_start", "check_end", "check_crash"})
+
+
+class ShardMissing(StoreError):
+    """A battery shard's blob is absent or failed verification."""
+
+
+def shard_store_key(bundle, shard: ShardSpec, config: FleetConfig) -> str:
+    """Store key of one shard's battery result.
+
+    Keyed on the circuit-verification stage key (netlist, technology,
+    clock, settings, check list, timeout -- see
+    :func:`repro.store.checkpoint.stage_key`) plus the shard
+    coordinates, so an input edit invalidates every shard and a shard
+    layout change invalidates just the re-partitioned run.
+    """
+    circuit = stage_keys(bundle, checks=config.checks,
+                         timeout_s=config.timeout_s)
+    return _digest(["fleet-shard", FINGERPRINT_SCHEMA_VERSION,
+                    circuit[FlowStage.CIRCUIT_VERIFICATION],
+                    shard.index, shard.count])
+
+
+def merge_shard_batteries(payloads: list[dict]) -> BatteryResult:
+    """Concatenate shard results (in shard order) into one battery.
+
+    Findings, per-check slots, per-check seconds, and crash records all
+    concatenate; the triage queues are re-derived from the merged
+    findings stream, exactly as ``run_battery`` builds them.
+    """
+    findings: list[Finding] = []
+    per_check: dict[str, list[Finding]] = {}
+    per_check_seconds: dict[str, float] = {}
+    crashes: dict[str, str] = {}
+    for payload in payloads:
+        part = BatteryResult.from_dict(payload["battery"])
+        findings.extend(part.findings)
+        for name, fs in part.per_check.items():
+            per_check.setdefault(name, []).extend(fs)
+        for name, seconds in part.per_check_seconds.items():
+            per_check_seconds[name] = (
+                per_check_seconds.get(name, 0.0) + seconds)
+        crashes.update(part.crashes)
+    return BatteryResult(
+        findings=findings,
+        queues=filter_findings(findings),
+        per_check=per_check,
+        per_check_seconds=per_check_seconds,
+        crashes=crashes,
+    )
+
+
+def load_shard(store: ArtifactStore, key: str, shard: ShardSpec) -> dict:
+    try:
+        payload, _meta = store.get(key)
+    except StoreError as exc:
+        raise ShardMissing(
+            f"battery shard {shard.label()} unavailable: {exc}") from exc
+    if (not isinstance(payload, dict) or "battery" not in payload
+            or not isinstance(payload.get("events"), list)):
+        store.invalidate(key)
+        raise ShardMissing(
+            f"battery shard {shard.label()} payload has the wrong shape")
+    return payload
+
+
+def make_battery_runner(store: ArtifactStore, bundle,
+                        shards: tuple[ShardSpec, ...],
+                        config: FleetConfig):
+    """A ``battery_runner`` that assembles the sharded battery.
+
+    The returned callable matches the :meth:`CbvCampaign.run` contract:
+    ``runner(ctx, trace) -> BatteryResult``.  ``ctx`` is unused -- every
+    check already ran in the shard jobs -- but kept so the campaign's
+    circuit stage is oblivious to where its battery came from.
+    """
+    def runner(ctx, trace: CampaignTrace) -> BatteryResult:
+        payloads = [load_shard(store, shard_store_key(bundle, s, config), s)
+                    for s in shards]
+        trace.emit("battery_start", counters={
+            "checks": float(len(config.checks)),
+            "workers": float(len(shards)),
+        })
+        for payload in payloads:
+            trace.replay([e for e in payload["events"]
+                          if e.get("event") in CHECK_EVENTS])
+        battery = merge_shard_batteries(payloads)
+        trace.emit("battery_end",
+                   wall_s=battery.total_seconds(),
+                   counters={"findings": float(len(battery.findings)),
+                             "crashes": float(len(battery.crashes))})
+        return battery
+
+    return runner

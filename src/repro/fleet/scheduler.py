@@ -1,0 +1,356 @@
+"""The fleet scheduler: supervised worker pool + work-stealing broker.
+
+:func:`run_fleet` is the subsystem's front door.  It spawns ``workers``
+OS processes (``fork`` start method where the platform has it, else
+``spawn``), seeds the :class:`~repro.fleet.queue.WorkQueue` with one
+``prepare`` job per design, and runs a single-threaded event loop over
+the shared outbox:
+
+* a ``prepare`` completion sizes the design's battery shards from its
+  recognized CCC count and submits the shard + finalize jobs (a design
+  whose front half degraded skips sharding -- its finalize reruns the
+  battery inline, matching single-process behavior exactly);
+* ``heartbeat`` messages renew the sender's lease; a lease that goes
+  ``FleetConfig.lease_s`` without one is broken and its job requeued;
+* a worker that dies (crash, SIGKILL) is detected by ``Process
+  .is_alive``, its leased job requeued, its queued jobs resubmitted
+  under the surviving topology, and -- within the respawn budget -- a
+  replacement worker with a *fresh* worker id is spawned, so trace
+  ``(worker, seq)`` identities never collide;
+* retries are bounded: a job that fails (error or lost worker) more
+  than ``FleetConfig.max_retries`` times fails its whole design, whose
+  remaining jobs are cancelled; the other designs keep running.
+
+Everything the fleet did is observable: live counters in
+:class:`~repro.fleet.metrics.FleetMetrics`, and a merged
+:class:`~repro.core.trace.CampaignTrace` assembling the scheduler's own
+events with every worker's event slices in deterministic
+``(worker, seq)`` order.  The per-design reports come back through
+:func:`~repro.core.report.report_from_dict` and their canonical JSON is
+byte-identical to single-process runs -- the property the fleet tests
+pin.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.campaign import CbvReport
+from repro.core.report import report_from_dict
+from repro.core.trace import CampaignTrace
+from repro.fleet.jobs import (
+    FleetConfig,
+    Job,
+    JobKind,
+    battery_jobs,
+    finalize_job,
+    prepare_job,
+)
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.queue import WorkQueue
+from repro.fleet.worker import worker_main
+from repro.perf.stopwatch import Stopwatch
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    #: Design name -> merged campaign report (canonically byte-identical
+    #: to a single-process run of the same bundle).
+    reports: dict[str, CbvReport] = field(default_factory=dict)
+    #: Design name -> reason, for designs the fleet had to abandon.
+    failed: dict[str, str] = field(default_factory=dict)
+    metrics: FleetMetrics = field(default_factory=FleetMetrics)
+    #: Merged fleet event log (scheduler + every worker, deterministic
+    #: ``(worker, seq)`` order).
+    trace: CampaignTrace = field(default_factory=CampaignTrace)
+    #: The shared artifact store the run used (reusable: a second fleet
+    #: pointed here resumes from the checkpoints).
+    store_dir: str = ""
+
+    def ok(self) -> bool:
+        return (not self.failed
+                and all(r.ok() for r in self.reports.values()))
+
+
+class _WorkerHandle:
+    """Scheduler-side bookkeeping for one worker process."""
+
+    def __init__(self, wid: str, proc, inbox) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.inbox = inbox
+        self.ready = False
+        self.job_id: str | None = None
+        #: Accumulated worker-trace event dicts (arrive piggybacked on
+        #: done/error/bye messages, so they survive the worker's death).
+        self.events: list[dict] = []
+        self.store_counters: dict[str, int] = {}
+
+
+def _pick_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_fleet(suite: dict, *, workers: int = 4,
+              config: FleetConfig | None = None) -> FleetResult:
+    """Verify every design in ``suite`` on a worker-process fleet.
+
+    ``suite`` maps design name -> bundle reference (an importable
+    zero-argument factory or a ``"module:attr"`` string -- see
+    :func:`repro.fleet.jobs.resolve_bundle`; it must be picklable).
+    ``workers`` processes share one artifact store
+    (``config.store_dir``, a fresh temporary directory when unset).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not suite:
+        raise ValueError("suite is empty")
+    config = config or FleetConfig()
+    if config.store_dir is None:
+        config.store_dir = tempfile.mkdtemp(prefix="repro-fleet-store-")
+    respawn_budget = (config.max_respawns if config.max_respawns is not None
+                      else workers)
+
+    ctx = _pick_context()
+    outbox = ctx.Queue()
+    metrics = FleetMetrics(workers=workers, designs=len(suite))
+    ftrace = CampaignTrace(worker_id="fleet")
+    wq = WorkQueue(lease_s=config.lease_s)
+    watch = Stopwatch()
+
+    handles: dict[str, _WorkerHandle] = {}
+    retired: list[_WorkerHandle] = []
+    jobs_by_id: dict[str, Job] = {}
+    reports: dict[str, CbvReport] = {}
+    failed: dict[str, str] = {}
+    next_wid = 0
+
+    def spawn_worker() -> _WorkerHandle:
+        nonlocal next_wid
+        wid = f"w{next_wid}"
+        next_wid += 1
+        inbox = ctx.Queue()
+        proc = ctx.Process(target=worker_main, name=wid,
+                           args=(wid, inbox, outbox, config), daemon=True)
+        proc.start()
+        handle = _WorkerHandle(wid, proc, inbox)
+        handles[wid] = handle
+        wq.add_worker(wid)
+        metrics.workers_spawned += 1
+        ftrace.emit("worker_spawn", name=wid)
+        return handle
+
+    def submit(job: Job) -> None:
+        jobs_by_id[job.job_id] = job
+        wq.submit(job)
+        metrics.jobs_submitted += 1
+        ftrace.emit("job_submit", name=job.job_id)
+
+    def fail_design(design: str, reason: str) -> None:
+        if design in failed or design in reports:
+            return
+        failed[design] = reason
+        metrics.designs_failed += 1
+        for dropped in wq.cancel_design(design):
+            ftrace.emit("job_cancel", name=dropped.job_id)
+        ftrace.emit("design_failed", name=design, detail=reason)
+
+    def requeue_or_fail(job_id: str, why: str) -> None:
+        job = jobs_by_id.get(job_id)
+        if job is None or wq.is_done(job_id):
+            return
+        if job.retries >= config.max_retries:
+            wq.fail(job_id)
+            metrics.jobs_failed += 1
+            fail_design(job.design,
+                        f"{job_id} exhausted {config.max_retries} "
+                        f"retries (last: {why})")
+        elif wq.release(job_id) is not None:
+            metrics.retries += 1
+            ftrace.emit("job_requeue", name=job_id, detail=why,
+                        counters={"retries": float(job.retries)})
+
+    def on_worker_dead(handle: _WorkerHandle) -> None:
+        nonlocal respawn_budget
+        metrics.workers_dead += 1
+        ftrace.emit("worker_dead", name=handle.wid,
+                    detail=handle.job_id or "")
+        orphans = wq.remove_worker(handle.wid)
+        del handles[handle.wid]
+        retired.append(handle)
+        if respawn_budget > 0 and not done():
+            respawn_budget -= 1
+            spawn_worker()
+        if handles:
+            # Re-home under the surviving topology; release() below also
+            # hashes against the new worker list.
+            for orphan in orphans:
+                wq.submit(orphan)
+            if handle.job_id is not None:
+                requeue_or_fail(handle.job_id, f"worker {handle.wid} died")
+
+    def on_prepare_done(job: Job, result: dict) -> None:
+        if result.get("degraded"):
+            # The front half errored; shard batteries would diverge from
+            # (or crash unlike) a single-process run.  One finalize job
+            # reruns the whole degraded flow inline instead.
+            submit(finalize_job(job.design, job.bundle_ref, []))
+            return
+        shards = battery_jobs(job.design, job.bundle_ref,
+                              int(result.get("cccs", 0)), config)
+        for shard_job in shards:
+            submit(shard_job)
+        submit(finalize_job(job.design, job.bundle_ref, shards))
+
+    def on_message(message) -> None:
+        kind, wid, job_id, payload, events = message
+        handle = handles.get(wid)
+        if handle is None:  # straggler from a retired worker
+            handle = next((h for h in retired if h.wid == wid), None)
+        if handle is None:
+            return
+        handle.events.extend(events)
+        if kind == "ready":
+            handle.ready = True
+        elif kind == "heartbeat":
+            metrics.heartbeats += 1
+            wq.renew(job_id, watch.elapsed())
+        elif kind == "bye":
+            pass
+        elif kind in ("done", "error"):
+            if handle.job_id == job_id:
+                handle.job_id = None
+            if kind == "error":
+                ftrace.emit("job_error", name=job_id, detail=payload)
+                requeue_or_fail(job_id, "job raised")
+                return
+            handle.store_counters = payload.get("store_counters", {})
+            if wq.is_done(job_id):
+                return  # duplicate completion from a requeued straggler
+            job = jobs_by_id.get(job_id)
+            if job is None or job.design in failed:
+                return
+            wq.complete(job_id)
+            metrics.record_job(job.kind.value, payload.get("job_seconds", 0.0))
+            ftrace.emit("job_done", name=job_id, status="ok",
+                        wall_s=payload.get("job_seconds"))
+            result = payload.get("result") or {}
+            if job.kind is JobKind.PREPARE:
+                on_prepare_done(job, result)
+            elif job.kind is JobKind.FINALIZE:
+                reports[job.design] = report_from_dict(result["report"])
+                metrics.designs_done += 1
+                ftrace.emit("design_done", name=job.design,
+                            status="ok" if result.get("ok") else "needs-triage")
+
+    def done() -> bool:
+        return len(reports) + len(failed) >= len(suite)
+
+    def supervise() -> None:
+        now = watch.elapsed()
+        for handle in list(handles.values()):
+            if not handle.proc.is_alive():
+                on_worker_dead(handle)
+        for lease in wq.expired(now):
+            ftrace.emit("lease_expired", name=lease.job.job_id,
+                        detail=lease.worker)
+            metrics.lease_expirations += 1
+            holder = handles.get(lease.worker)
+            if holder is not None and holder.job_id == lease.job.job_id:
+                holder.job_id = None
+            requeue_or_fail(lease.job.job_id, "lease expired")
+
+    def assign() -> None:
+        now = watch.elapsed()
+        for handle in handles.values():
+            if not handle.ready or handle.job_id is not None:
+                continue
+            lease = wq.next_job(handle.wid, now)
+            if lease is None:
+                continue
+            handle.job_id = lease.job.job_id
+            ftrace.emit("job_lease", name=lease.job.job_id,
+                        detail=handle.wid,
+                        counters={"stolen": float(lease.stolen)})
+            handle.inbox.put(("job", lease.job))
+
+    ftrace.emit("fleet_start", counters={
+        "designs": float(len(suite)), "workers": float(workers)})
+    for _ in range(workers):
+        spawn_worker()
+    for name, ref in suite.items():
+        submit(prepare_job(name, ref))
+
+    try:
+        while not done():
+            if (config.fleet_timeout_s is not None
+                    and watch.elapsed() > config.fleet_timeout_s):
+                for name in suite:
+                    fail_design(name, "fleet wall-clock bound exceeded")
+                break
+            if not handles:
+                for name in suite:
+                    fail_design(name, "every worker died and the respawn "
+                                      "budget is spent")
+                break
+            try:
+                on_message(outbox.get(timeout=config.poll_s))
+            except queue_mod.Empty:
+                pass
+            supervise()
+            assign()
+    finally:
+        for handle in handles.values():
+            try:
+                handle.inbox.put(("stop",))
+            except Exception:  # noqa: BLE001 -- already dying
+                pass
+        # Drain stragglers (notably "bye" with final event slices).
+        deadline = watch.elapsed() + 2.0
+        while watch.elapsed() < deadline:
+            if not any(h.proc.is_alive() for h in handles.values()):
+                try:
+                    while True:
+                        on_message(outbox.get(timeout=0.05))
+                except queue_mod.Empty:
+                    break
+            try:
+                on_message(outbox.get(timeout=0.05))
+            except queue_mod.Empty:
+                continue
+        for handle in handles.values():
+            handle.proc.join(timeout=1.0)
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=1.0)
+
+    metrics.workers_alive = sum(
+        1 for h in handles.values() if h.proc.is_alive())
+    metrics.steals = wq.steals
+    metrics.requeues = wq.requeues
+    metrics.queue_depth = wq.depth()
+    metrics.blocked_jobs = wq.blocked_count()
+    metrics.active_leases = wq.lease_count()
+    metrics.wall_s = watch.elapsed()
+    metrics.write_contended = sum(
+        h.store_counters.get("store_write_contended", 0)
+        for h in list(handles.values()) + retired)
+    ftrace.emit("fleet_end",
+                status="ok" if not failed else "degraded",
+                wall_s=metrics.wall_s,
+                counters={"designs_done": float(metrics.designs_done),
+                          "designs_failed": float(metrics.designs_failed),
+                          "jobs_done": float(metrics.jobs_done),
+                          "steals": float(metrics.steals),
+                          "requeues": float(metrics.requeues)})
+    all_handles = list(handles.values()) + retired
+    merged = CampaignTrace.merge([ftrace] + [h.events for h in all_handles])
+    return FleetResult(reports=reports, failed=failed, metrics=metrics,
+                       trace=merged, store_dir=str(config.store_dir))

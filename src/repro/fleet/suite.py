@@ -1,0 +1,122 @@
+"""The fleet's design suites: seed designs plus heavier bench designs.
+
+A fleet job names its design as a *bundle reference* -- an importable
+zero-argument factory -- so every worker process re-derives an
+identical :class:`~repro.core.campaign.DesignBundle` (and therefore
+identical checkpoint fingerprints) without pickling the bundle's
+RTL-intent lambdas.  This module is the canonical home of those
+factories; the ``*_bundle(technology)`` forms are kept because the
+benchmark scripts built on them predate the fleet.
+
+``SEED_SUITE`` is the CI pair (the Figure-2 datapath slice and the
+8-bit domino adder); ``BENCH_SUITE`` adds register files, a wider
+adder, a CAM, and an SRAM slab -- designs heavy enough for a
+multi-worker split to show up on a wall clock.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import DesignBundle
+from repro.designs.adders import domino_carry_adder
+from repro.designs.cam import cam_array
+from repro.designs.regfile import register_file
+from repro.designs.sram import sram_array
+from repro.netlist.builder import CellBuilder
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+
+def alpha_slice_bundle(technology) -> DesignBundle:
+    """The Figure-2 mixed-style datapath slice (layout mode)."""
+    b = CellBuilder("alpha_slice",
+                    ports=["clk", "clk_b", "a", "b", "c", "y", "q"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "and_ab")
+    b.domino_gate("clk", ["and_ab", "c"], "dom", dyn_net="dyn")
+    b.nor(["dom", "and_ab"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    return DesignBundle(
+        name="alpha_slice",
+        cell=b.build(),
+        technology=technology,
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        clock_hints=("clk", "clk_b"),
+        rtl_intent={
+            "and_ab": lambda a, b: a and b,
+            "n1": lambda a, b: not (a and b),
+        },
+        rtl_inputs={"and_ab": ("a", "b"), "n1": ("a", "b")},
+    )
+
+
+def adder_bundle(technology) -> DesignBundle:
+    """An 8-bit domino carry chain in wireload mode."""
+    return DesignBundle(
+        name="adder8",
+        cell=domino_carry_adder(8),
+        technology=technology,
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        use_layout=False,
+    )
+
+
+def _wireload(name: str, cell, clock_hints: tuple[str, ...] = ()
+              ) -> DesignBundle:
+    return DesignBundle(
+        name=name,
+        cell=cell,
+        technology=strongarm_technology(),
+        clock=TwoPhaseClock(period_s=6.25e-9),
+        clock_hints=clock_hints,
+        use_layout=False,
+    )
+
+
+# -- zero-arg factories (importable fleet bundle references) ----------------
+
+def alpha_slice() -> DesignBundle:
+    return alpha_slice_bundle(strongarm_technology())
+
+
+def adder8() -> DesignBundle:
+    return adder_bundle(strongarm_technology())
+
+
+def adder32() -> DesignBundle:
+    return _wireload("adder32", domino_carry_adder(32, name="adder32"))
+
+
+def regfile_4x4() -> DesignBundle:
+    return _wireload("regfile_4x4",
+                     register_file(entries=4, width=4, name="regfile_4x4"))
+
+
+def regfile_8x4() -> DesignBundle:
+    return _wireload("regfile_8x4",
+                     register_file(entries=8, width=4, name="regfile_8x4"))
+
+
+def cam_4x4() -> DesignBundle:
+    return _wireload("cam_4x4", cam_array(entries=4, width=4, name="cam_4x4"))
+
+
+def sram_8x8() -> DesignBundle:
+    return _wireload("sram_8x8", sram_array(rows=8, cols=8, name="sram_8x8"))
+
+
+#: The CI seed pair -- what ``python -m repro.fleet`` verifies by default.
+SEED_SUITE: dict = {
+    "alpha_slice": alpha_slice,
+    "adder8": adder8,
+}
+
+#: Heavier mix for the fleet benchmark (enough per-design check work
+#: that sharding the battery actually moves the wall clock).
+BENCH_SUITE: dict = {
+    "alpha_slice": alpha_slice,
+    "adder32": adder32,
+    "regfile_4x4": regfile_4x4,
+    "regfile_8x4": regfile_8x4,
+    "cam_4x4": cam_4x4,
+    "sram_8x8": sram_8x8,
+}

@@ -1,0 +1,201 @@
+"""The fleet worker process: lease a job, execute it, report back.
+
+One worker is one OS process running :func:`worker_main`.  It owns a
+handle to the shared :class:`~repro.store.ArtifactStore` and a
+per-worker :class:`~repro.core.trace.CampaignTrace` (its ``worker_id``
+stamps every event, giving the fleet log its stable ``(worker, seq)``
+identities).  The protocol with the scheduler is deliberately tiny --
+every message is a picklable tuple
+
+    ``(kind, worker_id, job_id, payload, events)``
+
+where ``kind`` is ``ready`` / ``heartbeat`` / ``done`` / ``error`` /
+``bye`` and ``events`` carries the worker-trace slice recorded since the
+previous message, so the scheduler can assemble the full fleet log even
+from workers that later die.  A daemon thread heartbeats the current
+job id every ``FleetConfig.heartbeat_s`` so the scheduler can renew the
+job's lease; a worker that is SIGKILLed simply stops heartbeating and
+its lease expires.
+
+Job execution leans entirely on the campaign's own checkpoint/resume:
+
+* ``prepare`` runs the flow through logic verification with
+  ``store=..., resume=True`` -- every completed stage is durably
+  checkpointed, and a retry (or any other worker) replays instead of
+  recomputing.  Its result reports the recognized CCC count (which
+  sizes the battery shards) and whether the front half degraded.
+* ``battery[i/k]`` resumes the checkpointed stages up to extraction,
+  rebuilds the check context, runs its slice of the check registry, and
+  stores ``{battery, events}`` under the shard key.  Running the same
+  shard twice is harmless: the store's write lock serializes the
+  writers and drops the duplicate blob.
+* ``finalize`` resumes the same checkpoints and re-runs the circuit
+  stage with the merged-shard ``battery_runner``; the resulting
+  :class:`~repro.core.campaign.CbvReport` is canonically byte-identical
+  to a single-process run.  A design whose prepare degraded (an errored
+  front-half stage) skips sharding -- finalize runs the battery inline,
+  preserving exactly the degraded single-process behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+from repro.checks.driver import make_context
+from repro.checks.registry import run_battery
+from repro.core.campaign import CbvCampaign
+from repro.core.report import report_to_dict
+from repro.core.stages import FlowStage, StageStatus
+from repro.core.trace import CampaignTrace
+from repro.fleet.jobs import FleetConfig, Job, JobKind, resolve_bundle
+from repro.fleet.merge import CHECK_EVENTS, make_battery_runner, shard_store_key
+from repro.perf.stopwatch import Stopwatch
+from repro.store.artifact import ArtifactStore
+
+#: Artifacts the battery stage cannot run without; prepare must have
+#: produced (and checkpointed) all of them for sharding to be safe.
+_BATTERY_NEEDS = ("flat", "design", "parasitics")
+
+
+def _run_prepare(job: Job, store: ArtifactStore, config: FleetConfig,
+                 wt: CampaignTrace) -> dict:
+    bundle = resolve_bundle(job.bundle_ref)
+    report = CbvCampaign(bundle).run(
+        store=store, resume=True, checks=config.checks,
+        timeout_s=config.timeout_s, until=FlowStage.LOGIC_VERIFICATION,
+        trace=wt)
+    rec = report.stage(FlowStage.RECOGNITION, None)
+    cccs = int(rec.metrics.get("cccs", 0)) if rec is not None else 0
+    degraded = (bool(report.errored_stages())
+                or any(k not in report.artifacts for k in _BATTERY_NEEDS))
+    return {
+        "cccs": cccs,
+        "degraded": degraded,
+        "stages": {s.stage.value: s.status.value for s in report.stages},
+    }
+
+
+def _run_battery_shard(job: Job, store: ArtifactStore, config: FleetConfig,
+                       wt: CampaignTrace) -> dict:
+    bundle = resolve_bundle(job.bundle_ref)
+    partial = CbvCampaign(bundle).run(
+        store=store, resume=True, checks=config.checks,
+        timeout_s=config.timeout_s, until=FlowStage.EXTRACTION, trace=wt)
+    art = partial.artifacts
+    missing = [k for k in _BATTERY_NEEDS if k not in art]
+    if missing:
+        raise RuntimeError(
+            f"battery shard cannot run: missing artifact(s) "
+            f"{', '.join(missing)} (prepare degraded after checkpointing?)")
+    ctx = make_context(
+        art["flat"], bundle.technology, clock=bundle.clock,
+        clock_hints=bundle.clock_hints, parasitics=art["parasitics"],
+        antenna=art.get("antenna"), settings=bundle.check_settings,
+        design=art["design"], cache=None)
+    shard = job.shard
+    # The shard battery records into its own trace so exactly the
+    # check events of this slice -- no stage or checkpoint noise --
+    # are persisted for the finalize merge.
+    sub = CampaignTrace(worker_id=wt.worker_id)
+    battery = run_battery(ctx, checks=config.checks[shard.lo:shard.hi],
+                          timeout_s=config.timeout_s, trace=sub)
+    events = [e.to_dict() for e in sub.events if e.event in CHECK_EVENTS]
+    store.put(shard_store_key(bundle, shard, config),
+              {"battery": battery.to_dict(), "events": events},
+              meta={"design": job.design, "shard": shard.label()})
+    wt.replay(events)
+    return {
+        "shard": shard.label(),
+        "findings": len(battery.findings),
+        "crashes": len(battery.crashes),
+    }
+
+
+def _run_finalize(job: Job, store: ArtifactStore, config: FleetConfig,
+                  wt: CampaignTrace) -> dict:
+    bundle = resolve_bundle(job.bundle_ref)
+    runner = (make_battery_runner(store, bundle, job.shards, config)
+              if job.shards else None)
+    # The report gets its own trace: report.trace must hold exactly one
+    # campaign's events, not this worker's whole history.
+    rtrace = CampaignTrace(worker_id=wt.worker_id)
+    report = CbvCampaign(bundle).run(
+        store=store, resume=True, checks=config.checks,
+        timeout_s=config.timeout_s, trace=rtrace, battery_runner=runner)
+    circuit = report.stage(FlowStage.CIRCUIT_VERIFICATION, None)
+    if (job.shards and circuit is not None
+            and circuit.status is StageStatus.ERROR):
+        # A missing/corrupt shard surfaced as a circuit-stage ERROR;
+        # that is a fleet fault, not a design verdict -- fail the job so
+        # the scheduler retries it (the shard jobs already completed, so
+        # a retry reloads or recomputes what is actually in the store).
+        raise RuntimeError("finalize could not assemble shard batteries: "
+                           + circuit.summary)
+    return {"report": report_to_dict(report), "ok": report.ok()}
+
+
+def execute_job(job: Job, store: ArtifactStore, config: FleetConfig,
+                wt: CampaignTrace) -> dict:
+    """Run one fleet job; returns its picklable result payload."""
+    if job.kind is JobKind.PREPARE:
+        return _run_prepare(job, store, config, wt)
+    if job.kind is JobKind.BATTERY:
+        return _run_battery_shard(job, store, config, wt)
+    if job.kind is JobKind.FINALIZE:
+        return _run_finalize(job, store, config, wt)
+    raise ValueError(f"unknown job kind: {job.kind!r}")
+
+
+def worker_main(worker_id: str, inbox, outbox, config: FleetConfig) -> None:
+    """Process entry point: serve jobs from ``inbox`` until told to stop."""
+    store = ArtifactStore(config.store_dir)
+    wt = CampaignTrace(worker_id=worker_id)
+    cursor = 0
+
+    def drain() -> list[dict]:
+        nonlocal cursor
+        events = [e.to_dict() for e in wt.events[cursor:]]
+        cursor = len(wt.events)
+        return events
+
+    current: dict[str, str | None] = {"job_id": None}
+    stop_beat = threading.Event()
+
+    def beat() -> None:
+        while not stop_beat.wait(config.heartbeat_s):
+            job_id = current["job_id"]
+            if job_id is not None:
+                outbox.put(("heartbeat", worker_id, job_id, None, []))
+
+    threading.Thread(target=beat, daemon=True,
+                     name=f"{worker_id}-heartbeat").start()
+
+    outbox.put(("ready", worker_id, None, None, []))
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            break
+        job: Job = message[1]
+        current["job_id"] = job.job_id
+        wt.emit("job_start", name=job.job_id,
+                counters={"retries": float(job.retries)})
+        watch = Stopwatch()
+        try:
+            result = execute_job(job, store, config, wt)
+        except Exception:  # noqa: BLE001 -- report, don't die
+            detail = traceback.format_exc()
+            wt.emit("job_end", name=job.job_id, status="error",
+                    wall_s=watch.elapsed(), detail=detail)
+            current["job_id"] = None
+            outbox.put(("error", worker_id, job.job_id, detail, drain()))
+        else:
+            seconds = watch.elapsed()
+            wt.emit("job_end", name=job.job_id, status="ok", wall_s=seconds)
+            current["job_id"] = None
+            outbox.put(("done", worker_id, job.job_id,
+                        {"result": result, "job_seconds": seconds,
+                         "store_counters": store.counters()},
+                        drain()))
+    stop_beat.set()
+    outbox.put(("bye", worker_id, None, None, drain()))

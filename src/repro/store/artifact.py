@@ -9,15 +9,26 @@ verified checkpoints -- never a torn one.
 
 Write path (``put``):
 
-1. serialize the payload (pickle) and compute its SHA-256;
-2. write header + payload to a temporary file in the store's own
+1. claim the key's lock file with ``O_CREAT | O_EXCL`` (see below);
+2. serialize the payload (pickle) and compute its SHA-256;
+3. write header + payload to a temporary file in the store's own
    ``tmp/`` directory (same filesystem as the final home);
-3. ``flush`` + ``fsync`` the file, then ``os.replace`` it into place
+4. ``flush`` + ``fsync`` the file, then ``os.replace`` it into place
    (atomic on POSIX and NTFS), then best-effort ``fsync`` the directory.
 
 A crash before the rename leaves only a stale temp file (cleaned up
 lazily); a crash after leaves a fully durable blob.  There is no state
 in between.
+
+Concurrent writers (a :mod:`repro.fleet` worker pool sharing one store)
+are serialized per key by a lock file next to the blob: one writer wins
+the ``O_EXCL`` claim, the others count a ``write_contended`` and either
+wait for the winner (skipping their own write once the winner's blob
+lands -- keys fingerprint the payload's inputs, so two writers racing on
+one key are writing interchangeable checkpoints) or break the lock when
+its owner is provably dead (pid gone) or older than ``lock_stale_s``.
+Two workers checkpointing the same stage therefore never interleave,
+and a SIGKILLed writer can never wedge the key it was holding.
 
 Read path (``get``) trusts nothing: the header must parse, the declared
 payload length must match, the SHA-256 must match, and the payload must
@@ -41,6 +52,7 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from pathlib import Path
 
 #: Bump when the blob envelope changes incompatibly.
@@ -85,22 +97,33 @@ class ArtifactStore:
         ``objects/<key[:2]>/<key>.ckpt`` blobs, ``quarantine/`` for
         blobs that failed verification, ``tmp/`` for in-flight writes.
 
-    Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt``) are
-    exposed through :meth:`counters` in the shape
-    :func:`repro.perf.collect_counters` merges into campaign metrics.
+    ``lock_timeout_s`` bounds how long a contended ``put`` waits for the
+    key's current writer before giving up (skipping its now-duplicate
+    write); ``lock_stale_s`` is the age past which a lock whose owner
+    cannot be confirmed alive is broken.
+
+    Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt`` /
+    ``write_contended``) are exposed through :meth:`counters` in the
+    shape :func:`repro.perf.collect_counters` merges into campaign
+    metrics.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, *,
+                 lock_timeout_s: float = 10.0,
+                 lock_stale_s: float = 30.0) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.quarantine_dir = self.root / "quarantine"
         self.tmp_dir = self.root / "tmp"
         for d in (self.objects, self.quarantine_dir, self.tmp_dir):
             d.mkdir(parents=True, exist_ok=True)
+        self.lock_timeout_s = lock_timeout_s
+        self.lock_stale_s = lock_stale_s
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.write_contended = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -118,10 +141,98 @@ class ArtifactStore:
 
     # -- write ---------------------------------------------------------------
 
-    def put(self, key: str, payload, meta: dict | None = None) -> Path:
-        """Atomically persist ``payload`` under ``key`` (overwrites)."""
+    def _lock_path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.lock"
+
+    def _try_claim(self, lock: Path) -> bool:
+        """One O_EXCL shot at the key's write lock."""
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unlockable filesystem: degrade to the pre-lock behaviour
+            # (atomic last-writer-wins) rather than refuse durability.
+            return True
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump({"pid": os.getpid(), "t": time.time()}, fh)
+        return True
+
+    def _lock_is_stale(self, lock: Path) -> bool:
+        """True when the lock's owner is provably dead or too old."""
+        try:
+            data = json.loads(lock.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Unreadable or mid-write claim: judge by file age alone.
+            try:
+                return time.time() - lock.stat().st_mtime > self.lock_stale_s
+            except OSError:
+                return False  # vanished: owner released it normally
+        if time.time() - float(data.get("t", 0.0)) > self.lock_stale_s:
+            return True
+        pid = data.get("pid")
+        if isinstance(pid, int):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # same-host owner is gone
+            except (PermissionError, OSError):
+                pass
+        return False
+
+    def _claim_write_lock(self, key: str, path: Path) -> bool:
+        """Serialize writers of one key; False means skip the write.
+
+        The loser of a race waits for the winner: once the winner's
+        blob has landed (lock released, blob present) this writer's
+        payload is a duplicate checkpoint of the same fingerprinted
+        inputs and is skipped.  A lock whose owner died is broken and
+        re-claimed, so a crashed writer never wedges its key.
+        """
+        lock = self._lock_path(key)
+        if self._try_claim(lock):
+            return True
+        self.write_contended += 1
+        deadline = time.monotonic() + self.lock_timeout_s
+        while time.monotonic() < deadline:
+            if self._lock_is_stale(lock):
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
+            if self._try_claim(lock):
+                return True
+            if not lock.exists() and path.exists():
+                return False  # the contending writer finished this key
+            time.sleep(0.005)
+        # Owner alive but slow; its complete write will land.  Never
+        # interleave with it -- drop this duplicate on the floor.
+        return False
+
+    def _release_write_lock(self, key: str) -> None:
+        try:
+            os.unlink(self._lock_path(key))
+        except OSError:
+            pass
+
+    def put(self, key: str, payload, meta: dict | None = None) -> Path | None:
+        """Atomically persist ``payload`` under ``key`` (overwrites).
+
+        Returns the blob path, or ``None`` when a concurrent writer of
+        the same key made this write a duplicate (see
+        :meth:`_claim_write_lock`).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._claim_write_lock(key, path):
+            return None
+        try:
+            return self._put_locked(key, payload, meta, path)
+        finally:
+            self._release_write_lock(key)
+
+    def _put_locked(self, key: str, payload, meta: dict | None,
+                    path: Path) -> Path:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         header = {
             "format": STORE_FORMAT,
@@ -262,4 +373,5 @@ class ArtifactStore:
             "store_misses": self.misses,
             "store_writes": self.writes,
             "store_corrupt": self.corrupt,
+            "store_write_contended": self.write_contended,
         }

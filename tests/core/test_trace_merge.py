@@ -1,0 +1,79 @@
+"""Tests for worker-stamped trace events and deterministic merging."""
+
+from repro.core.campaign import CbvReport
+from repro.core.report import report_to_dict
+from repro.core.trace import CampaignTrace, TraceEvent
+
+
+def test_single_process_serialization_is_unchanged():
+    trace = CampaignTrace()
+    trace.emit("stage_start", name="schematic")
+    d = trace.to_dicts()[0]
+    assert "worker" not in d  # empty worker id stays off the wire
+    assert TraceEvent.from_dict(d).worker == ""
+
+
+def test_worker_id_stamps_every_event_and_round_trips():
+    trace = CampaignTrace(worker_id="w3")
+    trace.emit("job_start", name="dp:prepare")
+    trace.emit("job_end", name="dp:prepare", status="ok")
+    assert all(e.worker == "w3" for e in trace.events)
+    dicts = trace.to_dicts()
+    assert all(d["worker"] == "w3" for d in dicts)
+    restored = CampaignTrace.from_dicts(dicts)
+    # Compare the wire form: to_dict rounds clock readings, so the
+    # serialized stream (not raw float identity) is the invariant.
+    assert restored.to_dicts() == dicts
+
+
+def test_replay_restamps_worker_seq_and_clock():
+    src = CampaignTrace(worker_id="w1")
+    src.emit("check_end", name="charge_sharing", status="ok", wall_s=0.5,
+             counters={"findings": 2.0})
+    dst = CampaignTrace(worker_id="w2")
+    dst.emit("battery_start")
+    dst.replay(src.to_dicts())
+    replayed = dst.events[1]
+    assert replayed.worker == "w2" and replayed.seq == 1
+    # Content survives; only the identity stamps are local.
+    assert replayed.name == "charge_sharing"
+    assert replayed.wall_s == 0.5
+    assert replayed.counters == {"findings": 2.0}
+
+
+def test_merge_orders_by_worker_then_seq_regardless_of_input_order():
+    fleet = CampaignTrace(worker_id="fleet")
+    fleet.emit("fleet_start")
+    w0 = CampaignTrace(worker_id="w0")
+    w0.emit("job_start", name="a")
+    w0.emit("job_end", name="a")
+    w1 = CampaignTrace(worker_id="w1")
+    w1.emit("job_start", name="b")
+
+    forward = CampaignTrace.merge([fleet, w0, w1])
+    # One source as raw dicts, sources shuffled: same merged log.
+    backward = CampaignTrace.merge([w1.to_dicts(), fleet, w0])
+    assert forward.to_dicts() == backward.to_dicts()
+    keys = [(e.worker, e.seq) for e in forward.events]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)
+    assert [e.worker for e in forward.events] == ["fleet", "w0", "w0", "w1"]
+
+
+def test_canonical_report_strips_worker_ids_and_worker_counts():
+    trace = CampaignTrace(worker_id="w7")
+    trace.emit("battery_start",
+               counters={"checks": 17.0, "workers": 4.0})
+    trace.emit("check_end", name="erc", status="ok", wall_s=0.1)
+    report = CbvReport(bundle_name="dp", trace=trace)
+
+    full = report_to_dict(report)["trace"]
+    assert full[0]["worker"] == "w7"
+    assert full[0]["counters"]["workers"] == 4.0
+
+    canonical = report_to_dict(report, canonical=True)["trace"]
+    for event in canonical:
+        assert "worker" not in event
+        assert "wall_s" not in event and "seq" not in event
+    # The shard/process count is run mechanics, not a verdict.
+    assert canonical[0]["counters"] == {"checks": 17.0}

@@ -1,0 +1,63 @@
+"""Shared design factory and hostile check for the fleet tests.
+
+Everything here is module-level so fleet workers can unpickle the
+bundle factory (and the killer check class) by reference, and so the
+in-test single-process baseline hashes the very same RTL-intent lambda
+code objects -- the same trick ``tests/core/checkpoint_harness.py``
+uses for the kill-and-resume acceptance test.
+"""
+
+import os
+import signal
+
+from repro.checks.base import Check
+from repro.core.campaign import DesignBundle
+from repro.netlist.builder import CellBuilder
+from repro.process.technology import strongarm_technology
+from repro.timing.clocking import TwoPhaseClock
+
+#: Environment variable naming the kill sentinel file.  Workers inherit
+#: it across fork; the first battery that runs :class:`KillWorkerOnce`
+#: with no sentinel on disk creates it and SIGKILLs its own process.
+SENTINEL_ENV = "REPRO_FLEET_KILL_SENTINEL"
+
+
+def dp_bundle() -> DesignBundle:
+    b = CellBuilder("dp", ports=["a", "b", "c", "y", "q", "clk", "clk_b"])
+    b.nand(["a", "b"], "n1")
+    b.inverter("n1", "and_ab")
+    b.nor(["and_ab", "c"], "y")
+    b.transparent_latch("y", "q", "clk", "clk_b")
+    return DesignBundle(
+        name="dp",
+        cell=b.build(),
+        technology=strongarm_technology(),
+        clock=TwoPhaseClock(period_s=6.25e-9, non_overlap_s=0.1e-9),
+        clock_hints=("clk", "clk_b"),
+        rtl_intent={"y": lambda a, b, c: not ((a and b) or c)},
+        rtl_inputs={"y": ("a", "b", "c")},
+    )
+
+
+class KillWorkerOnce(Check):
+    """SIGKILL the hosting worker -- but only the first time, fleet-wide.
+
+    The sentinel file (``O_EXCL``-claimed, so exactly one process dies
+    even if two run the check concurrently) makes the retry -- and the
+    single-process baseline run afterwards -- sail through cleanly with
+    zero findings, keeping the canonical reports comparable.
+    """
+
+    name = "kill_worker_once"
+
+    def run(self, ctx):
+        sentinel = os.environ.get(SENTINEL_ENV)
+        if not sentinel:
+            return []
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return []
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return []  # unreachable

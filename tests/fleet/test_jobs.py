@@ -1,0 +1,81 @@
+"""Unit tests for fleet job decomposition and check partitioning."""
+
+import pytest
+
+from repro.checks.registry import ALL_CHECKS
+from repro.core.campaign import DesignBundle
+from repro.fleet.jobs import (
+    FleetConfig,
+    JobKind,
+    battery_jobs,
+    finalize_job,
+    partition_checks,
+    prepare_job,
+    resolve_bundle,
+    shard_count_for,
+)
+
+
+def test_partition_covers_registry_contiguously():
+    for n in range(0, 40):
+        for k in range(1, 8):
+            bounds = partition_checks(n, k)
+            # Concatenated in order, the slices reproduce range(n) --
+            # the invariant the merged battery's byte-identity rests on.
+            flat = [i for lo, hi in bounds for i in range(lo, hi)]
+            assert flat == list(range(n))
+            sizes = [hi - lo for lo, hi in bounds]
+            assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_never_makes_empty_shards():
+    assert partition_checks(3, 10) == [(0, 1), (1, 2), (2, 3)]
+    assert partition_checks(0, 4) == [(0, 0)]
+    with pytest.raises(ValueError):
+        partition_checks(-1, 2)
+
+
+def test_shard_count_respects_cccs_checks_and_limit():
+    assert shard_count_for(0, 17, 4) == 1
+    assert shard_count_for(1, 17, 4) == 1
+    assert shard_count_for(3, 17, 4) == 3
+    assert shard_count_for(100, 17, 4) == 4
+    assert shard_count_for(100, 2, 4) == 2
+
+
+def test_job_graph_shapes():
+    config = FleetConfig(battery_shards=4)
+    prep = prepare_job("dp", "tests:whatever")
+    assert prep.job_id == "dp:prepare"
+    assert prep.kind is JobKind.PREPARE and prep.deps == ()
+
+    shards = battery_jobs("dp", "tests:whatever", cccs=10, config=config)
+    assert len(shards) == 4
+    assert [j.job_id for j in shards] == [
+        "dp:battery[1/4]", "dp:battery[2/4]",
+        "dp:battery[3/4]", "dp:battery[4/4]"]
+    assert all(j.deps == ("dp:prepare",) for j in shards)
+    lo_hi = [(j.shard.lo, j.shard.hi) for j in shards]
+    assert lo_hi == partition_checks(len(ALL_CHECKS), 4)
+
+    fin = finalize_job("dp", "tests:whatever", shards)
+    assert fin.job_id == "dp:finalize"
+    assert fin.deps == tuple(j.job_id for j in shards)
+    assert fin.shards == tuple(j.shard for j in shards)
+
+    inline = finalize_job("dp", "tests:whatever", [])
+    assert inline.shards == () and inline.deps == ()
+
+
+def test_resolve_bundle_from_string_and_callable():
+    bundle = resolve_bundle("repro.fleet.suite:adder8")
+    assert isinstance(bundle, DesignBundle) and bundle.name == "adder8"
+    from repro.fleet.suite import adder8
+    assert resolve_bundle(adder8).name == "adder8"
+
+
+def test_resolve_bundle_rejects_bad_refs():
+    with pytest.raises(ValueError, match="module:factory"):
+        resolve_bundle("no-colon-here")
+    with pytest.raises(TypeError, match="not a DesignBundle"):
+        resolve_bundle(lambda: 42)

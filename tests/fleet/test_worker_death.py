@@ -1,0 +1,53 @@
+"""Worker-supervision acceptance: SIGKILL a worker mid-battery.
+
+A hostile check (see :mod:`fleet_harness`) SIGKILLs the first worker
+process that runs it, exactly once fleet-wide.  The supervisor must
+detect the death, requeue the dead worker's leased job onto a freshly
+spawned replacement, and still deliver a merged report canonically
+byte-identical to a single-process run of the same check list.
+"""
+
+from fleet_harness import SENTINEL_ENV, KillWorkerOnce, dp_bundle
+
+from repro.checks.registry import ALL_CHECKS
+from repro.core.campaign import CbvCampaign
+from repro.core.report import report_to_json
+from repro.fleet import FleetConfig, run_fleet
+
+HOSTILE_CHECKS = ALL_CHECKS + (KillWorkerOnce,)
+
+
+def test_sigkilled_worker_is_replaced_and_report_matches(tmp_path,
+                                                         monkeypatch):
+    sentinel = tmp_path / "kill.sentinel"
+    monkeypatch.setenv(SENTINEL_ENV, str(sentinel))
+    config = FleetConfig(store_dir=str(tmp_path / "store"),
+                         checks=HOSTILE_CHECKS,
+                         heartbeat_s=0.1, lease_s=10.0,
+                         fleet_timeout_s=120.0)
+    result = run_fleet({"dp": dp_bundle}, workers=2, config=config)
+
+    # The check fired (and therefore a worker actually died mid-battery).
+    assert sentinel.exists()
+    assert result.failed == {}
+    m = result.metrics
+    assert m.workers_dead == 1
+    assert m.workers_spawned == 3  # 2 initial + 1 replacement
+    assert m.retries >= 1
+
+    events = [e.event for e in result.trace.events]
+    assert "worker_dead" in events
+    assert "worker_spawn" in events
+    assert "job_requeue" in events
+    # The replacement got a fresh id: (worker, seq) identities in the
+    # merged log never collide even across a respawn.
+    assert "w2" in {e.worker for e in result.trace.events}
+    keys = [(e.worker, e.seq) for e in result.trace.events]
+    assert len(set(keys)) == len(keys)
+
+    # With the sentinel present the hostile check is a clean no-op, so
+    # the single-process baseline is directly comparable -- and the
+    # fleet's merged report must match it byte for byte.
+    baseline = CbvCampaign(dp_bundle()).run(checks=HOSTILE_CHECKS)
+    assert (report_to_json(result.reports["dp"], canonical=True)
+            == report_to_json(baseline, canonical=True))
