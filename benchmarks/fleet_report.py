@@ -102,6 +102,7 @@ def main() -> int:
         "speedup_4w_over_1w": round(speedup, 3),
         "speedup_floor": FLOOR,
         "floor_enforced": floor_enforced,
+        "floor_waived": not floor_enforced,
     }
     if not floor_enforced:
         payload["floor_waived_reason"] = (

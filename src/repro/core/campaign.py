@@ -50,6 +50,7 @@ from repro.perf import collect_counters
 from repro.perf.stopwatch import Stopwatch
 from repro.process.technology import Technology
 from repro.recognition.recognizer import RecognizedDesign, recognize
+from repro.switchsim import Logic, OscillationError, SwitchSimulator
 from repro.timing.analyzer import TimingReport
 from repro.timing.arccache import ArcPriceCache
 from repro.timing.clocking import TwoPhaseClock
@@ -76,6 +77,18 @@ class DesignBundle:
         Output net -> boolean predicate over named inputs -- the
         RTL-equivalence obligations.  ``rtl_inputs`` names the input
         ordering per output.
+    functional_vectors:
+        Switch-level stimulus for the logic stage's simulation leg:
+        a sequence of steps, each mapping net name -> ``0`` / ``1`` /
+        :class:`~repro.switchsim.Logic` / ``"release"`` (stop driving).
+        Each step is applied (nets in sorted order) and settled before
+        the next.  ``functional_probes`` names nets that must settle
+        to a known value after the last step -- an ``X`` probe fails
+        the stage, as does an oscillation during any step.
+    sim_engine:
+        Which switch-level engine runs the vectors: ``"vector"`` (the
+        default; routes packed tables through the session cache) or
+        ``"reference"`` (authoritative scalar semantics).
     use_layout:
         True: generate a macrocell and extract from geometry; False:
         wireload model (the feasibility-study mode).
@@ -90,6 +103,9 @@ class DesignBundle:
     clock_hints: tuple[str, ...] = ()
     rtl_intent: dict[str, Callable[..., bool]] = field(default_factory=dict)
     rtl_inputs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    functional_vectors: tuple = ()
+    functional_probes: tuple[str, ...] = ()
+    sim_engine: str = "vector"
     use_layout: bool = True
     #: Pre-extracted parasitics to use instead of the default wireload
     #: model when ``use_layout`` is False (e.g. a tuned WireloadModel).
@@ -409,7 +425,7 @@ class CbvCampaign:
 
         # -- logic verification -------------------------------------------------
         def logic() -> StageResult:
-            return self._logic_stage(art["design"])
+            return self._logic_stage(art["design"], art["flat"], cache)
 
         # -- circuit verification (the check battery) ---------------------------
         def circuit() -> StageResult:
@@ -562,7 +578,7 @@ class CbvCampaign:
              dict(requires=("flat",), capture=capture_extraction,
                   replay=replay_extraction)),
             (FlowStage.LOGIC_VERIFICATION, logic,
-             dict(requires=("design",))),
+             dict(requires=("design", "flat"))),
             (FlowStage.CIRCUIT_VERIFICATION, circuit,
              dict(requires=("flat", "design", "parasitics"),
                   capture=capture_circuit, replay=replay_circuit)),
@@ -591,12 +607,13 @@ class CbvCampaign:
         )
         return report
 
-    def _logic_stage(self, design: RecognizedDesign) -> StageResult:
+    def _logic_stage(self, design: RecognizedDesign, flat: FlatNetlist,
+                     cache=None) -> StageResult:
         bundle = self.bundle
-        if not bundle.rtl_intent:
+        if not bundle.rtl_intent and not bundle.functional_vectors:
             return StageResult(
                 stage=FlowStage.LOGIC_VERIFICATION, status=StageStatus.SKIPPED,
-                summary="no RTL intent declared",
+                summary="no RTL intent or functional vectors declared",
             )
         mismatches: list[str] = []
         checked = 0
@@ -615,12 +632,66 @@ class CbvCampaign:
             if not result.equivalent:
                 mismatches.append(
                     f"{output}: differs from intent at {result.counterexample}")
+        metrics = {"outputs_checked": float(checked)}
+        parts = []
+        if bundle.rtl_intent:
+            parts.append(f"{checked} outputs proven equivalent")
+        if bundle.functional_vectors:
+            problems, sim_metrics = self._functional_leg(flat, cache)
+            mismatches.extend(problems)
+            metrics.update(sim_metrics)
+            parts.append(f"{len(bundle.functional_vectors)} vectors simulated "
+                         f"({int(sim_metrics['sim_events'])} events, "
+                         f"{bundle.sim_engine} engine)")
+        metrics["mismatches"] = float(len(mismatches))
         status = StageStatus.FAIL if mismatches else StageStatus.PASS
         return StageResult(
             stage=FlowStage.LOGIC_VERIFICATION, status=status,
-            summary=f"{checked} outputs proven equivalent"
+            summary=", ".join(parts)
                     + (f"; {len(mismatches)} problems" if mismatches else ""),
-            metrics={"outputs_checked": float(checked),
-                     "mismatches": float(len(mismatches))},
+            metrics=metrics,
             details=mismatches,
         )
+
+    def _functional_leg(self, flat: FlatNetlist,
+                        cache) -> tuple[list[str], dict[str, float]]:
+        """Run the bundle's functional vectors through switch simulation.
+
+        Returns ``(problems, metrics)``.  The metrics surface the
+        engine's perf counters (``solve_count`` / ``skip_count`` /
+        ``ccc_evaluations`` ...) alongside ``sim_steps`` and
+        ``sim_events``, so campaign reports show how much solve work the
+        dirty-group machinery avoided.
+        """
+        bundle = self.bundle
+        kwargs: dict = {}
+        if bundle.sim_engine == "vector" and cache is not None:
+            kwargs["tables"] = cache.switch_tables(flat)
+        sim = SwitchSimulator(flat, engine=bundle.sim_engine,
+                              record_history=False, **kwargs)
+        problems: list[str] = []
+        events = 0
+        for step, stimuli in enumerate(bundle.functional_vectors):
+            for net in sorted(stimuli):
+                value = stimuli[net]
+                if value == "release":
+                    sim.release(net)
+                else:
+                    sim.drive(net, value)
+            try:
+                events += sim.settle()
+            except OscillationError as exc:
+                problems.append(f"functional step {step}: {exc}")
+                break
+        else:
+            for probe in bundle.functional_probes:
+                if sim.value(probe) is Logic.X:
+                    problems.append(
+                        f"functional probe {probe}: X after "
+                        f"{len(bundle.functional_vectors)} vector(s)")
+        metrics = collect_counters(
+            {"sim_steps": float(len(bundle.functional_vectors)),
+             "sim_events": float(events)},
+            sim.counters,
+        )
+        return problems, metrics

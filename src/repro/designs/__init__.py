@@ -21,7 +21,10 @@ circuit *styles* at configurable scale (DESIGN.md, "Substitutions"):
 * :mod:`~repro.designs.latch_zoo` -- "state-elements invented
   on-the-fly": the recognizer's acid test;
 * :mod:`~repro.designs.chipmodel` -- RTL-level chip models for the
-  throughput and shadow-mode experiments.
+  throughput and shadow-mode experiments;
+* :mod:`~repro.designs.chipscale` -- composite designs tiling minicore,
+  regfile, and SRAM under one clock tree to a target transistor count
+  (~1k/5k/10k), the honest scaling workloads for BENCH_switchsim.
 """
 
 from repro.designs.adders import domino_carry_adder, ripple_carry_adder
@@ -39,6 +42,7 @@ from repro.designs.latch_zoo import (
     sr_nand_latch,
 )
 from repro.designs.chipmodel import PipelineChip
+from repro.designs.chipscale import ChipScale, chip_scale
 from repro.designs.minicore import MiniCore, MiniCoreReference, mini_core
 
 __all__ = [
@@ -58,6 +62,8 @@ __all__ = [
     "pulsed_latch",
     "sr_nand_latch",
     "PipelineChip",
+    "ChipScale",
+    "chip_scale",
     "MiniCore",
     "MiniCoreReference",
     "mini_core",

@@ -34,6 +34,7 @@ from repro.process.technology import Technology
 from repro.recognition.ccc import ChannelConnectedComponent
 from repro.recognition.memo import ClassificationMemo
 from repro.recognition.recognizer import RecognizedDesign, recognize
+from repro.switchsim.tables import PackedSwitchTables
 
 
 class DesignCache:
@@ -53,6 +54,7 @@ class DesignCache:
         self._recognized: dict[tuple, tuple] = {}
         self._parasitics: dict[tuple, tuple] = {}
         self._annotated: dict[tuple, tuple] = {}
+        self._switch_tables: dict[tuple, tuple] = {}
         self.hits = 0
         self.misses = 0
 
@@ -105,6 +107,30 @@ class DesignCache:
         annotated = annotate(flat, parasitics, technology, corner)
         self._annotated[key] = (flat, parasitics, technology, annotated)
         return annotated
+
+    # -- switch-level simulation ----------------------------------------------
+
+    def switch_tables(self, flat: FlatNetlist,
+                      l_min_um: float = 0.35) -> PackedSwitchTables:
+        """Packed vector-engine solve tables for ``flat`` (cached).
+
+        Unlike the other artifacts, identity of the netlist object is
+        *not* enough here: a sizing loop mutates device geometry in
+        place, which would silently invalidate the packed conductances.
+        Every hit therefore re-checks the tables' content fingerprint
+        (cheap next to a rebuild -- path enumeration dominates) and
+        rebuilds on mismatch instead of serving stale arrays.
+        """
+        key = (id(flat), float(l_min_um))
+        entry = self._switch_tables.get(key)
+        if (entry is not None and entry[0] is flat
+                and entry[1].matches(flat, l_min_um)):
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        tables = PackedSwitchTables.build(flat, l_min_um=l_min_um)
+        self._switch_tables[key] = (flat, tables)
+        return tables
 
     # -- introspection --------------------------------------------------------
 

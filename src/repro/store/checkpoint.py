@@ -66,7 +66,7 @@ STAGE_INPUTS: dict[FlowStage, tuple[str, ...]] = {
     FlowStage.LAYOUT: ("topology", "geometry", "technology", "mode"),
     FlowStage.EXTRACTION: ("topology", "geometry", "technology", "mode"),
     FlowStage.LOGIC_VERIFICATION: (
-        "topology", "geometry", "clock_hints", "rtl"),
+        "topology", "geometry", "clock_hints", "rtl", "functional"),
     FlowStage.CIRCUIT_VERIFICATION: (
         "topology", "geometry", "technology", "mode", "clock",
         "clock_hints", "settings"),
@@ -91,6 +91,10 @@ def design_fingerprint(bundle) -> DesignFingerprint:
         "clock": fingerprint_value(bundle.clock),
         "clock_hints": fingerprint_value(list(bundle.clock_hints)),
         "rtl": _digest(["rtl", rtl]),
+        "functional": fingerprint_value(
+            [bundle.sim_engine,
+             [sorted(step.items()) for step in bundle.functional_vectors],
+             list(bundle.functional_probes)]),
         "mode": fingerprint_value(
             [bool(bundle.use_layout), bundle.parasitics]),
         "settings": fingerprint_value(bundle.check_settings),

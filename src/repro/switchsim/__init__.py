@@ -17,10 +17,25 @@ Key behaviours the full-custom circuit styles require:
 * **pessimistic X handling** -- a path whose gate conditions involve X
   is "possibly conducting"; a node that might be disturbed resolves to X
   rather than silently keeping a clean value.
+
+Two engines implement the same semantics: the pure-Python reference
+(:class:`SwitchSimulator`, authoritative) and the numpy-batched
+:class:`VectorSwitchSimulator` (``SwitchSimulator(flat,
+engine="vector")``), bit-identical and much faster on large designs.
 """
 
 from repro.switchsim.values import Logic, NetState
 from repro.switchsim.engine import OscillationError, SwitchSimulator
+from repro.switchsim.tables import PackedSwitchTables
+from repro.switchsim.vector import VectorSwitchSimulator
 from repro.switchsim.vcd import export_vcd
 
-__all__ = ["Logic", "NetState", "SwitchSimulator", "OscillationError", "export_vcd"]
+__all__ = [
+    "Logic",
+    "NetState",
+    "SwitchSimulator",
+    "VectorSwitchSimulator",
+    "PackedSwitchTables",
+    "OscillationError",
+    "export_vcd",
+]

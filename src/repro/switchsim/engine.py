@@ -95,11 +95,26 @@ class SwitchSimulator:
         False forces exhaustive re-solving of every channel net -- the
         seed engine's behaviour, kept as a cross-check and kill switch.
         Both modes produce identical states and history.
+    engine:
+        ``"reference"`` (the default) is this pure-Python event-driven
+        engine -- the authoritative semantics.  ``"vector"`` returns a
+        :class:`~repro.switchsim.vector.VectorSwitchSimulator` instead:
+        the numpy batched engine, bit-identical in states, history, and
+        oscillation behaviour, and much faster on large designs.
     """
+
+    def __new__(cls, *args, engine: str = "reference", **kwargs):
+        if engine not in ("reference", "vector"):
+            raise ValueError(f"unknown switch-sim engine {engine!r}; "
+                             f"expected 'reference' or 'vector'")
+        if engine == "vector" and cls is SwitchSimulator:
+            from repro.switchsim.vector import VectorSwitchSimulator
+            return object.__new__(VectorSwitchSimulator)
+        return object.__new__(cls)
 
     def __init__(self, flat: FlatNetlist, dominance_ratio: float = 2.5,
                  l_min_um: float = 0.35, record_history: bool = True,
-                 incremental: bool = True):
+                 incremental: bool = True, engine: str = "reference"):
         self.flat = flat
         self.dominance_ratio = dominance_ratio
         self.l_min_um = l_min_um
@@ -137,12 +152,17 @@ class SwitchSimulator:
         self.history: list[tuple[int, str, Logic]] = []
         #: Cheap perf counters: ccc_evaluations, net_solves (actual),
         #: naive_net_solves (what exhaustive evaluation would have done),
-        #: settle_calls.
+        #: settle_calls.  ``solve_count`` mirrors ``net_solves`` and
+        #: ``skip_count`` counts nets the dirty-set filter skipped, so
+        #: BENCH deltas can attribute work avoided vs work done:
+        #: ``solve_count + skip_count == naive_net_solves`` always.
         self.counters: dict[str, int] = {
             "ccc_evaluations": 0,
             "net_solves": 0,
             "naive_net_solves": 0,
             "settle_calls": 0,
+            "solve_count": 0,
+            "skip_count": 0,
         }
 
     # -- construction -------------------------------------------------------
@@ -310,8 +330,10 @@ class SwitchSimulator:
                 continue  # testbench owns it
             counters["naive_net_solves"] += 1
             if to_solve is not None and net not in to_solve:
+                counters["skip_count"] += 1
                 continue
             counters["net_solves"] += 1
+            counters["solve_count"] += 1
             new_state = self._solve_net(idx, net)
             old = self.state[net]
             if new_state.value != old.value or new_state.driven != old.driven:

@@ -1,0 +1,385 @@
+"""Packed array form of the switch-level simulation tables.
+
+The reference engine keeps its pre-enumerated conduction paths in
+per-CCC Python dicts; :class:`PackedSwitchTables` lowers exactly the
+same data into flat numpy arrays so the vector engine can solve whole
+batches of channel nets with array ops:
+
+* **rows** -- one row per (CCC, channel net), ordered by CCC index then
+  sorted net name.  This is the global solve space; a row id identifies
+  both the net and the owning component.
+* **paths CSR** -- ``path_ptr[row] : path_ptr[row+1]`` slices the per-row
+  conduction paths (source net, rail flag, series conductance), laid out
+  in the reference engine's accumulation order (source entries in
+  ``[vdd, gnd, sorted ports]`` order, enumeration order within an
+  entry), so masked segment sums reproduce its float results bit for
+  bit.
+* **conditions CSR** -- ``cond_ptr[path] : cond_ptr[path+1]`` slices the
+  (gate net, required level) pairs that must hold for the path to
+  conduct.
+* **waves** -- a static levelization of each CCC's intra-evaluation
+  dependencies.  The reference solves a CCC's nets in sorted order with
+  mid-pass state visibility, which fixes *two* read disciplines: a net
+  sees the **new** value of any dependency at an earlier sorted
+  position, and the **old** (pre-pass) value of any dependency at a
+  later position.  ``row_wave`` satisfies both: ``wave(reader) >
+  wave(dep)`` for earlier-position deps (new value visible) and
+  ``wave(dep) >= wave(reader)`` for later-position deps (update not yet
+  applied when the reader solves).  Both constraint kinds point from
+  earlier to later sorted positions, so one sorted pass computes the
+  fixpoint.  Solving wave 0, then wave 1, ... with updates applied
+  between waves then observes exactly the same intermediate states as
+  the sequential sweep.
+* **affected / aff_later CSR** -- the dirty-propagation tables: which
+  rows must re-solve when a trigger net changes, and (for mid-pass
+  expansion) only the rows at a *later* sorted position than the
+  changed net, which is all the sequential pass would still reach.
+
+Tables depend only on the flat netlist topology/geometry and
+``l_min_um``; they are immutable once built and safe to share across
+simulators.  :meth:`fingerprint_of` digests everything the build read,
+so caches (see :meth:`repro.perf.DesignCache.switch_tables`) can detect
+in-place netlist mutation (e.g. a sizing loop resizing devices) and
+rebuild instead of serving stale conductances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.netlist.flatten import FlatNetlist
+from repro.recognition.ccc import ChannelConnectedComponent, extract_cccs
+from repro.recognition.conduction import conduction_paths
+
+
+def csr_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of the concatenated CSR segments ``[s, s+c)``.
+
+    The standard vectorized gather: for segment k, emits
+    ``starts[k], starts[k]+1, ..., starts[k]+counts[k]-1`` in order.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts  # exclusive prefix sum
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+class PackedSwitchTables:
+    """Immutable packed solve tables for one flat netlist.
+
+    Build with :meth:`build`; share freely between
+    :class:`~repro.switchsim.vector.VectorSwitchSimulator` instances of
+    the *same* (unmutated) netlist.
+    """
+
+    def __init__(self) -> None:
+        # -- identity --------------------------------------------------
+        self.flat: FlatNetlist | None = None
+        self.l_min_um: float = 0.35
+        self.fingerprint: str = ""
+        # -- nets ------------------------------------------------------
+        self.net_names: list[str] = []
+        self.net_ids: dict[str, int] = {}
+        self.n_nets: int = 0
+        # -- components ------------------------------------------------
+        self.cccs: list[ChannelConnectedComponent] = []
+        self.gate_readers: dict[str, list[int]] = {}
+        self.port_cccs: dict[str, list[int]] = {}
+        self.net_cccs: dict[str, list[int]] = {}
+        # -- rows ------------------------------------------------------
+        self.n_rows: int = 0
+        self.row_net: np.ndarray = np.empty(0, np.int64)
+        self.row_name: list[str] = []
+        self.row_ccc: np.ndarray = np.empty(0, np.int64)
+        self.row_wave: np.ndarray = np.empty(0, np.int64)
+        self.ccc_row_start: np.ndarray = np.empty(0, np.int64)
+        self.ccc_row_end: np.ndarray = np.empty(0, np.int64)
+        self.ccc_rows_arr: list[np.ndarray] = []
+        # -- paths CSR -------------------------------------------------
+        self.path_ptr: np.ndarray = np.zeros(1, np.int64)
+        self.path_src: np.ndarray = np.empty(0, np.int64)
+        self.path_src_rail: np.ndarray = np.empty(0, bool)
+        self.path_g: np.ndarray = np.empty(0, np.float64)
+        # -- conditions CSR --------------------------------------------
+        self.cond_ptr: np.ndarray = np.zeros(1, np.int64)
+        self.cond_gate: np.ndarray = np.empty(0, np.int64)
+        self.cond_level: np.ndarray = np.empty(0, np.int8)
+        #: True when the condition's gate is a channel net of the row's
+        #: own CCC.  Internal gates read the in-evaluation overlay (wave
+        #: semantics); external gates must read the pre-pass base state
+        #: so speculative writes from *other* CCCs cannot leak in.
+        self.cond_internal: np.ndarray = np.empty(0, bool)
+        #: Owning path of each condition (the CSR row, materialized).
+        self.cond_path: np.ndarray = np.empty(0, np.int32)
+        #: Per gate-net incremental update lists: net id -> per required
+        #: level, ``(path ids, multiplicity)`` or ``None``.  When the
+        #: net's value changes, every listed path's blocking/unknown
+        #: condition counters shift by a *scalar* delta times the
+        #: multiplicity -- the engine never re-reads gate values per
+        #: condition (see ``VectorSwitchSimulator._shift_cond``).
+        #: ``net_cond_all`` covers every condition on the net (committed
+        #: value changes); ``net_cond_int`` only the conditions inside
+        #: the net's owning CCC (speculative mid-pass changes, which
+        #: must stay invisible to other CCCs).
+        self.net_cond_all: dict[int, tuple] = {}
+        self.net_cond_int: dict[int, tuple] = {}
+        # -- dirty propagation -----------------------------------------
+        #: per CCC: trigger net name -> rows to (re-)solve, all positions.
+        self.affected_rows: list[dict[str, np.ndarray]] = []
+        #: per row (as a changed trigger): same-CCC rows at a later
+        #: sorted position -- the mid-pass expansion set.
+        self.aff_later_ptr: np.ndarray = np.zeros(1, np.int64)
+        self.aff_later_rows: np.ndarray = np.empty(0, np.int64)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def fingerprint_of(flat: FlatNetlist, l_min_um: float) -> str:
+        """Digest of everything the packed build reads from the netlist.
+
+        Covers device topology *and* geometry (conductances come from
+        W/L) plus net port-ness (ports become solve sources), so any
+        in-place mutation that could change simulation behaviour
+        changes the fingerprint.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr((flat.name, float(l_min_um),
+                       len(flat.transistors))).encode())
+        for t in flat.transistors:
+            h.update(repr((t.name, t.polarity, t.gate, t.drain, t.source,
+                           t.w_um, t.l_um, t.l_add_um)).encode())
+        for name in sorted(flat.nets):
+            h.update(repr((name, flat.nets[name].is_port)).encode())
+        return h.hexdigest()
+
+    @classmethod
+    def build(cls, flat: FlatNetlist,
+              l_min_um: float = 0.35) -> "PackedSwitchTables":
+        self = cls()
+        self.flat = flat
+        self.l_min_um = l_min_um
+        self.fingerprint = cls.fingerprint_of(flat, l_min_um)
+        self.cccs = extract_cccs(flat)
+
+        # Net id space: every netlist net plus the canonical rails.
+        names = sorted(flat.nets)
+        known = set(names)
+        for rail in ("vdd", "gnd"):
+            if rail not in known:
+                names.append(rail)
+        self.net_names = names
+        self.net_ids = {n: i for i, n in enumerate(names)}
+        self.n_nets = len(names)
+        nid = self.net_ids
+
+        conductance = {
+            t.name: (1.0 if t.polarity == "nmos" else 0.4)
+                    * t.w_um / t.effective_length(l_min_um)
+            for t in flat.transistors
+        }
+
+        def path_conductance(path) -> float:
+            # Bit-identical to the reference engine's series formula.
+            inv_total = 0.0
+            for dev in path.devices:
+                g = conductance[dev]
+                if g <= 0:
+                    return 0.0
+                inv_total += 1.0 / g
+            return 1.0 / inv_total if inv_total else float("inf")
+
+        row_net: list[int] = []
+        row_ccc: list[int] = []
+        row_wave: list[int] = []
+        path_ptr: list[int] = [0]
+        path_src: list[int] = []
+        path_src_rail: list[bool] = []
+        path_g: list[float] = []
+        cond_ptr: list[int] = [0]
+        cond_gate: list[int] = []
+        cond_level: list[int] = []
+        cond_internal: list[bool] = []
+        aff_later: list[list[int]] = []
+
+        for ccc in self.cccs:
+            base = len(row_net)
+            sorted_nets = sorted(ccc.channel_nets)
+            pos = {net: i for i, net in enumerate(sorted_nets)}
+            sources = ["vdd", "gnd"] + sorted(
+                n for n in ccc.channel_nets
+                if flat.nets[n].is_port
+            )
+            deps_of: dict[str, set[str]] = {}
+            for net in sorted_nets:
+                deps: set[str] = {net}
+                for src in sources:
+                    if src == net:
+                        continue
+                    paths = conduction_paths(ccc, net, src)
+                    if not paths:
+                        continue
+                    if src not in ("vdd", "gnd"):
+                        deps.add(src)
+                    src_id = nid[src]
+                    is_rail = src in ("vdd", "gnd")
+                    for p in paths:
+                        path_src.append(src_id)
+                        path_src_rail.append(is_rail)
+                        path_g.append(path_conductance(p))
+                        for gate, level in p.conditions:
+                            cond_gate.append(nid[gate])
+                            cond_level.append(1 if level else 0)
+                            cond_internal.append(gate in ccc.channel_nets)
+                            deps.add(gate)
+                        cond_ptr.append(len(cond_gate))
+                path_ptr.append(len(path_src))
+                deps_of[net] = deps
+                row_net.append(nid[net])
+                row_ccc.append(ccc.index)
+
+            # Static wave levels.  Two constraints (see module docs):
+            #   wave(net) > wave(d)   for deps d at an earlier position
+            #     (net must see d's freshly-applied value), and
+            #   wave(net) >= wave(r)  for readers r at an earlier
+            #     position that depend on net (r must still see net's
+            #     pre-pass value when it solves).
+            # Every constraint edge runs from an earlier to a later
+            # sorted position, so one ascending pass reaches the
+            # fixpoint.
+            readers_of: dict[str, list[str]] = {}
+            for net in sorted_nets:
+                for d in deps_of[net]:
+                    if d in pos and pos[d] > pos[net]:
+                        readers_of.setdefault(d, []).append(net)
+            wave: dict[str, int] = {}
+            for net in sorted_nets:
+                w = 0
+                for d in deps_of[net]:
+                    if d in pos and pos[d] < pos[net]:
+                        w = max(w, wave[d] + 1)
+                for r in readers_of.get(net, ()):
+                    w = max(w, wave[r])
+                wave[net] = w
+                row_wave.append(w)
+
+            # Dirty propagation: trigger -> rows, and per-row expansion
+            # restricted to later positions (what the sequential pass
+            # would still reach after the trigger changed).
+            affected: dict[str, set[str]] = {}
+            for net in sorted_nets:
+                for trigger in deps_of[net]:
+                    affected.setdefault(trigger, set()).add(net)
+            self.affected_rows.append({
+                trigger: np.array(sorted(base + pos[m] for m in nets_),
+                                  dtype=np.int64)
+                for trigger, nets_ in affected.items()
+            })
+            for net in sorted_nets:
+                later = affected.get(net, ())
+                aff_later.append(sorted(
+                    base + pos[m] for m in later if pos[m] > pos[net]))
+
+            for gate in ccc.gate_nets():
+                self.gate_readers.setdefault(gate, []).append(ccc.index)
+            for net in ccc.channel_nets:
+                self.net_cccs.setdefault(net, []).append(ccc.index)
+                if flat.nets[net].is_port:
+                    self.port_cccs.setdefault(net, []).append(ccc.index)
+
+        self.n_rows = len(row_net)
+        self.row_net = np.array(row_net, np.int64)
+        self.row_name = [self.net_names[i] for i in row_net]
+        self.row_ccc = np.array(row_ccc, np.int64)
+        self.row_wave = np.array(row_wave, np.int64)
+        self.path_ptr = np.array(path_ptr, np.int64)
+        self.path_src = np.array(path_src, np.int64)
+        self.path_src_rail = np.array(path_src_rail, bool)
+        self.path_g = np.array(path_g, np.float64)
+        self.cond_ptr = np.array(cond_ptr, np.int64)
+        self.cond_gate = np.array(cond_gate, np.int64)
+        self.cond_level = np.array(cond_level, np.int8)
+        self.cond_internal = np.array(cond_internal, bool)
+
+        # Incremental condition machinery: materialize each condition's
+        # owning path, then group conditions by (gate net, section)
+        # where section encodes internal/external x required level.
+        # A net value change shifts the grouped paths' bad/unknown
+        # counters by one scalar delta each -- O(fan-out) with no
+        # per-condition value reads.
+        n_paths = self.path_src.size
+        ccounts = self.cond_ptr[1:] - self.cond_ptr[:-1]
+        self.cond_path = np.repeat(np.arange(n_paths, dtype=np.int32),
+                                   ccounts)
+        if self.cond_gate.size:
+            sec = (np.where(self.cond_internal, 0, 2)
+                   + self.cond_level.astype(np.int64))
+            key = self.cond_gate * 4 + sec
+            order = np.argsort(key, kind="stable")
+            ks = key[order]
+            ps = self.cond_path[order]
+            cuts = np.flatnonzero(ks[1:] != ks[:-1]) + 1
+            bounds = np.concatenate(([0], cuts, [ks.size]))
+            grouped: dict[int, list] = {}
+            for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+                nid_, sec_ = divmod(int(ks[a]), 4)
+                paths, mult = np.unique(ps[a:b], return_counts=True)
+                entry = grouped.setdefault(nid_, [None] * 4)
+                entry[sec_] = (paths, mult.astype(np.int32))
+
+            def merge(x, y):
+                # Internal/external path sets are disjoint (a path
+                # belongs to exactly one CCC), so plain concatenation
+                # keeps fancy-indexed += well-defined.
+                if x is None:
+                    return y
+                if y is None:
+                    return x
+                return (np.concatenate((x[0], y[0])),
+                        np.concatenate((x[1], y[1])))
+
+            for nid_, (il0, il1, el0, el1) in grouped.items():
+                self.net_cond_all[nid_] = (merge(il0, el0),
+                                           merge(il1, el1))
+                if il0 is not None or il1 is not None:
+                    self.net_cond_int[nid_] = (il0, il1)
+
+        ptr = [0]
+        flat_rows: list[int] = []
+        for targets in aff_later:
+            flat_rows.extend(targets)
+            ptr.append(len(flat_rows))
+        self.aff_later_ptr = np.array(ptr, np.int64)
+        self.aff_later_rows = np.array(flat_rows, np.int64)
+
+        starts: list[int] = []
+        ends: list[int] = []
+        cursor = 0
+        for ccc in self.cccs:
+            n = len(ccc.channel_nets)
+            starts.append(cursor)
+            ends.append(cursor + n)
+            self.ccc_rows_arr.append(
+                np.arange(cursor, cursor + n, dtype=np.int64))
+            cursor += n
+        self.ccc_row_start = np.array(starts, np.int64)
+        self.ccc_row_end = np.array(ends, np.int64)
+        return self
+
+    # -- introspection -------------------------------------------------
+
+    def matches(self, flat: FlatNetlist, l_min_um: float) -> bool:
+        """True when these tables are still valid for ``flat``."""
+        return (self.l_min_um == l_min_um
+                and self.fingerprint == self.fingerprint_of(flat, l_min_um))
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "packed_rows": self.n_rows,
+            "packed_paths": int(self.path_src.size),
+            "packed_conditions": int(self.cond_gate.size),
+            "packed_max_wave": int(self.row_wave.max())
+            if self.n_rows else 0,
+        }

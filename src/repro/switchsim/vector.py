@@ -1,0 +1,578 @@
+"""Numpy-batched switch-level simulation engine.
+
+:class:`VectorSwitchSimulator` is a drop-in replacement for the
+reference :class:`~repro.switchsim.engine.SwitchSimulator` -- same
+constructor, same testbench interface, same :class:`Logic` results,
+same history stream, same oscillation detection -- that replaces the
+per-net Python dispatch with batched numpy array ops over
+:class:`~repro.switchsim.tables.PackedSwitchTables`.  It is built to be
+**bit-identical** to the reference engine, not merely equivalent; the
+reference stays authoritative and the equivalence is property-tested
+(``tests/switchsim/test_vector_equivalence.py``).
+
+Two levels of batching recover the reference's strictly sequential
+semantics:
+
+**Speculative frontier scheduling (across CCCs).**  The reference pops
+one CCC at a time from a smallest-index-first worklist.  Here, every
+pending CCC is evaluated *speculatively* in one batched pass against a
+copy of the current state, then results are applied one CCC at a time
+in exactly the reference's pop order.  Before applying a CCC's result
+we check its dirty-version counter: any disturbance recorded since the
+speculation (a gate or port input changed by an earlier apply) bumps
+the counter and the stale result is discarded, falling back to a fresh
+speculation pass.  A surviving result provably read nothing any earlier
+apply wrote: cross-CCC influence flows only through gate/port nets,
+every such write bumps the reader's version, and external nets are read
+from the pre-pass base state (see ``cond_internal`` in the tables), so
+applying a surviving result is exactly what the reference would have
+computed at that point.  When the frontier is wide (independent CCCs,
+the common case after a clock edge) one numpy pass replaces hundreds of
+Python evaluations and nothing is discarded.
+
+**Wave-leveled solving (within and across CCC evaluations).**  Inside
+one evaluation the reference solves channel nets in sorted order with
+mid-pass visibility.  The packed tables levelize that order into static
+*waves* such that solving whole waves at once -- all CCCs together --
+observes exactly the sequential intermediate states; mid-pass
+expansions (a changed net opening paths for later nets) always target
+strictly greater waves, so the wave sweep picks them up like the
+sequential pass would.
+
+The per-net resolution (conductance buckets, dominance-ratio fights,
+charge retention) is evaluated with masked ``np.bincount`` segment
+sums, which accumulate in array order -- the same float addition order
+as the reference's scalar loop, hence bit-identical conductance totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.netlist.flatten import FlatNetlist
+from repro.switchsim.engine import OscillationError, SwitchSimulator
+from repro.switchsim.tables import PackedSwitchTables, csr_gather
+from repro.switchsim.values import Logic, NetState
+
+_LOGIC = (Logic.ZERO, Logic.ONE, Logic.X)
+
+# Whether a gate value blocks a condition, by [required level][value];
+# X (value 2) is never definitely blocking, it makes the path "maybe".
+_IS_BAD = ((0, 1, 0), (1, 0, 0))
+
+
+class _Speculation:
+    """Result of one batched speculative pass over a frontier snapshot.
+
+    ``rows``/``val``/``drv``/``vchg`` hold the state-changing rows of
+    *all* snapshot CCCs, sorted by global row id (which is (CCC, net)
+    order, so per-CCC slices are contiguous and already in the
+    reference's history order).  ``solved[ccc]`` counts rows actually
+    solved for that CCC; ``versions`` are the dirty-version counters at
+    speculation time, checked before each apply.
+    """
+
+    __slots__ = ("versions", "rows", "val", "drv", "vchg", "solved")
+
+    def __init__(self, versions, rows, val, drv, vchg, solved):
+        self.versions = versions
+        self.rows = rows
+        self.val = val
+        self.drv = drv
+        self.vchg = vchg
+        self.solved = solved
+
+
+class VectorSwitchSimulator(SwitchSimulator):
+    """Batched numpy engine behind the :class:`SwitchSimulator` API.
+
+    Construct directly, or via ``SwitchSimulator(flat, engine="vector")``.
+    Accepts an optional pre-built ``tables`` (see
+    :meth:`repro.perf.DesignCache.switch_tables`) to skip the packed
+    build; the tables' fingerprint is checked against the netlist.
+    """
+
+    def __init__(self, flat: FlatNetlist, dominance_ratio: float = 2.5,
+                 l_min_um: float = 0.35, record_history: bool = True,
+                 incremental: bool = True, engine: str = "vector",
+                 tables: PackedSwitchTables | None = None):
+        if tables is None:
+            tables = PackedSwitchTables.build(flat, l_min_um=l_min_um)
+        elif not tables.matches(flat, l_min_um):
+            raise ValueError(
+                "packed switch tables are stale for this netlist (device "
+                "geometry/topology changed since they were built); rebuild "
+                "them or use DesignCache.switch_tables")
+        self._tables = tables
+        self.flat = flat
+        self.dominance_ratio = dominance_ratio
+        self.l_min_um = l_min_um
+        self.record_history = record_history
+        self.incremental = incremental
+        self.cccs = tables.cccs
+        self.state: dict[str, NetState] = {
+            name: NetState() for name in flat.nets
+        }
+        self.state["vdd"] = NetState(Logic.ONE, driven=True)
+        self.state["gnd"] = NetState(Logic.ZERO, driven=True)
+        self._externally_driven: dict[str, Logic] = {}
+        n = tables.n_nets
+        # Numpy mirror of self.state, kept in lockstep: the state dict
+        # stays authoritative for all API reads, the arrays feed the
+        # batched solves.
+        self._val = np.full(n, 2, np.int8)
+        self._driven = np.zeros(n, bool)
+        self._ext = np.zeros(n, bool)
+        for rail, level in (("vdd", 1), ("gnd", 0)):
+            rid = tables.net_ids[rail]
+            self._val[rid] = level
+            self._driven[rid] = True
+        self._gate_readers = tables.gate_readers
+        self._port_cccs = tables.port_cccs
+        self._net_cccs = tables.net_cccs
+        # Incremental path classification: per conduction path, how many
+        # gate conditions are definitely blocking / at X right now.
+        # Maintained by _shift_cond on every net value change instead of
+        # re-reading gate values per condition on every solve.
+        n_paths = tables.path_src.size
+        if tables.cond_gate.size:
+            gv = self._val[tables.cond_gate]
+            bad = np.where(tables.cond_level == 1, gv == 0, gv == 1)
+            self._n_bad = np.bincount(
+                tables.cond_path, weights=bad,
+                minlength=n_paths).astype(np.int32)
+            self._n_unk = np.bincount(
+                tables.cond_path, weights=gv == 2,
+                minlength=n_paths).astype(np.int32)
+        else:
+            self._n_bad = np.zeros(n_paths, np.int32)
+            self._n_unk = np.zeros(n_paths, np.int32)
+        self._dirty: list[set[str] | None] = [None] * len(tables.cccs)
+        # Bumped on *every* disturbance of a CCC's fan-in -- including
+        # ones that land while its dirty set is None -- so speculative
+        # results can detect staleness exactly.
+        self._dirty_version = [0] * len(tables.cccs)
+        self.time = 0
+        self.history: list[tuple[int, str, Logic]] = []
+        self.counters: dict[str, int] = {
+            "ccc_evaluations": 0,
+            "net_solves": 0,
+            "naive_net_solves": 0,
+            "settle_calls": 0,
+            "solve_count": 0,
+            "skip_count": 0,
+            # vector-only: batched passes run, and speculative CCC
+            # results discarded as stale (pure waste, never wrong).
+            "vector_passes": 0,
+            "vector_wasted_evals": 0,
+        }
+
+    @property
+    def tables(self) -> PackedSwitchTables:
+        return self._tables
+
+    # -- testbench interface (array mirror maintenance) ----------------
+
+    def _touch(self, net: str) -> None:
+        for idx in self._gate_readers.get(net, ()):
+            d = self._dirty[idx]
+            if d is not None:
+                d.add(net)
+            self._dirty_version[idx] += 1
+        for idx in self._net_cccs.get(net, ()):
+            d = self._dirty[idx]
+            if d is not None:
+                d.add(net)
+            self._dirty_version[idx] += 1
+
+    def drive(self, net: str, value: Logic | int | bool) -> None:
+        super().drive(net, value)
+        self._sync_net(net)
+
+    def release(self, net: str) -> None:
+        super().release(net)
+        self._sync_net(net)
+
+    def _sync_net(self, net: str) -> None:
+        nid = self._tables.net_ids.get(net)
+        if nid is None:
+            return  # net unknown to the netlist: electrically inert
+        st = self.state[net]
+        old = int(self._val[nid])
+        new = st.value.value
+        self._val[nid] = new
+        self._driven[nid] = st.driven
+        self._ext[nid] = net in self._externally_driven
+        if new != old:
+            self._shift_cond(nid, old, new)
+
+    def _shift_cond(self, nid: int, old: int, new: int,
+                    internal_only: bool = False) -> None:
+        """Shift path condition counters for a gate value transition.
+
+        Committed changes (``internal_only=False``) update every
+        condition on the net; speculative mid-pass changes update only
+        the net's *internal* conditions (paths of its owning CCC, the
+        wave-semantics reads) and are exactly undone by calling this
+        again with ``old``/``new`` swapped -- the updates are additive
+        integer deltas on static index sets.
+        """
+        T = self._tables
+        upd = (T.net_cond_int if internal_only else T.net_cond_all).get(nid)
+        if upd is None:
+            return
+        du = (new == 2) - (old == 2)
+        n_bad = self._n_bad
+        n_unk = self._n_unk
+        for lvl in (0, 1):
+            ent = upd[lvl]
+            if ent is None:
+                continue
+            db = _IS_BAD[lvl][new] - _IS_BAD[lvl][old]
+            if not (db or du):
+                continue
+            paths, mult = ent
+            if db:
+                n_bad[paths] += db * mult
+            if du:
+                n_unk[paths] += du * mult
+
+    # -- the batched settle loop ---------------------------------------
+
+    def settle(self, max_events: int = 100000) -> int:
+        T = self._tables
+        n = len(T.cccs)
+        dirty = self._dirty
+        versions = self._dirty_version
+        gate_readers = self._gate_readers
+        port_cccs = self._port_cccs
+        counters = self.counters
+        if self.incremental:
+            heap = [i for i in range(n) if dirty[i] is None or dirty[i]]
+        else:
+            heap = list(range(n))
+        in_pending = [False] * n
+        pend = np.zeros(n, bool)  # numpy mirror for fast snapshot scans
+        for i in heap:
+            in_pending[i] = True
+            pend[i] = True
+        evaluations = 0
+        # Speculation cache: idx -> (version, spec, row slice, solved).
+        # Entries are single-use (dropped at apply, because applying a
+        # CCC changes its own internal nets without bumping its version)
+        # and version-guarded (any disturbance of the CCC's fan-in since
+        # speculation invalidates the entry).  The loop always applies
+        # the true heap minimum, so apply order is exactly the
+        # reference's pop order; the cache only decides whether that
+        # result comes from an earlier batched pass or a fresh one.
+        cache: dict[int, tuple[int, _Speculation, int, int, int]] = {}
+        # Adaptive speculation depth: grow toward the number of entries
+        # consumed between refills (wide independent frontiers), shrink
+        # when serial propagation invalidates entries quickly.
+        batch = 32
+        applied_since_refill = 0
+        while True:
+            while heap and not in_pending[heap[0]]:
+                heapq.heappop(heap)
+            if not heap:
+                break
+            idx = heap[0]
+            entry = cache.get(idx)
+            if entry is not None and entry[0] != versions[idx]:
+                counters["vector_wasted_evals"] += 1
+                del cache[idx]
+                entry = None
+            if entry is None:
+                batch = min(65536, max(16, 2 * applied_since_refill,
+                                       batch if applied_since_refill else 16))
+                applied_since_refill = 0
+                # Pending CCCs without a still-valid entry, ascending --
+                # the prefix is what the reference would pop next.
+                snap = []
+                for i in np.flatnonzero(pend).tolist():
+                    e = cache.get(i)
+                    if e is not None:
+                        if e[0] == versions[i]:
+                            continue
+                        counters["vector_wasted_evals"] += 1
+                    snap.append(i)
+                    if len(snap) == batch:
+                        break
+                spec = self._speculate(snap)
+                counters["vector_passes"] += 1
+                snap_arr = np.asarray(snap, np.int64)
+                lo = np.searchsorted(spec.rows, T.ccc_row_start[snap_arr])
+                hi = np.searchsorted(spec.rows, T.ccc_row_end[snap_arr])
+                for j, i in enumerate(snap):
+                    cache[i] = (spec.versions[i], spec, int(lo[j]),
+                                int(hi[j]), int(spec.solved[i]))
+                entry = cache[idx]
+            evaluations += 1
+            if evaluations > max_events:
+                raise OscillationError(
+                    f"design did not settle within {max_events} CCC "
+                    f"evaluations; combinational loop suspected"
+                )
+            in_pending[idx] = False
+            pend[idx] = False
+            heapq.heappop(heap)  # == idx: it was heap[0]
+            del cache[idx]
+            applied_since_refill += 1
+            changed = self._apply(idx, entry)
+            for net in changed:
+                for r in gate_readers.get(net, ()):
+                    d = dirty[r]
+                    if d is not None:
+                        d.add(net)
+                    versions[r] += 1
+                    if not in_pending[r]:
+                        in_pending[r] = True
+                        pend[r] = True
+                        heapq.heappush(heap, r)
+                for r in port_cccs.get(net, ()):
+                    d = dirty[r]
+                    if d is not None:
+                        d.add(net)
+                    versions[r] += 1
+                    if not in_pending[r]:
+                        in_pending[r] = True
+                        pend[r] = True
+                        heapq.heappush(heap, r)
+        counters["vector_wasted_evals"] += len(cache)
+        self.time += 1
+        counters["ccc_evaluations"] += evaluations
+        counters["settle_calls"] += 1
+        return evaluations
+
+    # -- speculation ----------------------------------------------------
+
+    def _speculate(self, snap: list[int]) -> _Speculation:
+        """Batch-evaluate every snapshot CCC against current state.
+
+        Pure: writes only overlay copies.  Internal (own-CCC channel)
+        nets read the overlay -- that is the wave-semantics mid-pass
+        visibility -- while external gate nets read the untouched base
+        state, so no speculative cross-CCC leakage is possible.
+        """
+        T = self._tables
+        base = self._val  # read-only during speculation
+        val = base.copy()
+        drv = self._driven.copy()
+        ext = self._ext
+        row_wave = T.row_wave
+        # Speculative overlay writes shift the *internal* condition
+        # counters of the changed nets (wave-semantics visibility for
+        # the owning CCC only); every shift is recorded and exactly
+        # undone before returning, leaving the committed counters
+        # untouched by speculation.
+        shifts: list[tuple[int, int, int]] = []
+        buckets: dict[int, list[np.ndarray]] = {}
+
+        def push(rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            waves = row_wave[rows]
+            order = np.argsort(waves, kind="stable")
+            rows_sorted = rows[order]
+            waves = waves[order]
+            cuts = np.flatnonzero(waves[1:] != waves[:-1]) + 1
+            for chunk in np.split(rows_sorted, cuts):
+                buckets.setdefault(int(row_wave[chunk[0]]), []).append(chunk)
+
+        versions = {idx: self._dirty_version[idx] for idx in snap}
+        for idx in snap:
+            dirty = self._dirty[idx]
+            if dirty is None or not self.incremental:
+                push(T.ccc_rows_arr[idx])
+            else:
+                aff = T.affected_rows[idx]
+                parts = [aff[t] for t in dirty if t in aff]
+                if parts:
+                    push(np.concatenate(parts))
+
+        solved_parts: list[np.ndarray] = []
+        chg_rows: list[np.ndarray] = []
+        chg_val: list[np.ndarray] = []
+        chg_drv: list[np.ndarray] = []
+        chg_vc: list[np.ndarray] = []
+        while buckets:
+            wave = min(buckets)
+            rows = np.unique(np.concatenate(buckets.pop(wave)))
+            rows = rows[~ext[T.row_net[rows]]]  # testbench owns those
+            if rows.size == 0:
+                continue
+            new_v, new_d = self._solve_rows(rows, val)
+            nets = T.row_net[rows]
+            prev = val[nets]
+            vchg = new_v != prev
+            schg = vchg | (new_d != drv[nets])
+            val[nets] = new_v
+            drv[nets] = new_d
+            if vchg.any():
+                for nid_, ov, nv in zip(nets[vchg].tolist(),
+                                        prev[vchg].tolist(),
+                                        new_v[vchg].tolist()):
+                    self._shift_cond(nid_, ov, nv, internal_only=True)
+                    shifts.append((nid_, ov, nv))
+            solved_parts.append(rows)
+            if schg.any():
+                chg_rows.append(rows[schg])
+                chg_val.append(new_v[schg])
+                chg_drv.append(new_d[schg])
+                chg_vc.append(vchg[schg])
+            vrows = rows[vchg]
+            if vrows.size:
+                # Mid-pass expansion: value changes open paths for nets
+                # at later positions, which always sit at strictly
+                # greater waves -- never behind the sweep.
+                starts = T.aff_later_ptr[vrows]
+                counts = T.aff_later_ptr[vrows + 1] - starts
+                push(T.aff_later_rows[csr_gather(starts, counts)])
+
+        # Unwind every speculative counter shift: committed state owns
+        # the counters, speculation only borrowed them for the pass.
+        for nid_, ov, nv in reversed(shifts):
+            self._shift_cond(nid_, nv, ov, internal_only=True)
+
+        n_cccs = len(T.cccs)
+        if solved_parts:
+            solved = np.bincount(T.row_ccc[np.concatenate(solved_parts)],
+                                 minlength=n_cccs)
+        else:
+            solved = np.zeros(n_cccs, np.int64)
+        if chg_rows:
+            rows = np.concatenate(chg_rows)
+            order = np.argsort(rows)
+            return _Speculation(versions, rows[order],
+                                np.concatenate(chg_val)[order],
+                                np.concatenate(chg_drv)[order],
+                                np.concatenate(chg_vc)[order], solved)
+        empty = np.empty(0, np.int64)
+        return _Speculation(versions, empty, empty.astype(np.int8),
+                            empty.astype(bool), empty.astype(bool), solved)
+
+    def _solve_rows(self, rows: np.ndarray,
+                    val: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`SwitchSimulator._solve_net` over many rows.
+
+        ``val`` is the in-pass overlay (source/prev reads); path on/off
+        classification comes from the incrementally maintained
+        ``_path_state`` (internal conditions track the overlay via
+        :meth:`_shift_cond`, external conditions sit at the committed
+        pre-pass state).  Returns the new (value, driven) per row;
+        bit-identical to the scalar solver because the bincount segment
+        sums add path conductances in the same order as the reference's
+        scalar ``+=`` loop, and dropping a masked-out path only removes
+        a ``+ 0.0`` term (which never changes a float sum bitwise).
+        """
+        T = self._tables
+        nr = rows.size
+        starts = T.path_ptr[rows]
+        counts = T.path_ptr[rows + 1] - starts
+        if int(counts.sum()):
+            pi = csr_gather(starts, counts)
+            seg = np.repeat(np.arange(nr), counts)
+            # Blocked paths (any definitely-off gate) contribute
+            # nothing; drop them before everything else.
+            live = self._n_bad[pi] == 0
+            if not live.all():
+                pi = pi[live]
+                seg = seg[live]
+            src = T.path_src[pi]
+            act = T.path_src_rail[pi] | self._ext[src]
+            if not act.all():
+                # Non-rail sources only drive while externally held.
+                pi = pi[act]
+                seg = seg[act]
+                src = src[act]
+            g = T.path_g[pi]
+            on = self._n_unk[pi] == 0
+            sv = val[src]
+            sx = sv == 2           # X source through a non-off path
+            d0 = on & (sv == 0)
+            d1 = on & (sv == 1)
+            maybe = ~on            # pstate == 1
+            m0 = (maybe & (sv == 0)) | sx
+            m1 = (maybe & (sv == 1)) | sx
+            dx = sx & on           # definitely-on path from an X source
+            # Fused per-side segment sums: even bins collect definite
+            # conductance, odd bins "maybe"; in-bin order is path order,
+            # so float accumulation matches the reference exactly.
+            side0 = np.bincount(seg * 2 + m0,
+                                weights=np.where(d0 | m0, g, 0.0),
+                                minlength=2 * nr)
+            side1 = np.bincount(seg * 2 + m1,
+                                weights=np.where(d1 | m1, g, 0.0),
+                                minlength=2 * nr)
+            G_d0 = side0[0::2]
+            G_m0 = side0[1::2]
+            G_d1 = side1[0::2]
+            G_m1 = side1[1::2]
+            P0 = np.zeros(nr, bool)
+            P0[seg[d0 | m0]] = True
+            P1 = np.zeros(nr, bool)
+            P1[seg[d1 | m1]] = True
+            DX = np.zeros(nr, bool)
+            DX[seg[dx]] = True
+        else:
+            G_d0 = G_d1 = G_m0 = G_m1 = np.zeros(nr)
+            P0 = P1 = DX = np.zeros(nr, bool)
+
+        ratio = self.dominance_ratio
+        prev = val[T.row_net[rows]]
+        total0 = G_d0 + G_m0
+        total1 = G_d1 + G_m1
+        any_def = (G_d0 > 0.0) | (G_d1 > 0.0)
+        win0 = (G_d0 >= ratio * total1) & ~DX
+        win1 = (G_d1 >= ratio * total0) & ~DX & ~win0
+        driven_v = np.where(win0, 0, np.where(win1, 1, 2))
+        poss = P0 | P1
+        keep = (P0 & ~P1 & (prev == 0)) | (P1 & ~P0 & (prev == 1))
+        float_v = np.where(poss & ~keep, 2, prev)
+        new_v = np.where(any_def, driven_v,
+                         np.where(DX, 2, float_v)).astype(np.int8)
+        new_d = any_def | DX
+        return new_v, new_d
+
+    # -- applying a surviving speculative result ------------------------
+
+    def _apply(self, idx: int,
+               entry: tuple[int, _Speculation, int, int, int]) -> list[str]:
+        T = self._tables
+        counters = self.counters
+        self._dirty[idx] = set()
+        _, spec, lo, hi, solved = entry
+        naive = int(np.count_nonzero(
+            ~self._ext[T.row_net[T.ccc_rows_arr[idx]]]))
+        counters["naive_net_solves"] += naive
+        counters["net_solves"] += solved
+        counters["solve_count"] += solved
+        counters["skip_count"] += naive - solved
+        changed: list[str] = []
+        if lo == hi:
+            return changed
+        state = self.state
+        history = self.history
+        record = self.record_history
+        now = self.time
+        row_name = T.row_name
+        row_net = T.row_net
+        for r, v, d, vc in zip(spec.rows[lo:hi].tolist(),
+                               spec.val[lo:hi].tolist(),
+                               spec.drv[lo:hi].tolist(),
+                               spec.vchg[lo:hi].tolist()):
+            name = row_name[r]
+            nid = row_net[r]
+            if vc:
+                self._shift_cond(int(nid), int(self._val[nid]), v)
+            self._val[nid] = v
+            self._driven[nid] = d
+            logic = _LOGIC[v]
+            state[name] = NetState(logic, d)
+            if vc:
+                if record:
+                    history.append((now, name, logic))
+                changed.append(name)
+        return changed

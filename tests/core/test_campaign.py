@@ -66,6 +66,48 @@ def test_campaign_catches_wrong_logic(tech):
     assert logic.details  # counterexample recorded
 
 
+def test_campaign_functional_sim_leg(tech):
+    """Functional vectors ride the logic stage through the vector engine
+    and surface the solve/skip perf counters in the stage metrics."""
+    from repro.perf import DesignCache
+
+    bundle = make_bundle(
+        tech,
+        functional_vectors=(
+            {"a": 1, "b": 1, "c": 0, "clk": 0, "clk_b": 1},
+            {"clk": 1, "clk_b": 0},   # latch opens: q follows y = 0
+            {"clk": 0, "clk_b": 1},   # latch closes: q holds
+        ),
+        functional_probes=("y", "q"),
+    )
+    cache = DesignCache()
+    report = CbvCampaign(bundle).run(cache=cache,
+                                     until=FlowStage.LOGIC_VERIFICATION)
+    logic = report.stage(FlowStage.LOGIC_VERIFICATION)
+    assert logic.status is StageStatus.PASS, logic.details
+    m = logic.metrics
+    assert m["sim_steps"] == 3 and m["sim_events"] > 0
+    assert m["solve_count"] + m["skip_count"] == m["naive_net_solves"]
+    assert m["solve_count"] > 0
+    # The vector engine's packed tables routed through the session cache.
+    assert cache.misses >= 1
+
+
+def test_campaign_functional_probe_x_fails(tech):
+    bundle = make_bundle(
+        tech,
+        rtl_intent={}, rtl_inputs={},
+        # Clock never driven: the latch output q must stay unknown.
+        functional_vectors=({"a": 1, "b": 0, "c": 0},),
+        functional_probes=("q",),
+        sim_engine="reference",
+    )
+    report = CbvCampaign(bundle).run(until=FlowStage.LOGIC_VERIFICATION)
+    logic = report.stage(FlowStage.LOGIC_VERIFICATION)
+    assert logic.status is StageStatus.FAIL
+    assert any("probe q" in d for d in logic.details)
+
+
 def test_campaign_catches_electrical_defect(tech):
     """Seed a sub-minimum device: circuit verification must fail and the
     queue must carry the violation."""

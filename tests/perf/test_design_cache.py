@@ -65,6 +65,28 @@ def test_shared_memo_spans_designs():
     assert cache.memo.classify_hits > 0
 
 
+def test_switch_tables_cached_and_fingerprint_invalidated():
+    cache = DesignCache()
+    flat = _flat()
+    t1 = cache.switch_tables(flat)
+    assert cache.switch_tables(flat) is t1
+    assert cache.hits == 1 and cache.misses == 1
+    # A different l_min is a different artifact.
+    t2 = cache.switch_tables(flat, l_min_um=0.5)
+    assert t2 is not t1
+    # In-place geometry mutation (a sizing loop) must force a rebuild
+    # even though the netlist object identity is unchanged.
+    flat.transistors[0].w_um *= 2.0
+    t3 = cache.switch_tables(flat)
+    assert t3 is not t1
+    assert t3.matches(flat, 0.35)
+    # The rebuilt tables drive the vector engine on the mutated design.
+    from repro.switchsim import SwitchSimulator, VectorSwitchSimulator
+
+    vec = SwitchSimulator(flat, engine="vector", tables=t3)
+    assert isinstance(vec, VectorSwitchSimulator)
+
+
 def test_collect_counters_merges_and_coerces():
     class Src:
         def counters(self):
