@@ -49,6 +49,7 @@ from repro.netlist.flatten import FlatNetlist, flatten
 from repro.perf import collect_counters
 from repro.perf.stopwatch import Stopwatch
 from repro.process.technology import Technology
+from repro.recognition.conduction import enumeration_counters
 from repro.recognition.recognizer import RecognizedDesign, recognize
 from repro.switchsim import Logic, OscillationError, SwitchSimulator
 from repro.timing.analyzer import TimingReport
@@ -61,6 +62,13 @@ from repro.timing.analyzer import TimingAnalyzer
 from repro.timing.pessimism import PessimismSettings
 
 _MISSING = object()
+
+
+def _enum_delta(before: dict[str, int]) -> dict[str, float]:
+    """Path-enumeration counter movement since ``before`` (a snapshot
+    of :func:`repro.recognition.conduction.enumeration_counters`)."""
+    return {k: float(v - before.get(k, 0))
+            for k, v in enumeration_counters().items()}
 
 
 @dataclass
@@ -210,6 +218,12 @@ class CbvCampaign:
         if store is not None:
             from repro.store.checkpoint import stage_keys
             keys = stage_keys(bundle, checks=checks, timeout_s=timeout_s)
+        if (store is not None and cache is not None
+                and getattr(cache, "store", None) is None):
+            # Let the session cache persist/load packed switch tables
+            # under their content fingerprint: a resumed campaign or a
+            # sibling fleet worker then skips the table build entirely.
+            cache.store = store
         trace.emit("campaign_start", name=bundle.name)
 
         def load_checkpoint(flow: FlowStage, key: str):
@@ -353,6 +367,7 @@ class CbvCampaign:
         # -- recognition -------------------------------------------------------
         def recognition() -> StageResult:
             flat = art["flat"]
+            enum_before = enumeration_counters()
             if cache is not None:
                 design = cache.recognized(flat, clock_hints=bundle.clock_hints)
             else:
@@ -373,6 +388,7 @@ class CbvCampaign:
                         "dynamic_nodes": float(len(design.dynamic_nodes)),
                     },
                     design.perf,
+                    _enum_delta(enum_before),
                 ),
             )
 
@@ -665,10 +681,19 @@ class CbvCampaign:
         """
         bundle = self.bundle
         kwargs: dict = {}
-        if bundle.sim_engine == "vector" and cache is not None:
-            kwargs["tables"] = cache.switch_tables(flat)
+        if cache is not None:
+            kwargs["cache"] = cache
+        enum_before = enumeration_counters()
         sim = SwitchSimulator(flat, engine=bundle.sim_engine,
                               record_history=False, **kwargs)
+        setup: dict[str, float] = _enum_delta(enum_before)
+        tables = getattr(sim, "_tables", None)
+        if tables is not None:
+            setup["table_build_seconds"] = float(tables.build_wall_s)
+            setup["store_table_loaded"] = (
+                1.0 if tables.loaded_from_store else 0.0)
+            setup.update({k: float(v)
+                          for k, v in tables.counters().items()})
         problems: list[str] = []
         events = 0
         for step, stimuli in enumerate(bundle.functional_vectors):
@@ -693,5 +718,6 @@ class CbvCampaign:
             {"sim_steps": float(len(bundle.functional_vectors)),
              "sim_events": float(events)},
             sim.counters,
+            setup,
         )
         return problems, metrics

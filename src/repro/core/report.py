@@ -49,6 +49,11 @@ _NONCANONICAL_KEYS = frozenset({
     # how many processes ran the battery (run mechanics, not a verdict;
     # serial, parallel, and fleet-sharded runs must compare identical)
     "workers",
+    # setup-path effectiveness: sweep/enumeration counts depend on which
+    # consumer warmed the shared CCC path caches first, and the template
+    # hit count differs between a fresh build and a store load
+    "path_sweeps", "target_sweeps", "pair_enumerations", "path_cache_hits",
+    "packed_template_hits",
 })
 _NONCANONICAL_PREFIXES = ("store_", "cache_")
 
@@ -87,8 +92,42 @@ def render_report(report: CbvReport, max_queue_items: int = 20) -> str:
     return "\n".join(lines)
 
 
+#: Setup-path counters worth a second trace line, in display order.
+#: ``(key, short label)`` -- zeros are elided so quiet stages stay one
+#: line; ``table_build_seconds`` keeps its unit.
+_SETUP_TRACE_KEYS = (
+    ("table_build_seconds", "build"),
+    ("store_table_loaded", "store-load"),
+    ("store_table_hits", "store-hits"),
+    ("path_sweeps", "sweeps"),
+    ("target_sweeps", "tsweeps"),
+    ("pair_enumerations", "pair-enums"),
+    ("path_cache_hits", "path-hits"),
+    ("packed_template_hits", "tpl-hits"),
+)
+
+
+def _setup_line(counters: dict) -> str | None:
+    parts = []
+    for key, label in _SETUP_TRACE_KEYS:
+        value = counters.get(key)
+        if not value:
+            continue
+        if key.endswith("_seconds"):
+            parts.append(f"{label}={value:.2f}s")
+        else:
+            parts.append(f"{label}={value:g}")
+    return " ".join(parts) if parts else None
+
+
 def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
-    """Human-readable event log (one line per trace event)."""
+    """Human-readable event log (one line per trace event).
+
+    Stages that exercised the setup path (packed-table builds, path
+    sweeps, store loads) get a second, indented ``setup:`` line so a
+    designer can see at a glance where build time went and what the
+    caches saved.
+    """
     lines = [f"=== campaign trace: {len(trace.events)} event(s), "
              f"{trace.total_seconds() * 1e3:.1f} ms ==="]
     events = trace.events if max_events is None else trace.events[:max_events]
@@ -97,6 +136,9 @@ def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
         wall = f" ({e.wall_s * 1e3:.2f} ms)" if e.wall_s is not None else ""
         lines.append(f"  t+{e.t_s * 1e3:9.2f}ms {e.event:<14} "
                      f"{e.name}{status}{wall}")
+        setup = _setup_line(e.counters) if e.counters else None
+        if setup is not None:
+            lines.append(f"{'':>15} setup: {setup}")
     if max_events is not None and len(trace.events) > max_events:
         lines.append(f"  ... and {len(trace.events) - max_events} more")
     return "\n".join(lines)

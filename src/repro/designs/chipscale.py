@@ -5,9 +5,9 @@ transistors -- fine for unit tests, useless for measuring how a
 simulator scales.  :func:`chip_scale` tiles the flagship styles
 (minicore datapath slices, latch register files, 6T SRAM arrays) under
 one buffered clock tree into a single design parameterized by a target
-transistor count, so benchmarks can sweep ~1k / ~5k / ~10k devices of
+transistor count, so benchmarks can sweep ~1k through ~50k devices of
 *representative* full-custom structure rather than one giant synthetic
-blob (BENCH_switchsim.json consumes exactly these).
+blob (BENCH_switchsim.json and BENCH_setup.json consume exactly these).
 
 Composition rules that make the result a good simulation workload:
 
@@ -41,6 +41,16 @@ from repro.netlist.devices import Transistor
 _MINICORE_KW = {"width": 2, "entries": 2}
 _REGFILE_KW = {"entries": 2, "width": 4}
 _SRAM_KW = {"rows": 4, "cols": 4}
+
+#: Max tiles per shared-data-bus segment.  The minicore/regfile data
+#: buses are *channel*-connected into every tile (write pass gates), so
+#: one bus forms a single CCC whose conduction-path count grows with
+#: the tile count (~116 paths/tile): past ~86 tiles an unsegmented bus
+#: overflows the 10000-path enumeration cap.  Real designs segment
+#: exactly these buses; we do too.  32 keeps every target up to ~10k
+#: devices at one segment, so historical benchmark compositions are
+#: unchanged, while 25k/50k split into independently driven segments.
+_BUS_SEGMENT_TILES = 32
 
 
 @dataclass
@@ -130,15 +140,29 @@ def chip_scale(target_transistors: int = 1000,
                     **dict(zip(leaves, leaf_nets)))
 
     # Shared stimulus buses (one per logical input, all tiles listen).
+    # Gate-only controls (cin, write/read enables, word lines) stay one
+    # bus at any scale; the channel-connected *data* buses are split
+    # into segments of at most _BUS_SEGMENT_TILES tiles (segment 0
+    # keeps the historical unsuffixed names, so targets small enough
+    # for a single segment are byte-identical to older builds).
+    n_regfile = plan.count("regfile")
+    mc_segments = max(1, -(-n_minicore // _BUS_SEGMENT_TILES))
+    rf_segments = max(1, -(-n_regfile // _BUS_SEGMENT_TILES))
+
+    def seg_name(base: str, s: int) -> str:
+        return base if s == 0 else f"{base}_s{s}"
+
     mc_inputs = {"cin": port("cin", True)}
-    for bit in range(_MINICORE_KW["width"]):
-        mc_inputs[f"d{bit}"] = port(f"d{bit}", True)
+    mc_dbus = [{f"d{bit}": port(seg_name(f"d{bit}", s), True)
+                for bit in range(_MINICORE_KW["width"])}
+               for s in range(mc_segments)]
     for r in range(_MINICORE_KW["entries"]):
         for p in (f"we{r}", f"we_b{r}", f"ra{r}", f"rb{r}"):
             mc_inputs[p] = port(p, True)
     rf_inputs = {}
-    for bit in range(_REGFILE_KW["width"]):
-        rf_inputs[f"d{bit}"] = port(f"rf_d{bit}", True)
+    rf_dbus = [{f"d{bit}": port(seg_name(f"rf_d{bit}", s), True)
+                for bit in range(_REGFILE_KW["width"])}
+               for s in range(rf_segments)]
     for r in range(_REGFILE_KW["entries"]):
         for local, shared in ((f"we{r}", f"rf_we{r}"),
                               (f"we_b{r}", f"rf_we_b{r}"),
@@ -160,13 +184,15 @@ def chip_scale(target_transistors: int = 1000,
                                w_um=3.0))
             top.add(Transistor(f"{tag}_ckbp", "pmos", clk, clk_b, "vdd",
                                w_um=6.0))
-            conns = dict(mc_inputs, clk=clk, clk_b=clk_b,
+            conns = dict(mc_inputs, **mc_dbus[j // _BUS_SEGMENT_TILES],
+                         clk=clk, clk_b=clk_b,
                          cout=port(f"{tag}_cout", is_output=True))
             for bit in range(_MINICORE_KW["width"]):
                 conns[f"r{bit}"] = port(f"{tag}_r{bit}", is_output=True)
             top.instantiate(tag, minicore_cell, **conns)
         elif kind == "regfile":
-            conns = dict(rf_inputs)
+            conns = dict(rf_inputs,
+                         **rf_dbus[counters["regfile"] // _BUS_SEGMENT_TILES])
             for bit in range(_REGFILE_KW["width"]):
                 conns[f"q{bit}"] = port(f"{tag}_q{bit}", is_output=True)
             top.instantiate(tag, regfile_cell, **conns)

@@ -42,6 +42,22 @@ class FlatNetlist:
     resistors: list[Resistor] = field(default_factory=list)
     nets: dict[str, Net] = field(default_factory=dict)
     ports: list[str] = field(default_factory=list)
+    #: Monotonic in-place mutation counter.  Derived-artifact caches
+    #: (switch-table fingerprints, shared CCC extractions) key on
+    #: ``(identity, mutation_epoch)``; bump it via :meth:`note_mutation`
+    #: whenever elements are edited in place so they re-derive.
+    mutation_epoch: int = 0
+
+    def note_mutation(self) -> None:
+        """Declare an in-place edit of this netlist's elements.
+
+        Epoch-keyed caches (e.g. the memoized
+        ``PackedSwitchTables.fingerprint_of`` and
+        ``DesignCache.cccs``) treat every prior derivation as stale
+        after this.  :meth:`rebuild_connectivity` calls it for you;
+        geometry-only edits (no rewiring) must call it directly.
+        """
+        self.mutation_epoch += 1
 
     def net(self, name: str) -> Net:
         return self.nets[name]
@@ -70,6 +86,7 @@ class FlatNetlist:
         Call after mutating elements in place (e.g. a repair pass that
         resizes or rewires devices).
         """
+        self.note_mutation()
         for net in self.nets.values():
             net.pins.clear()
         known = set(self.nets)

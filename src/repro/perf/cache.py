@@ -31,10 +31,14 @@ from repro.extraction.wireload import WireloadModel
 from repro.netlist.flatten import FlatNetlist
 from repro.process.corners import Corner
 from repro.process.technology import Technology
-from repro.recognition.ccc import ChannelConnectedComponent
+from repro.recognition.ccc import ChannelConnectedComponent, extract_cccs
 from repro.recognition.memo import ClassificationMemo
 from repro.recognition.recognizer import RecognizedDesign, recognize
-from repro.switchsim.tables import PackedSwitchTables
+from repro.switchsim.tables import (
+    PackedSwitchTables,
+    load_switch_tables,
+    save_switch_tables,
+)
 
 
 class DesignCache:
@@ -46,19 +50,57 @@ class DesignCache:
         Classification memo to share; a fresh one is created by default
         so the cache is fully self-contained (pass the process-wide memo
         if you want cross-session template reuse).
+    store:
+        Optional :class:`~repro.store.artifact.ArtifactStore`.  When
+        set, :meth:`switch_tables` first tries to load packed tables
+        persisted under their content fingerprint and persists fresh
+        builds, so fleet workers and resumed campaigns skip the most
+        expensive setup step entirely.
     """
 
-    def __init__(self, memo: ClassificationMemo | None = None) -> None:
+    def __init__(self, memo: ClassificationMemo | None = None,
+                 store=None) -> None:
         self.memo = memo if memo is not None else ClassificationMemo()
+        self.store = store
         # key -> (keyed objects kept alive, value)
         self._recognized: dict[tuple, tuple] = {}
         self._parasitics: dict[tuple, tuple] = {}
         self._annotated: dict[tuple, tuple] = {}
         self._switch_tables: dict[tuple, tuple] = {}
+        self._cccs: dict[int, tuple] = {}
         self.hits = 0
         self.misses = 0
+        # CCC extractions counted apart: every artifact above rides
+        # them, so folding them into hits/misses would double-count.
+        self.ccc_hits = 0
+        self.ccc_misses = 0
+        self.store_table_hits = 0
+        self.store_table_misses = 0
+        self.store_table_writes = 0
 
     # -- recognition ---------------------------------------------------------
+
+    def cccs(self, flat: FlatNetlist) -> list[ChannelConnectedComponent]:
+        """The shared CCC extraction for ``flat`` (cached).
+
+        One extraction -- and, crucially, one set of per-CCC path
+        caches and sweep states -- serves recognition, packed-table
+        build, the scalar reference engine, and the checks.  Keyed on
+        ``(identity, mutation epoch)``: in-place rewires that call
+        :meth:`FlatNetlist.note_mutation` (``rebuild_connectivity``
+        does) invalidate the extraction; geometry-only edits re-extract
+        too, which is cheap next to re-enumerating paths.
+        """
+        key = id(flat)
+        epoch = getattr(flat, "mutation_epoch", 0)
+        entry = self._cccs.get(key)
+        if entry is not None and entry[0] is flat and entry[2] == epoch:
+            self.ccc_hits += 1
+            return entry[1]
+        self.ccc_misses += 1
+        cccs = extract_cccs(flat)
+        self._cccs[key] = (flat, cccs, epoch)
+        return cccs
 
     def recognized(self, flat: FlatNetlist,
                    clock_hints: Iterable[str] = ()) -> RecognizedDesign:
@@ -70,7 +112,8 @@ class DesignCache:
             self.hits += 1
             return entry[1]
         self.misses += 1
-        design = recognize(flat, clock_hints=hints, memo=self.memo)
+        design = recognize(flat, clock_hints=hints, memo=self.memo,
+                           cccs=self.cccs(flat))
         self._recognized[key] = (flat, design)
         return design
 
@@ -118,8 +161,13 @@ class DesignCache:
         *not* enough here: a sizing loop mutates device geometry in
         place, which would silently invalidate the packed conductances.
         Every hit therefore re-checks the tables' content fingerprint
-        (cheap next to a rebuild -- path enumeration dominates) and
-        rebuilds on mismatch instead of serving stale arrays.
+        (memoized per mutation epoch, so unmutated hits stop re-hashing)
+        and rebuilds on mismatch instead of serving stale arrays.
+
+        With a ``store`` attached, a miss first tries
+        :func:`load_switch_tables` (keyed by the same fingerprint) and
+        persists any fresh build, so the next worker or resumed
+        campaign loads in milliseconds instead of rebuilding.
         """
         key = (id(flat), float(l_min_um))
         entry = self._switch_tables.get(key)
@@ -128,14 +176,31 @@ class DesignCache:
             self.hits += 1
             return entry[1]
         self.misses += 1
-        tables = PackedSwitchTables.build(flat, l_min_um=l_min_um)
+        tables = None
+        if self.store is not None:
+            tables = load_switch_tables(self.store, flat, l_min_um)
+            if tables is not None:
+                self.store_table_hits += 1
+            else:
+                self.store_table_misses += 1
+        if tables is None:
+            tables = PackedSwitchTables.build(flat, l_min_um=l_min_um,
+                                              cccs=self.cccs(flat))
+            if self.store is not None and save_switch_tables(self.store,
+                                                             tables):
+                self.store_table_writes += 1
         self._switch_tables[key] = (flat, tables)
         return tables
 
     # -- introspection --------------------------------------------------------
 
     def counters(self) -> dict[str, int]:
-        out = {"cache_hits": self.hits, "cache_misses": self.misses}
+        out = {"cache_hits": self.hits, "cache_misses": self.misses,
+               "cache_ccc_hits": self.ccc_hits,
+               "cache_ccc_misses": self.ccc_misses,
+               "store_table_hits": self.store_table_hits,
+               "store_table_misses": self.store_table_misses,
+               "store_table_writes": self.store_table_writes}
         out.update(self.memo.counters())
         return out
 

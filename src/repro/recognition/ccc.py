@@ -60,6 +60,24 @@ class ChannelConnectedComponent:
     path_cache: dict = field(default_factory=dict, repr=False, compare=False)
     signature_cache: object = field(default=None, repr=False, compare=False)
 
+    def __getstate__(self) -> dict:
+        """Strip memo caches from pickles.
+
+        ``path_cache``/``signature_cache`` and the lazily-attached sweep
+        state (see :func:`repro.recognition.conduction._sweep_state`)
+        are pure derived memos -- dropping them keeps checkpoint and
+        packed-table store blobs small and guarantees an unpickled CCC
+        re-derives them against its own object graph.
+        """
+        state = dict(self.__dict__)
+        state["path_cache"] = {}
+        state["signature_cache"] = None
+        state.pop("_sweep_state", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def nmos(self) -> list[Transistor]:
         return [t for t in self.transistors if t.polarity == "nmos"]
 

@@ -110,6 +110,7 @@ def recognize(
     flat: FlatNetlist,
     clock_hints: Iterable[str] = (),
     memo=None,
+    cccs: list[ChannelConnectedComponent] | None = None,
 ) -> RecognizedDesign:
     """Run the full recognition pipeline.
 
@@ -129,6 +130,11 @@ def recognize(
         design's nets into another, and it holds no reference to any
         netlist).  Pass your own memo for isolation, or ``False`` to
         disable memoization entirely.
+    cccs:
+        An existing CCC extraction of ``flat`` to reuse -- e.g. the
+        shared list from :meth:`repro.perf.DesignCache.cccs`, whose
+        warm path caches then serve table build and checks too.
+        ``None`` extracts fresh; results are identical either way.
     """
     if memo is None:
         memo = _default_memo()
@@ -136,7 +142,8 @@ def recognize(
         memo = None
     counters_before = memo.counters() if memo is not None else {}
 
-    cccs = extract_cccs(flat)
+    if cccs is None:
+        cccs = extract_cccs(flat)
     gate_fn = memo.gate if memo is not None else None
     seeds_fn = memo.clock_seeds if memo is not None else None
     clocks = infer_clocks(flat, cccs, hints=clock_hints,

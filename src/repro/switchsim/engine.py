@@ -114,13 +114,17 @@ class SwitchSimulator:
 
     def __init__(self, flat: FlatNetlist, dominance_ratio: float = 2.5,
                  l_min_um: float = 0.35, record_history: bool = True,
-                 incremental: bool = True, engine: str = "reference"):
+                 incremental: bool = True, engine: str = "reference",
+                 cache=None):
         self.flat = flat
         self.dominance_ratio = dominance_ratio
         self.l_min_um = l_min_um
         self.record_history = record_history
         self.incremental = incremental
-        self.cccs = extract_cccs(flat)
+        # ``cache`` is a repro.perf.DesignCache: reuse its shared CCC
+        # extraction (and the warm path caches living on those CCCs) so
+        # table build, recognition, and this engine enumerate once.
+        self.cccs = extract_cccs(flat) if cache is None else cache.cccs(flat)
         self.state: dict[str, NetState] = {
             name: NetState() for name in flat.nets
         }
@@ -168,6 +172,8 @@ class SwitchSimulator:
     # -- construction -------------------------------------------------------
 
     def _build_tables(self) -> None:
+        from repro.recognition import conduction as _conduction
+
         for ccc in self.cccs:
             table: dict[str, list[_SourcePaths]] = {}
             affected: dict[str, set[str]] = {}
@@ -175,6 +181,14 @@ class SwitchSimulator:
                 n for n in ccc.channel_nets
                 if self.flat.nets[n].is_port
             )
+            if (_conduction.PATH_CACHE_ENABLED
+                    and _conduction.SWEEP_ENABLED):
+                # One target-rooted sweep per source fills the pair
+                # cache for every channel net at once; the per-net
+                # queries below then materialize from it instead of
+                # running one traversal per (net, source) pair.
+                for src in sources:
+                    _conduction.sweep_paths_to_target(ccc, src)
             for net in ccc.channel_nets:
                 entries = []
                 deps: set[str] = {net}

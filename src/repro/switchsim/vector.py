@@ -97,9 +97,15 @@ class VectorSwitchSimulator(SwitchSimulator):
     def __init__(self, flat: FlatNetlist, dominance_ratio: float = 2.5,
                  l_min_um: float = 0.35, record_history: bool = True,
                  incremental: bool = True, engine: str = "vector",
-                 tables: PackedSwitchTables | None = None):
+                 tables: PackedSwitchTables | None = None,
+                 cache=None):
         if tables is None:
-            tables = PackedSwitchTables.build(flat, l_min_um=l_min_um)
+            # A DesignCache routes through its shared CCC extraction
+            # and (when it has a store) the persisted-table fast path.
+            if cache is not None:
+                tables = cache.switch_tables(flat, l_min_um=l_min_um)
+            else:
+                tables = PackedSwitchTables.build(flat, l_min_um=l_min_um)
         elif not tables.matches(flat, l_min_um):
             raise ValueError(
                 "packed switch tables are stale for this netlist (device "

@@ -75,8 +75,10 @@ def test_switch_tables_cached_and_fingerprint_invalidated():
     t2 = cache.switch_tables(flat, l_min_um=0.5)
     assert t2 is not t1
     # In-place geometry mutation (a sizing loop) must force a rebuild
-    # even though the netlist object identity is unchanged.
+    # even though the netlist object identity is unchanged.  Geometry
+    # edits don't rewire, so the mutator declares them explicitly.
     flat.transistors[0].w_um *= 2.0
+    flat.note_mutation()
     t3 = cache.switch_tables(flat)
     assert t3 is not t1
     assert t3.matches(flat, 0.35)

@@ -1,0 +1,227 @@
+"""Property tests: path sweeps ≡ the per-pair DFS enumerator.
+
+The single-source sweep (:func:`sweep_conduction_paths`) and the
+target-rooted sweep (:func:`sweep_paths_to_target`) replace the
+per-(net, source) DFS of older releases as the engine behind
+``conduction_paths``.  Their contract is *bit-identity*: for every
+(source, target) pair the materialized path list must match the legacy
+enumerator element-for-element -- same devices, same conditions, same
+**order** -- because classification signatures, packed-table layouts,
+and the timing graph all hash or index path lists positionally.
+
+Hypothesis drives random transistor soups (cycles, pass-gate meshes,
+self-gated channels, floating nets) through every (source, target)
+pair of every CCC, comparing both sweep routes against
+:func:`_enumerate_pair`, including the exact overflow error when a
+tiny ``max_paths`` cap is exceeded.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.recognition import conduction
+from repro.recognition.ccc import extract_cccs
+from repro.recognition.conduction import (
+    _enumerate_pair,
+    conduction_paths,
+    sweep_paths_to_target,
+)
+
+PORTS = ["p0", "p1", "p2"]
+INTERNAL = ["x0", "x1", "x2", "x3"]
+NETS = PORTS + INTERNAL + ["vdd", "gnd"]
+WIDTHS = [1.0, 2.0, 4.0]
+
+transistor = st.tuples(
+    st.sampled_from(["nmos", "pmos"]),
+    st.sampled_from(NETS),                 # gate (rail gates allowed)
+    st.sampled_from(NETS),                 # drain
+    st.sampled_from(NETS),                 # source
+    st.sampled_from(WIDTHS),
+)
+
+network = st.lists(transistor, min_size=2, max_size=9)
+
+
+def _cccs(devices):
+    b = CellBuilder("soup", ports=PORTS)
+    for i, (pol, gate, drain, source, w) in enumerate(devices):
+        if drain == source:
+            continue  # degenerate: no channel
+        if pol == "nmos":
+            b.nmos(gate, drain, source, w=w, name=f"m{i}")
+        else:
+            b.pmos(gate, drain, source, w=w, name=f"m{i}")
+    cell = b.build()
+    if not cell.transistors:
+        return []
+    return extract_cccs(flatten(cell))
+
+
+def _endpoints(ccc):
+    return sorted(ccc.channel_nets) + ["vdd", "gnd"]
+
+
+def _legacy(ccc, src, tgt, max_paths):
+    """(paths, error-str) from the per-pair DFS authority."""
+    try:
+        return _enumerate_pair(ccc, src, tgt, max_paths), None
+    except RuntimeError as err:
+        return None, str(err)
+
+
+def _check_pair(ccc, src, tgt, max_paths, via):
+    expected, expected_err = _legacy(ccc, src, tgt, max_paths)
+    try:
+        got, got_err = conduction_paths(ccc, src, tgt, max_paths), None
+    except RuntimeError as err:
+        got, got_err = None, str(err)
+    assert got_err == expected_err, (via, src, tgt)
+    if expected is not None:
+        # Element-for-element: devices, conditions, and ordering.
+        assert got == expected, (via, src, tgt)
+
+
+@given(network)
+@settings(max_examples=80, deadline=None)
+def test_net_rooted_sweep_matches_per_pair_dfs(devices):
+    """``conduction_paths`` (sweep-backed) over every pair == legacy."""
+    for ccc in _cccs(devices):
+        for src in _endpoints(ccc):
+            for tgt in _endpoints(ccc):
+                _check_pair(ccc, src, tgt, 10000, via="sweep")
+
+
+@given(network)
+@settings(max_examples=80, deadline=None)
+def test_target_rooted_sweep_matches_per_pair_dfs(devices):
+    """A pre-installed target-rooted sweep answers every source
+    identically to the legacy enumerator (ports and internal nets too,
+    not just the rails that install one automatically)."""
+    for ccc in _cccs(devices):
+        nets = _endpoints(ccc)
+        for tgt in nets:
+            sweep_paths_to_target(ccc, tgt, 10000)
+            for src in nets:
+                if src == tgt:
+                    continue
+                _check_pair(ccc, src, tgt, 10000, via="tsweep")
+
+
+@given(network)
+@settings(max_examples=60, deadline=None)
+def test_vectorized_bfs_sweep_matches_per_pair_dfs(devices):
+    """The level-synchronous BFS strategy (used above
+    ``_BFS_MIN_DEVICES``) is interchangeable with the DFS: force it on
+    for these small soups and demand the same per-pair bit-identity."""
+    threshold = conduction._BFS_MIN_DEVICES
+    try:
+        conduction._BFS_MIN_DEVICES = 0
+        for ccc in _cccs(devices):
+            nets = _endpoints(ccc)
+            for tgt in nets:
+                sweep_paths_to_target(ccc, tgt, 10000)
+                for src in nets:
+                    if src == tgt:
+                        continue
+                    _check_pair(ccc, src, tgt, 10000, via="bfs")
+    finally:
+        conduction._BFS_MIN_DEVICES = threshold
+
+
+@given(network, st.sampled_from([1, 2, 3]))
+@settings(max_examples=40, deadline=None)
+def test_bfs_overflow_parity_at_tiny_caps(devices, max_paths):
+    """Overflow accounting (bucket drops, the ``want`` raise, and the
+    exact message) is strategy-independent."""
+    threshold = conduction._BFS_MIN_DEVICES
+    try:
+        conduction._BFS_MIN_DEVICES = 0
+        for ccc in _cccs(devices):
+            for src in _endpoints(ccc):
+                for tgt in _endpoints(ccc):
+                    if src == tgt:
+                        continue
+                    _check_pair(ccc, src, tgt, max_paths, via="bfs-ovf")
+    finally:
+        conduction._BFS_MIN_DEVICES = threshold
+
+
+@given(network, st.sampled_from([1, 2, 3]))
+@settings(max_examples=60, deadline=None)
+def test_overflow_parity_at_tiny_caps(devices, max_paths):
+    """When a pair exceeds ``max_paths`` both routes raise the same
+    error; when it doesn't, both return identical lists -- the cap must
+    never silently truncate or reorder."""
+    for ccc in _cccs(devices):
+        for src in _endpoints(ccc):
+            for tgt in _endpoints(ccc):
+                if src == tgt:
+                    continue
+                _check_pair(ccc, src, tgt, max_paths, via="overflow")
+
+
+def test_source_equals_target_falls_back_to_dfs():
+    """Loop paths back to the source can't ride the sweep's visited-set
+    discipline; the dispatch must hand them to the per-pair DFS."""
+    b = CellBuilder("loop", ports=["a", "en"])
+    b.nmos("en", "a", "x0", w=2.0)
+    b.nmos("en", "x0", "a", w=2.0)
+    ccc = extract_cccs(flatten(b.build()))[0]
+    assert conduction_paths(ccc, "a", "a") == _enumerate_pair(
+        ccc, "a", "a", 10000)
+
+
+def test_sweep_disabled_still_correct():
+    """With SWEEP_ENABLED off (the benchmark baseline) results are
+    unchanged -- the flag selects a strategy, not a semantics."""
+    b = CellBuilder("nand2", ports=["a", "b", "y"])
+    b.nand(["a", "b"], "y")
+    flat = flatten(b.build())
+    on = extract_cccs(flat)[0]
+    off = extract_cccs(flat)[0]
+    sweep = conduction.SWEEP_ENABLED
+    try:
+        conduction.SWEEP_ENABLED = False
+        baseline = conduction_paths(off, "y", "gnd")
+    finally:
+        conduction.SWEEP_ENABLED = sweep
+    assert conduction_paths(on, "y", "gnd") == baseline
+
+
+def test_cache_hit_counter_moves():
+    b = CellBuilder("inv", ports=["a", "y"])
+    b.inverter("a", "y")
+    ccc = extract_cccs(flatten(b.build()))[0]
+    conduction_paths(ccc, "y", "gnd")
+    before = conduction.enumeration_counters()["path_cache_hits"]
+    conduction_paths(ccc, "y", "gnd")
+    after = conduction.enumeration_counters()["path_cache_hits"]
+    assert after == before + 1
+
+
+@pytest.mark.parametrize("max_paths", [1, 10000])
+def test_overflow_message_matches_legacy_exactly(max_paths):
+    """The sweep path's overflow error is byte-for-byte the legacy
+    message (tools match on it)."""
+    b = CellBuilder("par", ports=["x", "y", "e0", "e1"])
+    b.nmos("e0", "x", "y", w=2.0)
+    b.nmos("e1", "x", "y", w=2.0)
+    flat = flatten(b.build())
+    if max_paths >= 2:  # two parallel paths: no overflow at the default
+        ccc = extract_cccs(flat)[0]
+        assert len(conduction_paths(ccc, "x", "y", max_paths)) == 2
+        return
+    legacy_msg = sweep_msg = None
+    try:
+        _enumerate_pair(extract_cccs(flat)[0], "x", "y", max_paths)
+    except RuntimeError as err:
+        legacy_msg = str(err)
+    try:
+        conduction_paths(extract_cccs(flat)[0], "x", "y", max_paths)
+    except RuntimeError as err:
+        sweep_msg = str(err)
+    assert legacy_msg is not None and sweep_msg == legacy_msg

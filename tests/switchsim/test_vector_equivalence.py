@@ -176,8 +176,10 @@ def test_prebuilt_tables_are_shareable_and_fingerprinted():
     a.settle()
     # Sharing tables must not share dynamic state.
     assert b.value("wl0") is Logic.X
-    # A geometry mutation (what a sizing loop does) must be caught.
+    # A geometry mutation (what a sizing loop does) must be caught;
+    # the fingerprint memo is epoch-keyed, so the edit is declared.
     flat.transistors[0].w_um *= 2.0
+    flat.note_mutation()
     assert not tables.matches(flat, 0.35)
     with pytest.raises(ValueError, match="stale"):
         VectorSwitchSimulator(flat, tables=tables)
