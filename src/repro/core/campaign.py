@@ -23,6 +23,14 @@ that stage's inputs, and a resumed run replays finished stages --
 verified by checksum, corrupt blobs quarantined and re-run -- producing
 a report canonically byte-identical to a cold run.  See
 :mod:`repro.store`.
+
+The same store / trace / canonical-report contract is shared by the
+statistical campaigns in :mod:`repro.scenarios`
+(:class:`~repro.scenarios.campaign.ScenarioCampaign`): fuzz and
+Monte-Carlo runs checkpoint per sample shard, resume without re-running
+checkpointed seeds, and serialize through the same canonical JSON rules
+(:mod:`repro.core.report`), so their reports are byte-comparable across
+cold, resumed, and fleet runs exactly like :class:`CbvReport`.
 """
 
 from __future__ import annotations

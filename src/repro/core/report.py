@@ -58,14 +58,28 @@ _NONCANONICAL_KEYS = frozenset({
 _NONCANONICAL_PREFIXES = ("store_", "cache_")
 
 
-def _is_canonical_key(key: str) -> bool:
+def is_canonical_key(key: str) -> bool:
+    """True when a metric/counter key is a run *fact* (kept by the
+    canonical form) rather than run mechanics (wall clock, cache and
+    store effectiveness, worker counts)."""
     return not (key in _NONCANONICAL_KEYS
                 or key.endswith("_seconds")
                 or key.startswith(_NONCANONICAL_PREFIXES))
 
 
-def _canonical_counters(counters: dict) -> dict:
-    return {k: v for k, v in counters.items() if _is_canonical_key(k)}
+def canonical_counters(counters: dict) -> dict:
+    """The canonical subset of a counters dict.
+
+    Public because every report family that honours the byte-identical
+    contract -- campaign reports here, scenario rollups in
+    :mod:`repro.scenarios.report` -- must strip the same keys.
+    """
+    return {k: v for k, v in counters.items() if is_canonical_key(k)}
+
+
+# Backwards-compatible private aliases.
+_is_canonical_key = is_canonical_key
+_canonical_counters = canonical_counters
 
 
 def render_report(report: CbvReport, max_queue_items: int = 20) -> str:
@@ -144,7 +158,15 @@ def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def _trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
+def trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
+    """Serialize a trace, optionally in the canonical form.
+
+    Canonical: ``checkpoint.*`` events drop out entirely (resume
+    mechanics, not conclusions), and each surviving event loses its
+    sequencing/timing/worker stamps and its non-canonical counters.
+    Shared with the scenario report family for the same reason as
+    :func:`canonical_counters`.
+    """
     if not canonical:
         return trace.to_dicts()
     out = []
@@ -155,13 +177,16 @@ def _trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
         for key in ("seq", "t_s", "wall_s", "worker"):
             d.pop(key, None)
         if "counters" in d:
-            counters = _canonical_counters(d["counters"])
+            counters = canonical_counters(d["counters"])
             if counters:
                 d["counters"] = counters
             else:
                 del d["counters"]
         out.append(d)
     return out
+
+
+_trace_to_dicts = trace_to_dicts
 
 
 def report_to_dict(report: CbvReport, canonical: bool = False) -> dict:
@@ -177,7 +202,7 @@ def report_to_dict(report: CbvReport, canonical: bool = False) -> dict:
         "ok": report.ok(),
         "tapeout_clean": report.queue.tapeout_clean(),
         "stages": [
-            (dict(s.to_dict(), metrics=_canonical_counters(s.metrics))
+            (dict(s.to_dict(), metrics=canonical_counters(s.metrics))
              if canonical else s.to_dict())
             for s in report.stages
         ],
@@ -193,7 +218,7 @@ def report_to_dict(report: CbvReport, canonical: bool = False) -> dict:
             }
             for i in report.queue.items
         ],
-        "trace": _trace_to_dicts(report.trace, canonical),
+        "trace": trace_to_dicts(report.trace, canonical),
     }
 
 

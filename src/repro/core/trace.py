@@ -58,6 +58,23 @@ across an entire fleet and :meth:`CampaignTrace.merge` can interleave
 per-worker logs in a deterministic, reproducible order.  Worker ids --
 like wall-clock fields -- are run mechanics, not conclusions, and are
 stripped by the canonical report form.
+
+Scenario campaigns (:mod:`repro.scenarios`) reuse the same envelope --
+``campaign_start`` / ``campaign_end`` with the spec name -- and add one
+kind of their own:
+
+==================  ========================================================
+``scenario.sample``   one fuzz or Monte-Carlo sample finished; ``name`` is
+                      ``<spec>[<index>]``, ``status`` ``ok``/``mismatch``,
+                      and ``counters`` carry the sample's metrics
+                      (including its derived 48-bit seed, exact in the
+                      float counter fields)
+==================  ========================================================
+
+Sample events are canonical -- they are the per-sample record the rollup
+statistics summarize -- while the ``checkpoint.*`` events a resumed
+scenario run interleaves are stripped, which is how serial, resumed, and
+fleet scenario reports stay byte-comparable.
 """
 
 from __future__ import annotations

@@ -10,11 +10,22 @@ whose canonical JSON is byte-identical to single-process runs -- even
 after worker deaths, thanks to bounded retries over the shared
 checkpoint store.
 
+The same engine also runs the statistical workloads of
+:mod:`repro.scenarios`: :func:`run_scenario_fleet` shards fuzzing and
+Monte-Carlo campaigns into seed-range jobs plus a rollup job each.
+
 Quickstart::
 
     from repro.fleet import run_fleet, SEED_SUITE
     result = run_fleet(SEED_SUITE, workers=4)
     assert result.ok()
+
+    from repro.fleet import run_scenario_fleet
+    from repro.scenarios import FuzzSpec
+    fuzz = FuzzSpec(name="adder-fuzz",
+                    target_ref="repro.scenarios.targets:adder4_shadow",
+                    campaign_seed=2026, seeds=64)
+    result = run_scenario_fleet({"adder-fuzz": fuzz}, workers=4, shards=8)
 
 or from a shell: ``python -m repro.fleet --workers 4``.
 """
@@ -29,18 +40,22 @@ from repro.fleet.jobs import (
     partition_checks,
     prepare_job,
     resolve_bundle,
+    scenario_jobs,
+    scenario_rollup_job,
     shard_count_for,
 )
 from repro.fleet.merge import (
     CHECK_EVENTS,
     ShardMissing,
+    assemble_scenario_report,
+    load_scenario_shard,
     make_battery_runner,
     merge_shard_batteries,
     shard_store_key,
 )
 from repro.fleet.metrics import FleetMetrics, render_prometheus
 from repro.fleet.queue import Lease, WorkQueue
-from repro.fleet.scheduler import FleetResult, run_fleet
+from repro.fleet.scheduler import FleetResult, run_fleet, run_scenario_fleet
 from repro.fleet.suite import (
     BENCH_SUITE,
     SEED_SUITE,
@@ -64,9 +79,11 @@ __all__ = [
     "WorkQueue",
     "adder_bundle",
     "alpha_slice_bundle",
+    "assemble_scenario_report",
     "battery_jobs",
     "execute_job",
     "finalize_job",
+    "load_scenario_shard",
     "make_battery_runner",
     "merge_shard_batteries",
     "partition_checks",
@@ -74,6 +91,9 @@ __all__ = [
     "render_prometheus",
     "resolve_bundle",
     "run_fleet",
+    "run_scenario_fleet",
+    "scenario_jobs",
+    "scenario_rollup_job",
     "shard_count_for",
     "shard_store_key",
     "worker_main",

@@ -52,6 +52,12 @@ class JobKind(Enum):
     PREPARE = "prepare"
     BATTERY = "battery"
     FINALIZE = "finalize"
+    #: One contiguous sample range of a fuzz / Monte-Carlo campaign
+    #: (see :mod:`repro.scenarios`); the scenario analogue of BATTERY.
+    SCENARIO = "scenario"
+    #: Loads every scenario shard from the store and assembles the
+    #: statistical rollup report; the scenario analogue of FINALIZE.
+    ROLLUP = "rollup"
 
 
 @dataclass(frozen=True)
@@ -196,6 +202,38 @@ def finalize_job(design: str, bundle_ref, shard_jobs: list[Job]) -> Job:
     return Job(
         job_id=f"{design}:finalize", design=design, kind=JobKind.FINALIZE,
         bundle_ref=bundle_ref,
+        shards=tuple(j.shard for j in shard_jobs),
+        deps=tuple(j.job_id for j in shard_jobs),
+    )
+
+
+def scenario_jobs(name: str, spec_ref, total_samples: int,
+                  shards: int) -> list[Job]:
+    """The shard jobs of one scenario campaign.
+
+    ``spec_ref`` rides in ``bundle_ref`` (a picklable spec instance, a
+    factory, or a ``"module:attr"`` string -- see
+    :func:`repro.scenarios.spec.resolve_scenario`).  Shard jobs have no
+    dependencies: every sample re-derives its seed from the spec, so
+    there is nothing to prepare.
+    """
+    jobs = []
+    bounds = partition_checks(total_samples, shards)
+    for i, (lo, hi) in enumerate(bounds):
+        shard = ShardSpec(index=i, count=len(bounds), lo=lo, hi=hi)
+        jobs.append(Job(
+            job_id=f"{name}:scenario[{shard.label()}]",
+            design=name, kind=JobKind.SCENARIO, bundle_ref=spec_ref,
+            shard=shard,
+        ))
+    return jobs
+
+
+def scenario_rollup_job(name: str, spec_ref, shard_jobs: list[Job]) -> Job:
+    """The rollup job, gated on every shard of its campaign."""
+    return Job(
+        job_id=f"{name}:rollup", design=name, kind=JobKind.ROLLUP,
+        bundle_ref=spec_ref,
         shards=tuple(j.shard for j in shard_jobs),
         deps=tuple(j.job_id for j in shard_jobs),
     )

@@ -103,6 +103,50 @@ def load_shard(store: ArtifactStore, key: str, shard: ShardSpec) -> dict:
     return payload
 
 
+def load_scenario_shard(store: ArtifactStore, key: str,
+                        shard: ShardSpec) -> dict:
+    """One scenario shard's ``{"samples", "events"}`` payload.
+
+    Same discipline as :func:`load_shard`: a missing blob raises
+    :class:`ShardMissing`, a wrong-shaped one is invalidated first so a
+    retry recomputes it instead of re-tripping.
+    """
+    try:
+        payload, _meta = store.get(key)
+    except StoreError as exc:
+        raise ShardMissing(
+            f"scenario shard {shard.label()} unavailable: {exc}") from exc
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("samples"), dict)
+            or not isinstance(payload.get("events"), list)):
+        store.invalidate(key)
+        raise ShardMissing(
+            f"scenario shard {shard.label()} payload has the wrong shape")
+    return payload
+
+
+def assemble_scenario_report(store: ArtifactStore, spec,
+                             shards: tuple[ShardSpec, ...]):
+    """Load every shard (in shard order) and build the rollup report.
+
+    Shard order is sample-index order (contiguous ranges), so the
+    assembled trace -- and therefore the canonical report JSON -- is
+    byte-identical to the serial :class:`ScenarioCampaign`'s no matter
+    which workers computed which shards.
+    """
+    # Imported lazily: repro.scenarios imports repro.fleet.jobs for the
+    # shard partitioner, so a module-level import here would be a cycle.
+    from repro.scenarios.report import assemble_report
+    from repro.scenarios.spec import shard_key
+
+    payloads = [
+        load_scenario_shard(
+            store, shard_key(spec, s.index, s.count), s)
+        for s in sorted(shards, key=lambda s: s.index)
+    ]
+    return assemble_report(spec, payloads)
+
+
 def make_battery_runner(store: ArtifactStore, bundle,
                         shards: tuple[ShardSpec, ...],
                         config: FleetConfig):

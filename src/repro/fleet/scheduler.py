@@ -1,15 +1,19 @@
 """The fleet scheduler: supervised worker pool + work-stealing broker.
 
-:func:`run_fleet` is the subsystem's front door.  It spawns ``workers``
-OS processes (``fork`` start method where the platform has it, else
-``spawn``), seeds the :class:`~repro.fleet.queue.WorkQueue` with one
-``prepare`` job per design, and runs a single-threaded event loop over
-the shared outbox:
+The subsystem has two front doors over one engine:
 
-* a ``prepare`` completion sizes the design's battery shards from its
-  recognized CCC count and submits the shard + finalize jobs (a design
-  whose front half degraded skips sharding -- its finalize reruns the
-  battery inline, matching single-process behavior exactly);
+* :func:`run_fleet` -- design verification: ``prepare`` sizes each
+  design's battery shards, ``finalize`` merges them into a
+  :class:`~repro.core.campaign.CbvReport`;
+* :func:`run_scenario_fleet` -- fuzz / Monte-Carlo campaigns
+  (:mod:`repro.scenarios`): every sample shard is an independent job
+  and a ``rollup`` job assembles the statistical report.
+
+The shared engine (:class:`_Pool`) spawns ``workers`` OS processes
+(``fork`` start method where the platform has it, else ``spawn``),
+seeds the :class:`~repro.fleet.queue.WorkQueue`, and runs a
+single-threaded event loop over the shared outbox:
+
 * ``heartbeat`` messages renew the sender's lease; a lease that goes
   ``FleetConfig.lease_s`` without one is broken and its job requeued;
 * a worker that dies (crash, SIGKILL) is detected by ``Process
@@ -19,16 +23,19 @@ the shared outbox:
   ``(worker, seq)`` identities never collide;
 * retries are bounded: a job that fails (error or lost worker) more
   than ``FleetConfig.max_retries`` times fails its whole design, whose
-  remaining jobs are cancelled; the other designs keep running.
+  remaining jobs are cancelled; the other designs keep running;
+* what happens when a job *succeeds* is the front door's business: the
+  engine hands completions to an ``on_job_done`` hook, which submits
+  follow-up jobs (prepare -> shards -> finalize) and records finished
+  designs.
 
 Everything the fleet did is observable: live counters in
 :class:`~repro.fleet.metrics.FleetMetrics`, and a merged
 :class:`~repro.core.trace.CampaignTrace` assembling the scheduler's own
 events with every worker's event slices in deterministic
 ``(worker, seq)`` order.  The per-design reports come back through
-:func:`~repro.core.report.report_from_dict` and their canonical JSON is
-byte-identical to single-process runs -- the property the fleet tests
-pin.
+their dict forms and their canonical JSON is byte-identical to
+single-process runs -- the property the fleet and scenario tests pin.
 """
 
 from __future__ import annotations
@@ -48,6 +55,8 @@ from repro.fleet.jobs import (
     battery_jobs,
     finalize_job,
     prepare_job,
+    scenario_jobs,
+    scenario_rollup_job,
 )
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.queue import WorkQueue
@@ -57,12 +66,17 @@ from repro.perf.stopwatch import Stopwatch
 
 @dataclass
 class FleetResult:
-    """Everything one fleet run produced."""
+    """Everything one fleet run produced.
 
-    #: Design name -> merged campaign report (canonically byte-identical
-    #: to a single-process run of the same bundle).
-    reports: dict[str, CbvReport] = field(default_factory=dict)
-    #: Design name -> reason, for designs the fleet had to abandon.
+    ``reports`` maps name -> merged report: a
+    :class:`~repro.core.campaign.CbvReport` under :func:`run_fleet`, a
+    :class:`~repro.scenarios.report.ScenarioReport` under
+    :func:`run_scenario_fleet` -- both canonically byte-identical to a
+    single-process run of the same inputs.
+    """
+
+    reports: dict = field(default_factory=dict)
+    #: Name -> reason, for designs/campaigns the fleet had to abandon.
     failed: dict[str, str] = field(default_factory=dict)
     metrics: FleetMetrics = field(default_factory=FleetMetrics)
     #: Merged fleet event log (scheduler + every worker, deterministic
@@ -98,6 +112,267 @@ def _pick_context():
         "fork" if "fork" in methods else "spawn")
 
 
+class _Pool:
+    """The generic engine: spawn, lease, supervise, retry, merge.
+
+    ``on_job_done(pool, job, result)`` is called for every successful
+    job; it submits follow-up work via ``pool.submit`` and records
+    finished names via ``pool.finish``.  The pool itself is agnostic
+    about job kinds -- that is the hook's whole purpose.
+    """
+
+    def __init__(self, names, *, workers: int, config: FleetConfig,
+                 on_job_done) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not names:
+            raise ValueError("nothing to run: empty suite")
+        if config.store_dir is None:
+            config.store_dir = tempfile.mkdtemp(prefix="repro-fleet-store-")
+        self.names = list(names)
+        self.workers = workers
+        self.config = config
+        self.on_job_done = on_job_done
+        self.respawn_budget = (config.max_respawns
+                               if config.max_respawns is not None
+                               else workers)
+        self.ctx = _pick_context()
+        self.outbox = self.ctx.Queue()
+        self.metrics = FleetMetrics(workers=workers, designs=len(self.names))
+        self.ftrace = CampaignTrace(worker_id="fleet")
+        self.wq = WorkQueue(lease_s=config.lease_s)
+        self.watch = Stopwatch()
+        self.handles: dict[str, _WorkerHandle] = {}
+        self.retired: list[_WorkerHandle] = []
+        self.jobs_by_id: dict[str, Job] = {}
+        self.results: dict = {}
+        self.failed: dict[str, str] = {}
+        self._next_wid = 0
+
+    # -- lifecycle hooks the front doors use ---------------------------------
+
+    def submit(self, job: Job) -> None:
+        self.jobs_by_id[job.job_id] = job
+        self.wq.submit(job)
+        self.metrics.jobs_submitted += 1
+        self.ftrace.emit("job_submit", name=job.job_id)
+
+    def finish(self, name: str, value) -> None:
+        """Record one name's finished result."""
+        self.results[name] = value
+        self.metrics.designs_done += 1
+
+    def fail_design(self, design: str, reason: str) -> None:
+        if design in self.failed or design in self.results:
+            return
+        self.failed[design] = reason
+        self.metrics.designs_failed += 1
+        for dropped in self.wq.cancel_design(design):
+            self.ftrace.emit("job_cancel", name=dropped.job_id)
+        self.ftrace.emit("design_failed", name=design, detail=reason)
+
+    # -- internals -----------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        wid = f"w{self._next_wid}"
+        self._next_wid += 1
+        inbox = self.ctx.Queue()
+        proc = self.ctx.Process(target=worker_main, name=wid,
+                                args=(wid, inbox, self.outbox, self.config),
+                                daemon=True)
+        proc.start()
+        handle = _WorkerHandle(wid, proc, inbox)
+        self.handles[wid] = handle
+        self.wq.add_worker(wid)
+        self.metrics.workers_spawned += 1
+        self.ftrace.emit("worker_spawn", name=wid)
+        return handle
+
+    def _requeue_or_fail(self, job_id: str, why: str) -> None:
+        job = self.jobs_by_id.get(job_id)
+        if job is None or self.wq.is_done(job_id):
+            return
+        if job.retries >= self.config.max_retries:
+            self.wq.fail(job_id)
+            self.metrics.jobs_failed += 1
+            self.fail_design(job.design,
+                             f"{job_id} exhausted {self.config.max_retries} "
+                             f"retries (last: {why})")
+        elif self.wq.release(job_id) is not None:
+            self.metrics.retries += 1
+            self.ftrace.emit("job_requeue", name=job_id, detail=why,
+                             counters={"retries": float(job.retries)})
+
+    def _on_worker_dead(self, handle: _WorkerHandle) -> None:
+        self.metrics.workers_dead += 1
+        self.ftrace.emit("worker_dead", name=handle.wid,
+                         detail=handle.job_id or "")
+        orphans = self.wq.remove_worker(handle.wid)
+        del self.handles[handle.wid]
+        self.retired.append(handle)
+        if self.respawn_budget > 0 and not self._done():
+            self.respawn_budget -= 1
+            self._spawn_worker()
+        if self.handles:
+            # Re-home under the surviving topology; release() below also
+            # hashes against the new worker list.
+            for orphan in orphans:
+                self.wq.submit(orphan)
+            if handle.job_id is not None:
+                self._requeue_or_fail(handle.job_id,
+                                      f"worker {handle.wid} died")
+
+    def _on_message(self, message) -> None:
+        kind, wid, job_id, payload, events = message
+        handle = self.handles.get(wid)
+        if handle is None:  # straggler from a retired worker
+            handle = next((h for h in self.retired if h.wid == wid), None)
+        if handle is None:
+            return
+        handle.events.extend(events)
+        if kind == "ready":
+            handle.ready = True
+        elif kind == "heartbeat":
+            self.metrics.heartbeats += 1
+            self.wq.renew(job_id, self.watch.elapsed())
+        elif kind == "bye":
+            pass
+        elif kind in ("done", "error"):
+            if handle.job_id == job_id:
+                handle.job_id = None
+            if kind == "error":
+                self.ftrace.emit("job_error", name=job_id, detail=payload)
+                self._requeue_or_fail(job_id, "job raised")
+                return
+            handle.store_counters = payload.get("store_counters", {})
+            if self.wq.is_done(job_id):
+                return  # duplicate completion from a requeued straggler
+            job = self.jobs_by_id.get(job_id)
+            if job is None or job.design in self.failed:
+                return
+            self.wq.complete(job_id)
+            self.metrics.record_job(job.kind.value,
+                                    payload.get("job_seconds", 0.0))
+            self.ftrace.emit("job_done", name=job_id, status="ok",
+                             wall_s=payload.get("job_seconds"))
+            self.on_job_done(self, job, payload.get("result") or {})
+
+    def _done(self) -> bool:
+        return len(self.results) + len(self.failed) >= len(self.names)
+
+    def _supervise(self) -> None:
+        now = self.watch.elapsed()
+        for handle in list(self.handles.values()):
+            if not handle.proc.is_alive():
+                self._on_worker_dead(handle)
+        for lease in self.wq.expired(now):
+            self.ftrace.emit("lease_expired", name=lease.job.job_id,
+                             detail=lease.worker)
+            self.metrics.lease_expirations += 1
+            holder = self.handles.get(lease.worker)
+            if holder is not None and holder.job_id == lease.job.job_id:
+                holder.job_id = None
+            self._requeue_or_fail(lease.job.job_id, "lease expired")
+
+    def _assign(self) -> None:
+        now = self.watch.elapsed()
+        for handle in self.handles.values():
+            if not handle.ready or handle.job_id is not None:
+                continue
+            lease = self.wq.next_job(handle.wid, now)
+            if lease is None:
+                continue
+            handle.job_id = lease.job.job_id
+            self.ftrace.emit("job_lease", name=lease.job.job_id,
+                             detail=handle.wid,
+                             counters={"stolen": float(lease.stolen)})
+            handle.inbox.put(("job", lease.job))
+
+    def run(self, initial_jobs) -> FleetResult:
+        """Drive the event loop to completion; returns the merged result."""
+        config = self.config
+        self.ftrace.emit("fleet_start", counters={
+            "designs": float(len(self.names)),
+            "workers": float(self.workers)})
+        for _ in range(self.workers):
+            self._spawn_worker()
+        for job in initial_jobs:
+            self.submit(job)
+
+        try:
+            while not self._done():
+                if (config.fleet_timeout_s is not None
+                        and self.watch.elapsed() > config.fleet_timeout_s):
+                    for name in self.names:
+                        self.fail_design(
+                            name, "fleet wall-clock bound exceeded")
+                    break
+                if not self.handles:
+                    for name in self.names:
+                        self.fail_design(
+                            name, "every worker died and the respawn "
+                                  "budget is spent")
+                    break
+                try:
+                    self._on_message(self.outbox.get(timeout=config.poll_s))
+                except queue_mod.Empty:
+                    pass
+                self._supervise()
+                self._assign()
+        finally:
+            for handle in self.handles.values():
+                try:
+                    handle.inbox.put(("stop",))
+                except Exception:  # noqa: BLE001 -- already dying
+                    pass
+            # Drain stragglers (notably "bye" with final event slices).
+            deadline = self.watch.elapsed() + 2.0
+            while self.watch.elapsed() < deadline:
+                if not any(h.proc.is_alive() for h in self.handles.values()):
+                    try:
+                        while True:
+                            self._on_message(self.outbox.get(timeout=0.05))
+                    except queue_mod.Empty:
+                        break
+                try:
+                    self._on_message(self.outbox.get(timeout=0.05))
+                except queue_mod.Empty:
+                    continue
+            for handle in self.handles.values():
+                handle.proc.join(timeout=1.0)
+                if handle.proc.is_alive():
+                    handle.proc.terminate()
+                    handle.proc.join(timeout=1.0)
+
+        metrics = self.metrics
+        metrics.workers_alive = sum(
+            1 for h in self.handles.values() if h.proc.is_alive())
+        metrics.steals = self.wq.steals
+        metrics.requeues = self.wq.requeues
+        metrics.queue_depth = self.wq.depth()
+        metrics.blocked_jobs = self.wq.blocked_count()
+        metrics.active_leases = self.wq.lease_count()
+        metrics.wall_s = self.watch.elapsed()
+        all_handles = list(self.handles.values()) + self.retired
+        metrics.write_contended = sum(
+            h.store_counters.get("store_write_contended", 0)
+            for h in all_handles)
+        self.ftrace.emit(
+            "fleet_end",
+            status="ok" if not self.failed else "degraded",
+            wall_s=metrics.wall_s,
+            counters={"designs_done": float(metrics.designs_done),
+                      "designs_failed": float(metrics.designs_failed),
+                      "jobs_done": float(metrics.jobs_done),
+                      "steals": float(metrics.steals),
+                      "requeues": float(metrics.requeues)})
+        merged = CampaignTrace.merge(
+            [self.ftrace] + [h.events for h in all_handles])
+        return FleetResult(reports=self.results, failed=self.failed,
+                           metrics=metrics, trace=merged,
+                           store_dir=str(config.store_dir))
+
+
 def run_fleet(suite: dict, *, workers: int = 4,
               config: FleetConfig | None = None) -> FleetResult:
     """Verify every design in ``suite`` on a worker-process fleet.
@@ -108,249 +383,73 @@ def run_fleet(suite: dict, *, workers: int = 4,
     ``workers`` processes share one artifact store
     (``config.store_dir``, a fresh temporary directory when unset).
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     if not suite:
         raise ValueError("suite is empty")
     config = config or FleetConfig()
-    if config.store_dir is None:
-        config.store_dir = tempfile.mkdtemp(prefix="repro-fleet-store-")
-    respawn_budget = (config.max_respawns if config.max_respawns is not None
-                      else workers)
 
-    ctx = _pick_context()
-    outbox = ctx.Queue()
-    metrics = FleetMetrics(workers=workers, designs=len(suite))
-    ftrace = CampaignTrace(worker_id="fleet")
-    wq = WorkQueue(lease_s=config.lease_s)
-    watch = Stopwatch()
-
-    handles: dict[str, _WorkerHandle] = {}
-    retired: list[_WorkerHandle] = []
-    jobs_by_id: dict[str, Job] = {}
-    reports: dict[str, CbvReport] = {}
-    failed: dict[str, str] = {}
-    next_wid = 0
-
-    def spawn_worker() -> _WorkerHandle:
-        nonlocal next_wid
-        wid = f"w{next_wid}"
-        next_wid += 1
-        inbox = ctx.Queue()
-        proc = ctx.Process(target=worker_main, name=wid,
-                           args=(wid, inbox, outbox, config), daemon=True)
-        proc.start()
-        handle = _WorkerHandle(wid, proc, inbox)
-        handles[wid] = handle
-        wq.add_worker(wid)
-        metrics.workers_spawned += 1
-        ftrace.emit("worker_spawn", name=wid)
-        return handle
-
-    def submit(job: Job) -> None:
-        jobs_by_id[job.job_id] = job
-        wq.submit(job)
-        metrics.jobs_submitted += 1
-        ftrace.emit("job_submit", name=job.job_id)
-
-    def fail_design(design: str, reason: str) -> None:
-        if design in failed or design in reports:
-            return
-        failed[design] = reason
-        metrics.designs_failed += 1
-        for dropped in wq.cancel_design(design):
-            ftrace.emit("job_cancel", name=dropped.job_id)
-        ftrace.emit("design_failed", name=design, detail=reason)
-
-    def requeue_or_fail(job_id: str, why: str) -> None:
-        job = jobs_by_id.get(job_id)
-        if job is None or wq.is_done(job_id):
-            return
-        if job.retries >= config.max_retries:
-            wq.fail(job_id)
-            metrics.jobs_failed += 1
-            fail_design(job.design,
-                        f"{job_id} exhausted {config.max_retries} "
-                        f"retries (last: {why})")
-        elif wq.release(job_id) is not None:
-            metrics.retries += 1
-            ftrace.emit("job_requeue", name=job_id, detail=why,
-                        counters={"retries": float(job.retries)})
-
-    def on_worker_dead(handle: _WorkerHandle) -> None:
-        nonlocal respawn_budget
-        metrics.workers_dead += 1
-        ftrace.emit("worker_dead", name=handle.wid,
-                    detail=handle.job_id or "")
-        orphans = wq.remove_worker(handle.wid)
-        del handles[handle.wid]
-        retired.append(handle)
-        if respawn_budget > 0 and not done():
-            respawn_budget -= 1
-            spawn_worker()
-        if handles:
-            # Re-home under the surviving topology; release() below also
-            # hashes against the new worker list.
-            for orphan in orphans:
-                wq.submit(orphan)
-            if handle.job_id is not None:
-                requeue_or_fail(handle.job_id, f"worker {handle.wid} died")
-
-    def on_prepare_done(job: Job, result: dict) -> None:
-        if result.get("degraded"):
-            # The front half errored; shard batteries would diverge from
-            # (or crash unlike) a single-process run.  One finalize job
-            # reruns the whole degraded flow inline instead.
-            submit(finalize_job(job.design, job.bundle_ref, []))
-            return
-        shards = battery_jobs(job.design, job.bundle_ref,
-                              int(result.get("cccs", 0)), config)
-        for shard_job in shards:
-            submit(shard_job)
-        submit(finalize_job(job.design, job.bundle_ref, shards))
-
-    def on_message(message) -> None:
-        kind, wid, job_id, payload, events = message
-        handle = handles.get(wid)
-        if handle is None:  # straggler from a retired worker
-            handle = next((h for h in retired if h.wid == wid), None)
-        if handle is None:
-            return
-        handle.events.extend(events)
-        if kind == "ready":
-            handle.ready = True
-        elif kind == "heartbeat":
-            metrics.heartbeats += 1
-            wq.renew(job_id, watch.elapsed())
-        elif kind == "bye":
-            pass
-        elif kind in ("done", "error"):
-            if handle.job_id == job_id:
-                handle.job_id = None
-            if kind == "error":
-                ftrace.emit("job_error", name=job_id, detail=payload)
-                requeue_or_fail(job_id, "job raised")
+    def on_job_done(pool: _Pool, job: Job, result: dict) -> None:
+        if job.kind is JobKind.PREPARE:
+            if result.get("degraded"):
+                # The front half errored; shard batteries would diverge
+                # from (or crash unlike) a single-process run.  One
+                # finalize job reruns the whole degraded flow inline.
+                pool.submit(finalize_job(job.design, job.bundle_ref, []))
                 return
-            handle.store_counters = payload.get("store_counters", {})
-            if wq.is_done(job_id):
-                return  # duplicate completion from a requeued straggler
-            job = jobs_by_id.get(job_id)
-            if job is None or job.design in failed:
-                return
-            wq.complete(job_id)
-            metrics.record_job(job.kind.value, payload.get("job_seconds", 0.0))
-            ftrace.emit("job_done", name=job_id, status="ok",
-                        wall_s=payload.get("job_seconds"))
-            result = payload.get("result") or {}
-            if job.kind is JobKind.PREPARE:
-                on_prepare_done(job, result)
-            elif job.kind is JobKind.FINALIZE:
-                reports[job.design] = report_from_dict(result["report"])
-                metrics.designs_done += 1
-                ftrace.emit("design_done", name=job.design,
-                            status="ok" if result.get("ok") else "needs-triage")
+            shards = battery_jobs(job.design, job.bundle_ref,
+                                  int(result.get("cccs", 0)), config)
+            for shard_job in shards:
+                pool.submit(shard_job)
+            pool.submit(finalize_job(job.design, job.bundle_ref, shards))
+        elif job.kind is JobKind.FINALIZE:
+            pool.finish(job.design, report_from_dict(result["report"]))
+            pool.ftrace.emit(
+                "design_done", name=job.design,
+                status="ok" if result.get("ok") else "needs-triage")
 
-    def done() -> bool:
-        return len(reports) + len(failed) >= len(suite)
+    pool = _Pool(suite, workers=workers, config=config,
+                 on_job_done=on_job_done)
+    return pool.run([prepare_job(name, ref) for name, ref in suite.items()])
 
-    def supervise() -> None:
-        now = watch.elapsed()
-        for handle in list(handles.values()):
-            if not handle.proc.is_alive():
-                on_worker_dead(handle)
-        for lease in wq.expired(now):
-            ftrace.emit("lease_expired", name=lease.job.job_id,
-                        detail=lease.worker)
-            metrics.lease_expirations += 1
-            holder = handles.get(lease.worker)
-            if holder is not None and holder.job_id == lease.job.job_id:
-                holder.job_id = None
-            requeue_or_fail(lease.job.job_id, "lease expired")
 
-    def assign() -> None:
-        now = watch.elapsed()
-        for handle in handles.values():
-            if not handle.ready or handle.job_id is not None:
-                continue
-            lease = wq.next_job(handle.wid, now)
-            if lease is None:
-                continue
-            handle.job_id = lease.job.job_id
-            ftrace.emit("job_lease", name=lease.job.job_id,
-                        detail=handle.wid,
-                        counters={"stolen": float(lease.stolen)})
-            handle.inbox.put(("job", lease.job))
+def run_scenario_fleet(scenarios: dict, *, workers: int = 4,
+                       shards: int = 8,
+                       config: FleetConfig | None = None) -> FleetResult:
+    """Run fuzz / Monte-Carlo campaigns on a worker-process fleet.
 
-    ftrace.emit("fleet_start", counters={
-        "designs": float(len(suite)), "workers": float(workers)})
-    for _ in range(workers):
-        spawn_worker()
-    for name, ref in suite.items():
-        submit(prepare_job(name, ref))
+    ``scenarios`` maps campaign name -> scenario reference (a picklable
+    :class:`~repro.scenarios.spec.FuzzSpec` /
+    :class:`~repro.scenarios.spec.MonteCarloSpec`, a factory, or a
+    ``"module:attr"`` string).  Each campaign's sample range is split
+    into up to ``shards`` contiguous shard jobs (every seed re-derived
+    in the worker from the spec), plus one rollup job gated on all of
+    them.  ``result.reports[name]`` is the campaign's
+    :class:`~repro.scenarios.report.ScenarioReport`, canonically
+    byte-identical to ``ScenarioCampaign(spec, shards).run()`` -- the
+    shard layout matters to checkpoint keys, so pass the same
+    ``shards`` to compare runs, not the same worker count.
+    """
+    if not scenarios:
+        raise ValueError("scenarios is empty")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    config = config or FleetConfig()
+    from repro.scenarios.report import ScenarioReport
+    from repro.scenarios.spec import resolve_scenario
 
-    try:
-        while not done():
-            if (config.fleet_timeout_s is not None
-                    and watch.elapsed() > config.fleet_timeout_s):
-                for name in suite:
-                    fail_design(name, "fleet wall-clock bound exceeded")
-                break
-            if not handles:
-                for name in suite:
-                    fail_design(name, "every worker died and the respawn "
-                                      "budget is spent")
-                break
-            try:
-                on_message(outbox.get(timeout=config.poll_s))
-            except queue_mod.Empty:
-                pass
-            supervise()
-            assign()
-    finally:
-        for handle in handles.values():
-            try:
-                handle.inbox.put(("stop",))
-            except Exception:  # noqa: BLE001 -- already dying
-                pass
-        # Drain stragglers (notably "bye" with final event slices).
-        deadline = watch.elapsed() + 2.0
-        while watch.elapsed() < deadline:
-            if not any(h.proc.is_alive() for h in handles.values()):
-                try:
-                    while True:
-                        on_message(outbox.get(timeout=0.05))
-                except queue_mod.Empty:
-                    break
-            try:
-                on_message(outbox.get(timeout=0.05))
-            except queue_mod.Empty:
-                continue
-        for handle in handles.values():
-            handle.proc.join(timeout=1.0)
-            if handle.proc.is_alive():
-                handle.proc.terminate()
-                handle.proc.join(timeout=1.0)
+    def on_job_done(pool: _Pool, job: Job, result: dict) -> None:
+        if job.kind is JobKind.ROLLUP:
+            pool.finish(job.design, ScenarioReport.from_dict(result["report"]))
+            pool.ftrace.emit(
+                "design_done", name=job.design,
+                status="ok" if result.get("ok") else "needs-triage")
 
-    metrics.workers_alive = sum(
-        1 for h in handles.values() if h.proc.is_alive())
-    metrics.steals = wq.steals
-    metrics.requeues = wq.requeues
-    metrics.queue_depth = wq.depth()
-    metrics.blocked_jobs = wq.blocked_count()
-    metrics.active_leases = wq.lease_count()
-    metrics.wall_s = watch.elapsed()
-    metrics.write_contended = sum(
-        h.store_counters.get("store_write_contended", 0)
-        for h in list(handles.values()) + retired)
-    ftrace.emit("fleet_end",
-                status="ok" if not failed else "degraded",
-                wall_s=metrics.wall_s,
-                counters={"designs_done": float(metrics.designs_done),
-                          "designs_failed": float(metrics.designs_failed),
-                          "jobs_done": float(metrics.jobs_done),
-                          "steals": float(metrics.steals),
-                          "requeues": float(metrics.requeues)})
-    all_handles = list(handles.values()) + retired
-    merged = CampaignTrace.merge([ftrace] + [h.events for h in all_handles])
-    return FleetResult(reports=reports, failed=failed, metrics=metrics,
-                       trace=merged, store_dir=str(config.store_dir))
+    initial: list[Job] = []
+    for name, ref in scenarios.items():
+        spec = resolve_scenario(ref)
+        shard_jobs = scenario_jobs(name, ref, spec.total_samples(), shards)
+        initial.extend(shard_jobs)
+        initial.append(scenario_rollup_job(name, ref, shard_jobs))
+
+    pool = _Pool(scenarios, workers=workers, config=config,
+                 on_job_done=on_job_done)
+    return pool.run(initial)

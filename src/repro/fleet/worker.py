@@ -135,6 +135,45 @@ def _run_finalize(job: Job, store: ArtifactStore, config: FleetConfig,
     return {"report": report_to_dict(report), "ok": report.ok()}
 
 
+def _run_scenario_shard(job: Job, store: ArtifactStore,
+                        wt: CampaignTrace) -> dict:
+    # Lazy: repro.scenarios imports repro.fleet.jobs, so the import
+    # must not run at this module's import time (cycle through
+    # repro.fleet.__init__).
+    from repro.scenarios.runner import run_shard
+    from repro.scenarios.spec import resolve_scenario, shard_key
+
+    spec = resolve_scenario(job.bundle_ref)
+    shard = job.shard
+    # Running the same shard twice (retry, expired lease) is harmless:
+    # the payload is deterministic and the store's write lock drops the
+    # duplicate blob, exactly like battery shards.
+    payload = run_shard(spec, shard.lo, shard.hi, worker_id=wt.worker_id)
+    store.put(shard_key(spec, shard.index, shard.count), payload,
+              meta={"scenario": spec.name, "kind": spec.kind,
+                    "shard": shard.label()})
+    wt.replay(payload["events"])
+    mismatches = sum(m.get("mismatches", 0.0)
+                     for m in payload["samples"].values())
+    return {
+        "shard": shard.label(),
+        "samples": len(payload["samples"]),
+        "mismatches": int(mismatches),
+    }
+
+
+def _run_scenario_rollup(job: Job, store: ArtifactStore) -> dict:
+    from repro.fleet.merge import assemble_scenario_report
+    from repro.scenarios.spec import resolve_scenario
+
+    spec = resolve_scenario(job.bundle_ref)
+    # A missing/corrupt shard raises ShardMissing -> the job errors and
+    # the scheduler retries it (the shard jobs completed, so a retry
+    # reloads or a re-run recomputes what the store actually holds).
+    report = assemble_scenario_report(store, spec, job.shards)
+    return {"report": report.to_dict(), "ok": report.ok()}
+
+
 def execute_job(job: Job, store: ArtifactStore, config: FleetConfig,
                 wt: CampaignTrace) -> dict:
     """Run one fleet job; returns its picklable result payload."""
@@ -144,6 +183,10 @@ def execute_job(job: Job, store: ArtifactStore, config: FleetConfig,
         return _run_battery_shard(job, store, config, wt)
     if job.kind is JobKind.FINALIZE:
         return _run_finalize(job, store, config, wt)
+    if job.kind is JobKind.SCENARIO:
+        return _run_scenario_shard(job, store, wt)
+    if job.kind is JobKind.ROLLUP:
+        return _run_scenario_rollup(job, store)
     raise ValueError(f"unknown job kind: {job.kind!r}")
 
 

@@ -115,3 +115,50 @@ PROCESS_CORNERS: dict[Corner, CornerSpec] = {
 def corner_spec(corner: Corner) -> CornerSpec:
     """Return the :class:`CornerSpec` for a named corner."""
     return PROCESS_CORNERS[corner]
+
+
+#: CornerSpec fields a Monte-Carlo draw perturbs, in a fixed order (the
+#: order determines the PRNG call sequence, so it is part of the
+#: reproducibility contract -- reordering changes every sampled corner).
+SAMPLED_FIELDS: tuple[str, ...] = (
+    "drive_factor", "vth_shift_v", "cap_factor", "res_factor",
+    "vdd_factor", "temperature_c",
+)
+
+#: The FAST/SLOW span is read as the +/- 2 sigma window of the
+#: underlying process distribution: ~95% of sampled corners land inside
+#: the bounding corners, with tails beyond them -- which is what the
+#: bounding-corner methodology assumes about real silicon.
+CORNER_SPAN_SIGMA = 4.0
+
+
+def corner_sigmas() -> dict[str, float]:
+    """Per-field standard deviation implied by the FAST/SLOW span."""
+    fast = PROCESS_CORNERS[Corner.FAST]
+    slow = PROCESS_CORNERS[Corner.SLOW]
+    return {
+        field: abs(getattr(fast, field) - getattr(slow, field))
+               / CORNER_SPAN_SIGMA
+        for field in SAMPLED_FIELDS
+    }
+
+
+def sample_corner(rng, sigma_scale: float = 1.0) -> CornerSpec:
+    """Draw one gaussian-perturbed corner around TYPICAL.
+
+    ``rng`` is a :class:`random.Random` (or anything with ``gauss``);
+    the draw consumes exactly ``len(SAMPLED_FIELDS)`` variates in
+    :data:`SAMPLED_FIELDS` order, so a seeded rng reproduces the same
+    corner bit-for-bit.  Multiplicative factors are clamped to stay
+    positive (a tail draw cannot produce a negative capacitance).
+    """
+    typical = PROCESS_CORNERS[Corner.TYPICAL]
+    sigmas = corner_sigmas()
+    values = {}
+    for field in SAMPLED_FIELDS:
+        drawn = (getattr(typical, field)
+                 + rng.gauss(0.0, 1.0) * sigmas[field] * sigma_scale)
+        if field.endswith("_factor"):
+            drawn = max(drawn, 0.05)
+        values[field] = drawn
+    return CornerSpec(name=Corner.TYPICAL, **values)

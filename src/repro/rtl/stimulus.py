@@ -7,6 +7,13 @@ either manually generated or pseudo-random sequences."
 values (reproducible across runs -- a hard requirement for triaging
 mismatches found by shadow-mode simulation).  :class:`StimulusProgram`
 holds a manually written sequence with hold/repeat conveniences.
+
+Seeds are **always explicit**.  A fuzz campaign runs many stimulus legs
+at once, and two legs silently sharing a default seed replay the same
+sequence -- exactly the scenario-diversity failure probabilistic
+verification exists to avoid.  Campaign-level code derives per-leg seeds
+from its own campaign seed (see :func:`repro.scenarios.derive_seed`);
+hand-written tests just pass a literal.
 """
 
 from __future__ import annotations
@@ -26,34 +33,63 @@ class RandomStimulus:
         The signals to drive each cycle.
     seed:
         PRNG seed; identical seeds reproduce identical sequences.
+        Required: there is no default, so two independently constructed
+        stimulus legs can never silently replay one sequence.  Derive
+        per-leg seeds from a campaign seed
+        (:func:`repro.scenarios.derive_seed`) rather than inventing
+        literals in campaign code.
     bias:
         Probability of each bit being 1 (0.5 = uniform).  Biased
         stimulus stresses corner behaviours (e.g. mostly-enabled clocks).
     """
 
-    def __init__(self, signals: Sequence[Signal], seed: int = 1997, bias: float = 0.5):
+    def __init__(self, signals: Sequence[Signal], seed: int | None = None,
+                 bias: float = 0.5):
+        if seed is None:
+            raise ValueError(
+                "RandomStimulus requires an explicit seed; derive one from "
+                "a campaign seed (repro.scenarios.derive_seed) or pass a "
+                "literal in tests")
         if not 0.0 <= bias <= 1.0:
             raise ValueError("bias must be in [0, 1]")
         self.signals = list(signals)
+        self.seed = int(seed)
         self.bias = bias
-        self._rng = random.Random(seed)
+        self._rng = random.Random(self.seed)
 
-    def next_vector(self) -> dict[str, int]:
-        """Generate and apply one cycle's stimulus; returns the values."""
+    def next_vector(self, apply: bool = True) -> dict[str, int]:
+        """Generate one cycle's stimulus; returns the values.
+
+        With ``apply=True`` (the default) each generated value is also
+        **written to its live signal** -- the convenient mode for driving
+        a simulator.  ``apply=False`` only advances the PRNG and returns
+        the values, leaving every signal untouched: the mode for
+        re-deriving a shard's vector sequence (fleet sharders, triage
+        replay tooling) without perturbing simulator state.
+        """
         vector: dict[str, int] = {}
         for sig in self.signals:
             value = 0
             for bit in range(sig.width):
                 if self._rng.random() < self.bias:
                     value |= 1 << bit
-            sig.set(value)
+            if apply:
+                sig.set(value)
             vector[sig.name] = value
         return vector
 
-    def vectors(self, n: int) -> Iterator[dict[str, int]]:
-        """Yield (and apply) n stimulus vectors."""
+    def vectors(self, n: int, apply: bool = True) -> Iterator[dict[str, int]]:
+        """Yield n stimulus vectors.
+
+        **Side effect**: with ``apply=True`` (the default) every yielded
+        vector is also written to the live signals as it is generated --
+        so materializing ``list(stim.vectors(n))`` and then replaying the
+        list drives each signal *twice*.  Pass ``apply=False`` to
+        enumerate the sequence purely (no signal writes), e.g. to
+        inspect or persist the vectors a seed will produce.
+        """
         for _ in range(n):
-            yield self.next_vector()
+            yield self.next_vector(apply=apply)
 
 
 class StimulusProgram:

@@ -1,0 +1,90 @@
+"""repro.scenarios -- fuzzing and Monte-Carlo corner-sweep workloads.
+
+The paper's verification flow is probabilistic filtering over huge
+check volumes -- pseudo-random stimulus and corner sweeps, not one
+golden run per design.  This package is that workload class:
+
+* **Fuzzing** (:class:`FuzzSpec`): seeded pseudo-random stimulus driven
+  through shadow-mode RTL<->schematic comparison.  Each sample is one
+  stimulus leg whose seed derives from ``(campaign_seed, stream,
+  index)`` -- no two legs replay the same sequence, and any process
+  re-derives any leg from the spec alone.
+* **Monte-Carlo PVT sweeps** (:class:`MonteCarloSpec`): gaussian-
+  perturbed process corners regenerating the Table-1 power cascade as
+  a *distribution* -- count / mean / quantiles / 95% confidence bands
+  per metric, deterministic given the campaign seed.
+
+Both run serially (:class:`ScenarioCampaign`), checkpoint per shard to
+the artifact store, resume without re-running checkpointed seeds, and
+scale onto the fleet (:func:`repro.fleet.run_scenario_fleet`) with
+canonically byte-identical reports across worker counts.
+
+Quickstart::
+
+    from repro.scenarios import FuzzSpec, MonteCarloSpec, ScenarioCampaign
+
+    fuzz = FuzzSpec(name="adder-fuzz",
+                    target_ref="repro.scenarios.targets:adder4_shadow",
+                    campaign_seed=2026, seeds=64, cycles=32)
+    report = ScenarioCampaign(fuzz, shards=8).run()
+    assert report.ok()
+
+    mc = MonteCarloSpec(name="cascade-mc", campaign_seed=2026, samples=256)
+    stats = ScenarioCampaign(mc, shards=8).run().rollup.stats()
+    band = (stats["final_power_w"]["ci95_lo"],
+            stats["final_power_w"]["ci95_hi"])
+"""
+
+from repro.scenarios.campaign import ScenarioCampaign, shard_bounds
+from repro.scenarios.report import (
+    ScenarioReport,
+    assemble_report,
+    finish_report,
+    sample_events,
+)
+from repro.scenarios.rollup import (
+    QUANTILES,
+    RollupConflict,
+    ScenarioRollup,
+    metric_stats,
+)
+from repro.scenarios.runner import (
+    run_fuzz_sample,
+    run_montecarlo_sample,
+    run_sample,
+    run_shard,
+)
+from repro.scenarios.seeds import SEED_BITS, derive_seed
+from repro.scenarios.spec import (
+    FuzzSpec,
+    MonteCarloSpec,
+    ScenarioSpec,
+    resolve_scenario,
+    shard_key,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "QUANTILES",
+    "SEED_BITS",
+    "FuzzSpec",
+    "MonteCarloSpec",
+    "RollupConflict",
+    "ScenarioCampaign",
+    "ScenarioReport",
+    "ScenarioRollup",
+    "ScenarioSpec",
+    "assemble_report",
+    "derive_seed",
+    "finish_report",
+    "metric_stats",
+    "resolve_scenario",
+    "run_fuzz_sample",
+    "run_montecarlo_sample",
+    "run_sample",
+    "run_shard",
+    "sample_events",
+    "shard_bounds",
+    "shard_key",
+    "spec_fingerprint",
+]

@@ -1,0 +1,156 @@
+"""Statistical rollup: thousands of sample reports -> one distribution.
+
+Design Conductor-style agentic flows submit thousands of candidate
+runs and need *distributions with confidence bands*, not point
+verdicts.  The rollup is that layer, built so the merged result is a
+pure function of the sample set:
+
+* samples are keyed by their campaign-wide index, so merging shards is
+  dict union -- order-invariant and idempotent (a resumed or duplicated
+  shard re-adds identical rows, which is checked, not trusted);
+* every aggregate is computed over the values in **index order** with
+  :func:`math.fsum` (correctly rounded independent of summation
+  order), so count / mean / std / quantiles / confidence bands are
+  byte-identical no matter how many workers produced the samples or in
+  which order their shards merged;
+* serialization sorts sample indices and metric names, so the JSON
+  form is canonical by construction.
+
+Confidence bands are the normal-approximation 95% interval on the mean
+(``mean +/- 1.96 * std / sqrt(n)``); quantiles use the linear
+interpolation convention (numpy's default) at p5 / p25 / p50 / p75 /
+p95.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Quantiles every metric reports, as (label, fraction).
+QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p05", 0.05), ("p25", 0.25), ("p50", 0.50), ("p75", 0.75),
+    ("p95", 0.95),
+)
+
+#: Two-sided 95% normal critical value for the confidence band.
+_Z95 = 1.959963984540054
+
+
+class RollupConflict(ValueError):
+    """The same sample index was added twice with different metrics."""
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted list."""
+    if not ordered:
+        raise ValueError("quantile of an empty sample set")
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def metric_stats(values: list[float]) -> dict[str, float]:
+    """Deterministic descriptive statistics of one metric's samples.
+
+    ``values`` must already be in a canonical order (the rollup passes
+    index order); :func:`math.fsum` makes the sums order-independent
+    anyway, but a fixed order keeps min/max ties and the sorted
+    quantile input reproducible by construction.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("stats of an empty sample set")
+    mean = math.fsum(values) / n
+    var = (math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+           if n > 1 else 0.0)
+    std = math.sqrt(var)
+    half_band = _Z95 * std / math.sqrt(n)
+    ordered = sorted(values)
+    stats = {
+        "count": float(n),
+        "mean": mean,
+        "std": std,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "ci95_lo": mean - half_band,
+        "ci95_hi": mean + half_band,
+    }
+    for label, q in QUANTILES:
+        stats[label] = _quantile(ordered, q)
+    return stats
+
+
+class ScenarioRollup:
+    """Accumulates per-sample metric rows keyed by sample index."""
+
+    def __init__(self) -> None:
+        self.samples: dict[int, dict[str, float]] = {}
+
+    def add_sample(self, index: int, metrics: dict[str, float]) -> None:
+        """Record one sample's metrics; idempotent re-adds are allowed.
+
+        A conflicting re-add (same index, different values) raises
+        :class:`RollupConflict` -- that means two runs disagreed on a
+        supposedly deterministic sample, which must surface, not
+        silently last-write-win.
+        """
+        row = {str(k): float(v) for k, v in metrics.items()}
+        existing = self.samples.get(index)
+        if existing is not None:
+            if existing != row:
+                raise RollupConflict(
+                    f"sample {index} already recorded with different "
+                    f"metrics (checkpoint corruption or nondeterministic "
+                    f"target?)")
+            return
+        self.samples[int(index)] = row
+
+    def merge(self, other: "ScenarioRollup") -> "ScenarioRollup":
+        """Fold another rollup in (dict union; conflicts raise)."""
+        for index, row in other.samples.items():
+            self.add_sample(index, row)
+        return self
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def metric_names(self) -> list[str]:
+        names: set[str] = set()
+        for row in self.samples.values():
+            names.update(row)
+        return sorted(names)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-metric descriptive statistics over all samples.
+
+        Values are collected in sample-index order; a metric absent
+        from some samples is aggregated over the samples that have it.
+        """
+        indices = sorted(self.samples)
+        out: dict[str, dict[str, float]] = {}
+        for name in self.metric_names():
+            values = [self.samples[i][name] for i in indices
+                      if name in self.samples[i]]
+            out[name] = metric_stats(values)
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form: sorted indices, sorted metric keys."""
+        return {
+            "samples": {str(i): dict(sorted(self.samples[i].items()))
+                        for i in sorted(self.samples)},
+            "stats": self.stats(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioRollup":
+        rollup = cls()
+        for index, row in data.get("samples", {}).items():
+            rollup.add_sample(int(index), row)
+        return rollup

@@ -1,0 +1,133 @@
+"""Executes one contiguous shard of a scenario campaign's samples.
+
+The shard is the unit of distribution *and* of checkpointing: its
+payload -- ``{"samples": {index: metrics}, "events": [scenario.sample
+event dicts]}`` -- is what the artifact store files under
+:func:`repro.scenarios.spec.shard_key`, what a resumed campaign
+replays, and what the rollup assembles.  Every sample re-derives its
+own seed from ``(campaign_seed, stream, index)``, so a shard needs
+nothing but the spec and its index range.
+
+Each sample emits one ``scenario.sample`` trace event whose counters
+carry the derived seed and the sample's metrics -- the seed is a
+recorded *fact* of the run (satisfying triage: "which sequence found
+this mismatch?") and survives into the canonical report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.core.trace import CampaignTrace
+from repro.power.cascade import (
+    CASCADE_ORDER,
+    alpha_21064_chip,
+    power_cascade,
+    strongarm_chip,
+)
+from repro.process.corners import sample_corner
+from repro.rtl.stimulus import RandomStimulus
+from repro.scenarios.seeds import derive_seed
+from repro.scenarios.spec import FuzzSpec, MonteCarloSpec, resolve_scenario
+
+
+def run_fuzz_sample(spec: FuzzSpec, index: int) -> dict[str, float]:
+    """One fuzz leg: fresh target, seeded stimulus, shadowed cycles."""
+    seed = derive_seed(spec.campaign_seed, spec.stream, index)
+    shadow, stim_signals = resolve_target(spec.target_ref)
+    shadow.strict_x = spec.strict_x
+    stimulus = RandomStimulus(stim_signals, seed=seed, bias=spec.bias)
+    for _ in range(spec.cycles):
+        stimulus.next_vector()
+        shadow.cycle(1)
+    report = shadow.report
+    return {
+        "seed": float(seed),
+        "compared": float(report.compared),
+        "agreements": float(report.agreements),
+        "unknowns": float(report.unknowns),
+        "mismatches": float(len(report.mismatches)),
+        "agreement_rate": report.agreement_rate(),
+    }
+
+
+def run_montecarlo_sample(spec: MonteCarloSpec, index: int) -> dict[str, float]:
+    """One Monte-Carlo draw: perturbed corner -> regenerated cascade."""
+    seed = derive_seed(spec.campaign_seed, spec.stream, index)
+    corner = sample_corner(random.Random(seed), spec.sigma_scale)
+    start = alpha_21064_chip()
+    target = strongarm_chip()
+    # The corner perturbs the *target* silicon: supply tolerance scales
+    # VDD, the capacitance tolerance scales switched cap per complexity
+    # unit.  The starting chip stays nominal -- Table 1's 26 W anchor.
+    perturbed = replace(
+        target,
+        vdd_v=target.vdd_v * corner.vdd_factor,
+        process_cap_per_unit_f=(target.process_cap_per_unit_f
+                                * corner.cap_factor),
+    )
+    steps = power_cascade(start, perturbed)
+    final_w = steps[-1].power_w
+    metrics = {
+        "seed": float(seed),
+        "final_power_w": final_w,
+        "reduction_x": steps[0].power_w / final_w,
+        "vdd_v": perturbed.vdd_v,
+        "cap_factor": corner.cap_factor,
+        "temperature_c": corner.temperature_c,
+    }
+    for step, (label, _attr) in zip(steps[1:], CASCADE_ORDER):
+        key = label.lower().replace(" ", "_")
+        metrics[f"factor_{key}"] = step.factor
+    return metrics
+
+
+def resolve_target(ref):
+    """Import and invoke a fuzz-target factory reference."""
+    import importlib
+
+    if isinstance(ref, str):
+        module_name, _, attr = ref.partition(":")
+        if not attr:
+            raise ValueError(
+                f"target ref {ref!r} must look like 'package.module:factory'")
+        ref = getattr(importlib.import_module(module_name), attr)
+    return ref()
+
+
+def run_sample(spec, index: int) -> dict[str, float]:
+    if isinstance(spec, FuzzSpec):
+        return run_fuzz_sample(spec, index)
+    if isinstance(spec, MonteCarloSpec):
+        return run_montecarlo_sample(spec, index)
+    raise TypeError(f"not a scenario spec: {type(spec).__name__}")
+
+
+def run_shard(spec_ref, lo: int, hi: int,
+              worker_id: str = "") -> dict:
+    """Run samples ``[lo, hi)``; returns the checkpointable payload.
+
+    The payload's ``events`` are recorded through a scratch
+    :class:`CampaignTrace` (restamped on replay, like battery-shard
+    events), one ``scenario.sample`` event per sample with the derived
+    seed and the sample metrics as counters.
+    """
+    spec = resolve_scenario(spec_ref)
+    total = spec.total_samples()
+    if not 0 <= lo <= hi <= total:
+        raise ValueError(
+            f"shard [{lo}, {hi}) outside the campaign's {total} samples")
+    scratch = CampaignTrace(worker_id=worker_id)
+    samples: dict[int, dict[str, float]] = {}
+    for index in range(lo, hi):
+        metrics = run_sample(spec, index)
+        samples[index] = metrics
+        status = ("mismatch" if metrics.get("mismatches", 0.0) else "ok")
+        scratch.emit("scenario.sample", name=f"{spec.name}[{index}]",
+                     status=status, counters=metrics)
+    return {
+        "samples": {str(i): samples[i] for i in sorted(samples)},
+        "events": [e.to_dict() for e in scratch.events
+                   if e.event == "scenario.sample"],
+    }

@@ -1,0 +1,129 @@
+"""Scenario specifications: what one fuzz / Monte-Carlo campaign runs.
+
+A spec is a small frozen dataclass -- picklable, fingerprintable, and
+cheap to ship to fleet workers.  Anything heavyweight (the shadow
+simulator under fuzz, the chip power models under Monte-Carlo) is named
+by an importable reference and rebuilt inside whichever process runs
+the sample, exactly like :class:`repro.fleet.jobs` handles design
+bundles.
+
+``shard_key`` files one shard's results in the artifact store under a
+digest of the spec fingerprint (which folds in the seed plan -- see
+:func:`repro.store.fingerprint.fingerprint_seed_plan`) plus the shard
+coordinates: editing the campaign seed, the sample count, the target,
+or the shard layout each invalidates exactly the affected blobs.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+from repro.store.fingerprint import (
+    FINGERPRINT_SCHEMA_VERSION,
+    _digest,
+    fingerprint_seed_plan,
+    fingerprint_value,
+)
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Seeded pseudo-random stimulus fuzzing of a shadow-mode target.
+
+    Attributes
+    ----------
+    name:
+        Campaign label (also the fleet affinity key).
+    target_ref:
+        ``"module:factory"`` naming a zero-argument factory returning
+        ``(ShadowSimulator, stimulus_signals)`` -- see
+        :mod:`repro.scenarios.targets`.
+    campaign_seed:
+        The one explicit seed everything else derives from.
+    seeds:
+        How many fuzz legs (= samples) to run.
+    cycles:
+        Shadowed clock cycles per leg.
+    bias:
+        Per-bit 1-probability of the random stimulus.
+    strict_x:
+        Promote circuit-X-vs-defined-RTL disagreements to mismatches.
+    """
+
+    name: str
+    target_ref: str
+    campaign_seed: int
+    seeds: int
+    cycles: int = 32
+    bias: float = 0.5
+    strict_x: bool = False
+
+    kind = "fuzz"
+    stream = "fuzz"
+
+    def total_samples(self) -> int:
+        return self.seeds
+
+
+@dataclass(frozen=True)
+class MonteCarloSpec:
+    """Monte-Carlo PVT/mismatch sweep of the Table-1 power cascade.
+
+    Each sample draws a gaussian-perturbed process corner (see
+    :func:`repro.process.corners.sample_corner`), applies it to the
+    target chip of the cascade, and records the regenerated Table-1
+    rows -- the population is the cascade as a distribution.
+    """
+
+    name: str
+    campaign_seed: int
+    samples: int
+    #: Scales the corner sigmas (1.0 = FAST/SLOW span is +/- 2 sigma).
+    sigma_scale: float = 1.0
+
+    kind = "montecarlo"
+    stream = "montecarlo"
+
+    def total_samples(self) -> int:
+        return self.samples
+
+
+ScenarioSpec = FuzzSpec | MonteCarloSpec
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """Digest of everything that determines a campaign's samples."""
+    return _digest([
+        "scenario-spec", FINGERPRINT_SCHEMA_VERSION, spec.kind,
+        fingerprint_value(spec),
+        fingerprint_seed_plan(spec.campaign_seed, spec.stream,
+                              spec.total_samples()),
+    ])
+
+
+def shard_key(spec: ScenarioSpec, index: int, count: int) -> str:
+    """Store key of one shard's sample results."""
+    return _digest(["scenario-shard", FINGERPRINT_SCHEMA_VERSION,
+                    spec_fingerprint(spec), int(index), int(count)])
+
+
+def resolve_scenario(ref) -> ScenarioSpec:
+    """Materialize a spec from its reference, in any process.
+
+    Accepts a spec instance (specs are picklable), a zero-argument
+    factory, or a ``"module:attr"`` string naming either.
+    """
+    if isinstance(ref, str):
+        module_name, _, attr = ref.partition(":")
+        if not attr:
+            raise ValueError(
+                f"scenario ref {ref!r} must look like 'package.module:attr'")
+        ref = getattr(importlib.import_module(module_name), attr)
+    if isinstance(ref, (FuzzSpec, MonteCarloSpec)):
+        return ref
+    spec = ref()
+    if not isinstance(spec, (FuzzSpec, MonteCarloSpec)):
+        raise TypeError(f"scenario factory returned {type(spec).__name__}, "
+                        f"not a FuzzSpec/MonteCarloSpec")
+    return spec

@@ -1,0 +1,94 @@
+"""Fuzzable shadow-mode targets.
+
+A fuzz target is a zero-argument factory returning ``(ShadowSimulator,
+stimulus_signals)``: a freshly built RTL model shadowed by its circuit
+implementation, plus the RTL input signals the pseudo-random stimulus
+drives each cycle.  Factories are addressed as ``"module:factory"``
+strings in :class:`~repro.scenarios.spec.FuzzSpec`, so any process --
+serial campaign, fleet worker -- rebuilds an identical target from the
+reference alone.
+
+Two targets cover the two RTL<->schematic comparison paths the paper's
+flow leans on: a datapath block (static ripple-carry adder vs an RTL
+add) and a logic block (NAND+INV AND-gate vs the boolean intent).
+``adder4_shadow_seeded_bug`` is the adder with a deliberately wrong
+circuit (carry input wired high), kept as the detection-power control:
+a fuzz campaign that cannot find it is not testing anything.
+"""
+
+from __future__ import annotations
+
+from repro.designs.adders import ripple_carry_adder
+from repro.netlist.builder import CellBuilder
+from repro.netlist.flatten import flatten
+from repro.rtl.module import RtlModule
+from repro.rtl.signals import Signal
+from repro.rtl.simulator import PhaseSimulator
+from repro.shadow.binding import ShadowBinding, bind_bus
+from repro.shadow.shadowsim import ShadowSimulator
+from repro.switchsim.engine import SwitchSimulator
+
+FuzzTarget = "tuple[ShadowSimulator, list[Signal]]"
+
+
+def _adder_shadow(width: int, cin_high: bool) -> FuzzTarget:
+    m = RtlModule("fuzz_adder")
+    a = m.signal("a", width, reset=0)
+    b = m.signal("b", width, reset=0)
+    total = m.signal("sum", width, reset=0)
+    carry = m.signal("carry", 1, reset=0)
+
+    @m.comb
+    def _add():
+        if not a.is_x() and not b.is_x():
+            full = a.get() + b.get()
+            total.set(full & ((1 << width) - 1))
+            carry.set((full >> width) & 1)
+
+    rtl = PhaseSimulator(m)
+    circuit = SwitchSimulator(flatten(ripple_carry_adder(width)))
+    binding = ShadowBinding()
+    bind_bus(binding, a, [f"a{i}" for i in range(width)], "drive")
+    bind_bus(binding, b, [f"b{i}" for i in range(width)], "drive")
+    bind_bus(binding, total, [f"s{i}" for i in range(width)], "compare")
+    binding.compare("cout", carry, 0)
+    # The RTL add has no carry-in; tie the circuit port to a constant.
+    # The seeded-bug variant ties it HIGH, an off-by-one the random
+    # stimulus must catch on its own.
+    cin = Signal("cin_tie", 1, reset=1 if cin_high else 0)
+    binding.drive("cin", cin, 0)
+    return ShadowSimulator(rtl, circuit, binding), [a, b]
+
+
+def adder4_shadow() -> FuzzTarget:
+    """4-bit static ripple-carry adder vs its RTL add (correct)."""
+    return _adder_shadow(4, cin_high=False)
+
+
+def adder4_shadow_seeded_bug() -> FuzzTarget:
+    """The adder with carry-in stuck high: every fuzz leg must mismatch."""
+    return _adder_shadow(4, cin_high=True)
+
+
+def and_gate_shadow() -> FuzzTarget:
+    """NAND+INV AND gate vs the boolean intent, two fuzzed inputs."""
+    m = RtlModule("fuzz_and")
+    a = m.signal("a", 1, reset=0)
+    b = m.signal("b", 1, reset=0)
+    y = m.signal("y", 1, reset=0)
+
+    @m.comb
+    def _and():
+        if not a.is_x() and not b.is_x():
+            y.set(a.get() & b.get())
+
+    rtl = PhaseSimulator(m)
+    builder = CellBuilder("and_blk", ports=["a", "b", "y"])
+    builder.nand(["a", "b"], "n1")
+    builder.inverter("n1", "y")
+    circuit = SwitchSimulator(flatten(builder.build()))
+    binding = ShadowBinding()
+    binding.drive("a", a, 0)
+    binding.drive("b", b, 0)
+    binding.compare("y", y, 0)
+    return ShadowSimulator(rtl, circuit, binding), [a, b]

@@ -26,7 +26,11 @@ the ``O_EXCL`` claim, the others count a ``write_contended`` and either
 wait for the winner (skipping their own write once the winner's blob
 lands -- keys fingerprint the payload's inputs, so two writers racing on
 one key are writing interchangeable checkpoints) or break the lock when
-its owner is provably dead (pid gone) or older than ``lock_stale_s``.
+its owner is provably dead (pid gone) or -- for owners that cannot be
+confirmed either way -- when the identical lock file has been observed
+for ``lock_stale_s`` seconds of this process's *monotonic* clock.
+A provably live owner's lock is never broken, and wall-clock skew
+cannot age a lock (staleness never reads ``time.time()`` deltas).
 Two workers checkpointing the same stage therefore never interleave,
 and a SIGKILLed writer can never wedge the key it was holding.
 
@@ -99,8 +103,10 @@ class ArtifactStore:
 
     ``lock_timeout_s`` bounds how long a contended ``put`` waits for the
     key's current writer before giving up (skipping its now-duplicate
-    write); ``lock_stale_s`` is the age past which a lock whose owner
-    cannot be confirmed alive is broken.
+    write); ``lock_stale_s`` is how long a lock whose owner cannot be
+    confirmed alive must be observed unchanged (on this process's
+    monotonic clock) before it is broken.  A provably dead owner's lock
+    is broken immediately; a provably live owner's never.
 
     Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt`` /
     ``write_contended``) are exposed through :meth:`counters` in the
@@ -119,6 +125,10 @@ class ArtifactStore:
             d.mkdir(parents=True, exist_ok=True)
         self.lock_timeout_s = lock_timeout_s
         self.lock_stale_s = lock_stale_s
+        #: Monotonic observation of contended locks whose owner cannot
+        #: be confirmed alive: lock path -> (stat signature, first seen).
+        #: See :meth:`_lock_is_stale`.
+        self._lock_watch: dict[str, tuple[tuple, float]] = {}
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -154,31 +164,60 @@ class ArtifactStore:
             # Unlockable filesystem: degrade to the pre-lock behaviour
             # (atomic last-writer-wins) rather than refuse durability.
             return True
+        # "t" is diagnostic only (post-mortems of quarantined stores);
+        # staleness decisions never read it -- wall clocks skew.
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump({"pid": os.getpid(), "t": time.time()}, fh)
+        self._lock_watch.pop(str(lock), None)
         return True
 
     def _lock_is_stale(self, lock: Path) -> bool:
-        """True when the lock's owner is provably dead or too old."""
+        """True when the lock's owner is provably dead or provably idle.
+
+        The decision deliberately uses no wall-clock arithmetic: a lock
+        payload's ``"t"`` field (or the file's mtime) compared against
+        ``time.time()`` can mis-age a *live* writer's lock by exactly the
+        host's clock skew -- and a payload missing ``"t"`` must not read
+        as written-at-epoch-0.  Instead:
+
+        * an owner pid that is provably **alive** keeps the lock, full
+          stop;
+        * an owner pid that is provably **dead** forfeits it immediately;
+        * an unknowable owner (payload unreadable or mid-write, pid
+          absent, or not signalable from here) forfeits it only after
+          this process has *observed the identical lock file* for
+          ``lock_stale_s`` seconds of its own monotonic clock.  The
+          observation window resets whenever the lock's stat signature
+          changes, so an actively re-claimed lock is never broken.
+        """
+        ident = str(lock)
+        try:
+            st = lock.stat()
+        except OSError:
+            self._lock_watch.pop(ident, None)
+            return False  # vanished: owner released it normally
+        signature = (st.st_ino, st.st_mtime_ns, st.st_size)
+        pid = None
         try:
             data = json.loads(lock.read_text(encoding="utf-8"))
+            pid = data.get("pid")
         except (OSError, ValueError):
-            # Unreadable or mid-write claim: judge by file age alone.
-            try:
-                return time.time() - lock.stat().st_mtime > self.lock_stale_s
-            except OSError:
-                return False  # vanished: owner released it normally
-        if time.time() - float(data.get("t", 0.0)) > self.lock_stale_s:
-            return True
-        pid = data.get("pid")
+            pass  # unreadable or mid-write claim: owner unknowable
         if isinstance(pid, int):
             try:
                 os.kill(pid, 0)
             except ProcessLookupError:
-                return True  # same-host owner is gone
+                return True  # same-host owner is provably gone
             except (PermissionError, OSError):
-                pass
-        return False
+                pass  # exists but not ours to signal: unknowable
+            else:
+                return False  # owner alive: never break a live lock
+        watched = self._lock_watch.get(ident)
+        now = time.monotonic()
+        if watched is None or watched[0] != signature:
+            self._lock_watch[ident] = (signature, now)
+            return False
+        return now - watched[1] > self.lock_stale_s
 
     def _claim_write_lock(self, key: str, path: Path) -> bool:
         """Serialize writers of one key; False means skip the write.

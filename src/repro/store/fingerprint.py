@@ -170,3 +170,16 @@ def fingerprint_cell_geometry(top: Cell) -> str:
 def fingerprint_value(obj) -> str:
     """Digest of an arbitrary canonicalizable value."""
     return _digest(canonicalize(obj))
+
+
+def fingerprint_seed_plan(campaign_seed: int, stream: str, total: int) -> str:
+    """Digest of one scenario campaign's seed-derivation plan.
+
+    A fuzz or Monte-Carlo campaign is fully determined by its campaign
+    seed, its named derivation stream, and how many per-sample seeds it
+    draws (see :func:`repro.scenarios.derive_seed`); this digest is the
+    checkpoint-key component that makes a shard's stored results
+    unreachable from any campaign that would replay different stimulus.
+    """
+    return _digest(["seed-plan", FINGERPRINT_SCHEMA_VERSION,
+                    int(campaign_seed), str(stream), int(total)])

@@ -35,7 +35,34 @@ def test_random_stimulus_bias():
 
 def test_bias_validation():
     with pytest.raises(ValueError):
-        RandomStimulus([], bias=1.5)
+        RandomStimulus([], seed=1, bias=1.5)
+
+
+def test_seed_is_required():
+    # Two legs of one campaign must never silently share a default seed.
+    with pytest.raises(ValueError, match="explicit seed"):
+        RandomStimulus([Signal("a", 4)])
+
+
+def test_pure_mode_leaves_signals_untouched():
+    sig = Signal("a", 8, reset=0x5A)
+    stim = RandomStimulus([sig], seed=7)
+    pure = [dict(v) for v in stim.vectors(5, apply=False)]
+    assert sig.get() == 0x5A  # no side effect
+    # The pure enumeration is the exact sequence an applying stimulus
+    # with the same seed produces.
+    replay = RandomStimulus([sig], seed=7)
+    applied = [dict(v) for v in replay.vectors(5)]
+    assert pure == applied
+    assert sig.get() == applied[-1]["a"]
+
+
+def test_apply_flag_on_next_vector():
+    sig = Signal("a", 8, reset=0)
+    stim = RandomStimulus([sig], seed=3)
+    vec = stim.next_vector(apply=False)
+    assert sig.get() == 0
+    assert 0 <= vec["a"] <= 0xFF
 
 
 def test_stimulus_program_steps_and_holds():

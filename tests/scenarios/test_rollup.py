@@ -1,0 +1,98 @@
+"""Rollup determinism: the statistics are a pure function of the set.
+
+The acceptance property for the whole scenarios subsystem is that the
+rollup's serialized form is byte-identical no matter how the samples
+were partitioned into shards, which order the shards merged in, or how
+often a shard was replayed -- these tests pin that at the unit level.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.scenarios import RollupConflict, ScenarioRollup, metric_stats
+
+
+def test_metric_stats_on_known_values():
+    stats = metric_stats([1.0, 2.0, 3.0, 4.0])
+    assert stats["count"] == 4.0
+    assert stats["mean"] == 2.5
+    assert stats["min"] == 1.0 and stats["max"] == 4.0
+    assert stats["std"] == pytest.approx(math.sqrt(5.0 / 3.0))
+    # Linear-interpolation quantiles (numpy convention).
+    assert stats["p50"] == 2.5
+    assert stats["p25"] == 1.75
+    assert stats["p05"] == pytest.approx(1.15)
+    # The confidence band is symmetric about the mean.
+    assert stats["ci95_lo"] + stats["ci95_hi"] == pytest.approx(2 * 2.5)
+    assert stats["ci95_lo"] < 2.5 < stats["ci95_hi"]
+
+
+def test_metric_stats_single_sample_and_empty():
+    stats = metric_stats([7.0])
+    assert stats["std"] == 0.0
+    assert stats["ci95_lo"] == stats["ci95_hi"] == 7.0
+    assert stats["p05"] == stats["p95"] == 7.0
+    with pytest.raises(ValueError):
+        metric_stats([])
+
+
+def test_idempotent_readds_allowed_conflicts_refused():
+    rollup = ScenarioRollup()
+    rollup.add_sample(3, {"m": 1.0})
+    rollup.add_sample(3, {"m": 1.0})  # a replayed shard: harmless
+    assert rollup.count() == 1
+    with pytest.raises(RollupConflict):
+        rollup.add_sample(3, {"m": 2.0})
+
+
+def test_rollup_serialization_is_invariant_to_merge_order():
+    # 64 synthetic samples with two metrics, partitioned and merged
+    # every which way: the canonical JSON must never move.
+    rng = random.Random(1997)
+    rows = {i: {"power": rng.gauss(0.5, 0.1), "seed": float(i * 17)}
+            for i in range(64)}
+
+    def serialized(rollup):
+        return json.dumps(rollup.to_dict(), sort_keys=True)
+
+    reference = ScenarioRollup()
+    for i in sorted(rows):
+        reference.add_sample(i, rows[i])
+    baseline = serialized(reference)
+
+    for _trial in range(20):
+        indices = list(rows)
+        rng.shuffle(indices)
+        # Random contiguous-in-shuffled-order partition into 1..8 shards.
+        cuts = sorted(rng.sample(range(1, len(indices)),
+                                 rng.randrange(0, 7)))
+        shards = []
+        lo = 0
+        for hi in cuts + [len(indices)]:
+            shard = ScenarioRollup()
+            for i in indices[lo:hi]:
+                shard.add_sample(i, rows[i])
+            shards.append(shard)
+            lo = hi
+        rng.shuffle(shards)
+        merged = ScenarioRollup()
+        for shard in shards:
+            merged.merge(shard)
+        # A duplicated shard (retry / work-stealing race) changes nothing.
+        merged.merge(shards[0])
+        assert serialized(merged) == baseline
+
+
+def test_round_trip_and_missing_metric_aggregation():
+    rollup = ScenarioRollup()
+    rollup.add_sample(0, {"a": 1.0, "b": 10.0})
+    rollup.add_sample(1, {"a": 3.0})
+    clone = ScenarioRollup.from_dict(rollup.to_dict())
+    assert clone.to_dict() == rollup.to_dict()
+    stats = rollup.stats()
+    assert stats["a"]["count"] == 2.0
+    assert stats["b"]["count"] == 1.0 and stats["b"]["mean"] == 10.0
+    assert rollup.metric_names() == ["a", "b"]

@@ -53,6 +53,62 @@ def test_dead_writers_lock_is_broken(tmp_path):
     assert not lock.exists()
 
 
+def test_corrupt_lock_payload_with_live_owner_is_not_broken(tmp_path):
+    """Regression: a lock whose payload is missing ``"t"`` (or is plain
+    garbage) must not read as written-at-epoch-0 and be broken while its
+    owner is demonstrably alive."""
+    store = ArtifactStore(tmp_path / "store", lock_timeout_s=0.2,
+                          lock_stale_s=30.0)
+    lock = store._lock_path(KEY)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    # Case 1: well-formed JSON, live pid, no "t" field at all.
+    lock.write_text(json.dumps({"pid": os.getpid()}))
+    assert store.put(KEY, "dupe") is None   # waited, skipped -- no break
+    assert lock.exists()                    # the live owner keeps its lock
+    assert not store.has(KEY)
+
+    # Case 2: unparseable payload entirely; owner unknowable.  The lock
+    # may only be broken after lock_stale_s of *monotonic* observation,
+    # which a 0.2 s contended put never reaches.
+    lock.write_text("{not json")
+    assert store.put(KEY, "dupe2") is None
+    assert lock.exists()
+
+    lock.unlink()
+    assert store.put(KEY, "fresh") is not None
+    assert store.get(KEY)[0] == "fresh"
+
+
+def test_unknowable_owner_lock_broken_after_monotonic_observation(tmp_path):
+    """An ownerless lock (garbage payload) is broken once this process
+    has watched the identical file for lock_stale_s monotonic seconds."""
+    store = ArtifactStore(tmp_path / "store", lock_timeout_s=1.0,
+                          lock_stale_s=0.05)
+    lock = store._lock_path(KEY)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text("garbage")
+    # First put starts the observation window and (0.05 s < 1.0 s
+    # timeout) lives to see it expire: the orphan lock is broken and the
+    # write lands.
+    assert store.put(KEY, "recovered") is not None
+    assert store.get(KEY)[0] == "recovered"
+    assert not lock.exists()
+
+
+def test_lock_observation_resets_when_lock_changes(tmp_path):
+    """A lock that is actively re-written (a new claimant) restarts the
+    staleness observation -- only an *idle* unknowable lock ages."""
+    store = ArtifactStore(tmp_path / "store", lock_stale_s=10.0)
+    lock = store._lock_path(KEY)
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text("claim-one")
+    assert store._lock_is_stale(lock) is False  # window opens
+    first = store._lock_watch[str(lock)]
+    lock.write_text("claim-two-longer")        # signature changes
+    assert store._lock_is_stale(lock) is False
+    assert store._lock_watch[str(lock)][0] != first[0]
+
+
 def _hammer(root, barrier, rounds, payload, out):
     store = ArtifactStore(root, lock_timeout_s=30.0)
     barrier.wait()
