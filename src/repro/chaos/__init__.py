@@ -1,0 +1,27 @@
+"""Seeded deterministic fault injection (chaos harness).
+
+See :mod:`repro.chaos.plan` for the hook-point catalogue and
+:mod:`repro.chaos.store` for the fault-injecting artifact store.  The
+survival contract the harness enforces -- which fault classes must
+leave the canonical report byte-identical, and which may degrade it --
+is documented in DESIGN.md ("Chaos contract") and soaked by
+``benchmarks/chaos_report.py``.
+"""
+
+from repro.chaos.plan import (
+    HOOK_KINDS,
+    HOOKS,
+    FaultInjector,
+    FaultPlan,
+    apply_process_fault,
+)
+from repro.chaos.store import ChaosStore
+
+__all__ = [
+    "HOOKS",
+    "HOOK_KINDS",
+    "FaultPlan",
+    "FaultInjector",
+    "apply_process_fault",
+    "ChaosStore",
+]

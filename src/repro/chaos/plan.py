@@ -1,0 +1,219 @@
+"""Seeded, deterministic fault schedules for chaos campaigns.
+
+A chip-scale CBV campaign only pays off if it *finishes* -- which on a
+real fleet means surviving full disks, torn writes, hung workers, and
+clock jumps.  This module makes those failures reproducible on demand:
+a :class:`FaultPlan` is a frozen description of *which* faults fire
+*where*, derived from a single campaign seed exactly the way
+:func:`repro.scenarios.seeds.derive_seed` derives per-sample seeds --
+SHA-256 over ``(seed, hook, token)``, truncated to 48 bits.  Two runs
+with the same plan and the same sequence of hook invocations inject the
+byte-identical fault schedule; changing the seed reshuffles every draw.
+
+Hook points (the complete, closed set -- :class:`FaultPlan` rejects
+rates for anything else):
+
+=====================  ====================================================
+hook                   faults drawn there
+=====================  ====================================================
+``store.put``          ``enospc`` / ``eio`` raised from the blob write
+``store.get``          ``truncate`` / ``bitflip`` applied to the on-disk
+                       blob before it is read back
+``store.lock``         ``corrupt_lock``: a garbage lock file dropped on
+                       the key before the writer claims it
+``store.latency``      ``latency``: a ``plan.latency_s`` sleep on the
+                       store call (slow-disk emulation)
+``worker.job_start``   ``sigstop`` / ``sigkill`` delivered to the worker
+                       process as it picks a job up
+``worker.job_end``     ``sigstop`` / ``sigkill`` delivered just before
+                       the worker reports the finished job
+``scheduler.clock``    ``jump``: the scheduler's lease clock skips
+                       forward by ``plan.clock_jump_s``
+=====================  ====================================================
+
+The plan itself is pure and stateless; the runtime half is
+:class:`FaultInjector`, which counts invocations per hook (supplying
+default tokens), enforces the per-hook fault budget, and reports what it
+injected as ``chaos_*`` counters (stripped from canonical reports, see
+:mod:`repro.core.report`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.scenarios.seeds import SEED_BITS
+
+#: Every hook name a plan may carry a rate for.
+HOOKS = (
+    "store.put",
+    "store.get",
+    "store.lock",
+    "store.latency",
+    "worker.job_start",
+    "worker.job_end",
+    "scheduler.clock",
+)
+
+#: Fault kinds drawable at each hook (the draw picks uniformly among
+#: the plan's configured kinds for the hook).
+HOOK_KINDS: dict[str, tuple[str, ...]] = {
+    "store.put": ("enospc", "eio"),
+    "store.get": ("truncate", "bitflip"),
+    "store.lock": ("corrupt_lock",),
+    "store.latency": ("latency",),
+    "worker.job_start": ("sigstop", "sigkill"),
+    "worker.job_end": ("sigstop", "sigkill"),
+    "scheduler.clock": ("jump",),
+}
+
+
+def _digest(seed: int, hook: str, token: str) -> bytes:
+    payload = f"chaos:{int(seed)}:{hook}:{token}".encode("utf-8")
+    return hashlib.sha256(payload).digest()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault schedule: ``(hook, token) -> fault kind | None``.
+
+    ``rates`` maps hook names (from :data:`HOOKS`) to injection
+    probabilities in ``[0, 1]``; unlisted hooks never fire.  ``kinds``
+    optionally narrows the fault kinds drawable at a hook (e.g.
+    ``{"store.put": ("enospc",)}`` for a pure full-disk schedule);
+    unlisted hooks draw from :data:`HOOK_KINDS`.  ``max_per_hook``
+    bounds how many faults a single :class:`FaultInjector` will inject
+    at any one hook, so a high rate cannot starve a run forever.
+
+    Frozen and picklable: a plan travels to fleet workers inside
+    :class:`repro.fleet.jobs.FleetConfig`.
+    """
+
+    seed: int
+    rates: tuple[tuple[str, float], ...] = ()
+    kinds: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    latency_s: float = 0.005
+    clock_jump_s: float = 60.0
+    max_per_hook: int = 4
+
+    @classmethod
+    def make(cls, seed: int, *,
+             rates: Mapping[str, float],
+             kinds: Mapping[str, Iterable[str]] | None = None,
+             latency_s: float = 0.005,
+             clock_jump_s: float = 60.0,
+             max_per_hook: int = 4) -> "FaultPlan":
+        """Validated constructor from plain mappings."""
+        for hook, rate in rates.items():
+            if hook not in HOOKS:
+                raise ValueError(f"unknown chaos hook {hook!r}; "
+                                 f"known: {', '.join(HOOKS)}")
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(f"{hook}: rate must be in [0, 1], "
+                                 f"got {rate!r}")
+        kind_items: list[tuple[str, tuple[str, ...]]] = []
+        for hook, names in (kinds or {}).items():
+            if hook not in HOOKS:
+                raise ValueError(f"unknown chaos hook {hook!r}")
+            chosen = tuple(names)
+            bad = [n for n in chosen if n not in HOOK_KINDS[hook]]
+            if bad or not chosen:
+                raise ValueError(
+                    f"{hook}: kinds must be a non-empty subset of "
+                    f"{HOOK_KINDS[hook]}, got {chosen!r}")
+            kind_items.append((hook, chosen))
+        return cls(seed=int(seed),
+                   rates=tuple(sorted((h, float(r))
+                                      for h, r in rates.items())),
+                   kinds=tuple(sorted(kind_items)),
+                   latency_s=float(latency_s),
+                   clock_jump_s=float(clock_jump_s),
+                   max_per_hook=int(max_per_hook))
+
+    def rate(self, hook: str) -> float:
+        for name, rate in self.rates:
+            if name == hook:
+                return rate
+        return 0.0
+
+    def kinds_for(self, hook: str) -> tuple[str, ...]:
+        for name, chosen in self.kinds:
+            if name == hook:
+                return chosen
+        return HOOK_KINDS[hook]
+
+    def draw(self, hook: str, token: str) -> str | None:
+        """The fault kind injected at ``(hook, token)``, or ``None``.
+
+        Pure: the same plan, hook, and token always return the same
+        answer, in this process or any other.
+        """
+        if hook not in HOOK_KINDS:
+            raise ValueError(f"unknown chaos hook {hook!r}")
+        rate = self.rate(hook)
+        if rate <= 0.0:
+            return None
+        digest = _digest(self.seed, hook, token)
+        u = int.from_bytes(digest[: SEED_BITS // 8], "big")
+        if u >= rate * (1 << SEED_BITS):
+            return None
+        choices = self.kinds_for(hook)
+        return choices[digest[SEED_BITS // 8] % len(choices)]
+
+
+@dataclass
+class FaultInjector:
+    """Process-local runtime state for one :class:`FaultPlan`.
+
+    Counts hook invocations (supplying the invocation index as the
+    default token), enforces ``plan.max_per_hook``, and remembers what
+    it injected.  One injector per process: fleet workers each build
+    their own from the plan shipped in the config, so a respawned
+    worker replays the schedule from the top -- which is exactly what
+    makes a retried job's faults deterministic.
+    """
+
+    plan: FaultPlan
+    calls: dict[str, int] = field(default_factory=dict)
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def fire(self, hook: str, token: str | None = None) -> str | None:
+        """Draw at ``hook``; returns the fault kind to apply or ``None``.
+
+        ``token`` defaults to the per-hook invocation index.  Pass a
+        content-derived token (key, job id + attempt) when the caller's
+        invocation order is not deterministic.
+        """
+        n = self.calls.get(hook, 0)
+        self.calls[hook] = n + 1
+        if self.injected.get(hook, 0) >= self.plan.max_per_hook:
+            return None
+        kind = self.plan.draw(hook, str(n) if token is None else token)
+        if kind is not None:
+            self.injected[hook] = self.injected.get(hook, 0) + 1
+        return kind
+
+    def counters(self) -> dict[str, int]:
+        """Injected-fault totals, ``chaos_``-prefixed (non-canonical)."""
+        out = {}
+        for hook, count in sorted(self.injected.items()):
+            out[f"chaos_{hook.replace('.', '_')}"] = count
+        return out
+
+
+def apply_process_fault(kind: str | None) -> None:
+    """Deliver a worker-process fault to *this* process.
+
+    ``sigstop`` freezes the process mid-flight (the scheduler's
+    heartbeat-age watchdog must notice and reap it); ``sigkill`` is the
+    classic crash.  ``None`` and unknown kinds are no-ops so callers
+    can pass :meth:`FaultInjector.fire` results straight through.
+    """
+    if kind == "sigstop":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif kind == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)

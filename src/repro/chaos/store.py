@@ -1,0 +1,118 @@
+"""Fault-injecting :class:`ArtifactStore` for chaos campaigns.
+
+:class:`ChaosStore` is a drop-in store whose failures are *scheduled*:
+every injection is a deterministic draw from the plan (see
+:mod:`repro.chaos.plan`), tokenized by content (key + per-key attempt
+index) rather than call order, so serial, resumed, and fleet runs of
+the same plan hit the same faults on the same checkpoints.
+
+What it injects, and what real failure each emulates:
+
+* ``store.put`` -- ``OSError(ENOSPC)`` / ``OSError(EIO)`` raised from
+  the locked write path (full disk, dying disk).  The base class's
+  bounded retry-with-backoff and ENOSPC degraded mode are the hardening
+  under test.
+* ``store.get`` -- the blob on disk is truncated or bit-flipped before
+  the read (torn write that somehow dodged the atomic rename, cosmic
+  ray).  The read path must quarantine and miss, never return garbage.
+* ``store.lock`` -- a garbage lock file is dropped on the key before
+  the writer claims it (a SIGKILLed writer's torn lock payload).  The
+  pid-liveness + monotonic-observation staleness logic must break it.
+* ``store.latency`` -- a ``plan.latency_s`` sleep (overloaded NFS).
+
+Faults never touch the store's *verification* machinery -- a chaos run
+that survives did so because the real hardening worked, not because the
+injection was polite.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from pathlib import Path
+
+from repro.chaos.plan import FaultInjector, FaultPlan
+from repro.store.artifact import ArtifactStore
+
+
+class ChaosStore(ArtifactStore):
+    """An :class:`ArtifactStore` with seeded fault injection.
+
+    Accepts every base-class knob; ``injector`` may be shared when one
+    process owns several stores that should draw from one budget.
+    """
+
+    def __init__(self, root, plan: FaultPlan, *,
+                 injector: FaultInjector | None = None, **kwargs) -> None:
+        super().__init__(root, **kwargs)
+        self.plan = plan
+        self.injector = injector if injector is not None else FaultInjector(plan)
+        #: Per-key attempt counters: tokens must distinguish retries of
+        #: one key without depending on cross-key call order.
+        self._put_seq: dict[str, int] = {}
+        self._get_seq: dict[str, int] = {}
+        self._lock_seq: dict[str, int] = {}
+
+    def _seq_token(self, table: dict[str, int], key: str) -> str:
+        n = table.get(key, 0)
+        table[key] = n + 1
+        return f"{key[:16]}:{n}"
+
+    def _maybe_sleep(self) -> None:
+        if self.injector.fire("store.latency") == "latency":
+            time.sleep(self.plan.latency_s)
+
+    # -- write ---------------------------------------------------------------
+
+    def _claim_write_lock(self, key: str, path: Path) -> bool:
+        kind = self.injector.fire(
+            "store.lock", token=self._seq_token(self._lock_seq, key))
+        if kind == "corrupt_lock":
+            lock = self._lock_path(key)
+            lock.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                pass  # genuinely contended: leave the real lock alone
+            else:
+                # A torn payload from a writer that no longer exists --
+                # the staleness logic must observe it out of the way.
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(b'{"pid": 99')
+        return super()._claim_write_lock(key, path)
+
+    def _put_locked(self, key: str, payload, meta, path: Path) -> Path:
+        self._maybe_sleep()
+        kind = self.injector.fire(
+            "store.put", token=self._seq_token(self._put_seq, key))
+        if kind == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: injected ENOSPC", str(path))
+        if kind == "eio":
+            raise OSError(errno.EIO, "chaos: injected EIO", str(path))
+        return super()._put_locked(key, payload, meta, path)
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, key: str):
+        self._maybe_sleep()
+        kind = self.injector.fire(
+            "store.get", token=self._seq_token(self._get_seq, key))
+        if kind is not None:
+            self._corrupt_on_disk(self._path(key), kind)
+        return super().get(key)
+
+    def _corrupt_on_disk(self, path: Path, kind: str) -> None:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return  # nothing stored: the miss is fault enough
+        if not raw:
+            return
+        if kind == "truncate":
+            mangled = raw[: len(raw) // 2]
+        else:  # bitflip
+            mangled = raw[:-1] + bytes([raw[-1] ^ 0xFF])
+        tmp = path.with_suffix(".chaos")
+        tmp.write_bytes(mangled)
+        os.replace(tmp, path)

@@ -202,7 +202,10 @@ class CbvCampaign:
         check crashes, and corrupt or missing blobs always re-run.
         Checkpoint faults degrade -- a corrupt blob is quarantined and
         logged as a ``checkpoint.corrupt`` trace event, a failed write
-        as ``checkpoint.write_error`` -- and never abort the campaign.
+        as ``checkpoint.write_error``, and a store stuck in ENOSPC
+        degraded mode as a single ``store.degraded`` event after which
+        the campaign runs un-checkpointed -- and never abort the
+        campaign (see :class:`repro.store.checkpoint.CheckpointWriter`).
 
         ``until`` stops the flow after the named stage (inclusive) -- a
         partial run whose intermediate products stay available on
@@ -223,6 +226,8 @@ class CbvCampaign:
         # FlowStage-keyed inputs, so a module-level import would be
         # circular (store -> core.stages -> core -> campaign -> store).
         from repro.store.artifact import CorruptArtifact, StoreMiss
+        from repro.store.checkpoint import CheckpointWriter
+        writer = CheckpointWriter(store, trace)
         if store is not None:
             from repro.store.checkpoint import stage_keys
             keys = stage_keys(bundle, checks=checks, timeout_s=timeout_s)
@@ -342,16 +347,10 @@ class CbvCampaign:
                         "events": [e.to_dict()
                                    for e in trace.events[first_event:]],
                     }
-                    try:
-                        store.put(key, payload, meta={
-                            "design": bundle.name, "stage": flow.value,
-                            "status": result.status.value,
-                        })
-                        trace.emit("checkpoint.write", name=flow.value)
-                    except Exception as exc:  # noqa: BLE001 -- durability
-                        # is best-effort; a full disk must not fail the run
-                        trace.emit("checkpoint.write_error", name=flow.value,
-                                   detail=f"{type(exc).__name__}: {exc}")
+                    writer.write(key, payload, meta={
+                        "design": bundle.name, "stage": flow.value,
+                        "status": result.status.value,
+                    }, label=flow.value)
 
         # -- schematic entry (with ERC) -----------------------------------------
         def schematic() -> StageResult:

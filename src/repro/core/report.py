@@ -6,13 +6,14 @@ Two JSON shapes exist:
   wall-clock timings and cache/store effectiveness counters; what a CI
   dashboard trends.
 * the **canonical** form (``canonical=True``) -- the run's *facts* only:
-  wall-clock fields, cache/store counters, worker ids / worker counts,
-  and ``checkpoint.*`` trace events are stripped.  Two runs over the
-  same design produce byte-identical canonical JSON whether they ran
-  cold, resumed from a checkpoint store, ran the battery in parallel,
-  or were sharded across a :mod:`repro.fleet` worker pool; this is the
-  form the resume and fleet acceptance tests (and the CI smoke jobs)
-  compare.
+  wall-clock fields, cache/store/chaos counters, worker ids / worker
+  counts, and ``checkpoint.*`` / ``store.*`` trace events are stripped.
+  Two runs over the same design produce byte-identical canonical JSON
+  whether they ran cold, resumed from a checkpoint store, ran the
+  battery in parallel, were sharded across a :mod:`repro.fleet` worker
+  pool, or survived an injected fault schedule (:mod:`repro.chaos`);
+  this is the form the resume, fleet, and chaos acceptance tests (and
+  the CI smoke jobs) compare.
 
 ``report_from_dict`` is the exact inverse of ``report_to_dict`` for
 everything the dict carries: stages (all statuses, including ERROR
@@ -53,9 +54,20 @@ _NONCANONICAL_KEYS = frozenset({
     # consumer warmed the shared CCC path caches first, and the template
     # hit count differs between a fresh build and a store load
     "path_sweeps", "target_sweeps", "pair_enumerations", "path_cache_hits",
-    "packed_template_hits",
+    # fleet supervision events (which worker hung or which shard was
+    # quarantined is run mechanics; the degraded *verdict* itself rides
+    # in the stage statuses, which the canonical form keeps)
+    "packed_template_hits", "workers_hung", "poison_shards",
+    "leases_rearmed",
 })
-_NONCANONICAL_PREFIXES = ("store_", "cache_")
+#: ``chaos_`` covers injected-fault totals: a survivable fault schedule
+#: must leave the canonical report identical to a fault-free run, so
+#: injection bookkeeping cannot appear in it.
+_NONCANONICAL_PREFIXES = ("store_", "cache_", "chaos_")
+#: Trace-event namespaces that record durability/degradation mechanics,
+#: not conclusions: ``checkpoint.*`` (hit/write/corrupt/rerun) and
+#: ``store.*`` (e.g. ``store.degraded``) both drop from canonical form.
+_NONCANONICAL_EVENT_PREFIXES = ("checkpoint.", "store.")
 
 
 def is_canonical_key(key: str) -> bool:
@@ -161,17 +173,17 @@ def render_trace(trace: CampaignTrace, max_events: int | None = None) -> str:
 def trace_to_dicts(trace: CampaignTrace, canonical: bool) -> list[dict]:
     """Serialize a trace, optionally in the canonical form.
 
-    Canonical: ``checkpoint.*`` events drop out entirely (resume
-    mechanics, not conclusions), and each surviving event loses its
-    sequencing/timing/worker stamps and its non-canonical counters.
-    Shared with the scenario report family for the same reason as
-    :func:`canonical_counters`.
+    Canonical: ``checkpoint.*`` and ``store.*`` events drop out
+    entirely (resume/degradation mechanics, not conclusions), and each
+    surviving event loses its sequencing/timing/worker stamps and its
+    non-canonical counters.  Shared with the scenario report family for
+    the same reason as :func:`canonical_counters`.
     """
     if not canonical:
         return trace.to_dicts()
     out = []
     for e in trace.events:
-        if e.event.startswith("checkpoint."):
+        if e.event.startswith(_NONCANONICAL_EVENT_PREFIXES):
             continue
         d = e.to_dict()
         for key in ("seq", "t_s", "wall_s", "worker"):

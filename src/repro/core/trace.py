@@ -42,11 +42,25 @@ additionally emit a ``checkpoint.*`` namespace:
 ``checkpoint.write_error`` the checkpoint write itself failed; the
                            campaign continues without durability for
                            that stage
+``store.degraded``         the store entered ENOSPC degraded mode;
+                           emitted once per campaign, after which the
+                           run continues un-checkpointed (see
+                           :class:`repro.store.checkpoint.CheckpointWriter`)
 =======================  ===================================================
 
-``checkpoint.*`` events (and wall-clock fields) are stripped by the
-canonical report form (``report_to_json(report, canonical=True)``), which
-is how a resumed run's report is byte-comparable to a cold run's.
+``checkpoint.*`` and ``store.*`` events (and wall-clock fields) are
+stripped by the canonical report form (``report_to_json(report,
+canonical=True)``), which is how a resumed run's report -- or a run that
+degraded to un-checkpointed on a full disk -- is byte-comparable to a
+cold run's.
+
+The fleet scheduler's own log (:attr:`FleetResult.trace
+<repro.fleet.scheduler.FleetResult>`, never part of a design report)
+adds supervision events: ``worker_hung`` (heartbeat-age watchdog reaped
+a stopped/wedged worker), ``lease_rearmed`` (an expired lease renewed
+because its holder was provably alive -- a clock jump, not a loss),
+``job_poisoned`` (a battery shard quarantined after repeatedly killing
+workers), and ``clock_jump`` (an injected scheduler-clock skew).
 
 Timestamps (``t_s``) are seconds since the trace's own monotonic epoch
 (:class:`repro.perf.Stopwatch`); ``started_at`` on the trace anchors that

@@ -46,6 +46,7 @@ from repro.fleet.jobs import (
 )
 from repro.fleet.merge import (
     CHECK_EVENTS,
+    PoisonShards,
     ShardMissing,
     assemble_scenario_report,
     load_scenario_shard,
@@ -73,6 +74,7 @@ __all__ = [
     "Job",
     "JobKind",
     "Lease",
+    "PoisonShards",
     "SEED_SUITE",
     "ShardMissing",
     "ShardSpec",

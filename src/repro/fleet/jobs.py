@@ -95,6 +95,15 @@ class FleetConfig:
     #: Lease duration; a leased job whose worker stops heartbeating for
     #: this long is presumed lost and requeued.
     lease_s: float = 30.0
+    #: Heartbeat-age watchdog: a worker that holds a job but has not
+    #: been heard from (heartbeat or any other message) for this many
+    #: *real* seconds is presumed hung -- SIGSTOPped, wedged in a
+    #: syscall -- and is killed and replaced, its job requeued.  Death
+    #: and lease expiry cannot catch this case: a stopped process is
+    #: still alive, and its lease only expires after ``lease_s``, which
+    #: may be much longer.  Must comfortably exceed ``heartbeat_s``;
+    #: ``None`` disables the watchdog.
+    hung_after_s: float | None = 10.0
     #: Bounded retries per job (worker deaths and errors both count).
     max_retries: int = 2
     #: How many replacement workers the supervisor may spawn over the
@@ -106,6 +115,12 @@ class FleetConfig:
     #: Hard wall-clock bound on the whole fleet run (safety net against
     #: a wedged queue); ``None`` disables it.
     fleet_timeout_s: float | None = 600.0
+    #: Seeded fault-injection schedule (:class:`repro.chaos.FaultPlan`)
+    #: applied inside every worker -- store faults via
+    #: :class:`~repro.chaos.ChaosStore`, SIGSTOP/SIGKILL at job
+    #: boundaries -- and to the scheduler's lease clock.  ``None`` (the
+    #: default) injects nothing.
+    chaos: object | None = None
 
 
 @dataclass

@@ -44,6 +44,17 @@ class ShardMissing(StoreError):
     """A battery shard's blob is absent or failed verification."""
 
 
+class PoisonShards(StoreError):
+    """Battery shards were quarantined after repeatedly killing workers.
+
+    Raised by the merged-battery runner inside the finalize campaign's
+    circuit stage: stage isolation turns it into an ERROR-status stage
+    whose summary names the quarantined shards, so the design ships a
+    degraded report -- timing and the rest of the flow intact -- instead
+    of being abandoned.
+    """
+
+
 def shard_store_key(bundle, shard: ShardSpec, config: FleetConfig) -> str:
     """Store key of one shard's battery result.
 
@@ -149,15 +160,27 @@ def assemble_scenario_report(store: ArtifactStore, spec,
 
 def make_battery_runner(store: ArtifactStore, bundle,
                         shards: tuple[ShardSpec, ...],
-                        config: FleetConfig):
+                        config: FleetConfig,
+                        poisoned: tuple[dict, ...] = ()):
     """A ``battery_runner`` that assembles the sharded battery.
 
     The returned callable matches the :meth:`CbvCampaign.run` contract:
     ``runner(ctx, trace) -> BatteryResult``.  ``ctx`` is unused -- every
     check already ran in the shard jobs -- but kept so the campaign's
     circuit stage is oblivious to where its battery came from.
+
+    ``poisoned`` carries the scheduler's quarantine records (see
+    ``_Pool._poison_shard``) for shards that repeatedly killed their
+    workers; when non-empty the runner raises :class:`PoisonShards`
+    instead of assembling, degrading the circuit stage to ERROR with
+    the quarantined shards named in its summary.
     """
     def runner(ctx, trace: CampaignTrace) -> BatteryResult:
+        if poisoned:
+            labels = ", ".join(sorted(str(p.get("label")) for p in poisoned))
+            raise PoisonShards(
+                f"{len(poisoned)} battery shard(s) quarantined as poison "
+                f"(each repeatedly killed its worker): {labels}")
         payloads = [load_shard(store, shard_store_key(bundle, s, config), s)
                     for s in shards]
         trace.emit("battery_start", counters={

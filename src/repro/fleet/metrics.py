@@ -25,6 +25,8 @@ class FleetMetrics:
     workers_spawned: int = 0      # includes replacements
     workers_dead: int = 0         # detected deaths (crash or SIGKILL)
 
+    workers_hung: int = 0         # reaped by the heartbeat-age watchdog
+
     designs: int = 0
     designs_done: int = 0
     designs_failed: int = 0
@@ -32,10 +34,17 @@ class FleetMetrics:
     jobs_submitted: int = 0
     jobs_done: int = 0
     jobs_failed: int = 0
+    #: Battery shards quarantined after repeatedly killing their
+    #: workers; their designs degrade instead of failing.
+    poison_shards: int = 0
     retries: int = 0
     steals: int = 0
     requeues: int = 0
     lease_expirations: int = 0
+    #: Leases that expired on the scheduler clock but whose holder was
+    #: demonstrably alive and beating (a clock jump, not a lost
+    #: worker); renewed in place without burning a retry.
+    leases_rearmed: int = 0
     heartbeats: int = 0
 
     queue_depth: int = 0          # runnable, unleased
@@ -62,16 +71,19 @@ class FleetMetrics:
             "workers_alive": self.workers_alive,
             "workers_spawned": self.workers_spawned,
             "workers_dead": self.workers_dead,
+            "workers_hung": self.workers_hung,
             "designs": self.designs,
             "designs_done": self.designs_done,
             "designs_failed": self.designs_failed,
             "jobs_submitted": self.jobs_submitted,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "poison_shards": self.poison_shards,
             "retries": self.retries,
             "steals": self.steals,
             "requeues": self.requeues,
             "lease_expirations": self.lease_expirations,
+            "leases_rearmed": self.leases_rearmed,
             "heartbeats": self.heartbeats,
             "queue_depth": self.queue_depth,
             "blocked_jobs": self.blocked_jobs,
@@ -91,6 +103,8 @@ _SCALARS = (
      "replacements.", "counter"),
     ("workers_dead", "Worker deaths detected by the supervisor.",
      "counter"),
+    ("workers_hung", "Hung workers (no heartbeat within the watchdog "
+     "deadline, e.g. SIGSTOP) killed and replaced.", "counter"),
     ("designs", "Designs in the suite.", "gauge"),
     ("designs_done", "Designs with a merged report.", "counter"),
     ("designs_failed", "Designs abandoned after retry exhaustion.",
@@ -98,11 +112,15 @@ _SCALARS = (
     ("jobs_submitted", "Jobs submitted to the work queue.", "counter"),
     ("jobs_done", "Jobs completed successfully.", "counter"),
     ("jobs_failed", "Jobs dropped after exhausting retries.", "counter"),
+    ("poison_shards", "Battery shards quarantined after repeatedly "
+     "killing their workers (design degrades, not fails).", "counter"),
     ("retries", "Job retry attempts.", "counter"),
     ("steals", "Jobs stolen from a peer worker's deque.", "counter"),
     ("requeues", "Jobs requeued after a lost lease.", "counter"),
     ("lease_expirations", "Leases expired or broken by worker death.",
      "counter"),
+    ("leases_rearmed", "Expired leases renewed in place because the "
+     "holder was alive and beating (clock jump).", "counter"),
     ("heartbeats", "Heartbeat messages received.", "counter"),
     ("queue_depth", "Runnable jobs queued and unleased.", "gauge"),
     ("blocked_jobs", "Jobs waiting on dependencies.", "gauge"),

@@ -50,6 +50,8 @@ class WorkQueue:
         self._leases: dict[str, Lease] = {}
         self._done: set[str] = set()
         self._cancelled: set[str] = set()
+        #: Jobs marked done by quarantine, not success (see :meth:`poison`).
+        self._poisoned: set[str] = set()
         self.steals = 0
         self.requeues = 0
         self.expirations = 0
@@ -166,6 +168,20 @@ class WorkQueue:
         lease = self._leases.pop(job_id, None)
         self._cancelled.add(job_id)
         return lease.job if lease else None
+
+    def poison(self, job_id: str) -> list[Job]:
+        """Quarantine a job that keeps destroying its workers.
+
+        The job is marked done -- its dependents release and run -- but
+        remembered as poisoned so the scheduler can degrade the
+        dependents' output instead of pretending the work happened.
+        Returns the released dependents, like :meth:`complete`.
+        """
+        self._poisoned.add(job_id)
+        return self.complete(job_id)
+
+    def is_poisoned(self, job_id: str) -> bool:
+        return job_id in self._poisoned
 
     def cancel_design(self, design: str) -> list[Job]:
         """Remove every queued/blocked job of a failed design; in-flight

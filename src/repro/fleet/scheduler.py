@@ -15,15 +15,25 @@ seeds the :class:`~repro.fleet.queue.WorkQueue`, and runs a
 single-threaded event loop over the shared outbox:
 
 * ``heartbeat`` messages renew the sender's lease; a lease that goes
-  ``FleetConfig.lease_s`` without one is broken and its job requeued;
+  ``FleetConfig.lease_s`` without one is broken and its job requeued --
+  unless the holder is demonstrably alive and beating, in which case
+  the lease is *re-armed* (a clock jump aged it, not a lost worker);
 * a worker that dies (crash, SIGKILL) is detected by ``Process
   .is_alive``, its leased job requeued, its queued jobs resubmitted
   under the surviving topology, and -- within the respawn budget -- a
   replacement worker with a *fresh* worker id is spawned, so trace
   ``(worker, seq)`` identities never collide;
+* a worker that is alive but *silent* -- SIGSTOPped, wedged in a
+  syscall -- is caught by the heartbeat-age watchdog
+  (``FleetConfig.hung_after_s``), SIGKILLed, and replaced through the
+  same death path, so a hung process can neither stall its job past
+  the watchdog deadline nor leak as a stopped zombie;
 * retries are bounded: a job that fails (error or lost worker) more
   than ``FleetConfig.max_retries`` times fails its whole design, whose
-  remaining jobs are cancelled; the other designs keep running;
+  remaining jobs are cancelled; the other designs keep running --
+  except battery shards, which are quarantined as *poison* instead
+  (the design's finalize degrades its circuit stage to ERROR and the
+  rest of the flow still ships, see ``_Pool._poison_shard``);
 * what happens when a job *succeeds* is the front door's business: the
   engine hands completions to an ``on_job_done`` hook, which submits
   follow-up jobs (prepare -> shards -> finalize) and records finished
@@ -100,6 +110,10 @@ class _WorkerHandle:
         self.inbox = inbox
         self.ready = False
         self.job_id: str | None = None
+        #: Real (unskewed) scheduler clock at the last message received
+        #: from this worker, or at job assignment; the heartbeat-age
+        #: watchdog ages against this.
+        self.last_beat = 0.0
         #: Accumulated worker-trace event dicts (arrive piggybacked on
         #: done/error/bye messages, so they survive the worker's death).
         self.events: list[dict] = []
@@ -148,6 +162,24 @@ class _Pool:
         self.results: dict = {}
         self.failed: dict[str, str] = {}
         self._next_wid = 0
+        #: Chaos clock state: lease arithmetic runs on ``now()`` =
+        #: real elapsed + skew, so an injected jump ages every lease at
+        #: once -- exactly what an NTP step does to a wall-clock-based
+        #: scheduler.  The watchdog deliberately stays on the real
+        #: clock (a clock jump must not look like a hang).
+        self._clock_skew = 0.0
+        self._ticks = 0
+        self._chaos = None
+        if config.chaos is not None:
+            # Imported lazily: repro.chaos reaches repro.scenarios,
+            # which imports repro.fleet.jobs -- a top-level import here
+            # would close that cycle mid-initialization.
+            from repro.chaos.plan import FaultInjector
+            self._chaos = FaultInjector(config.chaos)
+
+    def now(self) -> float:
+        """The scheduler's lease clock (chaos skew included)."""
+        return self.watch.elapsed() + self._clock_skew
 
     # -- lifecycle hooks the front doors use ---------------------------------
 
@@ -193,6 +225,9 @@ class _Pool:
         if job is None or self.wq.is_done(job_id):
             return
         if job.retries >= self.config.max_retries:
+            if job.kind is JobKind.BATTERY and job.design not in self.failed:
+                self._poison_shard(job, why)
+                return
             self.wq.fail(job_id)
             self.metrics.jobs_failed += 1
             self.fail_design(job.design,
@@ -202,6 +237,37 @@ class _Pool:
             self.metrics.retries += 1
             self.ftrace.emit("job_requeue", name=job_id, detail=why,
                              counters={"retries": float(job.retries)})
+
+    def _poison_shard(self, job: Job, why: str) -> None:
+        """Quarantine a battery shard that keeps destroying workers.
+
+        A shard whose checks crash the *process* (not just the check --
+        stage isolation already absorbs that) would burn the whole
+        design's retry budget; instead the shard is marked poisoned on
+        the design's finalize job, which degrades its circuit stage to
+        ERROR (see :class:`repro.fleet.merge.PoisonShards`) while the
+        rest of the flow -- and every other design -- completes.  The
+        metadata mutation happens before :meth:`WorkQueue.poison`
+        releases the finalize job's dependencies, so finalize can never
+        run without seeing it.
+        """
+        record = {"index": job.shard.index, "count": job.shard.count,
+                  "label": job.shard.label(), "reason": why}
+        fin = self.jobs_by_id.get(f"{job.design}:finalize")
+        if fin is None:
+            # No finalize to degrade into (should not happen for
+            # BATTERY jobs); fall back to failing the design.
+            self.wq.fail(job.job_id)
+            self.metrics.jobs_failed += 1
+            self.fail_design(job.design,
+                             f"{job.job_id} exhausted retries with no "
+                             f"finalize job to degrade (last: {why})")
+            return
+        fin.metadata.setdefault("poison_shards", []).append(record)
+        self.metrics.poison_shards += 1
+        self.ftrace.emit("job_poisoned", name=job.job_id, detail=why,
+                         counters={"retries": float(job.retries)})
+        self.wq.poison(job.job_id)
 
     def _on_worker_dead(self, handle: _WorkerHandle) -> None:
         self.metrics.workers_dead += 1
@@ -230,11 +296,12 @@ class _Pool:
         if handle is None:
             return
         handle.events.extend(events)
+        handle.last_beat = self.watch.elapsed()
         if kind == "ready":
             handle.ready = True
         elif kind == "heartbeat":
             self.metrics.heartbeats += 1
-            self.wq.renew(job_id, self.watch.elapsed())
+            self.wq.renew(job_id, self.now())
         elif kind == "bye":
             pass
         elif kind in ("done", "error"):
@@ -260,22 +327,59 @@ class _Pool:
     def _done(self) -> bool:
         return len(self.results) + len(self.failed) >= len(self.names)
 
+    def _reap_hung(self, handle: _WorkerHandle, age: float) -> None:
+        """Kill and replace a worker that stopped heartbeating.
+
+        A SIGSTOPped (or syscall-wedged) process passes ``is_alive`` and
+        would otherwise sit on its job until the lease -- possibly much
+        longer than the watchdog deadline -- expired, then leak forever
+        as a stopped zombie.  SIGKILL works on stopped processes; the
+        ordinary worker-death path then requeues its job and respawns.
+        """
+        self.metrics.workers_hung += 1
+        self.ftrace.emit("worker_hung", name=handle.wid,
+                         detail=handle.job_id or "",
+                         counters={"beat_age_s": round(age, 3)})
+        try:
+            handle.proc.kill()
+        except Exception:  # noqa: BLE001 -- racing its own death
+            pass
+        handle.proc.join(timeout=5.0)
+        self._on_worker_dead(handle)
+
     def _supervise(self) -> None:
-        now = self.watch.elapsed()
+        real_now = self.watch.elapsed()
+        hung_after = self.config.hung_after_s
         for handle in list(self.handles.values()):
             if not handle.proc.is_alive():
                 self._on_worker_dead(handle)
-        for lease in self.wq.expired(now):
+            elif (hung_after is not None and handle.job_id is not None
+                    and real_now - handle.last_beat > hung_after):
+                self._reap_hung(handle, real_now - handle.last_beat)
+        for lease in self.wq.expired(self.now()):
+            holder = self.handles.get(lease.worker)
+            if (holder is not None and holder.proc.is_alive()
+                    and holder.job_id == lease.job.job_id
+                    and real_now - holder.last_beat <= self.config.lease_s):
+                # The lease aged out on the scheduler clock, but the
+                # holder is alive and was heard from within a real
+                # lease period: a clock jump, not a lost worker.
+                # Re-arm instead of burning one of the job's retries.
+                self.wq.renew(lease.job.job_id, self.now())
+                self.metrics.leases_rearmed += 1
+                self.ftrace.emit("lease_rearmed", name=lease.job.job_id,
+                                 detail=lease.worker)
+                continue
             self.ftrace.emit("lease_expired", name=lease.job.job_id,
                              detail=lease.worker)
             self.metrics.lease_expirations += 1
-            holder = self.handles.get(lease.worker)
             if holder is not None and holder.job_id == lease.job.job_id:
                 holder.job_id = None
             self._requeue_or_fail(lease.job.job_id, "lease expired")
 
     def _assign(self) -> None:
-        now = self.watch.elapsed()
+        now = self.now()
+        real_now = self.watch.elapsed()
         for handle in self.handles.values():
             if not handle.ready or handle.job_id is not None:
                 continue
@@ -283,10 +387,23 @@ class _Pool:
             if lease is None:
                 continue
             handle.job_id = lease.job.job_id
+            handle.last_beat = real_now
             self.ftrace.emit("job_lease", name=lease.job.job_id,
                              detail=handle.wid,
                              counters={"stolen": float(lease.stolen)})
             handle.inbox.put(("job", lease.job))
+
+    def _chaos_tick(self) -> None:
+        """Draw the scheduler-side faults (lease-clock jumps)."""
+        if self._chaos is None:
+            return
+        self._ticks += 1
+        if self._chaos.fire("scheduler.clock",
+                            token=str(self._ticks)) == "jump":
+            jump = self.config.chaos.clock_jump_s
+            self._clock_skew += jump
+            self.ftrace.emit("clock_jump", detail=f"+{jump}s",
+                             counters={"skew_s": self._clock_skew})
 
     def run(self, initial_jobs) -> FleetResult:
         """Drive the event loop to completion; returns the merged result."""
@@ -317,6 +434,7 @@ class _Pool:
                     self._on_message(self.outbox.get(timeout=config.poll_s))
                 except queue_mod.Empty:
                     pass
+                self._chaos_tick()
                 self._supervise()
                 self._assign()
         finally:

@@ -115,7 +115,9 @@ def _run_battery_shard(job: Job, store: ArtifactStore, config: FleetConfig,
 def _run_finalize(job: Job, store: ArtifactStore, config: FleetConfig,
                   wt: CampaignTrace) -> dict:
     bundle = resolve_bundle(job.bundle_ref)
-    runner = (make_battery_runner(store, bundle, job.shards, config)
+    poisoned = tuple(job.metadata.get("poison_shards", ()))
+    runner = (make_battery_runner(store, bundle, job.shards, config,
+                                  poisoned=poisoned)
               if job.shards else None)
     # The report gets its own trace: report.trace must hold exactly one
     # campaign's events, not this worker's whole history.
@@ -124,12 +126,14 @@ def _run_finalize(job: Job, store: ArtifactStore, config: FleetConfig,
         store=store, resume=True, checks=config.checks,
         timeout_s=config.timeout_s, trace=rtrace, battery_runner=runner)
     circuit = report.stage(FlowStage.CIRCUIT_VERIFICATION, None)
-    if (job.shards and circuit is not None
+    if (job.shards and not poisoned and circuit is not None
             and circuit.status is StageStatus.ERROR):
         # A missing/corrupt shard surfaced as a circuit-stage ERROR;
         # that is a fleet fault, not a design verdict -- fail the job so
         # the scheduler retries it (the shard jobs already completed, so
         # a retry reloads or recomputes what is actually in the store).
+        # Poisoned shards are the exception: their circuit-stage ERROR
+        # *is* the intended degraded verdict, and the report ships.
         raise RuntimeError("finalize could not assemble shard batteries: "
                            + circuit.summary)
     return {"report": report_to_dict(report), "ok": report.ok()}
@@ -140,19 +144,33 @@ def _run_scenario_shard(job: Job, store: ArtifactStore,
     # Lazy: repro.scenarios imports repro.fleet.jobs, so the import
     # must not run at this module's import time (cycle through
     # repro.fleet.__init__).
+    from repro.scenarios.campaign import load_shard_checkpoint
     from repro.scenarios.runner import run_shard
     from repro.scenarios.spec import resolve_scenario, shard_key
 
     spec = resolve_scenario(job.bundle_ref)
     shard = job.shard
-    # Running the same shard twice (retry, expired lease) is harmless:
-    # the payload is deterministic and the store's write lock drops the
-    # duplicate blob, exactly like battery shards.
-    payload = run_shard(spec, shard.lo, shard.hi, worker_id=wt.worker_id)
-    store.put(shard_key(spec, shard.index, shard.count), payload,
-              meta={"scenario": spec.name, "kind": spec.kind,
-                    "shard": shard.label()})
+    key = shard_key(spec, shard.index, shard.count)
+    label = f"{spec.name}:shard[{shard.label()}]"
+    # Cross-run fleet resume: a verified shard blob from an earlier
+    # fleet (or serial) run over the same spec and shard layout replays
+    # instead of recomputing -- the exact validation the serial
+    # campaign's ``resume=True`` applies, so corrupt or wrong-shaped
+    # blobs are quarantined and the shard re-runs.
+    payload = load_shard_checkpoint(store, key, label, wt)
+    replayed = payload is not None
+    if payload is None:
+        # Running the same shard twice (retry, expired lease) is
+        # harmless: the payload is deterministic and the store's write
+        # lock drops the duplicate blob, exactly like battery shards.
+        payload = run_shard(spec, shard.lo, shard.hi,
+                            worker_id=wt.worker_id)
+        store.put(key, payload,
+                  meta={"scenario": spec.name, "kind": spec.kind,
+                        "shard": shard.label()})
     wt.replay(payload["events"])
+    wt.emit("checkpoint.hit" if replayed else "checkpoint.write",
+            name=label)
     mismatches = sum(m.get("mismatches", 0.0)
                      for m in payload["samples"].values())
     return {
@@ -191,8 +209,26 @@ def execute_job(job: Job, store: ArtifactStore, config: FleetConfig,
 
 
 def worker_main(worker_id: str, inbox, outbox, config: FleetConfig) -> None:
-    """Process entry point: serve jobs from ``inbox`` until told to stop."""
-    store = ArtifactStore(config.store_dir)
+    """Process entry point: serve jobs from ``inbox`` until told to stop.
+
+    With ``config.chaos`` set, the worker wires the plan in at two
+    levels: its store becomes a :class:`~repro.chaos.ChaosStore`
+    (scheduled write/read/lock/latency faults), and every job boundary
+    draws a ``worker.job_start`` / ``worker.job_end`` process fault
+    (SIGSTOP / SIGKILL), tokenized by ``job_id:retries`` so a retried
+    job re-draws rather than replaying its killer fault forever.
+    """
+    injector = None
+    if config.chaos is not None:
+        # Lazy import: repro.chaos reaches repro.scenarios, which
+        # imports repro.fleet.jobs (cycle at module import time).
+        from repro.chaos.plan import FaultInjector, apply_process_fault
+        from repro.chaos.store import ChaosStore
+        injector = FaultInjector(config.chaos)
+        store: ArtifactStore = ChaosStore(config.store_dir, config.chaos,
+                                          injector=injector)
+    else:
+        store = ArtifactStore(config.store_dir)
     wt = CampaignTrace(worker_id=worker_id)
     cursor = 0
 
@@ -221,6 +257,9 @@ def worker_main(worker_id: str, inbox, outbox, config: FleetConfig) -> None:
             break
         job: Job = message[1]
         current["job_id"] = job.job_id
+        if injector is not None:
+            apply_process_fault(injector.fire(
+                "worker.job_start", token=f"{job.job_id}:{job.retries}"))
         wt.emit("job_start", name=job.job_id,
                 counters={"retries": float(job.retries)})
         watch = Stopwatch()
@@ -235,6 +274,12 @@ def worker_main(worker_id: str, inbox, outbox, config: FleetConfig) -> None:
         else:
             seconds = watch.elapsed()
             wt.emit("job_end", name=job.job_id, status="ok", wall_s=seconds)
+            if injector is not None:
+                # Fired before the done message: a fault here emulates a
+                # worker lost with a *finished but unreported* job -- the
+                # retry must reload or recompute idempotently.
+                apply_process_fault(injector.fire(
+                    "worker.job_end", token=f"{job.job_id}:{job.retries}"))
             current["job_id"] = None
             outbox.put(("done", worker_id, job.job_id,
                         {"result": result, "job_seconds": seconds,

@@ -57,9 +57,12 @@ class ScenarioCampaign:
     def run(self, *, store=None, resume: bool = False,
             trace: CampaignTrace | None = None) -> ScenarioReport:
         """Execute (or resume) every shard; returns the sealed report."""
+        from repro.store.checkpoint import CheckpointWriter
+
         spec = self.spec
         if trace is None:
             trace = CampaignTrace()
+        writer = CheckpointWriter(store, trace)
         trace.emit("campaign_start", name=spec.name)
         bounds = shard_bounds(spec, self.shards)
         rollup = ScenarioRollup()
@@ -80,39 +83,40 @@ class ScenarioCampaign:
                 if replayed:
                     trace.emit("checkpoint.hit", name=label)
                 else:
-                    try:
-                        store.put(key, payload, meta={
-                            "scenario": spec.name, "kind": spec.kind,
-                            "shard": f"{index + 1}/{len(bounds)}",
-                        })
-                        trace.emit("checkpoint.write", name=label)
-                    except Exception as exc:  # noqa: BLE001 -- durability
-                        # is best-effort, exactly like stage checkpoints
-                        trace.emit("checkpoint.write_error", name=label,
-                                   detail=f"{type(exc).__name__}: {exc}")
+                    writer.write(key, payload, meta={
+                        "scenario": spec.name, "kind": spec.kind,
+                        "shard": f"{index + 1}/{len(bounds)}",
+                    }, label=label)
         return finish_report(spec, rollup, trace)
 
     def _load(self, store, key: str, label: str,
               trace: CampaignTrace) -> dict | None:
-        """A verified shard payload from the store, or None.
+        return load_shard_checkpoint(store, key, label, trace)
 
-        Wrong-shaped payloads are quarantined (``checkpoint.corrupt``)
-        and the shard re-runs -- checkpoint faults degrade, never abort.
-        """
-        from repro.store.artifact import CorruptArtifact, StoreMiss
 
-        try:
-            payload, _meta = store.get(key)
-        except StoreMiss:
-            return None
-        except CorruptArtifact as exc:
-            trace.emit("checkpoint.corrupt", name=label, detail=str(exc))
-            return None
-        if (not isinstance(payload, dict)
-                or not isinstance(payload.get("samples"), dict)
-                or not isinstance(payload.get("events"), list)):
-            store.invalidate(key)
-            trace.emit("checkpoint.corrupt", name=label,
-                       detail="payload shape is not a scenario shard")
-            return None
-        return payload
+def load_shard_checkpoint(store, key: str, label: str,
+                          trace: CampaignTrace) -> dict | None:
+    """A verified scenario-shard payload from the store, or None.
+
+    Wrong-shaped payloads are quarantined (``checkpoint.corrupt``) and
+    the shard re-runs -- checkpoint faults degrade, never abort.  Shared
+    by the serial campaign's ``resume=True`` and the fleet's SCENARIO
+    jobs, so cross-run fleet resume validates exactly like serial.
+    """
+    from repro.store.artifact import CorruptArtifact, StoreMiss
+
+    try:
+        payload, _meta = store.get(key)
+    except StoreMiss:
+        return None
+    except CorruptArtifact as exc:
+        trace.emit("checkpoint.corrupt", name=label, detail=str(exc))
+        return None
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("samples"), dict)
+            or not isinstance(payload.get("events"), list)):
+        store.invalidate(key)
+        trace.emit("checkpoint.corrupt", name=label,
+                   detail="payload shape is not a scenario shard")
+        return None
+    return payload

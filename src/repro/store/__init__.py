@@ -24,9 +24,11 @@ from repro.store.artifact import (
     CorruptArtifact,
     StoreError,
     StoreMiss,
+    StoreWriteError,
 )
 from repro.store.checkpoint import (
     STAGE_INPUTS,
+    CheckpointWriter,
     DesignFingerprint,
     design_fingerprint,
     stage_key,
@@ -45,6 +47,8 @@ __all__ = [
     "CorruptArtifact",
     "StoreError",
     "StoreMiss",
+    "StoreWriteError",
+    "CheckpointWriter",
     "DesignFingerprint",
     "design_fingerprint",
     "stage_key",

@@ -50,6 +50,7 @@ untrusted data.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -75,6 +76,16 @@ class StoreMiss(StoreError):
 
 class CorruptArtifact(StoreError):
     """A blob existed but failed verification; it has been quarantined."""
+
+
+class StoreWriteError(StoreError):
+    """A ``put`` failed after bounded retries; nothing was persisted.
+
+    The blob under the key (if any) is the previous, still-verified
+    write -- the failed attempt never replaced it.  When the underlying
+    fault was ENOSPC the store has also entered degraded mode (see
+    :attr:`ArtifactStore.degraded`).
+    """
 
 
 def _fsync_dir(path: Path) -> None:
@@ -108,15 +119,37 @@ class ArtifactStore:
     monotonic clock) before it is broken.  A provably dead owner's lock
     is broken immediately; a provably live owner's never.
 
+    Write faults degrade in two stages.  An ``OSError`` from the locked
+    write path (full disk, I/O error, overloaded NFS) is retried up to
+    ``write_retries`` times with exponential backoff starting at
+    ``write_backoff_s``; a put that still fails raises
+    :class:`StoreWriteError`.  When the final fault was **ENOSPC** the
+    store additionally flips :attr:`degraded` and stays there: every
+    later ``put`` is skipped (returns ``None``, counted as
+    ``writes_skipped``) instead of hammering a full disk, while reads
+    keep serving the checkpoints that already landed.  Callers decide
+    what degraded means for them -- the campaign layer keeps running
+    un-checkpointed (see :class:`repro.store.checkpoint.CheckpointWriter`).
+
+    Quarantined blobs are kept for post-mortem but not forever: the
+    quarantine directory is swept after each new quarantine down to the
+    newest ``quarantine_keep`` entries, so a store fed repeated
+    corruption (a flaky disk, a chaos schedule) cannot grow without
+    bound.
+
     Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt`` /
-    ``write_contended``) are exposed through :meth:`counters` in the
-    shape :func:`repro.perf.collect_counters` merges into campaign
-    metrics.
+    ``write_contended`` / ``writes_retried`` / ``writes_failed`` /
+    ``writes_skipped`` / ``quarantine_swept``) are exposed through
+    :meth:`counters` in the shape :func:`repro.perf.collect_counters`
+    merges into campaign metrics.
     """
 
     def __init__(self, root: str | os.PathLike, *,
                  lock_timeout_s: float = 10.0,
-                 lock_stale_s: float = 30.0) -> None:
+                 lock_stale_s: float = 30.0,
+                 write_retries: int = 2,
+                 write_backoff_s: float = 0.05,
+                 quarantine_keep: int = 64) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.quarantine_dir = self.root / "quarantine"
@@ -125,6 +158,12 @@ class ArtifactStore:
             d.mkdir(parents=True, exist_ok=True)
         self.lock_timeout_s = lock_timeout_s
         self.lock_stale_s = lock_stale_s
+        self.write_retries = write_retries
+        self.write_backoff_s = write_backoff_s
+        self.quarantine_keep = quarantine_keep
+        #: Sticky ENOSPC flag: once a put exhausts its retries on a full
+        #: disk, later puts are skipped instead of attempted.
+        self.degraded = False
         #: Monotonic observation of contended locks whose owner cannot
         #: be confirmed alive: lock path -> (stat signature, first seen).
         #: See :meth:`_lock_is_stale`.
@@ -134,6 +173,10 @@ class ArtifactStore:
         self.writes = 0
         self.corrupt = 0
         self.write_contended = 0
+        self.writes_retried = 0
+        self.writes_failed = 0
+        self.writes_skipped = 0
+        self.quarantine_swept = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -257,18 +300,48 @@ class ArtifactStore:
     def put(self, key: str, payload, meta: dict | None = None) -> Path | None:
         """Atomically persist ``payload`` under ``key`` (overwrites).
 
-        Returns the blob path, or ``None`` when a concurrent writer of
-        the same key made this write a duplicate (see
-        :meth:`_claim_write_lock`).
+        Returns the blob path, or ``None`` when the write was skipped:
+        a concurrent writer of the same key made it a duplicate (see
+        :meth:`_claim_write_lock`) or the store is in ENOSPC
+        :attr:`degraded` mode.  Raises :class:`StoreWriteError` when
+        the write faulted and ``write_retries`` backoff attempts did
+        not rescue it.
         """
         path = self._path(key)
+        if self.degraded:
+            self.writes_skipped += 1
+            return None
         path.parent.mkdir(parents=True, exist_ok=True)
         if not self._claim_write_lock(key, path):
             return None
         try:
-            return self._put_locked(key, payload, meta, path)
+            return self._put_with_retries(key, payload, meta, path)
         finally:
             self._release_write_lock(key)
+
+    def _put_with_retries(self, key: str, payload, meta: dict | None,
+                          path: Path) -> Path:
+        """Bounded retry-with-backoff around the locked write.
+
+        Only ``OSError`` is retried -- transient disk faults come back
+        as those; a payload that cannot pickle is the caller's bug and
+        propagates unchanged on the first attempt.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._put_locked(key, payload, meta, path)
+            except OSError as exc:
+                attempt += 1
+                if attempt > self.write_retries:
+                    self.writes_failed += 1
+                    if exc.errno == errno.ENOSPC:
+                        self.degraded = True
+                    raise StoreWriteError(
+                        f"{key}: write failed after {attempt} attempt(s): "
+                        f"{exc}") from exc
+                self.writes_retried += 1
+                time.sleep(self.write_backoff_s * (2 ** (attempt - 1)))
 
     def _put_locked(self, key: str, payload, meta: dict | None,
                     path: Path) -> Path:
@@ -371,7 +444,7 @@ class ArtifactStore:
         return True
 
     def _quarantine(self, path: Path) -> None:
-        """Move a bad blob aside (kept for post-mortem, never reloaded)."""
+        """Move a bad blob aside (kept for post-mortem, bounded in size)."""
         target = self.quarantine_dir / path.name
         n = 0
         while target.exists():
@@ -382,6 +455,35 @@ class ArtifactStore:
         except OSError:
             try:
                 os.unlink(path)
+            except OSError:
+                pass
+        self._sweep_quarantine()
+
+    def _sweep_quarantine(self) -> None:
+        """Drop the oldest quarantined blobs past ``quarantine_keep``.
+
+        Repeated corruption (flaky disk, chaos schedule) must not grow
+        the quarantine without bound; the newest entries -- the ones a
+        post-mortem actually wants -- survive.
+        """
+        try:
+            entries = [p for p in self.quarantine_dir.iterdir() if p.is_file()]
+        except OSError:
+            return
+        if len(entries) <= self.quarantine_keep:
+            return
+
+        def age(p: Path) -> tuple:
+            try:
+                return (p.stat().st_mtime_ns, p.name)
+            except OSError:
+                return (0, p.name)
+
+        entries.sort(key=age)
+        for p in entries[: len(entries) - self.quarantine_keep]:
+            try:
+                p.unlink()
+                self.quarantine_swept += 1
             except OSError:
                 pass
 
@@ -413,4 +515,9 @@ class ArtifactStore:
             "store_writes": self.writes,
             "store_corrupt": self.corrupt,
             "store_write_contended": self.write_contended,
+            "store_writes_retried": self.writes_retried,
+            "store_writes_failed": self.writes_failed,
+            "store_writes_skipped": self.writes_skipped,
+            "store_quarantine_swept": self.quarantine_swept,
+            "store_degraded": int(self.degraded),
         }

@@ -128,3 +128,59 @@ def stage_keys(bundle, *, checks: tuple = (),
     fp = design_fingerprint(bundle)
     return {stage: stage_key(fp, stage, checks=checks, timeout_s=timeout_s)
             for stage in STAGE_INPUTS}
+
+
+class CheckpointWriter:
+    """Best-effort checkpoint writes with graceful ENOSPC degradation.
+
+    The one place campaign code (CBV stages and scenario shards alike)
+    persists checkpoints.  The contract: **a checkpoint write is never
+    fatal**.  A transient fault surfaces as a ``checkpoint.write_error``
+    trace event and the campaign moves on; a store that has entered
+    ENOSPC degraded mode (:attr:`repro.store.ArtifactStore.degraded`)
+    is announced exactly once per campaign with a ``store.degraded``
+    trace event carrying a ``store_degraded`` counter, after which the
+    campaign keeps running un-checkpointed -- later writes are skipped
+    without further noise.  ``store.*`` and ``checkpoint.*`` events are
+    both stripped from the canonical report form, so degradation never
+    perturbs byte-identity.
+    """
+
+    def __init__(self, store, trace) -> None:
+        self.store = store
+        self.trace = trace
+        self._degraded_noted = False
+
+    def write(self, key: str, payload, meta: dict | None,
+              label: str) -> bool:
+        """Persist one checkpoint; True when the blob landed."""
+        if self.store is None:
+            return False
+        if getattr(self.store, "degraded", False):
+            self._note_degraded(label)
+            return False
+        try:
+            landed = self.store.put(key, payload, meta=meta)
+        except Exception as exc:  # noqa: BLE001 -- durability is
+            # best-effort; a full disk must not fail the run
+            if getattr(self.store, "degraded", False):
+                self._note_degraded(label, exc)
+            else:
+                self.trace.emit("checkpoint.write_error", name=label,
+                                detail=f"{type(exc).__name__}: {exc}")
+            return False
+        if landed is None:
+            return False  # duplicate of a concurrent writer's blob
+        self.trace.emit("checkpoint.write", name=label)
+        return True
+
+    def _note_degraded(self, label: str, exc: Exception | None = None) -> None:
+        if self._degraded_noted:
+            return
+        self._degraded_noted = True
+        detail = ("store entered ENOSPC degraded mode; campaign continues "
+                  "un-checkpointed")
+        if exc is not None:
+            detail += f" ({type(exc).__name__}: {exc})"
+        self.trace.emit("store.degraded", name=label, detail=detail,
+                        counters={"store_degraded": 1.0})

@@ -1,0 +1,127 @@
+"""ChaosStore injection behavior against the hardened ArtifactStore.
+
+Each test drives one fault class at rate 1.0 (with the kind menu
+narrowed, so the schedule is certain regardless of seed) and asserts
+the *hardening* response: retries rescue transient EIO, sticky ENOSPC
+degrades instead of crashing, corrupted blobs quarantine and miss
+instead of returning garbage, and torn locks are broken by the
+staleness logic.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.chaos import ChaosStore, FaultPlan
+from repro.store import CorruptArtifact, StoreMiss, StoreWriteError
+
+
+def plan_for(hook, kind, *, rate=1.0, max_per_hook=100, **kw):
+    return FaultPlan.make(42, rates={hook: rate}, kinds={hook: (kind,)},
+                          max_per_hook=max_per_hook, **kw)
+
+
+def key(name: str) -> str:
+    """Store keys must be hex digests; derive one from a label."""
+    return hashlib.sha256(name.encode()).hexdigest()
+
+
+def test_transient_eio_is_rescued_by_retry(tmp_path):
+    # Budget of exactly one fault: the first write attempt raises EIO,
+    # the in-lock retry must land the blob.
+    store = ChaosStore(tmp_path, plan_for("store.put", "eio", max_per_hook=1),
+                       write_retries=2, write_backoff_s=0.001)
+    assert store.put(key("k1"), {"v": 1}) is not None
+    assert store.get(key("k1"))[0] == {"v": 1}
+    c = store.counters()
+    assert c["store_writes_retried"] == 1
+    assert c["store_writes_failed"] == 0
+    assert c["store_degraded"] == 0
+
+
+def test_sticky_enospc_degrades_instead_of_crashing_forever(tmp_path):
+    store = ChaosStore(tmp_path, plan_for("store.put", "enospc"),
+                       write_retries=1, write_backoff_s=0.001)
+    with pytest.raises(StoreWriteError, match="write failed after 2"):
+        store.put(key("k1"), {"v": 1})
+    assert store.degraded
+    # Degraded mode: later writes are skipped (None), never attempted.
+    assert store.put(key("k2"), {"v": 2}) is None
+    assert store.put(key("k3"), {"v": 3}) is None
+    c = store.counters()
+    assert c["store_degraded"] == 1
+    assert c["store_writes_failed"] == 1
+    assert c["store_writes_skipped"] == 2
+    with pytest.raises(StoreMiss):
+        store.get(key("k2"))
+
+
+def test_exhausted_eio_fails_the_write_but_not_the_store(tmp_path):
+    store = ChaosStore(tmp_path, plan_for("store.put", "eio"),
+                       write_retries=1, write_backoff_s=0.001)
+    with pytest.raises(StoreWriteError):
+        store.put(key("k1"), {"v": 1})
+    # EIO is not the full-disk signal: the store stays undegraded and
+    # the next key gets its own retry budget.
+    assert not store.degraded
+
+
+@pytest.mark.parametrize("kind", ["truncate", "bitflip"])
+def test_corrupted_blob_quarantines_and_misses(tmp_path, kind):
+    clean = FaultPlan.make(42, rates={})
+    writer = ChaosStore(tmp_path, clean)
+    writer.put(key("k1"), {"v": 1})
+
+    reader = ChaosStore(tmp_path, plan_for("store.get", kind, max_per_hook=1))
+    with pytest.raises(CorruptArtifact):
+        reader.get(key("k1"))
+    # The mangled blob moved to quarantine; the key now misses cleanly.
+    assert [p.name for p in reader.quarantine_dir.iterdir()]
+    with pytest.raises(StoreMiss):
+        reader.get(key("k1"))
+    assert reader.counters()["store_corrupt"] == 1
+
+
+def test_torn_lock_is_broken_by_the_staleness_logic(tmp_path):
+    store = ChaosStore(tmp_path, plan_for("store.lock", "corrupt_lock"),
+                       lock_stale_s=0.1, lock_timeout_s=5.0)
+    # Every claim first drops a garbage lock (unreadable payload, no
+    # live owner); the observation-window staleness logic must break it
+    # and the write must land.
+    assert store.put(key("k1"), {"v": 1}) is not None
+    assert store.get(key("k1"))[0] == {"v": 1}
+    assert store.counters()["store_write_contended"] >= 1
+
+
+def test_latency_faults_slow_but_never_break(tmp_path):
+    store = ChaosStore(
+        tmp_path,
+        FaultPlan.make(42, rates={"store.latency": 1.0}, latency_s=0.001,
+                       max_per_hook=100))
+    assert store.put(key("k1"), {"v": 1}) is not None
+    assert store.get(key("k1"))[0] == {"v": 1}
+    assert store.injector.counters()["chaos_store_latency"] >= 2
+
+
+def test_fault_schedule_is_identical_across_store_instances(tmp_path):
+    plan = FaultPlan.make(7, rates={"store.put": 0.5, "store.get": 0.5},
+                          max_per_hook=100)
+    logs = []
+    for run in range(2):
+        store = ChaosStore(tmp_path / str(run), plan,
+                           write_retries=3, write_backoff_s=0.001)
+        log = []
+        for i in range(8):
+            k = key(f"key{i}")
+            try:
+                store.put(k, {"v": i})
+                log.append(("put", k, "ok"))
+            except StoreWriteError:
+                log.append(("put", k, "fail"))
+            try:
+                store.get(k)
+                log.append(("get", k, "ok"))
+            except (StoreMiss, CorruptArtifact) as exc:
+                log.append(("get", k, type(exc).__name__))
+        logs.append((log, store.injector.counters()))
+    assert logs[0] == logs[1]

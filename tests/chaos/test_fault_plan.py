@@ -1,0 +1,113 @@
+"""FaultPlan / FaultInjector unit behavior.
+
+The whole chaos contract rests on the plan being a pure function of
+``(seed, hook, token)``: every test of "the campaign survives schedule
+S" is only meaningful if S is the same schedule on every run, every
+process, and every platform.
+"""
+
+import pickle
+
+import pytest
+
+from repro.chaos import HOOK_KINDS, HOOKS, FaultInjector, FaultPlan
+from repro.chaos.plan import apply_process_fault
+
+
+def test_draw_is_a_pure_function_of_seed_hook_token():
+    plan = FaultPlan.make(99, rates={h: 0.5 for h in HOOKS})
+    again = FaultPlan.make(99, rates={h: 0.5 for h in HOOKS})
+    for hook in HOOKS:
+        for token in ("a", "b", "key:0", "key:1", "42"):
+            assert plan.draw(hook, token) == again.draw(hook, token)
+
+
+def test_different_seeds_give_different_schedules():
+    a = FaultPlan.make(1, rates={"store.put": 0.5})
+    b = FaultPlan.make(2, rates={"store.put": 0.5})
+    tokens = [str(i) for i in range(64)]
+    assert ([a.draw("store.put", t) for t in tokens]
+            != [b.draw("store.put", t) for t in tokens])
+
+
+def test_rate_zero_never_fires_and_rate_one_always_fires():
+    silent = FaultPlan.make(7, rates={})
+    loud = FaultPlan.make(7, rates={"store.put": 1.0},
+                          kinds={"store.put": ("enospc",)})
+    for i in range(100):
+        assert silent.draw("store.put", str(i)) is None
+        assert loud.draw("store.put", str(i)) == "enospc"
+
+
+def test_kinds_restriction_limits_the_menu():
+    plan = FaultPlan.make(5, rates={"store.get": 1.0},
+                          kinds={"store.get": ("truncate",)})
+    assert {plan.draw("store.get", str(i)) for i in range(20)} == {"truncate"}
+    free = FaultPlan.make(5, rates={"store.get": 1.0})
+    assert {free.draw("store.get", str(i))
+            for i in range(50)} == set(HOOK_KINDS["store.get"])
+
+
+def test_unknown_hook_is_rejected_everywhere():
+    with pytest.raises(ValueError, match="unknown chaos hook"):
+        FaultPlan.make(1, rates={"store.teleport": 0.5})
+    with pytest.raises(ValueError, match="unknown chaos hook"):
+        FaultPlan.make(1, rates={}, kinds={"store.teleport": ("eio",)})
+    plan = FaultPlan.make(1, rates={"store.put": 0.5})
+    with pytest.raises(ValueError, match="unknown chaos hook"):
+        plan.draw("store.teleport", "x")
+
+
+def test_invalid_rate_and_kind_are_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan.make(1, rates={"store.put": 1.5})
+    with pytest.raises(ValueError):
+        FaultPlan.make(1, rates={"store.put": -0.1})
+    with pytest.raises(ValueError, match="non-empty subset"):
+        FaultPlan.make(1, rates={}, kinds={"store.put": ("sigstop",)})
+    with pytest.raises(ValueError, match="non-empty subset"):
+        FaultPlan.make(1, rates={}, kinds={"store.put": ()})
+
+
+def test_plan_pickles_by_value():
+    plan = FaultPlan.make(11, rates={"worker.job_start": 0.25},
+                          kinds={"worker.job_start": ("sigstop",)},
+                          latency_s=0.01, clock_jump_s=30.0, max_per_hook=2)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone == plan
+    for i in range(32):
+        assert (clone.draw("worker.job_start", str(i))
+                == plan.draw("worker.job_start", str(i)))
+
+
+def test_injector_budget_caps_injections_per_hook():
+    plan = FaultPlan.make(3, rates={"store.put": 1.0},
+                          kinds={"store.put": ("eio",)}, max_per_hook=2)
+    inj = FaultInjector(plan)
+    fired = [inj.fire("store.put") for _ in range(6)]
+    assert fired == ["eio", "eio", None, None, None, None]
+    assert inj.counters() == {"chaos_store_put": 2}
+
+
+def test_injector_default_token_is_the_per_hook_call_index():
+    plan = FaultPlan.make(17, rates={"store.put": 0.5}, max_per_hook=100)
+    by_index = FaultInjector(plan)
+    explicit = FaultInjector(plan)
+    assert ([by_index.fire("store.put") for i in range(20)]
+            == [explicit.fire("store.put", token=str(i)) for i in range(20)])
+
+
+def test_injector_counters_only_name_what_fired():
+    plan = FaultPlan.make(1, rates={})
+    inj = FaultInjector(plan)
+    for hook in HOOKS:
+        assert inj.fire(hook, token="t") is None
+    assert inj.counters() == {}
+
+
+def test_apply_process_fault_ignores_none_and_unknown():
+    # Callers pipe FaultInjector.fire results straight through, so the
+    # no-fault case (and a kind this process cannot apply) must be a
+    # silent no-op, never a crash.
+    apply_process_fault(None)
+    apply_process_fault("latency")

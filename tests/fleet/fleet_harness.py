@@ -21,6 +21,9 @@ from repro.timing.clocking import TwoPhaseClock
 #: with no sentinel on disk creates it and SIGKILLs its own process.
 SENTINEL_ENV = "REPRO_FLEET_KILL_SENTINEL"
 
+#: Sentinel for :class:`StopWorkerOnce` (SIGSTOP instead of SIGKILL).
+STOP_SENTINEL_ENV = "REPRO_FLEET_STOP_SENTINEL"
+
 
 def dp_bundle() -> DesignBundle:
     b = CellBuilder("dp", ports=["a", "b", "c", "y", "q", "clk", "clk_b"])
@@ -59,5 +62,47 @@ class KillWorkerOnce(Check):
         except FileExistsError:
             return []
         os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return []  # unreachable
+
+
+class StopWorkerOnce(Check):
+    """SIGSTOP the hosting worker -- once, fleet-wide.
+
+    A stopped process is the watchdog's case, not the death monitor's:
+    it is still alive (so ``worker_dead`` never fires on its own) and
+    its heartbeat thread is frozen with it, so only the heartbeat-age
+    watchdog (``FleetConfig.hung_after_s``) can notice.  Same O_EXCL
+    sentinel discipline as :class:`KillWorkerOnce`, so the retry and
+    the single-process baseline both run it as a clean no-op.
+    """
+
+    name = "stop_worker_once"
+
+    def run(self, ctx):
+        sentinel = os.environ.get(STOP_SENTINEL_ENV)
+        if not sentinel:
+            return []
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return []
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGSTOP)
+        return []  # resumes here only after the watchdog SIGKILLs us
+
+
+class KillWorkerAlways(Check):
+    """SIGKILL *every* worker that runs it -- the poison-shard case.
+
+    No sentinel: the battery shard containing this check kills its
+    worker on every attempt, so retries can never get it through and
+    the scheduler must quarantine the shard instead of abandoning the
+    design.
+    """
+
+    name = "kill_worker_always"
+
+    def run(self, ctx):
         os.kill(os.getpid(), signal.SIGKILL)
         return []  # unreachable

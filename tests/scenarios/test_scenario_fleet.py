@@ -50,6 +50,23 @@ def test_fleet_reports_are_byte_identical_across_worker_counts(tmp_path):
         assert "fleet_start" in events and "fleet_end" in events
 
 
+def test_fleet_rerun_resumes_from_shard_checkpoints(tmp_path):
+    # Same store_dir, same spec, same shard layout: the second fleet
+    # run must reload every shard checkpoint instead of recomputing --
+    # the fleet analogue of ScenarioCampaign(resume=True).
+    config = fast_config(tmp_path)
+    first = run_scenario_fleet({FUZZ.name: FUZZ}, workers=2, shards=SHARDS,
+                               config=config)
+    second = run_scenario_fleet({FUZZ.name: FUZZ}, workers=2, shards=SHARDS,
+                                config=fast_config(tmp_path))
+    assert second.failed == {}
+    assert (second.reports[FUZZ.name].to_json(canonical=True)
+            == first.reports[FUZZ.name].to_json(canonical=True))
+    events = [e.event for e in second.trace.events]
+    assert events.count("checkpoint.hit") == SHARDS
+    assert events.count("checkpoint.write") == 0
+
+
 def test_sigkilled_worker_is_survived_and_report_matches(
         tmp_path, monkeypatch):
     sentinel = tmp_path / "kill.sentinel"

@@ -19,7 +19,12 @@ def test_put_get_roundtrip(tmp_path):
     assert meta == {"stage": "extraction"}
     assert store.counters() == {"store_hits": 1, "store_misses": 0,
                                 "store_writes": 1, "store_corrupt": 0,
-                                "store_write_contended": 0}
+                                "store_write_contended": 0,
+                                "store_writes_retried": 0,
+                                "store_writes_failed": 0,
+                                "store_writes_skipped": 0,
+                                "store_quarantine_swept": 0,
+                                "store_degraded": 0}
 
 
 def test_miss_raises_and_counts(tmp_path):

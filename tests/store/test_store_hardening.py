@@ -1,0 +1,92 @@
+"""Write-path hardening: bounded retries, degraded mode, quarantine cap.
+
+These are the store-side halves of the chaos contract
+(:mod:`repro.chaos` supplies the faults; this file drives the same
+paths with plain monkeypatched failures so the hardening is pinned
+independently of the injection machinery).
+"""
+
+import errno
+import hashlib
+
+import pytest
+
+from repro.store import ArtifactStore, CorruptArtifact, StoreWriteError
+
+
+def key(name: str) -> str:
+    return hashlib.sha256(name.encode()).hexdigest()
+
+
+class FlakyStore(ArtifactStore):
+    """Fails the first ``fail_first`` locked writes with ``fail_errno``."""
+
+    def __init__(self, root, *, fail_first, fail_errno=errno.EIO, **kw):
+        super().__init__(root, **kw)
+        self.fail_first = fail_first
+        self.fail_errno = fail_errno
+        self.attempts = 0
+
+    def _put_locked(self, key, payload, meta, path):
+        self.attempts += 1
+        if self.attempts <= self.fail_first:
+            raise OSError(self.fail_errno, "flaky disk")
+        return super()._put_locked(key, payload, meta, path)
+
+
+def test_transient_write_faults_are_retried_with_backoff(tmp_path):
+    store = FlakyStore(tmp_path, fail_first=2,
+                       write_retries=2, write_backoff_s=0.001)
+    assert store.put(key("a"), {"v": 1}) is not None
+    assert store.get(key("a"))[0] == {"v": 1}
+    assert store.writes_retried == 2
+    assert store.writes_failed == 0
+    assert not store.degraded
+
+
+def test_exhausted_enospc_sets_sticky_degraded_mode(tmp_path):
+    store = FlakyStore(tmp_path, fail_first=99, fail_errno=errno.ENOSPC,
+                       write_retries=1, write_backoff_s=0.001)
+    with pytest.raises(StoreWriteError, match="after 2 attempt"):
+        store.put(key("a"), {"v": 1})
+    assert store.degraded
+    # Sticky: every later write is skipped without touching the disk.
+    before = store.attempts
+    assert store.put(key("b"), {"v": 2}) is None
+    assert store.attempts == before
+    assert store.writes_skipped == 1
+    assert store.counters()["store_degraded"] == 1
+
+
+def test_exhausted_eio_fails_without_degrading(tmp_path):
+    store = FlakyStore(tmp_path, fail_first=99, fail_errno=errno.EIO,
+                       write_retries=1, write_backoff_s=0.001)
+    with pytest.raises(StoreWriteError):
+        store.put(key("a"), {"v": 1})
+    assert not store.degraded  # only ENOSPC is the systemic signal
+    assert store.writes_failed == 1
+
+
+def test_non_oserror_propagates_without_retry(tmp_path):
+    store = ArtifactStore(tmp_path, write_retries=3)
+    with pytest.raises(Exception) as exc_info:
+        store.put(key("a"), {"f": lambda: None})  # unpicklable payload
+    assert not isinstance(exc_info.value, StoreWriteError)
+    assert store.writes_retried == 0  # caller bug, not a disk fault
+
+
+def test_quarantine_growth_is_bounded(tmp_path):
+    # Satellite of the chaos harness: repeated corruption of the same
+    # (or different) keys must not grow quarantine/ without bound.
+    store = ArtifactStore(tmp_path, quarantine_keep=2)
+    for i in range(5):
+        k = key(f"blob{i}")
+        path = store.put(k, {"v": i})
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+        with pytest.raises(CorruptArtifact):
+            store.get(k)
+    files = [p for p in store.quarantine_dir.iterdir() if p.is_file()]
+    assert len(files) <= 2
+    assert store.quarantine_swept == 3
+    assert store.counters()["store_quarantine_swept"] == 3
