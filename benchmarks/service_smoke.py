@@ -1,0 +1,125 @@
+"""CI smoke: a real ``repro-serve`` process serving a real client.
+
+The in-process tests share a Python runtime with the service; this
+script is the cross-process truth check the CI ``service-smoke`` job
+runs.  It spawns ``python -m repro.service`` as a subprocess, parses
+the bound port from its ``listening on HOST:PORT`` line, and from this
+process:
+
+* submits the seed designs over the wire and streams one campaign's
+  event log live;
+* fetches each canonical report and asserts it is **byte-identical**
+  to a direct single-process ``CbvCampaign.run()`` of the same bundle;
+* resubmits a design and asserts the verdict cache answered
+  (``cached`` true, zero additional launches);
+* asks the server to stop and checks it exits cleanly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC)
+
+from repro.core.campaign import CbvCampaign  # noqa: E402
+from repro.core.report import report_to_json  # noqa: E402
+from repro.fleet.jobs import resolve_bundle  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+SEED_REFS = {
+    "alpha_slice": "repro.fleet.suite:alpha_slice",
+    "adder8": "repro.fleet.suite:adder8",
+}
+
+
+def spawn_server() -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited early (rc={proc.poll()})")
+        match = re.match(r"listening on (\S+):(\d+)", line.strip())
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    raise RuntimeError("server never printed its listen address")
+
+
+def main() -> int:
+    proc, host, port = spawn_server()
+    print(f"repro-serve up at {host}:{port} (pid {proc.pid})")
+    failures: list[str] = []
+    try:
+        client = ServiceClient(host, port, timeout_s=600.0)
+        submissions = {
+            name: client.submit(ref, tenant="ci-smoke", name=name)
+            for name, ref in SEED_REFS.items()
+        }
+        first = submissions["alpha_slice"]["campaign"]
+        events = list(client.events(first))
+        print(f"streamed {len(events)} events from {first} "
+              f"(final: {events[-1]['event']})")
+        if events[-1]["event"] != "service.sealed":
+            failures.append("event stream did not end in service.sealed")
+
+        for name, ref in SEED_REFS.items():
+            via_service = client.report(submissions[name]["campaign"],
+                                        canonical=True)
+            direct = report_to_json(
+                CbvCampaign(resolve_bundle(ref)).run(), canonical=True)
+            match = via_service == direct
+            print(f"{name}: canonical report "
+                  f"{'byte-identical' if match else 'DIVERGED'} "
+                  f"({len(via_service)} bytes)")
+            if not match:
+                failures.append(f"{name}: service report diverged from "
+                                f"direct run")
+
+        launched = client.status()["metrics"]["launched"]
+        resub = client.submit(SEED_REFS["alpha_slice"], tenant="ci-rerun")
+        if not resub["cached"]:
+            failures.append("resubmission was not a verdict-cache hit")
+        if client.status()["metrics"]["launched"] != launched:
+            failures.append("cache hit launched new fleet work")
+        print(f"resubmission cached={resub['cached']}, "
+              f"launches unchanged at {launched}")
+
+        client.stop()
+    finally:
+        try:
+            proc.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append("server did not exit within 60s of stop")
+    if proc.returncode not in (0, None):
+        failures.append(f"server exited rc={proc.returncode}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("service smoke: wire protocol, byte identity, and verdict "
+          "cache all hold cross-process")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,15 @@ Sample events are canonical -- they are the per-sample record the rollup
 statistics summarize -- while the ``checkpoint.*`` events a resumed
 scenario run interleaves are stripped, which is how serial, resumed, and
 fleet scenario reports stay byte-comparable.
+
+The verification service (:mod:`repro.service`) gives every campaign a
+per-campaign *stream* trace (worker id ``service``) whose ``seq`` is the
+client's resume cursor (see :meth:`CampaignTrace.since`).  It adds a
+``service.*`` namespace -- ``service.submitted`` / ``service.admitted``
+/ ``service.cache_hit`` / ``service.coalesced`` / ``service.progress``
+/ ``service.sealed`` / ``service.failed`` -- around a replay of the
+campaign's own events.  Stream traces are a delivery channel, never part
+of a report, so the canonical form is unaffected.
 """
 
 from __future__ import annotations
@@ -211,6 +220,24 @@ class CampaignTrace:
                       wall_s=e.wall_s, counters=e.counters, detail=e.detail)
 
     # -- queries -------------------------------------------------------------
+
+    def since(self, cursor: int) -> list[TraceEvent]:
+        """Events with ``seq >= cursor``, in emission order.
+
+        The streaming cursor: a consumer that has seen events up to
+        (excluding) ``cursor`` calls ``since(cursor)`` to pick up the
+        tail -- the :mod:`repro.service` event stream resumes exactly
+        this way after a dropped connection.  For a self-emitted trace
+        ``seq`` equals list position, so the common case is a slice;
+        merged traces (whose sequences interleave per worker) fall back
+        to a filter.
+        """
+        if cursor <= 0:
+            return list(self.events)
+        events = self.events
+        if events and events[0].seq == 0 and events[-1].seq == len(events) - 1:
+            return events[cursor:]
+        return [e for e in events if e.seq >= cursor]
 
     def of(self, event: str) -> list[TraceEvent]:
         """Every event of one kind, in emission order."""

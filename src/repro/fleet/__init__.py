@@ -54,9 +54,18 @@ from repro.fleet.merge import (
     merge_shard_batteries,
     shard_store_key,
 )
-from repro.fleet.metrics import FleetMetrics, render_prometheus
+from repro.fleet.metrics import (
+    FleetMetrics,
+    render_prometheus,
+    render_store_stats,
+)
 from repro.fleet.queue import Lease, WorkQueue
-from repro.fleet.scheduler import FleetResult, run_fleet, run_scenario_fleet
+from repro.fleet.scheduler import (
+    FleetResult,
+    design_flow_hook,
+    run_fleet,
+    run_scenario_fleet,
+)
 from repro.fleet.suite import (
     BENCH_SUITE,
     SEED_SUITE,
@@ -83,6 +92,7 @@ __all__ = [
     "alpha_slice_bundle",
     "assemble_scenario_report",
     "battery_jobs",
+    "design_flow_hook",
     "execute_job",
     "finalize_job",
     "load_scenario_shard",
@@ -91,6 +101,7 @@ __all__ = [
     "partition_checks",
     "prepare_job",
     "render_prometheus",
+    "render_store_stats",
     "resolve_bundle",
     "run_fleet",
     "run_scenario_fleet",

@@ -59,6 +59,10 @@ class FleetMetrics:
     stage_wall_s: dict[str, float] = field(default_factory=dict)
     #: Completed jobs per kind.
     jobs_by_kind: dict[str, int] = field(default_factory=dict)
+    #: End-of-run snapshot of the shared artifact store
+    #: (:meth:`repro.store.artifact.ArtifactStore.stats`): entries,
+    #: total_bytes, quarantine_depth, degraded.
+    store_stats: dict = field(default_factory=dict)
 
     def record_job(self, kind: str, seconds: float) -> None:
         self.jobs_done += 1
@@ -92,6 +96,7 @@ class FleetMetrics:
             "wall_s": self.wall_s,
             "stage_wall_s": dict(sorted(self.stage_wall_s.items())),
             "jobs_by_kind": dict(sorted(self.jobs_by_kind.items())),
+            "store_stats": dict(sorted(self.store_stats.items())),
         }
 
 
@@ -151,4 +156,37 @@ def render_prometheus(metrics: FleetMetrics,
     lines.append(f"# TYPE {full} counter")
     for kind, count in sorted(metrics.jobs_by_kind.items()):
         lines.append(f'{full}{{kind="{kind}"}} {count}')
+    lines.extend(render_store_stats(metrics.store_stats, prefix=prefix))
     return "\n".join(lines) + "\n"
+
+
+#: (stats key, metric suffix, HELP text) for the store-stats gauges.
+_STORE_GAUGES = (
+    ("entries", "store_entries", "Checkpoint blobs in the shared "
+     "artifact store."),
+    ("total_bytes", "store_bytes", "Bytes of checkpoint blobs in the "
+     "shared artifact store."),
+    ("quarantine_depth", "store_quarantine_depth", "Corrupt blobs "
+     "quarantined by the shared artifact store."),
+    ("degraded", "store_degraded", "1 when the store is in ENOSPC "
+     "degraded (write-nothing) mode."),
+)
+
+
+def render_store_stats(stats: dict,
+                       prefix: str = "repro_fleet") -> list[str]:
+    """Prometheus lines for one ``ArtifactStore.stats()`` snapshot.
+
+    Empty when the snapshot is (a fleet that never had a store to
+    sweep); shared by the fleet and service exporters so the store
+    series have one spelling.
+    """
+    if not stats:
+        return []
+    lines: list[str] = []
+    for key, suffix, help_text in _STORE_GAUGES:
+        full = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {int(stats.get(key, 0))}")
+    return lines

@@ -136,10 +136,11 @@ class _Pool:
     """
 
     def __init__(self, names, *, workers: int, config: FleetConfig,
-                 on_job_done) -> None:
+                 on_job_done, dynamic: bool = False,
+                 on_design_failed=None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if not names:
+        if not names and not dynamic:
             raise ValueError("nothing to run: empty suite")
         if config.store_dir is None:
             config.store_dir = tempfile.mkdtemp(prefix="repro-fleet-store-")
@@ -147,6 +148,17 @@ class _Pool:
         self.workers = workers
         self.config = config
         self.on_job_done = on_job_done
+        self.on_design_failed = on_design_failed
+        #: Dynamic mode (the service front end): the pool outlives any
+        #: fixed suite -- names arrive via :meth:`add_design`, and the
+        #: loop runs until :meth:`request_stop` *and* every accepted
+        #: name has finished.
+        self.dynamic = dynamic
+        self._stopping = False
+        #: Thread-safe injection point for dynamic mode: callables
+        #: queued here run on the scheduler thread at the next tick,
+        #: which is the only thread allowed to touch pool state.
+        self._injected: queue_mod.Queue = queue_mod.Queue()
         self.respawn_budget = (config.max_respawns
                                if config.max_respawns is not None
                                else workers)
@@ -183,6 +195,37 @@ class _Pool:
 
     # -- lifecycle hooks the front doors use ---------------------------------
 
+    def call_soon(self, fn) -> None:
+        """Run ``fn(pool)`` on the scheduler thread at the next tick.
+
+        The only thread-safe entry point: everything else on the pool
+        assumes single-threaded access, so a dynamic front end (the
+        service's asyncio loop lives on another thread) funnels every
+        mutation -- ``add_design`` + ``submit``, ``request_stop`` --
+        through here.
+        """
+        self._injected.put(fn)
+
+    def add_design(self, name: str) -> None:
+        """Accept one more name into a dynamic pool (scheduler thread)."""
+        if name in self.names:
+            raise ValueError(f"duplicate design name: {name}")
+        self.names.append(name)
+        self.metrics.designs += 1
+        self.ftrace.emit("design_added", name=name)
+
+    def request_stop(self, abort: bool = False) -> None:
+        """Let the loop exit once every accepted name finishes.
+
+        With ``abort`` the unfinished names are failed immediately
+        instead, so shutdown does not wait out running batteries.
+        """
+        self._stopping = True
+        if abort:
+            for name in list(self.names):
+                if name not in self.results and name not in self.failed:
+                    self.fail_design(name, "pool stop requested")
+
     def submit(self, job: Job) -> None:
         self.jobs_by_id[job.job_id] = job
         self.wq.submit(job)
@@ -202,6 +245,8 @@ class _Pool:
         for dropped in self.wq.cancel_design(design):
             self.ftrace.emit("job_cancel", name=dropped.job_id)
         self.ftrace.emit("design_failed", name=design, detail=reason)
+        if self.on_design_failed is not None:
+            self.on_design_failed(self, design, reason)
 
     # -- internals -----------------------------------------------------------
 
@@ -325,7 +370,19 @@ class _Pool:
             self.on_job_done(self, job, payload.get("result") or {})
 
     def _done(self) -> bool:
-        return len(self.results) + len(self.failed) >= len(self.names)
+        finished = len(self.results) + len(self.failed) >= len(self.names)
+        if self.dynamic:
+            return self._stopping and finished
+        return finished
+
+    def _run_injected(self) -> None:
+        """Drain the thread-safe callback queue (one tick's worth)."""
+        while True:
+            try:
+                fn = self._injected.get_nowait()
+            except queue_mod.Empty:
+                return
+            fn(self)
 
     def _reap_hung(self, handle: _WorkerHandle, age: float) -> None:
         """Kill and replace a worker that stopped heartbeating.
@@ -434,6 +491,7 @@ class _Pool:
                     self._on_message(self.outbox.get(timeout=config.poll_s))
                 except queue_mod.Empty:
                     pass
+                self._run_injected()
                 self._chaos_tick()
                 self._supervise()
                 self._assign()
@@ -475,6 +533,13 @@ class _Pool:
         metrics.write_contended = sum(
             h.store_counters.get("store_write_contended", 0)
             for h in all_handles)
+        try:
+            from repro.store.artifact import ArtifactStore
+            metrics.store_stats = ArtifactStore(config.store_dir).stats()
+        except OSError:
+            # A torn-down store directory costs the stat sweep, nothing
+            # else: the reports are already merged.
+            metrics.store_stats = {}
         self.ftrace.emit(
             "fleet_end",
             status="ok" if not self.failed else "degraded",
@@ -491,6 +556,34 @@ class _Pool:
                            store_dir=str(config.store_dir))
 
 
+def design_flow_hook(config: FleetConfig, *, finish):
+    """The design-verification job chain as an ``on_job_done`` hook.
+
+    PREPARE sizes the battery and fans out shard + finalize jobs (or a
+    single degraded finalize when the front half errored -- shard
+    batteries would diverge from, or crash unlike, a single-process
+    run); FINALIZE hands its merged report dict to ``finish(pool, job,
+    result)``.  Both :func:`run_fleet` and the service front end
+    (:mod:`repro.service`) drive their pools with this hook -- only
+    what *finish* does with a sealed report differs.
+    """
+
+    def on_job_done(pool: _Pool, job: Job, result: dict) -> None:
+        if job.kind is JobKind.PREPARE:
+            if result.get("degraded"):
+                pool.submit(finalize_job(job.design, job.bundle_ref, []))
+                return
+            shards = battery_jobs(job.design, job.bundle_ref,
+                                  int(result.get("cccs", 0)), config)
+            for shard_job in shards:
+                pool.submit(shard_job)
+            pool.submit(finalize_job(job.design, job.bundle_ref, shards))
+        elif job.kind is JobKind.FINALIZE:
+            finish(pool, job, result)
+
+    return on_job_done
+
+
 def run_fleet(suite: dict, *, workers: int = 4,
               config: FleetConfig | None = None) -> FleetResult:
     """Verify every design in ``suite`` on a worker-process fleet.
@@ -505,27 +598,14 @@ def run_fleet(suite: dict, *, workers: int = 4,
         raise ValueError("suite is empty")
     config = config or FleetConfig()
 
-    def on_job_done(pool: _Pool, job: Job, result: dict) -> None:
-        if job.kind is JobKind.PREPARE:
-            if result.get("degraded"):
-                # The front half errored; shard batteries would diverge
-                # from (or crash unlike) a single-process run.  One
-                # finalize job reruns the whole degraded flow inline.
-                pool.submit(finalize_job(job.design, job.bundle_ref, []))
-                return
-            shards = battery_jobs(job.design, job.bundle_ref,
-                                  int(result.get("cccs", 0)), config)
-            for shard_job in shards:
-                pool.submit(shard_job)
-            pool.submit(finalize_job(job.design, job.bundle_ref, shards))
-        elif job.kind is JobKind.FINALIZE:
-            pool.finish(job.design, report_from_dict(result["report"]))
-            pool.ftrace.emit(
-                "design_done", name=job.design,
-                status="ok" if result.get("ok") else "needs-triage")
+    def finish(pool: _Pool, job: Job, result: dict) -> None:
+        pool.finish(job.design, report_from_dict(result["report"]))
+        pool.ftrace.emit(
+            "design_done", name=job.design,
+            status="ok" if result.get("ok") else "needs-triage")
 
     pool = _Pool(suite, workers=workers, config=config,
-                 on_job_done=on_job_done)
+                 on_job_done=design_flow_hook(config, finish=finish))
     return pool.run([prepare_job(name, ref) for name, ref in suite.items()])
 
 

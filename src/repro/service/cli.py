@@ -1,0 +1,87 @@
+"""``repro-serve`` -- run the verification service from a shell.
+
+::
+
+    repro-serve --port 7997 --workers 4 --store /var/lib/repro-store \\
+                --tenant ci=4 --tenant dev=1
+
+prints ``listening on HOST:PORT`` once the socket is bound (with
+``--port 0`` the OS-picked port appears there -- scripts parse that
+line, see ``benchmarks/service_smoke.py``) and serves until a client
+sends ``stop`` or the process receives SIGINT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.fleet.jobs import FleetConfig
+from repro.service.server import ServiceConfig, VerificationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Verification-as-a-service front end over the "
+                    "repro fleet pool.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="bind port; 0 lets the OS pick "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="fleet worker processes (default: %(default)s)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="shared artifact-store root (default: a "
+                             "fresh temporary directory); point several "
+                             "services here to share the verdict cache")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="global concurrent-campaign cap "
+                             "(default: %(default)s)")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME=WEIGHT",
+                        help="pre-configure a tenant's fair-share "
+                             "weight (repeatable)")
+    return parser
+
+
+def parse_tenants(specs: list[str]) -> dict[str, float]:
+    tenants: dict[str, float] = {}
+    for spec in specs:
+        name, sep, weight = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"repro-serve: --tenant wants NAME=WEIGHT, got {spec!r}")
+        try:
+            tenants[name] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"repro-serve: bad weight in --tenant {spec!r}") from None
+    return tenants
+
+
+async def _amain(args) -> int:
+    config = ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_inflight=args.max_inflight,
+        fleet=FleetConfig(store_dir=args.store))
+    service = VerificationService(config)
+    await service.serve()
+    for name, weight in parse_tenants(args.tenant).items():
+        service.tenants.configure(name, weight=weight)
+    print(f"listening on {config.host}:{service.port}", flush=True)
+    await service.wait_closed()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

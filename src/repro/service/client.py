@@ -1,0 +1,152 @@
+"""Synchronous client for the verification service.
+
+Plain blocking sockets on purpose: callers are scripts, tests, and CI
+jobs, none of which want an event loop of their own.  One connection
+per call (the protocol is one-request-per-connection), except
+:meth:`ServiceClient.events`, which holds its connection open and
+yields the stream.
+
+Quickstart::
+
+    client = ServiceClient(host, port)
+    sub = client.submit("repro.fleet.suite:alpha_slice", tenant="ci")
+    for event in client.events(sub["campaign"]):
+        print(event["event"], event.get("name", ""))
+    text = client.report(sub["campaign"], canonical=True)
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service.protocol import decode, encode
+
+
+class ServiceError(Exception):
+    """A failure response from the service.
+
+    ``code`` is one of :data:`repro.service.protocol.ERROR_CODES`;
+    ``backpressure`` is the one callers are expected to catch and
+    retry.
+    """
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+def _raise_if_error(response: dict) -> dict:
+    if not response.get("ok", False):
+        raise ServiceError(str(response.get("error", "bad_request")),
+                           str(response.get("detail", "")))
+    return response
+
+
+class ServiceClient:
+    """Blocking protocol client; safe to share across threads
+    (every call opens its own connection)."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        sock.settimeout(self.timeout_s)
+        return sock
+
+    def _call(self, request: dict) -> dict:
+        with self._connect() as sock:
+            sock.sendall(encode(request))
+            with sock.makefile("rb") as fh:
+                line = fh.readline()
+        if not line:
+            raise ServiceError("bad_request", "connection closed mid-reply")
+        return _raise_if_error(decode(line))
+
+    # -- operations ----------------------------------------------------------
+
+    def submit(self, bundle_ref: str, tenant: str = "default",
+               name: str = "") -> dict:
+        """Submit a design; returns the response body.
+
+        ``campaign`` is the id to stream/fetch; ``cached`` means the
+        verdict cache answered (state is already ``sealed``);
+        ``coalesced`` means an identical in-flight campaign absorbed
+        this submission.  Raises :class:`ServiceError` with code
+        ``backpressure`` when the tenant's queue is full.
+        """
+        return self._call({"op": "submit", "bundle_ref": bundle_ref,
+                           "tenant": tenant, "name": name})
+
+    def events(self, campaign: str, since: int = 0, follow: bool = True):
+        """Yield the campaign's stream events as dicts.
+
+        A generator over one held-open connection.  ``since`` is the
+        resume cursor (the first ``seq`` still wanted); after the
+        generator ends, :attr:`last_end` holds the terminal line (its
+        ``next`` field is the cursor that resumes after everything
+        seen).
+        """
+        self.last_end: dict | None = None
+        with self._connect() as sock:
+            sock.sendall(encode({"op": "events", "campaign": campaign,
+                                 "since": since, "follow": follow}))
+            with sock.makefile("rb") as fh:
+                _raise_if_error(decode(fh.readline()))
+                for line in fh:
+                    body = decode(line)
+                    if body.get("stream") == "end":
+                        self.last_end = body
+                        return
+                    yield body["event"]
+
+    def report(self, campaign: str, wait: bool = True,
+               canonical: bool = False):
+        """The sealed report: a dict, or canonical JSON text.
+
+        ``canonical=True`` returns the canonical JSON *text* rendered
+        by the service -- byte-identical to
+        ``report_to_json(campaign.run(...), canonical=True)`` of a
+        direct run of the same bundle.  Raises :class:`ServiceError`
+        (``campaign_failed``) when the fleet abandoned the campaign.
+        """
+        body = self._call({"op": "report", "campaign": campaign,
+                           "wait": wait, "canonical": canonical})
+        return body["canonical_json"] if canonical else body["report"]
+
+    def wait(self, campaign: str) -> str:
+        """Block until the campaign is terminal; returns its state."""
+        try:
+            self._call({"op": "report", "campaign": campaign,
+                        "wait": True, "canonical": False})
+            return "sealed"
+        except ServiceError as exc:
+            if exc.code == "campaign_failed":
+                return "failed"
+            raise
+
+    def status(self) -> dict:
+        return self._call({"op": "status"})
+
+    def metrics_text(self) -> str:
+        return self._call({"op": "metrics"})["text"]
+
+    def configure_tenant(self, tenant: str, *, weight: float | None = None,
+                         max_inflight: int | None = None,
+                         max_queued: int | None = None) -> dict:
+        request: dict = {"op": "configure_tenant", "tenant": tenant}
+        if weight is not None:
+            request["weight"] = weight
+        if max_inflight is not None:
+            request["max_inflight"] = max_inflight
+        if max_queued is not None:
+            request["max_queued"] = max_queued
+        return self._call(request)
+
+    def stop(self) -> dict:
+        """Ask the service process to shut down."""
+        return self._call({"op": "stop"})

@@ -1,0 +1,98 @@
+"""The service wire protocol: newline-delimited JSON over a socket.
+
+One request object per connection, one response object back -- except
+``events``, whose response is followed by a stream of event lines.
+JSON-lines was chosen for the same reason the trace format uses it
+(:mod:`repro.core.trace`): it can be produced incrementally, consumed
+with ``readline``, and debugged with ``nc`` and ``grep``.
+
+Requests are ``{"op": <name>, ...}``; every response carries ``"ok"``.
+Failure responses are ``{"ok": false, "error": <code>, "detail": ...}``
+with one of the :data:`ERROR_CODES`.  The operations:
+
+==================  ========================================================
+``submit``            ``bundle_ref`` (an importable ``"module:attr"``
+                      string -- bundles never travel by value), ``tenant``,
+                      optional ``name``.  Returns the campaign id plus
+                      ``state`` / ``cached`` / ``coalesced`` flags; rejects
+                      with ``backpressure`` (the 429 of this protocol) when
+                      the tenant's queue is full.
+``events``            ``campaign``, ``since`` (resume cursor: the first
+                      event ``seq`` still wanted), ``follow``.  Streams
+                      ``{"stream": "event", "event": {...}}`` lines and
+                      finishes with ``{"stream": "end", "state": ...,
+                      "next": <cursor>}``.
+``report``            ``campaign``, ``wait``, ``canonical``.  The sealed
+                      report -- full dict form, or canonical JSON *text*
+                      (byte-identical to a direct single-process run).
+``status``            Service scoreboard: campaigns by state, per-tenant
+                      queue snapshot, verdict-cache counters, store stats.
+``metrics``           Prometheus text exposition of the same.
+``configure_tenant``  ``tenant`` plus any of ``weight`` /
+                      ``max_inflight`` / ``max_queued``.
+``stop``              Ask the service to shut down once the reply is sent.
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+
+#: Bump when the request/response shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (a sealed report rides in one
+#: line); the server passes this as the asyncio stream reader limit,
+#: whose 64 KiB default would truncate real reports.
+MAX_LINE = 16 * 1024 * 1024
+
+#: The failure vocabulary.  ``backpressure`` is the admission-control
+#: rejection (retry later, or against another tenant's quota);
+#: ``campaign_failed`` is a fleet-level abandonment (the design never
+#: produced a report -- distinct from a report full of findings, which
+#: is a *successful* verification with bad news in it).
+ERROR_CODES = (
+    "bad_request",
+    "unknown_op",
+    "unknown_campaign",
+    "backpressure",
+    "campaign_failed",
+    "shutting_down",
+)
+
+
+class CampaignState(Enum):
+    """A service campaign's lifecycle; states only move rightward."""
+
+    QUEUED = "queued"        # admitted, waiting for a fair-share grant
+    RUNNING = "running"      # jobs live on the fleet pool
+    SEALED = "sealed"        # report available (verdict cached)
+    FAILED = "failed"        # abandoned by the fleet; no report exists
+
+    @property
+    def terminal(self) -> bool:
+        return self in (CampaignState.SEALED, CampaignState.FAILED)
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line.  Keys are sorted so logs diff cleanly."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one protocol line; raises ``ValueError`` on garbage."""
+    obj = json.loads(line.decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise ValueError(f"protocol line must be an object, got "
+                         f"{type(obj).__name__}")
+    return obj
+
+
+def error(code: str, detail: str = "") -> dict:
+    """A failure response body."""
+    assert code in ERROR_CODES, code
+    out = {"ok": False, "error": code}
+    if detail:
+        out["detail"] = detail
+    return out

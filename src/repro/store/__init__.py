@@ -17,6 +17,10 @@ instead of recomputing them.
 * :mod:`repro.store.checkpoint` -- the stage -> inputs dependency map
   and per-stage key derivation, so an edit invalidates exactly the
   stages whose inputs changed.
+* :mod:`repro.store.verdicts` -- the cross-user verdict cache: sealed
+  campaign reports keyed by (design fingerprint, battery invocation),
+  so a re-submission of a verified design is answered with zero
+  compute (see :mod:`repro.service`).
 """
 
 from repro.store.artifact import (
@@ -41,6 +45,11 @@ from repro.store.fingerprint import (
     fingerprint_cell_topology,
     fingerprint_value,
 )
+from repro.store.verdicts import (
+    VERDICT_SCHEMA_VERSION,
+    VerdictIndex,
+    verdict_key,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -59,4 +68,7 @@ __all__ = [
     "fingerprint_cell_geometry",
     "fingerprint_cell_topology",
     "fingerprint_value",
+    "VERDICT_SCHEMA_VERSION",
+    "VerdictIndex",
+    "verdict_key",
 ]

@@ -508,6 +508,36 @@ class ArtifactStore:
 
     # -- introspection -------------------------------------------------------
 
+    def stats(self) -> dict:
+        """One stat() sweep over the store's on-disk footprint.
+
+        Returns ``{"entries", "total_bytes", "quarantine_depth",
+        "degraded"}`` -- what a capacity dashboard (or the service
+        status endpoint) needs to answer "how big is this store and is
+        it healthy".  Unlike :meth:`counters` (this handle's history),
+        the numbers describe the *directory*, so every process sharing
+        the store reports the same figures.
+        """
+        entries = 0
+        total_bytes = 0
+        for p in self.objects.glob("*/*.ckpt"):
+            try:
+                total_bytes += p.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        try:
+            quarantine_depth = sum(
+                1 for p in self.quarantine_dir.iterdir() if p.is_file())
+        except OSError:
+            quarantine_depth = 0
+        return {
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "quarantine_depth": quarantine_depth,
+            "degraded": bool(self.degraded),
+        }
+
     def counters(self) -> dict[str, int]:
         return {
             "store_hits": self.hits,

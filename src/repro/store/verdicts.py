@@ -1,0 +1,121 @@
+"""Cross-user verdict cache: sealed campaign reports keyed by design.
+
+The fingerprint store already makes *stages* durable; this module makes
+the final **verdict** durable and shareable.  A verdict key digests
+everything that determines a campaign's report -- the design's combined
+input fingerprint plus the battery invocation (check list, timeout) --
+so two users submitting the same design through the service
+(:mod:`repro.service`) hit the same key, and the second submission is
+answered from the store with **zero battery executions**.
+
+The cached payload is the *full* report dict
+(:func:`repro.core.report.report_to_dict` without ``canonical=True``):
+the full form round-trips losslessly through
+:func:`~repro.core.report.report_from_dict`, so a cache hit can serve
+both the full and the canonical JSON shapes -- and the canonical shape
+is byte-identical to the originally sealed report, which is the cache
+contract the service tests pin.
+
+Reads trust nothing (the store already checksums; the index also
+validates the payload *shape*), and any bad blob degrades to a miss --
+the campaign simply runs.  Failed campaigns are never sealed: only a
+report that exists is a verdict; a fleet-level abandonment is a fault.
+"""
+
+from __future__ import annotations
+
+from repro.store.artifact import ArtifactStore, StoreError
+from repro.store.checkpoint import design_fingerprint
+from repro.store.fingerprint import FINGERPRINT_SCHEMA_VERSION, _digest
+
+#: Bump when the sealed-verdict payload shape changes incompatibly;
+#: old cache entries simply stop matching.
+VERDICT_SCHEMA_VERSION = 1
+
+
+def verdict_key(bundle, *, checks: tuple = (),
+                timeout_s: float | None = None) -> str:
+    """The cache key of one design + battery invocation.
+
+    Mirrors :func:`repro.store.checkpoint.stage_key`'s treatment of the
+    battery parameters: a different check list or timeout may
+    legitimately change findings, so it is a different verdict.  Worker
+    count, store layout, and tenancy are deliberately excluded -- the
+    canonical-report contract makes them invisible in the result.
+    """
+    fp = design_fingerprint(bundle)
+    return _digest([
+        "verdict", VERDICT_SCHEMA_VERSION, FINGERPRINT_SCHEMA_VERSION,
+        fp.combined,
+        [[c.__module__, c.__qualname__, c.name] for c in checks],
+        repr(timeout_s),
+    ])
+
+
+class VerdictIndex:
+    """Sealed-report cache over a shared :class:`ArtifactStore`.
+
+    One index per service process; the underlying store may be shared
+    with fleet workers and other services -- the store's atomic writes
+    and per-key locks make concurrent sealing of the same key safe
+    (duplicate seals of one key carry interchangeable payloads).
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self.seals = 0
+        self.rejected = 0
+
+    def load(self, key: str) -> dict | None:
+        """The sealed report dict under ``key``, or ``None`` on a miss.
+
+        Corrupt blobs are already quarantined by the store; a blob that
+        verifies but is not verdict-shaped is invalidated here (same
+        quarantine path) -- either way the caller sees a miss and runs
+        the campaign.
+        """
+        try:
+            payload, _meta = self.store.get(key)
+        except StoreError:
+            self.misses += 1
+            return None
+        report = payload.get("report") if isinstance(payload, dict) else None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != VERDICT_SCHEMA_VERSION
+                or not isinstance(report, dict)
+                or "design" not in report or "stages" not in report):
+            self.store.invalidate(key)
+            self.rejected += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def seal(self, key: str, report_dict: dict,
+             meta: dict | None = None) -> bool:
+        """Persist one campaign's full report dict; True when it landed.
+
+        Sealing is best-effort like every checkpoint write: a full disk
+        (or a concurrent sealer of the same key) costs the cache entry,
+        never the campaign.
+        """
+        try:
+            landed = self.store.put(
+                key, {"schema": VERDICT_SCHEMA_VERSION, "report": report_dict},
+                meta=dict(meta or {}))
+        except StoreError:
+            return False
+        if landed is None:
+            return False
+        self.seals += 1
+        return True
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "verdict_hits": self.hits,
+            "verdict_misses": self.misses,
+            "verdict_seals": self.seals,
+            "verdict_rejected": self.rejected,
+        }

@@ -1,0 +1,66 @@
+"""Unit tests for the JSON-lines wire protocol."""
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE,
+    CampaignState,
+    decode,
+    encode,
+    error,
+)
+
+
+class TestFraming:
+    def test_encode_one_line_with_newline(self):
+        line = encode({"op": "status"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_round_trip(self):
+        body = {"op": "submit", "bundle_ref": "m:a", "tenant": "t",
+                "nested": {"x": [1, 2.5, None, True]}}
+        assert decode(encode(body)) == body
+
+    def test_sorted_keys_are_deterministic(self):
+        assert (encode({"b": 1, "a": 2})
+                == encode({"a": 2, "b": 1}))
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            decode(b"[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            decode(b"not json\n")
+
+    def test_max_line_fits_a_real_report(self):
+        # A sealed report serializes to ~10 KB for the seed designs;
+        # the limit leaves three orders of magnitude of headroom.
+        assert MAX_LINE >= 1024 * 1024
+
+
+class TestErrors:
+    def test_error_body_shape(self):
+        body = error("backpressure", "queue full")
+        assert body == {"ok": False, "error": "backpressure",
+                        "detail": "queue full"}
+
+    def test_error_without_detail_omits_it(self):
+        assert error("unknown_campaign") == {"ok": False,
+                                             "error": "unknown_campaign"}
+
+    def test_all_codes_render(self):
+        for code in ERROR_CODES:
+            assert error(code)["error"] == code
+
+
+class TestCampaignState:
+    def test_terminal_states(self):
+        assert CampaignState.SEALED.terminal
+        assert CampaignState.FAILED.terminal
+        assert not CampaignState.QUEUED.terminal
+        assert not CampaignState.RUNNING.terminal
+
+    def test_values_are_wire_strings(self):
+        assert {s.value for s in CampaignState} == {
+            "queued", "running", "sealed", "failed"}

@@ -1,0 +1,148 @@
+"""Unit tests for the weighted-DRR tenant scheduler."""
+
+import pytest
+
+from repro.service.tenants import Backpressure, TenantScheduler
+
+
+def drain(sched, grants):
+    """Take ``grants`` grants, releasing each immediately (pure DRR)."""
+    out = []
+    for _ in range(grants):
+        grant = sched.next()
+        if grant is None:
+            break
+        tenant, _item = grant
+        sched.release(tenant)
+        out.append(tenant)
+    return out
+
+
+class TestDeficitRoundRobin:
+    def test_weighted_grant_ratio_converges_on_weights(self):
+        sched = TenantScheduler(default_max_inflight=10 ** 6,
+                                default_max_queued=10 ** 6)
+        sched.configure("heavy", weight=4.0)
+        sched.configure("light", weight=1.0)
+        for i in range(500):
+            sched.submit("heavy", f"h{i}")
+            sched.submit("light", f"l{i}")
+        grants = drain(sched, 500)
+        heavy = grants.count("heavy")
+        light = grants.count("light")
+        assert heavy + light == 500
+        # 4:1 weights -> 4:1 grants, exactly, over a saturated window.
+        assert light == 100
+        assert heavy == 400
+
+    def test_equal_weights_alternate(self):
+        sched = TenantScheduler(default_max_inflight=10 ** 6)
+        for i in range(10):
+            sched.submit("a", i)
+            sched.submit("b", i)
+        grants = drain(sched, 20)
+        assert grants.count("a") == 10
+        assert grants.count("b") == 10
+        # No starvation runs: never more than one consecutive grant.
+        for first, second in zip(grants, grants[1:]):
+            assert first != second
+
+    def test_single_tenant_gets_everything(self):
+        sched = TenantScheduler(default_max_inflight=10 ** 6)
+        for i in range(5):
+            sched.submit("only", i)
+        assert drain(sched, 10) == ["only"] * 5
+
+    def test_fifo_within_tenant(self):
+        sched = TenantScheduler(default_max_inflight=10 ** 6)
+        for i in range(5):
+            sched.submit("t", i)
+        items = []
+        while True:
+            grant = sched.next()
+            if grant is None:
+                break
+            sched.release("t")
+            items.append(grant[1])
+        assert items == [0, 1, 2, 3, 4]
+
+    def test_deficit_resets_when_queue_empties(self):
+        """An idle tenant cannot bank credit for a later burst."""
+        sched = TenantScheduler(default_max_inflight=10 ** 6,
+                                default_max_queued=10 ** 6)
+        sched.configure("a", weight=1.0)
+        sched.configure("b", weight=10.0)
+        # b drains alone for a while -- no credit may accrue to a.
+        for i in range(20):
+            sched.submit("b", i)
+        assert drain(sched, 20).count("b") == 20
+        assert sched.snapshot()["b"]["queue_depth"] == 0
+        # Now both saturate: the ratio must still be 10:1, not skewed
+        # by banked deficit from the solo interval.
+        for i in range(110):
+            sched.submit("a", i)
+            sched.submit("b", i)
+        grants = drain(sched, 110)
+        assert grants.count("a") == 10
+        assert grants.count("b") == 100
+
+
+class TestCapsAndBackpressure:
+    def test_backpressure_at_queue_limit(self):
+        sched = TenantScheduler(default_max_queued=2)
+        sched.submit("t", 1)
+        sched.submit("t", 2)
+        with pytest.raises(Backpressure) as excinfo:
+            sched.submit("t", 3)
+        assert excinfo.value.tenant == "t"
+        assert excinfo.value.limit == 2
+        assert sched.snapshot()["t"]["rejected"] == 1
+        # Another tenant's queue is unaffected.
+        sched.submit("other", 1)
+
+    def test_inflight_cap_blocks_grants_until_release(self):
+        sched = TenantScheduler(default_max_inflight=1)
+        sched.submit("t", 1)
+        sched.submit("t", 2)
+        assert sched.next() == ("t", 1)
+        assert sched.next() is None  # at the cap
+        sched.release("t")
+        assert sched.next() == ("t", 2)
+
+    def test_capped_tenant_does_not_block_peers(self):
+        sched = TenantScheduler(default_max_inflight=1)
+        sched.configure("capped", weight=100.0)
+        sched.submit("capped", 1)
+        sched.submit("capped", 2)
+        sched.submit("peer", 1)
+        assert sched.next() == ("capped", 1)
+        # capped is at its in-flight limit; the peer still drains even
+        # though its weight is 100x smaller.
+        assert sched.next() == ("peer", 1)
+
+    def test_configure_validation(self):
+        sched = TenantScheduler()
+        with pytest.raises(ValueError):
+            sched.configure("t", weight=0.0)
+        with pytest.raises(ValueError):
+            sched.configure("t", max_inflight=0)
+        with pytest.raises(ValueError):
+            sched.configure("t", max_queued=0)
+
+    def test_empty_scheduler_grants_nothing(self):
+        sched = TenantScheduler()
+        assert sched.next() is None
+        sched.release("ghost")  # harmless
+
+    def test_snapshot_counters(self):
+        sched = TenantScheduler(default_max_queued=1)
+        sched.submit("t", 1)
+        with pytest.raises(Backpressure):
+            sched.submit("t", 2)
+        sched.next()
+        snap = sched.snapshot()["t"]
+        assert snap["admitted"] == 1
+        assert snap["rejected"] == 1
+        assert snap["granted"] == 1
+        assert snap["inflight"] == 1
+        assert snap["queue_depth"] == 0

@@ -1,0 +1,79 @@
+"""Unit tests for ``ArtifactStore.stats()`` and the verdict cache."""
+
+import pytest
+
+from repro.checks.registry import ALL_CHECKS
+from repro.fleet.suite import adder8, alpha_slice
+from repro.store import ArtifactStore, VerdictIndex, verdict_key
+
+KEY1 = "a" * 16
+
+
+class TestStoreStats:
+    def test_empty_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.stats() == {"entries": 0, "total_bytes": 0,
+                                 "quarantine_depth": 0, "degraded": False}
+
+    def test_counts_entries_and_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        p1 = store.put(KEY1, {"x": list(range(50))})
+        p2 = store.put("b" * 16, "small")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == p1.stat().st_size + p2.stat().st_size
+        assert stats["degraded"] is False
+
+    def test_quarantine_depth(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put(KEY1, list(range(100)))
+        path.write_bytes(path.read_bytes()[:-7])  # torn tail
+        with pytest.raises(Exception):
+            store.get(KEY1)
+        stats = store.stats()
+        assert stats["entries"] == 0
+        assert stats["quarantine_depth"] == 1
+
+
+class TestVerdictKey:
+    def test_same_bundle_same_key(self):
+        checks = tuple(ALL_CHECKS[:3])
+        assert (verdict_key(alpha_slice(), checks=checks, timeout_s=2.0)
+                == verdict_key(alpha_slice(), checks=checks, timeout_s=2.0))
+
+    def test_different_design_different_key(self):
+        assert verdict_key(alpha_slice()) != verdict_key(adder8())
+
+    def test_battery_invocation_is_part_of_the_key(self):
+        base = verdict_key(alpha_slice(), checks=tuple(ALL_CHECKS))
+        fewer = verdict_key(alpha_slice(), checks=tuple(ALL_CHECKS[:2]))
+        timed = verdict_key(alpha_slice(), checks=tuple(ALL_CHECKS),
+                            timeout_s=1.0)
+        assert len({base, fewer, timed}) == 3
+
+
+class TestVerdictIndex:
+    REPORT = {"design": "d", "ok": True, "tapeout_clean": True,
+              "stages": [], "queue": [], "trace": []}
+
+    def test_seal_then_load(self, tmp_path):
+        index = VerdictIndex(ArtifactStore(tmp_path / "store"))
+        key = verdict_key(adder8())
+        assert index.load(key) is None
+        assert index.seal(key, dict(self.REPORT), meta={"campaign": "c1"})
+        assert index.load(key) == self.REPORT
+        assert index.counters() == {"verdict_hits": 1, "verdict_misses": 1,
+                                    "verdict_seals": 1,
+                                    "verdict_rejected": 0}
+
+    def test_wrong_shape_blob_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        index = VerdictIndex(store)
+        key = verdict_key(adder8())
+        store.put(key, {"schema": 999, "report": "not-a-dict"})
+        assert index.load(key) is None
+        assert index.counters()["verdict_rejected"] == 1
+        # The bad blob was invalidated: the key is free to reseal.
+        assert not store.has(key)
+        assert index.seal(key, dict(self.REPORT))
+        assert index.load(key) == self.REPORT
